@@ -1,0 +1,132 @@
+//! Micro-benchmarks for the per-call building blocks: parsing,
+//! binding, selectivity estimation, size modelling, access-path
+//! selection, whole-query optimization, transformation enumeration and
+//! cost-bound evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdt_expr::Binder;
+use pdt_opt::Optimizer;
+use pdt_physical::size::SizeModel;
+use pdt_physical::{Configuration, PhysicalSchema};
+use pdt_tuner::bound::{cost_upper_bound, ViewBuildCosts};
+use pdt_tuner::eval::evaluate_full;
+use pdt_tuner::instrument::gather_optimal_configuration;
+use pdt_tuner::transform::{apply, candidates, Transformation};
+use pdt_tuner::Workload;
+use pdt_workloads::tpch;
+
+fn bench_frontend(c: &mut Criterion) {
+    let sql = "SELECT l_orderkey, SUM(l_extendedprice), o_orderdate FROM customer, orders, lineitem \
+               WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND o_orderdate < 1000 \
+               AND l_shipdate > 1000 GROUP BY l_orderkey, o_orderdate ORDER BY o_orderdate";
+    c.bench_function("parse_q3", |b| {
+        b.iter(|| pdt_sql::parse_statement(std::hint::black_box(sql)).unwrap())
+    });
+
+    let db = tpch::tpch_database(0.1);
+    let stmt = pdt_sql::parse_statement(sql).unwrap();
+    c.bench_function("bind_q3", |b| {
+        let binder = Binder::new(&db);
+        b.iter(|| binder.bind(std::hint::black_box(&stmt)).unwrap())
+    });
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let db = tpch::tpch_database(0.1);
+    let li = db.table_by_name("lineitem").unwrap();
+    let shipdate = &li.column(10).stats;
+    c.bench_function("histogram_range_selectivity", |b| {
+        b.iter(|| {
+            shipdate.range_selectivity(
+                std::hint::black_box(Some((800.0, true))),
+                std::hint::black_box(Some((1200.0, false))),
+            )
+        })
+    });
+
+    let config = Configuration::base(&db);
+    let schema = PhysicalSchema::new(&db, &config);
+    let model = SizeModel::default();
+    let ci = config.clustered_index_on(li.id).unwrap();
+    c.bench_function("btree_size_model", |b| {
+        b.iter(|| model.index_bytes(&schema, std::hint::black_box(ci)))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let db = tpch::tpch_database(0.1);
+    let spec = tpch::tpch_workload();
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    let opt = Optimizer::new(&db);
+    let (full, _) = gather_optimal_configuration(&db, &w, true);
+    let base = Configuration::base(&db);
+
+    // Q5: the 6-table join — the heaviest optimization in the workload.
+    let q5 = w.entries[4].select.as_ref().unwrap();
+    c.bench_function("optimize_q5_base_config", |b| {
+        b.iter(|| opt.optimize(std::hint::black_box(&base), q5))
+    });
+    c.bench_function("optimize_q5_rich_config", |b| {
+        b.iter(|| opt.optimize(std::hint::black_box(&full), q5))
+    });
+    c.bench_function("evaluate_workload_22q", |b| {
+        b.iter(|| evaluate_full(&db, &opt, std::hint::black_box(&full), &w))
+    });
+}
+
+fn bench_tuner_internals(c: &mut Criterion) {
+    let db = tpch::tpch_database(0.1);
+    let spec = tpch::tpch_workload();
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    let opt = Optimizer::new(&db);
+    let base = Configuration::base(&db);
+    let (full, _) = gather_optimal_configuration(&db, &w, true);
+    let eval = evaluate_full(&db, &opt, &full, &w);
+
+    c.bench_function("enumerate_transformations", |b| {
+        b.iter(|| candidates(std::hint::black_box(&full), &base))
+    });
+
+    let cands = candidates(&full, &base);
+    let removal = cands
+        .iter()
+        .find(|t| matches!(t, Transformation::RemoveIndex { .. }))
+        .unwrap()
+        .clone();
+    c.bench_function("apply_transformation", |b| {
+        b.iter_batched(
+            || removal.clone(),
+            |t| apply(&t, &full, &db, &opt),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let applied = apply(&removal, &full, &db, &opt).unwrap();
+    c.bench_function("cost_upper_bound_22q", |b| {
+        let mut vc = ViewBuildCosts::new();
+        b.iter(|| {
+            cost_upper_bound(
+                &db,
+                &opt.opts.cost,
+                &w,
+                std::hint::black_box(&eval),
+                &full,
+                &applied,
+                &mut vc,
+            )
+        })
+    });
+
+    c.bench_function("gather_optimal_configuration_22q", |b| {
+        b.iter(|| gather_optimal_configuration(&db, &w, true))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_estimation,
+    bench_optimizer,
+    bench_tuner_internals
+);
+criterion_main!(benches);

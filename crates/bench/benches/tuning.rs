@@ -1,0 +1,79 @@
+//! End-to-end tuning-session benchmarks: relaxation (PTT) and
+//! bottom-up (CTT) sessions, plus the §3.5 variation ablations
+//! (shortcut evaluation on/off, skyline on/off) measured on wall time.
+//! The *quality* side of the ablations is reported by the
+//! `exp_ablation` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_tuner::{tune, TunerOptions, Workload};
+use pdt_workloads::{tpch, updates::with_updates};
+
+fn bench_sessions(c: &mut Criterion) {
+    let db = tpch::tpch_database(0.05);
+    let spec = tpch::tpch_workload_variant(1, 10);
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    let free = tune(&db, &w, &TunerOptions::default());
+    let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.3;
+
+    let mut g = c.benchmark_group("sessions");
+    g.sample_size(10);
+
+    g.bench_function("ptt_unconstrained", |b| {
+        b.iter(|| tune(&db, &w, &TunerOptions::default()))
+    });
+    g.bench_function("ptt_constrained_30pct", |b| {
+        b.iter(|| {
+            tune(
+                &db,
+                &w,
+                &TunerOptions {
+                    space_budget: Some(budget),
+                    max_iterations: 150,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("ctt_unconstrained", |b| {
+        b.iter(|| BaselineAdvisor::new(&db, BaselineOptions::default()).tune(&w))
+    });
+    g.finish();
+}
+
+fn bench_variations(c: &mut Criterion) {
+    let db = tpch::tpch_database(0.05);
+    let base = tpch::tpch_workload_variant(2, 8);
+    let mixed = with_updates(&db, &base, 0.5, 2);
+    let w = Workload::bind(&db, &mixed.statements).unwrap();
+
+    let mut g = c.benchmark_group("variations");
+    g.sample_size(10);
+    for (name, shortcut, skyline, shrink) in [
+        ("all_on", true, true, false),
+        ("no_shortcut", false, true, false),
+        ("no_skyline", true, false, false),
+        ("with_shrink", true, true, true),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                tune(
+                    &db,
+                    &w,
+                    &TunerOptions {
+                        space_budget: Some(f64::MAX),
+                        max_iterations: 120,
+                        shortcut_evaluation: shortcut,
+                        skyline_filter: skyline,
+                        shrink_unused: shrink,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sessions, bench_variations);
+criterion_main!(benches);

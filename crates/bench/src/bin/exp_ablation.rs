@@ -1,0 +1,124 @@
+//! Ablations of the design choices DESIGN.md calls out: the §3.4
+//! penalty heuristic vs. alternatives, the §3.4 configuration-choice
+//! heuristic vs. always-min-cost, and the §3.5/§3.6 variations
+//! (shortcut evaluation, skyline filtering, shrinking).
+//!
+//! Reports recommendation quality (improvement %) and work (optimizer
+//! calls) at a fixed iteration budget.
+
+use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_tuner::{tune, ConfigChoice, TransformationChoice, TunerOptions};
+use pdt_workloads::{tpch, updates::with_updates};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    improvement_pct: f64,
+    optimizer_calls: usize,
+    iterations: usize,
+}
+
+fn main() {
+    let db = tpch::tpch_database(0.05);
+    let spec = tpch::tpch_workload();
+    let w = bind_workload(&db, &spec.statements);
+    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.2;
+
+    let run = |label: &str, opts: TunerOptions| -> Row {
+        let r = tune(&db, &w, &opts);
+        Row {
+            variant: label.to_string(),
+            improvement_pct: r.best_improvement_pct(),
+            optimizer_calls: r.optimizer_calls,
+            iterations: r.iterations,
+        }
+    };
+    let base_opts = || TunerOptions {
+        with_views: false,
+        space_budget: Some(budget),
+        max_iterations: 250,
+        ..Default::default()
+    };
+
+    let mut rows = vec![
+        run("penalty + paper heuristic (default)", base_opts()),
+        run(
+            "transformation: random",
+            TunerOptions {
+                transformation_choice: TransformationChoice::Random,
+                seed: 7,
+                ..base_opts()
+            },
+        ),
+        run(
+            "transformation: min dT (space-blind)",
+            TunerOptions {
+                transformation_choice: TransformationChoice::MinCostIncrease,
+                ..base_opts()
+            },
+        ),
+        run(
+            "config choice: always min-cost",
+            TunerOptions {
+                config_choice: ConfigChoice::MinCost,
+                ..base_opts()
+            },
+        ),
+        run(
+            "no shortcut evaluation",
+            TunerOptions {
+                shortcut_evaluation: false,
+                ..base_opts()
+            },
+        ),
+        run(
+            "shrink unused each step",
+            TunerOptions {
+                shrink_unused: true,
+                ..base_opts()
+            },
+        ),
+    ];
+
+    // Skyline ablation needs updates to matter (§3.6).
+    let mixed = with_updates(&db, &tpch::tpch_workload_variant(4, 10), 0.6, 4);
+    let wu = bind_workload(&db, &mixed.statements);
+    for (label, skyline) in [("updates: skyline on", true), ("updates: skyline off", false)] {
+        let r = tune(
+            &db,
+            &wu,
+            &TunerOptions {
+                space_budget: Some(f64::MAX),
+                max_iterations: 300,
+                skyline_filter: skyline,
+                ..Default::default()
+            },
+        );
+        rows.push(Row {
+            variant: label.to_string(),
+            improvement_pct: r.best_improvement_pct(),
+            optimizer_calls: r.optimizer_calls,
+            iterations: r.iterations,
+        });
+    }
+
+    println!("Ablations (TPC-H, indexes, 20% budget; update rows: unconstrained)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.2}%", r.improvement_pct),
+                r.optimizer_calls.to_string(),
+                r.iterations.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["variant", "improvement", "optimizer calls", "iterations"], &table)
+    );
+    write_json("ablation", &rows);
+}

@@ -1,0 +1,57 @@
+//! Run the complete experiment suite (every table and figure) in
+//! sequence, mirroring `EXPERIMENTS.md`. Accepts an optional scale
+//! argument for the Fig. 8/9 panel sizes (default 20/12).
+//!
+//! ```sh
+//! cargo run --release -p pdt-bench --bin exp_all [panel_size]
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+fn main() {
+    let panel: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let fig9_panel = (panel * 3 / 5).max(4);
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("bin dir").to_path_buf();
+
+    let experiments: Vec<(&str, Vec<String>)> = vec![
+        ("exp_table1", vec![]),
+        ("exp_table2", vec![]),
+        ("exp_table3", vec![]),
+        ("exp_fig3", vec![]),
+        ("exp_fig4", vec![]),
+        ("exp_fig6", vec![]),
+        ("exp_fig8", vec![panel.to_string()]),
+        ("exp_fig9", vec![fig9_panel.to_string()]),
+        ("exp_fig10", vec![]),
+        ("exp_ablation", vec![]),
+    ];
+
+    let total = Instant::now();
+    let mut failures = 0;
+    for (name, args) in &experiments {
+        let start = Instant::now();
+        eprintln!("==> {name} {args:?}");
+        let status = Command::new(bin_dir.join(name))
+            .args(args)
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        eprintln!("<== {name}: {:?} ({:?})\n", status, start.elapsed());
+        if !status.success() {
+            failures += 1;
+        }
+    }
+    eprintln!(
+        "experiment suite finished in {:?}: {} of {} succeeded",
+        total.elapsed(),
+        experiments.len() - failures,
+        experiments.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

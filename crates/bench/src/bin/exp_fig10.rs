@@ -1,0 +1,123 @@
+//! Figure 10 — "Quality of recommendations with space constraints":
+//! improvement as the storage budget sweeps from the minimal to the
+//! optimal configuration size (0%..100%), for PTT and CTT.
+//!
+//! Expected shapes (paper §4.2): PTT's curve is monotone
+//! non-decreasing in space; CTT can dip when slightly more space is
+//! available ("due to multiple heuristics and greedy approximation").
+
+use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_catalog::Database;
+use pdt_sql::Statement;
+use pdt_tuner::{tune, TunerOptions};
+use pdt_workloads::star::{star_database, star_workload, StarParams};
+use pdt_workloads::tpch;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    pct_of_optimal: f64,
+    budget_mb: f64,
+    impr_ptt: f64,
+    impr_ctt: f64,
+}
+
+#[derive(Serialize)]
+struct Sweep {
+    name: String,
+    points: Vec<SweepPoint>,
+}
+
+fn main() {
+    let mut sweeps = Vec::new();
+
+    let tpch_db = tpch::tpch_database(0.1);
+    let spec = tpch::tpch_workload();
+    sweeps.push(sweep("TPC-H (indexes)", &tpch_db, &spec.statements));
+
+    let p = StarParams::ds1();
+    let ds1 = star_database(&p);
+    let spec = star_workload(&p, 7, 12);
+    sweeps.push(sweep("DS1 (indexes)", &ds1, &spec.statements));
+
+    println!("Figure 10: quality of recommendations with space constraints\n");
+    for s in &sweeps {
+        println!("== {} ==", s.name);
+        let rows: Vec<Vec<String>> = s
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.0}%", p.pct_of_optimal),
+                    format!("{:.0}", p.budget_mb),
+                    format!("{:.1}%", p.impr_ptt),
+                    format!("{:.1}%", p.impr_ctt),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["space", "budget (MB)", "PTT", "CTT"], &rows)
+        );
+        let monotone = s
+            .points
+            .windows(2)
+            .all(|w| w[1].impr_ptt >= w[0].impr_ptt - 0.5);
+        let ctt_dips = s
+            .points
+            .windows(2)
+            .any(|w| w[1].impr_ctt < w[0].impr_ctt - 0.5);
+        println!(
+            "PTT monotone non-decreasing: {monotone}; CTT dips with more space: {ctt_dips}\n"
+        );
+    }
+    write_json("fig10", &sweeps);
+}
+
+fn sweep(name: &str, db: &Database, statements: &[Statement]) -> Sweep {
+    let w = bind_workload(db, statements);
+    // Index-only, as in the paper's figure.
+    let free = tune(
+        db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
+    let mut points = Vec::new();
+    for pct in [5.0, 10.0, 20.0, 35.0, 50.0, 70.0, 90.0, 100.0] {
+        let budget =
+            free.initial_size + (free.optimal_size - free.initial_size) * pct / 100.0;
+        let ptt = tune(
+            db,
+            &w,
+            &TunerOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                max_iterations: 500,
+                ..Default::default()
+            },
+        );
+        let ctt = BaselineAdvisor::new(
+            db,
+            BaselineOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                ..Default::default()
+            },
+        )
+        .tune(&w);
+        points.push(SweepPoint {
+            pct_of_optimal: pct,
+            budget_mb: budget / 1e6,
+            impr_ptt: ptt.best_improvement_pct(),
+            impr_ctt: ctt.improvement_pct(),
+        });
+    }
+    Sweep {
+        name: name.to_string(),
+        points,
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 8 — "Quality of recommendations when using PTT and CTT for
+//! varying databases and workloads": ΔImprovement = Improvement_PTT −
+//! Improvement_CTT per workload, without time or space constraints,
+//! for {TPC-H, DS1, BENCH} × {indexes only, indexes and views}.
+
+use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::{bind_workload, render_delta_bars, write_json, DeltaSummary};
+use pdt_catalog::Database;
+use pdt_sql::Statement;
+use pdt_tuner::{tune, TunerOptions};
+use pdt_workloads::bench::{bench_database, bench_workload, BenchParams};
+use pdt_workloads::star::{star_database, star_workload, StarParams};
+use pdt_workloads::tpch;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Panel {
+    name: String,
+    deltas: Vec<f64>,
+    summary: DeltaSummary,
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    let mut panels: Vec<Panel> = Vec::new();
+    let tpch_db = tpch::tpch_database(0.05);
+    let p1 = StarParams::ds1();
+    let ds1 = star_database(&p1);
+    let bench_db_ = bench_database(&BenchParams::default());
+
+    for with_views in [false, true] {
+        let mode = if with_views { "indexes+views" } else { "indexes" };
+
+        let mut deltas = Vec::with_capacity(n);
+        for seed in 0..n as u64 {
+            let spec = tpch::tpch_workload_variant(seed, 10);
+            deltas.push(delta(&tpch_db, &spec.statements, with_views));
+        }
+        panels.push(mk_panel(format!("TPC-H ({mode})"), deltas));
+
+        let mut deltas = Vec::with_capacity(n);
+        for seed in 0..n as u64 {
+            let spec = star_workload(&p1, seed, 12);
+            deltas.push(delta(&ds1, &spec.statements, with_views));
+        }
+        panels.push(mk_panel(format!("DS1 ({mode})"), deltas));
+
+        let mut deltas = Vec::with_capacity(n);
+        for seed in 0..n as u64 {
+            let spec = bench_workload(&bench_db_, seed, 15);
+            deltas.push(delta(&bench_db_, &spec.statements, with_views));
+        }
+        panels.push(mk_panel(format!("BENCH ({mode})"), deltas));
+    }
+
+    println!("Figure 8: dImprovement = Improvement_PTT - Improvement_CTT, no constraints\n");
+    for p in &panels {
+        println!("== {} ==", p.name);
+        println!("{}", render_delta_bars(&p.deltas));
+        println!(
+            "ties (<=1%): {}  PTT wins (>1%): {}  PTT losses (<-1%): {}  max: {:.1}  mean: {:.2}\n",
+            p.summary.ties_within_1pct,
+            p.summary.ptt_wins_over_1pct,
+            p.summary.ptt_losses_over_1pct,
+            p.summary.max_delta,
+            p.summary.mean_delta,
+        );
+    }
+    let all: Vec<f64> = panels.iter().flat_map(|p| p.deltas.iter().copied()).collect();
+    let overall = DeltaSummary::from(&all);
+    println!(
+        "OVERALL: {} workloads — {:.0}% ties, {:.0}% PTT wins, {:.0}% PTT losses\n\
+         (the paper reports ~64% ties, ~34% wins, <2% losses; views amplify wins)",
+        overall.workloads,
+        100.0 * overall.ties_within_1pct as f64 / overall.workloads as f64,
+        100.0 * overall.ptt_wins_over_1pct as f64 / overall.workloads as f64,
+        100.0 * overall.ptt_losses_over_1pct as f64 / overall.workloads as f64,
+    );
+    write_json("fig8", &panels);
+}
+
+fn mk_panel(name: String, deltas: Vec<f64>) -> Panel {
+    let summary = DeltaSummary::from(&deltas);
+    Panel {
+        name,
+        deltas,
+        summary,
+    }
+}
+
+fn delta(db: &Database, statements: &[Statement], with_views: bool) -> f64 {
+    let w = bind_workload(db, statements);
+    let ptt = tune(
+        db,
+        &w,
+        &TunerOptions {
+            with_views,
+            ..Default::default()
+        },
+    );
+    let ctt = BaselineAdvisor::new(
+        db,
+        BaselineOptions {
+            with_views,
+            ..Default::default()
+        },
+    )
+    .tune(&w);
+    ptt.best_improvement_pct() - ctt.improvement_pct()
+}

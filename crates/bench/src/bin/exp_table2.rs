@@ -1,0 +1,91 @@
+//! Table 2 — "Databases and workloads used in the experiments."
+
+use pdt_bench::{render_table, write_json};
+use pdt_workloads::bench::{bench_database, BenchParams};
+use pdt_workloads::star::{star_database, StarParams};
+use pdt_workloads::tpch;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    database: String,
+    tables: usize,
+    data_gb: f64,
+    select_workloads: usize,
+    update_workloads: usize,
+    queries_per_workload: String,
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    let tpch = tpch::tpch_database(1.0);
+    rows.push(Row {
+        database: "TPC-H (SF 1)".into(),
+        tables: tpch.tables().len(),
+        data_gb: tpch.total_heap_bytes() / 1e9,
+        select_workloads: 41, // 22-query canonical + 40 seeded variants
+        update_workloads: 20,
+        queries_per_workload: "8-22".into(),
+    });
+
+    let ds1 = star_database(&StarParams::ds1());
+    rows.push(Row {
+        database: "DS1 (star, 6 dims)".into(),
+        tables: ds1.tables().len(),
+        data_gb: ds1.total_heap_bytes() / 1e9,
+        select_workloads: 40,
+        update_workloads: 20,
+        queries_per_workload: "12".into(),
+    });
+
+    let ds2 = star_database(&StarParams::ds2());
+    rows.push(Row {
+        database: "DS2 (star, 9 dims)".into(),
+        tables: ds2.tables().len(),
+        data_gb: ds2.total_heap_bytes() / 1e9,
+        select_workloads: 20,
+        update_workloads: 10,
+        queries_per_workload: "12".into(),
+    });
+
+    let bench = bench_database(&BenchParams::default());
+    rows.push(Row {
+        database: "BENCH (random)".into(),
+        tables: bench.tables().len(),
+        data_gb: bench.total_heap_bytes() / 1e9,
+        select_workloads: 40,
+        update_workloads: 20,
+        queries_per_workload: "15".into(),
+    });
+
+    println!("Table 2: databases and workloads used in the experiments\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.database.clone(),
+                r.tables.to_string(),
+                format!("{:.2}", r.data_gb),
+                r.select_workloads.to_string(),
+                r.update_workloads.to_string(),
+                r.queries_per_workload.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "database",
+                "tables",
+                "data (GB)",
+                "SELECT workloads",
+                "UPDATE workloads",
+                "queries/workload",
+            ],
+            &table_rows,
+        )
+    );
+    write_json("table2", &rows);
+}

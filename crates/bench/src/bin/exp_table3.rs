@@ -1,0 +1,92 @@
+//! Table 3 — "Tuning time for the most expensive workloads": the
+//! top-10 workloads by CTT tuning time, with PTT's time to reach the
+//! optimal configuration and both tools' improvements (no space
+//! constraints, SELECT-only — §4.1).
+
+use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_tuner::{tune, TunerOptions};
+use pdt_workloads::star::{star_database, star_workload, StarParams};
+use pdt_workloads::tpch;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    ctt_ms: f64,
+    ptt_ms: f64,
+    ctt_calls: usize,
+    ptt_calls: usize,
+    impr_ctt: f64,
+    impr_ptt: f64,
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    // TPC-H canonical + variants (indexes and views).
+    let tpch_db = tpch::tpch_database(0.1);
+    let mut specs = vec![("tpch-22-IV".to_string(), tpch::tpch_workload())];
+    for seed in 0..6u64 {
+        specs.push((
+            format!("tpch-v{seed}-IV"),
+            tpch::tpch_workload_variant(seed, 14),
+        ));
+    }
+    for (name, spec) in specs {
+        rows.push(run(&name, &tpch_db, &spec.statements));
+    }
+
+    // DS1 star workloads.
+    let p = StarParams::ds1();
+    let ds1 = star_database(&p);
+    for seed in 0..5u64 {
+        let spec = star_workload(&p, seed, 12);
+        rows.push(run(&format!("ds1-w{seed}-IV"), &ds1, &spec.statements));
+    }
+
+    rows.sort_by(|a, b| b.ctt_ms.total_cmp(&a.ctt_ms));
+    rows.truncate(10);
+
+    println!("Table 3: tuning time for the 10 most expensive workloads (no constraints)\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.0} ms ({} calls)", r.ctt_ms, r.ctt_calls),
+                format!("{:.0} ms ({} calls)", r.ptt_ms, r.ptt_calls),
+                format!("{:.1}%", r.impr_ctt),
+                format!("{:.1}%", r.impr_ptt),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["workload", "time CTT", "time PTT", "impr CTT", "impr PTT"],
+            &table_rows,
+        )
+    );
+    println!(
+        "PTT reaches its (optimal) recommendation in a fraction of CTT's time:\n\
+         with no space constraint the instrumented first pass *is* the answer,\n\
+         while CTT still pays for merging and greedy enumeration (§4.1)."
+    );
+    write_json("table3", &rows);
+}
+
+fn run(name: &str, db: &pdt_catalog::Database, statements: &[pdt_sql::Statement]) -> Row {
+    let w = bind_workload(db, statements);
+    let ptt = tune(db, &w, &TunerOptions::default());
+    let ctt = BaselineAdvisor::new(db, BaselineOptions::default()).tune(&w);
+    Row {
+        workload: name.to_string(),
+        ctt_ms: ctt.elapsed.as_secs_f64() * 1e3,
+        ptt_ms: ptt.elapsed.as_secs_f64() * 1e3,
+        ctt_calls: ctt.optimizer_calls,
+        ptt_calls: ptt.optimizer_calls,
+        impr_ctt: ctt.improvement_pct(),
+        impr_ptt: ptt.best_improvement_pct(),
+    }
+}

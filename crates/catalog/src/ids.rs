@@ -1,0 +1,82 @@
+//! Newtype identifiers for tables and columns.
+//!
+//! A [`ColumnId`] is globally unique: it pairs the owning table with the
+//! column's ordinal. Materialized views registered by `pdt-physical`
+//! receive `TableId`s from a separate, high range so that base tables
+//! and view "tables" never collide.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a table (or of a materialized view acting as a table).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// First id reserved for materialized views simulated as tables.
+    pub const VIEW_BASE: u32 = 1 << 24;
+
+    /// True if this id denotes a materialized view, not a base table.
+    pub fn is_view(self) -> bool {
+        self.0 >= Self::VIEW_BASE
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_view() {
+            write!(f, "v{}", self.0 - Self::VIEW_BASE)
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+/// Globally unique column identifier: owning table + ordinal.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ColumnId {
+    pub table: TableId,
+    pub ordinal: u16,
+}
+
+impl ColumnId {
+    pub fn new(table: TableId, ordinal: u16) -> ColumnId {
+        ColumnId { table, ordinal }
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.ordinal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_range_is_disjoint() {
+        assert!(!TableId(0).is_view());
+        assert!(!TableId(TableId::VIEW_BASE - 1).is_view());
+        assert!(TableId(TableId::VIEW_BASE).is_view());
+    }
+
+    #[test]
+    fn column_ids_order_by_table_then_ordinal() {
+        let a = ColumnId::new(TableId(1), 5);
+        let b = ColumnId::new(TableId(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TableId(3).to_string(), "t3");
+        assert_eq!(TableId(TableId::VIEW_BASE + 2).to_string(), "v2");
+        assert_eq!(ColumnId::new(TableId(3), 1).to_string(), "t3.c1");
+    }
+}

@@ -1,0 +1,33 @@
+//! # pdt-catalog — schema, statistics and synthetic data models
+//!
+//! The catalog layer holds everything the optimizer and the tuner need
+//! to know about a database *without ever touching rows*:
+//!
+//! * [`schema`] — tables, columns, keys ([`Database`] is the root);
+//! * [`types`] — the column type system and literal values;
+//! * [`stats`] — per-column statistics with equi-depth histograms,
+//!   the basis of all selectivity estimation;
+//! * [`datagen`] — seeded synthetic distributions used to *generate*
+//!   statistics for benchmark databases (the stand-in for `dbgen` data:
+//!   the tuning algorithms only consume statistics and optimizer costs,
+//!   never raw tuples — see DESIGN.md §2).
+//!
+//! Hypothetical ("what-if") physical structures are layered on top of a
+//! `Database` by `pdt-physical`; the catalog itself stays immutable
+//! during a tuning session, which is what makes what-if simulation
+//! cheap.
+
+pub mod datagen;
+pub mod ids;
+pub mod schema;
+pub mod stats;
+pub mod types;
+
+pub use datagen::{ColumnSpec, Distribution, TableSpec};
+pub use ids::{ColumnId, TableId};
+pub use schema::{Column, Database, DatabaseBuilder, Table};
+pub use stats::{ColumnStats, Histogram};
+pub use types::{string_sort_key, ColumnType, SortKey, Value};
+
+/// Convenience alias: a database is the catalog for tuning purposes.
+pub type Catalog = Database;

@@ -1,0 +1,316 @@
+//! Column statistics and equi-depth histograms.
+//!
+//! These statistics are the *only* information the optimizer's
+//! cardinality module consumes, mirroring the paper's setup where
+//! hypothetical structures are simulated "by adding meta-data and
+//! statistical information to the system catalogs".
+
+use crate::types::SortKey;
+use serde::{Deserialize, Serialize};
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: f64,
+    /// Fraction of NULLs in the column.
+    pub null_frac: f64,
+    /// Minimum value (sort-key domain).
+    pub min: SortKey,
+    /// Maximum value (sort-key domain).
+    pub max: SortKey,
+    /// Average stored width in bytes (equals the declared width for
+    /// fixed-width columns; sampled for VARCHARs).
+    pub avg_width: f64,
+    /// Optional equi-depth histogram; when absent, estimates fall back
+    /// to the uniform model over `[min, max]`.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Analytic statistics for a uniformly distributed column.
+    pub fn uniform(ndv: f64, min: SortKey, max: SortKey, avg_width: f64) -> ColumnStats {
+        ColumnStats {
+            ndv: ndv.max(1.0),
+            null_frac: 0.0,
+            min,
+            max,
+            avg_width,
+            histogram: None,
+        }
+    }
+
+    /// Selectivity of `col = v`.
+    pub fn eq_selectivity(&self, v: SortKey) -> f64 {
+        if v < self.min || v > self.max {
+            return 0.0;
+        }
+        match &self.histogram {
+            Some(h) => h.eq_selectivity(v).max(1e-9),
+            None => ((1.0 - self.null_frac) / self.ndv.max(1.0)).clamp(1e-9, 1.0),
+        }
+    }
+
+    /// Selectivity of an (optionally one-sided) range predicate.
+    /// Bounds are `(value, inclusive)`.
+    pub fn range_selectivity(
+        &self,
+        lo: Option<(SortKey, bool)>,
+        hi: Option<(SortKey, bool)>,
+    ) -> f64 {
+        let sel = match &self.histogram {
+            Some(h) => h.range_selectivity(lo, hi),
+            None => uniform_range_selectivity(self.min, self.max, lo, hi),
+        };
+        (sel * (1.0 - self.null_frac)).clamp(0.0, 1.0)
+    }
+
+    /// Estimated number of distinct values after keeping `fraction` of
+    /// the rows of a table with `rows` rows (Cardenas' formula).
+    pub fn distinct_after_filter(&self, rows: f64, fraction: f64) -> f64 {
+        let kept = (rows * fraction).max(0.0);
+        let d = self.ndv.max(1.0);
+        // D * (1 - (1 - 1/D)^kept), numerically stabilized.
+        let per_value = 1.0 / d;
+        let expected = d * (1.0 - (-kept * per_value.min(1.0)).exp());
+        expected.clamp(0.0, d.min(kept.max(1.0)))
+    }
+}
+
+fn uniform_range_selectivity(
+    min: SortKey,
+    max: SortKey,
+    lo: Option<(SortKey, bool)>,
+    hi: Option<(SortKey, bool)>,
+) -> f64 {
+    if max <= min {
+        // Degenerate single-value domain: any bound either keeps or
+        // drops everything.
+        let keep_lo = lo.is_none_or(|(v, inc)| if inc { v <= min } else { v < min });
+        let keep_hi = hi.is_none_or(|(v, inc)| if inc { v >= max } else { v > max });
+        return if keep_lo && keep_hi { 1.0 } else { 0.0 };
+    }
+    let width = max - min;
+    let lo_v = lo.map_or(min, |(v, _)| v.clamp(min, max));
+    let hi_v = hi.map_or(max, |(v, _)| v.clamp(min, max));
+    ((hi_v - lo_v) / width).clamp(0.0, 1.0)
+}
+
+/// Equi-depth histogram: `bounds.len() == buckets + 1`, each bucket
+/// holds `1 / buckets` of the non-null rows, and `distinct[i]` counts
+/// the distinct values inside bucket `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub bounds: Vec<SortKey>,
+    pub distinct: Vec<f64>,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram from a sample of sort keys.
+    /// Returns `None` for empty samples.
+    pub fn from_sample(mut sample: Vec<SortKey>, buckets: usize) -> Option<Histogram> {
+        sample.retain(|v| v.is_finite());
+        if sample.is_empty() || buckets == 0 {
+            return None;
+        }
+        sample.sort_by(|a, b| a.total_cmp(b));
+        let n = sample.len();
+        let buckets = buckets.min(n);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        let mut distinct = Vec::with_capacity(buckets);
+        bounds.push(sample[0]);
+        for b in 1..=buckets {
+            let hi_idx = (b * n) / buckets;
+            let lo_idx = ((b - 1) * n) / buckets;
+            let slice = &sample[lo_idx..hi_idx.max(lo_idx + 1).min(n)];
+            let mut d = 1.0;
+            for w in slice.windows(2) {
+                if w[1] > w[0] {
+                    d += 1.0;
+                }
+            }
+            distinct.push(d);
+            bounds.push(sample[(hi_idx.max(1) - 1).min(n - 1)]);
+        }
+        // Ensure the last bound is the max.
+        *bounds.last_mut().expect("non-empty") = sample[n - 1];
+        Some(Histogram { bounds, distinct })
+    }
+
+    fn buckets(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Fraction of rows strictly below `v` (with linear interpolation
+    /// inside the containing bucket).
+    pub fn fraction_below(&self, v: SortKey) -> f64 {
+        let b = self.buckets();
+        if b == 0 {
+            return 0.0;
+        }
+        if v <= self.bounds[0] {
+            return 0.0;
+        }
+        if v >= self.bounds[b] {
+            return 1.0;
+        }
+        let per_bucket = 1.0 / b as f64;
+        let mut acc = 0.0;
+        for i in 0..b {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if v >= hi {
+                acc += per_bucket;
+            } else {
+                if hi > lo {
+                    acc += per_bucket * ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                }
+                break;
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `col = v`: the containing bucket's share divided
+    /// by its distinct count.
+    pub fn eq_selectivity(&self, v: SortKey) -> f64 {
+        let b = self.buckets();
+        if b == 0 || v < self.bounds[0] || v > self.bounds[b] {
+            return 0.0;
+        }
+        // A heavy hitter can span several equi-depth buckets (each a
+        // zero-width [v, v] bucket); sum the contribution of every
+        // bucket whose range contains v.
+        let per_bucket = 1.0 / b as f64;
+        let mut acc = 0.0;
+        for i in 0..b {
+            if v >= self.bounds[i] && v <= self.bounds[i + 1] {
+                acc += per_bucket / self.distinct[i].max(1.0);
+            }
+        }
+        acc.min(1.0)
+    }
+
+    /// Selectivity of a range predicate with optional bounds.
+    pub fn range_selectivity(
+        &self,
+        lo: Option<(SortKey, bool)>,
+        hi: Option<(SortKey, bool)>,
+    ) -> f64 {
+        let lo_frac = match lo {
+            None => 0.0,
+            Some((v, inclusive)) => {
+                let f = self.fraction_below(v);
+                if inclusive {
+                    f
+                } else {
+                    f + self.eq_selectivity(v)
+                }
+            }
+        };
+        let hi_frac = match hi {
+            None => 1.0,
+            Some((v, inclusive)) => {
+                let f = self.fraction_below(v);
+                if inclusive {
+                    f + self.eq_selectivity(v)
+                } else {
+                    f
+                }
+            }
+        };
+        (hi_frac - lo_frac).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_hist() -> Histogram {
+        let sample: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        Histogram::from_sample(sample, 20).unwrap()
+    }
+
+    #[test]
+    fn histogram_has_requested_buckets() {
+        let h = uniform_hist();
+        assert_eq!(h.distinct.len(), 20);
+        assert_eq!(h.bounds.len(), 21);
+        assert_eq!(h.bounds[0], 0.0);
+        assert_eq!(*h.bounds.last().unwrap(), 999.0);
+    }
+
+    #[test]
+    fn fraction_below_tracks_uniform() {
+        let h = uniform_hist();
+        for v in [100.0, 250.0, 500.0, 900.0] {
+            let got = h.fraction_below(v);
+            let want = v / 999.0;
+            assert!((got - want).abs() < 0.06, "v={v}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn range_selectivity_interval() {
+        let h = uniform_hist();
+        let sel = h.range_selectivity(Some((200.0, true)), Some((400.0, false)));
+        assert!((sel - 0.2).abs() < 0.05, "sel={sel}");
+    }
+
+    #[test]
+    fn eq_selectivity_of_distinct_values() {
+        let h = uniform_hist();
+        let sel = h.eq_selectivity(500.0);
+        assert!((sel - 0.001).abs() < 5e-4, "sel={sel}");
+    }
+
+    #[test]
+    fn out_of_domain_selectivities_are_zero() {
+        let h = uniform_hist();
+        assert_eq!(h.eq_selectivity(-5.0), 0.0);
+        assert_eq!(h.range_selectivity(Some((2000.0, true)), None), 0.0);
+    }
+
+    #[test]
+    fn skewed_samples_keep_equi_depth() {
+        // 90% of the mass at value 0.
+        let mut sample = vec![0.0; 900];
+        sample.extend((1..=100).map(|i| i as f64));
+        let h = Histogram::from_sample(sample, 10).unwrap();
+        // Equality on the heavy value should be close to 0.9.
+        let sel = h.eq_selectivity(0.0);
+        assert!(sel > 0.5, "heavy-hitter selectivity too small: {sel}");
+    }
+
+    #[test]
+    fn stats_uniform_fallback() {
+        let s = ColumnStats::uniform(100.0, 0.0, 100.0, 4.0);
+        let sel = s.range_selectivity(Some((25.0, true)), Some((75.0, true)));
+        assert!((sel - 0.5).abs() < 1e-9);
+        assert!((s.eq_selectivity(10.0) - 0.01).abs() < 1e-9);
+        assert_eq!(s.eq_selectivity(-1.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_single_value_domain() {
+        let s = ColumnStats::uniform(1.0, 5.0, 5.0, 4.0);
+        assert_eq!(s.range_selectivity(Some((5.0, true)), None), 1.0);
+        assert_eq!(s.range_selectivity(Some((5.0, false)), None), 0.0);
+    }
+
+    #[test]
+    fn distinct_after_filter_bounds() {
+        let s = ColumnStats::uniform(1000.0, 0.0, 1.0, 4.0);
+        let d = s.distinct_after_filter(1_000_000.0, 1.0);
+        assert!(d <= 1000.0 && d > 990.0, "d={d}");
+        let d_small = s.distinct_after_filter(1_000_000.0, 1e-6);
+        assert!(d_small <= 1.0 + 1e-6, "d_small={d_small}");
+    }
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert!(Histogram::from_sample(vec![], 8).is_none());
+        assert!(Histogram::from_sample(vec![f64::NAN], 8).is_none());
+    }
+}

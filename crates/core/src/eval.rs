@@ -1,0 +1,350 @@
+//! Workload cost evaluation with minimal re-optimization.
+//!
+//! The relaxation search only ever *shrinks* configurations, so a query
+//! whose plan used none of the removed structures keeps its plan ("we
+//! only need to re-optimize queries that used some of the relaxed
+//! structures", §3). Update shells are costed in closed form — no
+//! optimizer calls (§3.6).
+
+use crate::workload::{UpdateShell, Workload};
+use pdt_catalog::{Database, TableId};
+use pdt_opt::{CostModel, IndexUsage, Optimizer};
+use pdt_physical::{Configuration, Index, PhysicalSchema};
+use std::collections::BTreeSet;
+
+/// Evaluation of one workload entry under a configuration.
+#[derive(Debug, Clone)]
+pub struct QueryEval {
+    /// Cost of the SELECT component (0 for pure INSERT shells).
+    pub select_cost: f64,
+    /// Closed-form maintenance cost of the update shell (0 for SELECTs).
+    pub shell_cost: f64,
+    /// Index usages of the SELECT plan (§3.3.2's explain records).
+    pub usages: Vec<IndexUsage>,
+}
+
+impl QueryEval {
+    pub fn total(&self) -> f64 {
+        self.select_cost + self.shell_cost
+    }
+
+    /// True if the plan used any of the given structures.
+    pub fn uses_any(
+        &self,
+        removed_indexes: &[Index],
+        removed_views: &[TableId],
+    ) -> bool {
+        self.usages.iter().any(|u| {
+            removed_indexes.contains(&u.index) || removed_views.contains(&u.index.table)
+        })
+    }
+}
+
+/// Evaluation of a whole workload under a configuration.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    pub per_query: Vec<QueryEval>,
+    /// Weighted total cost.
+    pub total_cost: f64,
+    /// Optimizer invocations needed to produce this result.
+    pub optimizer_calls: usize,
+}
+
+/// Maintenance cost of one update shell against one index: descend the
+/// tree and write the leaf entry, per modified row. Indexes over
+/// materialized views referencing the written table pay a delta-
+/// maintenance surcharge.
+pub fn shell_index_cost(
+    model: &CostModel,
+    schema: &PhysicalSchema<'_>,
+    shell: &UpdateShell,
+    index: &Index,
+) -> f64 {
+    const VIEW_MAINTENANCE_FACTOR: f64 = 2.0;
+    let (affected, factor) = if index.table.is_view() {
+        match schema.config.view(index.table) {
+            Some(v) if v.def.tables.contains(&shell.table) => (true, VIEW_MAINTENANCE_FACTOR),
+            _ => (false, 1.0),
+        }
+    } else {
+        (shell.affects(index), 1.0)
+    };
+    if !affected {
+        return 0.0;
+    }
+    let levels = model.btree_levels(schema, index);
+    let per_row = (levels + 1.0) * model.rand_page * 0.5 + 2.0 * model.cpu_tuple;
+    shell.rows * per_row * factor
+}
+
+/// Total shell cost of one entry under a configuration.
+pub fn shell_cost(
+    model: &CostModel,
+    schema: &PhysicalSchema<'_>,
+    shell: &UpdateShell,
+) -> f64 {
+    schema
+        .config
+        .indexes()
+        .map(|i| shell_index_cost(model, schema, shell, i))
+        .sum()
+}
+
+/// Evaluate the full workload from scratch.
+pub fn evaluate_full(
+    db: &Database,
+    opt: &Optimizer<'_>,
+    config: &Configuration,
+    workload: &Workload,
+) -> EvalResult {
+    let schema = PhysicalSchema::new(db, config);
+    let model = opt.opts.cost;
+    let mut per_query = Vec::with_capacity(workload.len());
+    let mut total = 0.0;
+    let mut calls = 0;
+    for entry in &workload.entries {
+        let (select_cost, usages) = match &entry.select {
+            Some(q) => {
+                let plan = opt.optimize(config, q);
+                calls += 1;
+                (plan.cost, plan.index_usages)
+            }
+            None => (0.0, Vec::new()),
+        };
+        let shell_cost = entry
+            .shell
+            .as_ref()
+            .map(|s| shell_cost(&model, &schema, s))
+            .unwrap_or(0.0);
+        total += entry.weight * (select_cost + shell_cost);
+        per_query.push(QueryEval {
+            select_cost,
+            shell_cost,
+            usages,
+        });
+    }
+    EvalResult {
+        per_query,
+        total_cost: total,
+        optimizer_calls: calls,
+    }
+}
+
+/// Re-evaluate after a relaxation: only queries whose plans used one of
+/// the removed structures are re-optimized; shells are recomputed in
+/// closed form. With `shortcut_limit` set (§3.5 shortcut evaluation),
+/// returns `None` as soon as the accumulated cost exceeds the limit.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_incremental(
+    db: &Database,
+    opt: &Optimizer<'_>,
+    config: &Configuration,
+    workload: &Workload,
+    prev: &EvalResult,
+    removed_indexes: &[Index],
+    removed_views: &[TableId],
+    shortcut_limit: Option<f64>,
+) -> Option<EvalResult> {
+    let schema = PhysicalSchema::new(db, config);
+    let model = opt.opts.cost;
+    let mut per_query = Vec::with_capacity(workload.len());
+    let mut total = 0.0;
+    let mut calls = 0;
+    for (entry, prev_eval) in workload.entries.iter().zip(&prev.per_query) {
+        let needs_reopt = prev_eval.uses_any(removed_indexes, removed_views);
+        let (select_cost, usages) = if needs_reopt {
+            match &entry.select {
+                Some(q) => {
+                    let plan = opt.optimize(config, q);
+                    calls += 1;
+                    (plan.cost, plan.index_usages)
+                }
+                None => (0.0, Vec::new()),
+            }
+        } else {
+            (prev_eval.select_cost, prev_eval.usages.clone())
+        };
+        let shell_cost = entry
+            .shell
+            .as_ref()
+            .map(|s| shell_cost(&model, &schema, s))
+            .unwrap_or(0.0);
+        total += entry.weight * (select_cost + shell_cost);
+        if let Some(limit) = shortcut_limit {
+            if total > limit {
+                return None;
+            }
+        }
+        per_query.push(QueryEval {
+            select_cost,
+            shell_cost,
+            usages,
+        });
+    }
+    Some(EvalResult {
+        per_query,
+        total_cost: total,
+        optimizer_calls: calls,
+    })
+}
+
+/// Structures of `config` not used by any plan in `eval` (§3.5
+/// "shrinking configurations").
+pub fn unused_structures(
+    config: &Configuration,
+    base: &Configuration,
+    eval: &EvalResult,
+) -> (Vec<Index>, Vec<TableId>) {
+    let mut used_indexes: BTreeSet<&Index> = BTreeSet::new();
+    let mut used_views: BTreeSet<TableId> = BTreeSet::new();
+    for q in &eval.per_query {
+        for u in &q.usages {
+            used_indexes.insert(&u.index);
+            if u.index.table.is_view() {
+                used_views.insert(u.index.table);
+            }
+        }
+    }
+    let unused_ix: Vec<Index> = config
+        .indexes()
+        .filter(|i| {
+            !used_indexes.contains(*i) && !base.contains_index(i) && !i.table.is_view()
+        })
+        .cloned()
+        .collect();
+    let unused_views: Vec<TableId> = config
+        .views()
+        .map(|v| v.id)
+        .filter(|id| !used_views.contains(id))
+        .collect();
+    (unused_ix, unused_views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnStats, ColumnType};
+    use pdt_sql::parse_workload;
+
+    fn test_db() -> Database {
+        let mut b = Database::builder("t");
+        let mk = |name: &str, ndv: f64| pdt_catalog::Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(ndv, 0.0, ndv, 4.0),
+        };
+        b.add_table(
+            "r",
+            500_000.0,
+            vec![
+                mk("id", 500_000.0),
+                mk("a", 5_000.0),
+                mk("b", 100.0),
+                mk("c", 1_000.0),
+            ],
+            vec![0],
+        );
+        b.build()
+    }
+
+    fn workload(db: &Database, sql: &str) -> Workload {
+        Workload::bind(db, &parse_workload(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_eval_counts_calls_and_costs() {
+        let db = test_db();
+        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10");
+        let opt = Optimizer::new(&db);
+        let config = Configuration::base(&db);
+        let e = evaluate_full(&db, &opt, &config, &w);
+        assert_eq!(e.per_query.len(), 2);
+        assert_eq!(e.optimizer_calls, 2);
+        assert!(e.total_cost > 0.0);
+    }
+
+    #[test]
+    fn incremental_skips_unaffected_queries() {
+        let db = test_db();
+        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10");
+        let opt = Optimizer::new(&db);
+        let mut config = Configuration::base(&db);
+        let t = db.table_by_name("r").unwrap();
+        let ix_a = Index::new(t.id, [t.column_id(1)], [t.column_id(3)]);
+        config.add_index(ix_a.clone());
+        let e0 = evaluate_full(&db, &opt, &config, &w);
+
+        let mut smaller = config.clone();
+        smaller.remove_index(&ix_a);
+        let e1 = evaluate_incremental(&db, &opt, &smaller, &w, &e0, &[ix_a], &[], None)
+            .expect("no shortcut");
+        // Only query 1 used ix_a, so exactly one re-optimization.
+        assert_eq!(e1.optimizer_calls, 1);
+        assert!(e1.total_cost >= e0.total_cost);
+        // Query 2's cached cost is identical.
+        assert_eq!(e1.per_query[1].select_cost, e0.per_query[1].select_cost);
+    }
+
+    #[test]
+    fn shortcut_aborts_expensive_configs() {
+        let db = test_db();
+        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5");
+        let opt = Optimizer::new(&db);
+        let mut config = Configuration::base(&db);
+        let t = db.table_by_name("r").unwrap();
+        let ix = Index::new(t.id, [t.column_id(1)], [t.column_id(3)]);
+        config.add_index(ix.clone());
+        let e0 = evaluate_full(&db, &opt, &config, &w);
+        let mut smaller = config.clone();
+        smaller.remove_index(&ix);
+        // A limit below the base cost must trigger the shortcut.
+        let r = evaluate_incremental(
+            &db, &opt, &smaller, &w, &e0, &[ix], &[], Some(e0.total_cost),
+        );
+        assert!(r.is_none(), "removal makes it worse than the limit");
+    }
+
+    #[test]
+    fn shell_costs_scale_with_index_count() {
+        let db = test_db();
+        let w = workload(&db, "UPDATE r SET a = 1 WHERE b < 10");
+        let opt = Optimizer::new(&db);
+        let base = Configuration::base(&db);
+        let e_base = evaluate_full(&db, &opt, &base, &w);
+        let mut more = base.clone();
+        let t = db.table_by_name("r").unwrap();
+        more.add_index(Index::new(t.id, [t.column_id(1)], []));
+        let e_more = evaluate_full(&db, &opt, &more, &w);
+        assert!(
+            e_more.per_query[0].shell_cost > e_base.per_query[0].shell_cost,
+            "extra index on written column must cost maintenance"
+        );
+        // An index on an untouched column costs nothing extra.
+        let mut unrelated = base.clone();
+        unrelated.add_index(Index::new(t.id, [t.column_id(3)], []));
+        let e_unrel = evaluate_full(&db, &opt, &unrelated, &w);
+        assert_eq!(
+            e_unrel.per_query[0].shell_cost,
+            e_base.per_query[0].shell_cost
+        );
+    }
+
+    #[test]
+    fn unused_structures_detected() {
+        let db = test_db();
+        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5");
+        let opt = Optimizer::new(&db);
+        let base = Configuration::base(&db);
+        let mut config = base.clone();
+        let t = db.table_by_name("r").unwrap();
+        let useful = Index::new(t.id, [t.column_id(1)], [t.column_id(3)]);
+        let useless = Index::new(t.id, [t.column_id(2)], []);
+        config.add_index(useful.clone());
+        config.add_index(useless.clone());
+        let e = evaluate_full(&db, &opt, &config, &w);
+        let (unused_ix, unused_views) = unused_structures(&config, &base, &e);
+        assert!(unused_ix.contains(&useless));
+        assert!(!unused_ix.contains(&useful));
+        assert!(unused_views.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # pdt-tuner — relaxation-based automatic physical database tuning
+//!
+//! The paper's contribution (Bruno & Chaudhuri, SIGMOD 2005):
+//!
+//! 1. [`instrument`] — intercept every index/view request the optimizer
+//!    issues, synthesize the per-request optimal structure (§2.1,
+//!    Lemmas 1–2), and gather the **optimal configuration**;
+//! 2. [`transform`] — the relaxation transformations of §3.1: index
+//!    merge / split / prefix / promote-to-clustered / removal, view
+//!    merge (with index promotion) / removal;
+//! 3. [`bound`] — §3.3.2: upper-bound the cost of a relaxed
+//!    configuration *without* optimizer calls by locally patching the
+//!    plans that used the replaced structures;
+//! 4. [`search`] — the Fig. 5 template search with the §3.4 penalty
+//!    heuristic, §3.5 variations, and §3.6 update handling (update
+//!    shells, skyline filtering, keep-relaxing-below-budget);
+//! 5. [`eval`] — workload cost evaluation with minimal re-optimization;
+//! 6. [`workload`] — bound workloads and update-shell splitting.
+//!
+//! Entry point: [`tune`].
+//!
+//! ```no_run
+//! use pdt_tuner::{tune, TunerOptions, Workload};
+//! use pdt_workloads::tpch;
+//!
+//! let db = tpch::tpch_database(0.1);
+//! let w = Workload::bind(&db, &tpch::tpch_workload().statements).unwrap();
+//! let report = tune(&db, &w, &TunerOptions {
+//!     space_budget: Some(512.0 * 1024.0 * 1024.0),
+//!     ..TunerOptions::default()
+//! });
+//! println!("best improvement: {:.1}%", report.best_improvement_pct());
+//! ```
+
+pub mod bound;
+pub mod eval;
+pub mod instrument;
+pub mod report;
+pub mod search;
+pub mod transform;
+pub mod workload;
+
+pub use eval::{EvalResult, QueryEval};
+pub use instrument::{gather_optimal_configuration, OptimalSink};
+pub use search::{
+    tune, ConfigChoice, FrontierPoint, TransformationChoice, TunerOptions, TuningReport,
+};
+pub use report::{configuration_ddl, index_ddl, summarize};
+pub use transform::{AppliedTransform, Transformation};
+pub use workload::{UpdateShell, Workload, WorkloadEntry};

@@ -1,0 +1,888 @@
+//! The relaxation-based search (Fig. 5) with the §3.4 heuristics,
+//! §3.5 variations and §3.6 update handling.
+//!
+//! ```text
+//! 01 Get optimal configurations for each q ∈ W       // Section 2
+//! 02 c_best = ∪ optimal configuration for q
+//! 03 CP = { c_best }; c_best = NULL
+//! 04 while (time is not exceeded)
+//! 05   Pick c ∈ CP that can be relaxed               // heuristics §3.4
+//! 06   Relax c into c_new (min penalty = ΔT/ΔS)      // §3.3 estimates
+//! 07   CP = CP ∪ { c_new }
+//! 08   if size(c_new) ≤ B ∧ cost(c_new) < cost(c_best): c_best = c_new
+//! 10 return c_best
+//! ```
+
+use crate::bound::{cost_upper_bound, ViewBuildCosts};
+use crate::eval::{evaluate_full, evaluate_incremental, unused_structures, EvalResult};
+use crate::instrument::gather_optimal_configuration;
+use crate::transform::{apply, candidates, AppliedTransform, Transformation};
+use crate::workload::Workload;
+use pdt_catalog::Database;
+use pdt_opt::Optimizer;
+use pdt_physical::Configuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Which configuration to relax next (line 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConfigChoice {
+    /// The paper's three-step heuristic (§3.4 / §3.6).
+    #[default]
+    PaperHeuristic,
+    /// Always the minimum-cost configuration (the "interesting but
+    /// impractical" alternative the paper discusses; ablation).
+    MinCost,
+}
+
+/// Which transformation to apply (line 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransformationChoice {
+    /// Minimum `penalty = ΔT / min(Space(C)−B, ΔS)` (§3.4).
+    #[default]
+    Penalty,
+    /// Uniformly random applicable transformation (ablation).
+    Random,
+    /// Minimum ΔT regardless of space (ablation).
+    MinCostIncrease,
+}
+
+/// Tuning session options.
+#[derive(Debug, Clone)]
+pub struct TunerOptions {
+    /// Storage budget in bytes. `None` means unconstrained: the
+    /// optimal configuration is returned directly for SELECT-only
+    /// workloads; with updates the search still runs (removing
+    /// write-only structures pays).
+    pub space_budget: Option<f64>,
+    /// Iteration budget (the paper's wall-clock budget analog).
+    pub max_iterations: usize,
+    /// Recommend materialized views in addition to indexes.
+    pub with_views: bool,
+    /// §3.6 skyline filtering of candidate transformations.
+    pub skyline_filter: bool,
+    /// §3.5 shortcut evaluation (abort costing once above best).
+    pub shortcut_evaluation: bool,
+    /// §3.5 shrinking configurations (drop unused structures each
+    /// iteration).
+    pub shrink_unused: bool,
+    pub config_choice: ConfigChoice,
+    pub transformation_choice: TransformationChoice,
+    /// Seed for the `Random` ablation.
+    pub seed: u64,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions {
+            space_budget: None,
+            max_iterations: 250,
+            with_views: true,
+            skyline_filter: true,
+            shortcut_evaluation: true,
+            shrink_unused: false,
+            config_choice: ConfigChoice::default(),
+            transformation_choice: TransformationChoice::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// One point of the size/cost trajectory (Fig. 4).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierPoint {
+    pub iteration: usize,
+    pub size_bytes: f64,
+    pub cost: f64,
+    pub fits: bool,
+}
+
+/// A recommended configuration with its evaluation.
+#[derive(Debug, Clone)]
+pub struct BestConfig {
+    pub config: Configuration,
+    pub cost: f64,
+    pub size_bytes: f64,
+}
+
+/// The output of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// Workload cost under the base configuration.
+    pub initial_cost: f64,
+    pub initial_size: f64,
+    /// The §2 optimal configuration (line 2 of Fig. 5).
+    pub optimal_cost: f64,
+    pub optimal_size: f64,
+    pub optimal_config: Configuration,
+    /// Cost that no configuration can beat (§3.6 lower bound: optimal
+    /// SELECT parts + update shells under the base configuration).
+    pub lower_bound_cost: f64,
+    /// Best configuration within budget, if any was found.
+    pub best: Option<BestConfig>,
+    /// Every explored configuration (the Fig. 4 by-product: "at the end
+    /// of the tuning process we have many alternative configurations").
+    pub frontier: Vec<FrontierPoint>,
+    pub iterations: usize,
+    pub optimizer_calls: usize,
+    /// Candidate transformations available at each iteration (Fig. 6).
+    pub candidate_counts: Vec<usize>,
+    /// (index requests, view requests) intercepted (Table 1).
+    pub request_counts: (usize, usize),
+    pub elapsed: Duration,
+}
+
+impl TuningReport {
+    /// `improvement(CI, CR, W) = 100 · (1 − cost(CR)/cost(CI))` (§4).
+    pub fn improvement_pct(&self, cost: f64) -> f64 {
+        100.0 * (1.0 - cost / self.initial_cost.max(1e-12))
+    }
+
+    /// Improvement of the recommended configuration (0 when none fits).
+    pub fn best_improvement_pct(&self) -> f64 {
+        self.best
+            .as_ref()
+            .map(|b| self.improvement_pct(b.cost))
+            .unwrap_or(0.0)
+    }
+
+    /// Improvement of the unconstrained optimal configuration.
+    pub fn optimal_improvement_pct(&self) -> f64 {
+        self.improvement_pct(self.optimal_cost)
+    }
+}
+
+struct Node {
+    config: Configuration,
+    eval: EvalResult,
+    size: f64,
+    parent: Option<usize>,
+    /// Actual penalty of the last relaxation applied *from* this node.
+    last_relax_penalty: f64,
+    /// Transformation signatures already tried from this node.
+    tried: HashSet<String>,
+    /// Candidate transformations with their §3.3 estimates, computed
+    /// once per node ("we can also cache results from one iteration to
+    /// the next", §3.4).
+    scored: Option<Vec<ScoredCandidate>>,
+    exhausted: bool,
+    pruned: bool,
+}
+
+/// A candidate transformation with its §3.3 ΔT / ΔS estimates (the
+/// penalty is derived at selection time from the owning node's
+/// remaining over-budget space).
+#[derive(Debug, Clone)]
+struct ScoredCandidate {
+    delta_t: f64,
+    delta_s: f64,
+    transformation: Transformation,
+}
+
+impl ScoredCandidate {
+    fn penalty(&self, over_budget: f64) -> f64 {
+        if over_budget <= 0.0 {
+            // Already within budget (update workloads): space is
+            // irrelevant, rank by ΔT (§3.6).
+            self.delta_t
+        } else {
+            let denom = over_budget.min(self.delta_s.max(1.0)).max(1.0);
+            self.delta_t / denom
+        }
+    }
+
+    /// Structures this transformation depends on still being present.
+    fn still_valid(&self, config: &Configuration) -> bool {
+        match &self.transformation {
+            Transformation::MergeIndexes { i1, i2 }
+            | Transformation::SplitIndexes { i1, i2 } => {
+                config.contains_index(i1) && config.contains_index(i2)
+            }
+            Transformation::PrefixIndex { index, .. }
+            | Transformation::RemoveIndex { index } => config.contains_index(index),
+            Transformation::PromoteToClustered { index } => {
+                config.contains_index(index)
+                    && config.clustered_index_on(index.table).is_none()
+            }
+            Transformation::MergeViews { v1, v2 } => {
+                config.view(*v1).is_some() && config.view(*v2).is_some()
+            }
+            Transformation::RemoveView { view } => config.view(*view).is_some(),
+        }
+    }
+}
+
+/// Score one transformation against a node's configuration/eval.
+#[allow(clippy::too_many_arguments)]
+fn score_one(
+    db: &Database,
+    opt: &Optimizer<'_>,
+    workload: &Workload,
+    eval: &EvalResult,
+    config: &Configuration,
+    t: &Transformation,
+    view_costs: &mut ViewBuildCosts,
+) -> Option<ScoredCandidate> {
+    let applied = apply(t, config, db, opt)?;
+    let delta_s = applied.delta_bytes;
+    let bound = cost_upper_bound(
+        db,
+        &opt.opts.cost,
+        workload,
+        eval,
+        config,
+        &applied,
+        view_costs,
+    );
+    let delta_t = bound - eval.total_cost;
+    if delta_s <= 0.0 && delta_t >= 0.0 {
+        return None; // not a relaxation in any useful sense
+    }
+    Some(ScoredCandidate {
+        delta_t,
+        delta_s,
+        transformation: t.clone(),
+    })
+}
+
+/// Run a tuning session (the paper's PTT).
+pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> TuningReport {
+    let start = Instant::now();
+    let opt = Optimizer::new(db);
+    let base = Configuration::base(db);
+    let mut optimizer_calls = 0;
+
+    // Initial (base) evaluation.
+    let base_eval = evaluate_full(db, &opt, &base, workload);
+    optimizer_calls += base_eval.optimizer_calls;
+    let initial_cost = base_eval.total_cost;
+    let initial_size = base.size_bytes(db);
+
+    // Lines 1–2: the optimal configuration via instrumentation.
+    let (optimal_config, sink) = gather_optimal_configuration(db, workload, options.with_views);
+    optimizer_calls += workload.entries.iter().filter(|e| e.select.is_some()).count();
+    let opt_eval = evaluate_full(db, &opt, &optimal_config, workload);
+    optimizer_calls += opt_eval.optimizer_calls;
+    let optimal_cost = opt_eval.total_cost;
+    let optimal_size = optimal_config.size_bytes(db);
+
+    // §3.6 lower bound: optimal SELECT components + shells under base.
+    let lower_bound_cost = {
+        let base_schema = pdt_physical::PhysicalSchema::new(db, &base);
+        workload
+            .entries
+            .iter()
+            .zip(&opt_eval.per_query)
+            .map(|(e, q)| {
+                let shell = e
+                    .shell
+                    .as_ref()
+                    .map(|s| crate::eval::shell_cost(&opt.opts.cost, &base_schema, s))
+                    .unwrap_or(0.0);
+                e.weight * (q.select_cost + shell)
+            })
+            .sum()
+    };
+
+    let has_updates = workload.has_updates();
+    let fits = |size: f64| options.space_budget.is_none_or(|b| size <= b);
+
+    let mut report = TuningReport {
+        initial_cost,
+        initial_size,
+        optimal_cost,
+        optimal_size,
+        optimal_config: optimal_config.clone(),
+        lower_bound_cost,
+        best: None,
+        frontier: vec![FrontierPoint {
+            iteration: 0,
+            size_bytes: optimal_size,
+            cost: optimal_cost,
+            fits: fits(optimal_size),
+        }],
+        iterations: 0,
+        optimizer_calls,
+        candidate_counts: Vec::new(),
+        request_counts: (sink.index_requests, sink.view_requests),
+        elapsed: start.elapsed(),
+    };
+
+    // Unconstrained SELECT-only sessions are done (§2: "if the space
+    // taken by this configuration is below the maximum allowed and the
+    // workload contains no updates, we can return [it]").
+    if options.space_budget.is_none() && !has_updates {
+        report.best = Some(BestConfig {
+            config: optimal_config,
+            cost: optimal_cost,
+            size_bytes: optimal_size,
+        });
+        report.elapsed = start.elapsed();
+        return report;
+    }
+
+    // Line 3: the configuration pool.
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut view_costs = ViewBuildCosts::new();
+
+    // Pruning pre-pass (§3.5 "multiple transformations per iteration"):
+    // greedily apply every *removal* whose cost upper bound does not
+    // increase the expected cost — unused structures always qualify,
+    // and under update workloads so do structures whose maintenance
+    // outweighs their benefit. This collapses the long prefix of
+    // trivially-good relaxations into one step.
+    let (root_config, root_eval) = {
+        let mut cfg = optimal_config;
+        let mut eval = opt_eval;
+        for _ in 0..cfg.structure_count() {
+            let removals: Vec<Transformation> = candidates(&cfg, &base)
+                .into_iter()
+                .filter(|t| {
+                    matches!(
+                        t,
+                        Transformation::RemoveIndex { .. } | Transformation::RemoveView { .. }
+                    )
+                })
+                .collect();
+            let mut best_removal: Option<(f64, AppliedTransform)> = None;
+            for t in &removals {
+                let Some(applied) = apply(t, &cfg, db, &opt) else { continue };
+                let bound = cost_upper_bound(
+                    db, &opt.opts.cost, workload, &eval, &cfg, &applied, &mut view_costs,
+                );
+                let delta_t = bound - eval.total_cost;
+                if delta_t <= 1e-9
+                    && best_removal.as_ref().is_none_or(|(d, _)| delta_t < *d)
+                {
+                    best_removal = Some((delta_t, applied));
+                }
+            }
+            let Some((_, applied)) = best_removal else { break };
+            let Some(new_eval) = evaluate_incremental(
+                db,
+                &opt,
+                &applied.config,
+                workload,
+                &eval,
+                &applied.removed_indexes,
+                &applied.removed_views,
+                None,
+            ) else {
+                break;
+            };
+            optimizer_calls += new_eval.optimizer_calls;
+            cfg = applied.config;
+            eval = new_eval;
+        }
+        (cfg, eval)
+    };
+    let root_size = root_config.size_bytes(db);
+
+    let mut nodes: Vec<Node> = vec![Node {
+        size: root_size,
+        config: root_config,
+        eval: root_eval,
+        parent: None,
+        last_relax_penalty: 0.0,
+        tried: HashSet::new(),
+        scored: None,
+        exhausted: false,
+        pruned: false,
+    }];
+    if fits(nodes[0].size) {
+        report.best = Some(BestConfig {
+            config: nodes[0].config.clone(),
+            cost: nodes[0].eval.total_cost,
+            size_bytes: nodes[0].size,
+        });
+    }
+    let mut last_created = 0usize;
+
+    // Line 4: the main loop.
+    for iteration in 1..=options.max_iterations {
+        report.iterations = iteration;
+        // ---- line 5: pick a configuration ---------------------------
+        let Some(node_idx) = pick_node(
+            &nodes,
+            last_created,
+            options,
+            has_updates,
+            &fits,
+        ) else {
+            break;
+        };
+
+        // ---- line 6: pick and apply a transformation ----------------
+        // Score candidates once per node; child nodes inherit the
+        // still-valid scores from their parent and only score the
+        // transformations their own structures introduced ("we can
+        // also cache results from one iteration to the next, so the
+        // amortized number of transformations that we evaluate per
+        // iteration is rather small", §3.4).
+        if nodes[node_idx].scored.is_none() {
+            let cands = candidates(&nodes[node_idx].config, &base);
+            let inherited: std::collections::HashMap<String, ScoredCandidate> =
+                match nodes[node_idx].parent {
+                    Some(p) => nodes[p]
+                        .scored
+                        .iter()
+                        .flatten()
+                        .filter(|c| c.still_valid(&nodes[node_idx].config))
+                        .map(|c| (c.transformation.to_string(), c.clone()))
+                        .collect(),
+                    None => std::collections::HashMap::new(),
+                };
+            let mut scored: Vec<ScoredCandidate> = Vec::with_capacity(cands.len());
+            for t in cands {
+                if let Some(c) = inherited.get(&t.to_string()) {
+                    scored.push(c.clone());
+                } else if let Some(c) = score_one(
+                    db,
+                    &opt,
+                    workload,
+                    &nodes[node_idx].eval,
+                    &nodes[node_idx].config,
+                    &t,
+                    &mut view_costs,
+                ) {
+                    scored.push(c);
+                }
+            }
+            nodes[node_idx].scored = Some(scored);
+        }
+
+        let over_budget = options
+            .space_budget
+            .map_or(0.0, |b| (nodes[node_idx].size - b).max(0.0));
+        let mut open: Vec<&ScoredCandidate> = nodes[node_idx]
+            .scored
+            .as_ref()
+            .expect("scored above")
+            .iter()
+            .filter(|c| !nodes[node_idx].tried.contains(&c.transformation.to_string()))
+            .collect();
+        // §3.6 skyline: with updates, drop dominated candidates (worse
+        // ΔT and worse ΔS than another candidate).
+        if has_updates && options.skyline_filter && open.len() > 1 {
+            let snapshot: Vec<(f64, f64)> =
+                open.iter().map(|c| (c.delta_t, c.delta_s)).collect();
+            open.retain(|c| {
+                !snapshot.iter().any(|(ot, os)| {
+                    *ot <= c.delta_t
+                        && *os >= c.delta_s
+                        && (*ot < c.delta_t || *os > c.delta_s)
+                })
+            });
+        }
+        report.candidate_counts.push(open.len());
+        if open.is_empty() {
+            nodes[node_idx].exhausted = true;
+            continue;
+        }
+        let chosen = match options.transformation_choice {
+            TransformationChoice::Penalty => open
+                .iter()
+                .min_by(|a, b| a.penalty(over_budget).total_cmp(&b.penalty(over_budget)))
+                .expect("non-empty"),
+            TransformationChoice::MinCostIncrease => open
+                .iter()
+                .min_by(|a, b| a.delta_t.total_cmp(&b.delta_t))
+                .expect("non-empty"),
+            TransformationChoice::Random => open[rng.gen_range(0..open.len())],
+        };
+        let delta_s = chosen.delta_s;
+        let transformation = chosen.transformation.clone();
+        nodes[node_idx].tried.insert(transformation.to_string());
+        let Some(applied) = apply(&transformation, &nodes[node_idx].config, db, &opt) else {
+            continue;
+        };
+
+        // ---- lines 7–9: evaluate, pool, update best ------------------
+        let shortcut_limit = if options.shortcut_evaluation {
+            report.best.as_ref().map(|b| b.cost)
+        } else {
+            None
+        };
+        let eval = evaluate_incremental(
+            db,
+            &opt,
+            &applied.config,
+            workload,
+            &nodes[node_idx].eval,
+            &applied.removed_indexes,
+            &applied.removed_views,
+            shortcut_limit,
+        );
+        let Some(eval) = eval else {
+            // §3.5 shortcut: this configuration (and its descendants)
+            // cannot beat the best — do not pool it.
+            continue;
+        };
+        optimizer_calls += eval.optimizer_calls;
+
+        let mut config = applied.config;
+        let mut eval = eval;
+        if options.shrink_unused {
+            let (unused_ix, _) = unused_structures(&config, &base, &eval);
+            if !unused_ix.is_empty() {
+                for i in &unused_ix {
+                    config.remove_index(i);
+                }
+                // Unused indexes carry no plans, but shells change.
+                if let Some(e2) = evaluate_incremental(
+                    db, &opt, &config, workload, &eval, &[], &[], None,
+                ) {
+                    eval = e2;
+                }
+            }
+        }
+
+        let size = config.size_bytes(db);
+        let cost = eval.total_cost;
+        let actual_penalty =
+            (cost - nodes[node_idx].eval.total_cost) / delta_s.abs().max(1.0);
+        nodes[node_idx].last_relax_penalty =
+            nodes[node_idx].last_relax_penalty.max(actual_penalty);
+
+        report.frontier.push(FrontierPoint {
+            iteration,
+            size_bytes: size,
+            cost,
+            fits: fits(size),
+        });
+        if fits(size)
+            && report.best.as_ref().is_none_or(|b| cost < b.cost)
+        {
+            report.best = Some(BestConfig {
+                config: config.clone(),
+                cost,
+                size_bytes: size,
+            });
+        }
+        nodes.push(Node {
+            config,
+            eval,
+            size,
+            parent: Some(node_idx),
+            last_relax_penalty: 0.0,
+            tried: HashSet::new(),
+            scored: None,
+            exhausted: false,
+            pruned: false,
+        });
+        last_created = nodes.len() - 1;
+    }
+
+    // Recommending nothing (the base configuration) is always an
+    // option: never return a configuration worse than the current one.
+    let base_size = base.size_bytes(db);
+    if fits(base_size)
+        && report
+            .best
+            .as_ref()
+            .is_none_or(|b| b.cost > initial_cost)
+    {
+        report.best = Some(BestConfig {
+            config: base,
+            cost: initial_cost,
+            size_bytes: base_size,
+        });
+    }
+
+    report.optimizer_calls = optimizer_calls;
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// Line 5 of Fig. 5 — the §3.4 heuristic (as amended by §3.6):
+///
+/// 1. keep relaxing the last configuration while it does not fit (or,
+///    with updates, while it improved on its parent);
+/// 2. otherwise revisit the chain and "correct" the step with the
+///    largest actual penalty;
+/// 3. otherwise the cheapest configuration with available work.
+fn pick_node(
+    nodes: &[Node],
+    last_created: usize,
+    options: &TunerOptions,
+    has_updates: bool,
+    fits: &dyn Fn(f64) -> bool,
+) -> Option<usize> {
+    let usable = |n: &Node| !n.exhausted && !n.pruned;
+
+    if options.config_choice == ConfigChoice::MinCost {
+        return nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| usable(n))
+            .min_by(|a, b| a.1.eval.total_cost.total_cmp(&b.1.eval.total_cost))
+            .map(|(i, _)| i);
+    }
+
+    // Step 1.
+    let last = &nodes[last_created];
+    let improved_parent = has_updates
+        && last
+            .parent
+            .map(|p| last.eval.total_cost < nodes[p].eval.total_cost)
+            .unwrap_or(false);
+    if usable(last) && (!fits(last.size) || improved_parent) {
+        return Some(last_created);
+    }
+
+    // Step 2: the chain from the last configuration to the root; pick
+    // the largest-actual-penalty node with remaining work.
+    let mut chain = Vec::new();
+    let mut cursor = Some(last_created);
+    while let Some(i) = cursor {
+        chain.push(i);
+        cursor = nodes[i].parent;
+    }
+    if let Some(&i) = chain
+        .iter()
+        .filter(|&&i| usable(&nodes[i]) && nodes[i].last_relax_penalty > 0.0)
+        .max_by(|&&a, &&b| {
+            nodes[a]
+                .last_relax_penalty
+                .total_cmp(&nodes[b].last_relax_penalty)
+        })
+    {
+        return Some(i);
+    }
+
+    // Step 3.
+    nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| usable(n))
+        .min_by(|a, b| a.1.eval.total_cost.total_cmp(&b.1.eval.total_cost))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnStats, ColumnType};
+    use pdt_sql::parse_workload;
+
+    fn test_db() -> Database {
+        let mut b = Database::builder("t");
+        let mk = |name: &str, ndv: f64| pdt_catalog::Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(ndv, 0.0, ndv, 4.0),
+        };
+        b.add_table(
+            "r",
+            1_000_000.0,
+            vec![
+                mk("id", 1_000_000.0),
+                mk("a", 10_000.0),
+                mk("b", 100.0),
+                mk("c", 1_000.0),
+                mk("d", 50.0),
+            ],
+            vec![0],
+        );
+        b.add_table(
+            "s",
+            50_000.0,
+            vec![mk("y", 50_000.0), mk("w", 500.0), mk("z", 20.0)],
+            vec![0],
+        );
+        b.build()
+    }
+
+    fn workload(db: &Database, sql: &str) -> Workload {
+        Workload::bind(db, &parse_workload(sql).unwrap()).unwrap()
+    }
+
+    const SELECTS: &str = "\
+        SELECT r.c FROM r WHERE r.a = 5; \
+        SELECT r.d FROM r WHERE r.b = 9 AND r.c < 100; \
+        SELECT r.a, s.w FROM r, s WHERE r.a = s.y AND s.z = 3; \
+        SELECT r.b, SUM(r.c) FROM r WHERE r.d = 7 GROUP BY r.b";
+
+    #[test]
+    fn unconstrained_select_only_returns_optimal() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let report = tune(&db, &w, &TunerOptions::default());
+        let best = report.best.as_ref().unwrap();
+        assert_eq!(best.cost, report.optimal_cost);
+        assert!(report.optimal_cost < report.initial_cost);
+        assert!(report.request_counts.0 > 0);
+    }
+
+    #[test]
+    fn constrained_session_fits_budget_and_improves() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        // First find the optimal size, then budget at 40% of it.
+        let free = tune(&db, &w, &TunerOptions::default());
+        let budget = free.optimal_size * 0.4;
+        let opts = TunerOptions {
+            space_budget: Some(budget),
+            max_iterations: 120,
+            ..Default::default()
+        };
+        let report = tune(&db, &w, &opts);
+        let best = report.best.as_ref().expect("a configuration must fit");
+        assert!(best.size_bytes <= budget, "{} > {budget}", best.size_bytes);
+        assert!(
+            best.cost < report.initial_cost,
+            "must beat the base configuration"
+        );
+        assert!(best.cost >= report.optimal_cost * 0.999, "optimal is a floor");
+        assert!(!report.frontier.is_empty());
+        assert!(report.iterations > 0);
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_spirit() {
+        // Fig. 4: the trajectory trades space for cost — the best
+        // configuration under a generous budget is at least as good as
+        // under a tight one.
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        let tight = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(free.optimal_size * 0.2),
+                max_iterations: 120,
+                ..Default::default()
+            },
+        );
+        let loose = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(free.optimal_size * 0.8),
+                max_iterations: 120,
+                ..Default::default()
+            },
+        );
+        let tc = tight.best.as_ref().map(|b| b.cost).unwrap_or(f64::MAX);
+        let lc = loose.best.as_ref().map(|b| b.cost).unwrap_or(f64::MAX);
+        assert!(lc <= tc * 1.001, "more space cannot hurt: {lc} vs {tc}");
+    }
+
+    #[test]
+    fn update_workload_drops_write_only_indexes() {
+        let db = test_db();
+        let w = workload(
+            &db,
+            "SELECT r.c FROM r WHERE r.a = 5; \
+             UPDATE r SET d = d + 1 WHERE b BETWEEN 1 AND 90; \
+             UPDATE r SET c = 0 WHERE b BETWEEN 1 AND 50",
+        );
+        let report = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(f64::MAX),
+                max_iterations: 80,
+                ..Default::default()
+            },
+        );
+        let best = report.best.as_ref().unwrap();
+        // Relaxation must beat the raw optimal configuration, whose
+        // indexes all pay maintenance.
+        assert!(
+            best.cost <= report.optimal_cost,
+            "updates: best {} must be <= optimal {}",
+            best.cost,
+            report.optimal_cost
+        );
+        assert!(best.cost >= report.lower_bound_cost * 0.999);
+    }
+
+    #[test]
+    fn ablation_choices_run() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        for (cc, tc) in [
+            (ConfigChoice::MinCost, TransformationChoice::Penalty),
+            (ConfigChoice::PaperHeuristic, TransformationChoice::Random),
+            (
+                ConfigChoice::PaperHeuristic,
+                TransformationChoice::MinCostIncrease,
+            ),
+        ] {
+            let report = tune(
+                &db,
+                &w,
+                &TunerOptions {
+                    space_budget: Some(free.optimal_size * 0.5),
+                    max_iterations: 40,
+                    config_choice: cc,
+                    transformation_choice: tc,
+                    seed: 42,
+                    ..Default::default()
+                },
+            );
+            assert!(report.iterations > 0, "{cc:?}/{tc:?} did not run");
+            if cc == ConfigChoice::PaperHeuristic {
+                // The paper's heuristic converges fast; MinCost may
+                // legitimately fail to reach the budget in 40
+                // iterations (§3.4: "the time to converge ... is too
+                // long") so only the heuristic gets the hard assert.
+                assert!(report.best.is_some(), "{cc:?}/{tc:?} found nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_and_shortcut_variations_run() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        let report = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(free.optimal_size * 0.5),
+                max_iterations: 60,
+                shrink_unused: true,
+                shortcut_evaluation: false,
+                ..Default::default()
+            },
+        );
+        assert!(report.best.is_some());
+    }
+
+    #[test]
+    fn candidate_counts_recorded_for_fig6() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        let report = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(free.optimal_size * 0.3),
+                max_iterations: 30,
+                ..Default::default()
+            },
+        );
+        assert!(!report.candidate_counts.is_empty());
+        assert!(report.candidate_counts[0] > 0);
+    }
+
+    #[test]
+    fn improvement_metric_matches_definition() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let report = tune(&db, &w, &TunerOptions::default());
+        let pct = report.best_improvement_pct();
+        let manual =
+            100.0 * (1.0 - report.best.as_ref().unwrap().cost / report.initial_cost);
+        assert!((pct - manual).abs() < 1e-9);
+        assert!(pct <= 100.0);
+    }
+}

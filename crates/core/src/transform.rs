@@ -1,0 +1,570 @@
+//! The relaxation transformations of §3.1.
+//!
+//! Each transformation replaces one or two structures with smaller,
+//! generally less efficient ones. `candidates` enumerates every
+//! applicable transformation of a configuration; `apply` produces the
+//! relaxed configuration together with the bookkeeping the cost-bound
+//! machinery needs (what was removed/added and, for view merges, the
+//! column remapping).
+
+use pdt_catalog::{ColumnId, Database, TableId};
+use pdt_opt::Optimizer;
+use pdt_physical::view::merge_views;
+use pdt_physical::{Configuration, Index, MaterializedView, PhysicalSchema};
+use pdt_physical::size::SizeModel;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One §3.1 transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transformation {
+    /// Ordered index merge: replace `{i1, i2}` with `merge(i1, i2)`.
+    MergeIndexes { i1: Index, i2: Index },
+    /// Index split: replace `{i1, i2}` with the common and residual
+    /// indexes.
+    SplitIndexes { i1: Index, i2: Index },
+    /// Replace an index with a key prefix of it.
+    PrefixIndex { index: Index, len: usize },
+    /// Replace a secondary index with a clustered index on its key.
+    PromoteToClustered { index: Index },
+    /// Drop an index.
+    RemoveIndex { index: Index },
+    /// Merge two views (and promote their indexes onto the result).
+    MergeViews { v1: TableId, v2: TableId },
+    /// Drop a view and all indexes over it.
+    RemoveView { view: TableId },
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transformation::MergeIndexes { i1, i2 } => write!(f, "merge({i1}, {i2})"),
+            Transformation::SplitIndexes { i1, i2 } => write!(f, "split({i1}, {i2})"),
+            Transformation::PrefixIndex { index, len } => write!(f, "prefix({index}, {len})"),
+            Transformation::PromoteToClustered { index } => write!(f, "promote({index})"),
+            Transformation::RemoveIndex { index } => write!(f, "remove({index})"),
+            Transformation::MergeViews { v1, v2 } => write!(f, "merge-views({v1}, {v2})"),
+            Transformation::RemoveView { view } => write!(f, "remove-view({view})"),
+        }
+    }
+}
+
+/// The result of applying a transformation.
+#[derive(Debug, Clone)]
+pub struct AppliedTransform {
+    pub transformation: Transformation,
+    pub config: Configuration,
+    /// Indexes present before but not after (including cascades from
+    /// view removal/merging).
+    pub removed_indexes: Vec<Index>,
+    /// Views removed (by id).
+    pub removed_views: Vec<TableId>,
+    /// Indexes added by the transformation.
+    pub added_indexes: Vec<Index>,
+    /// Old-view-column -> merged-view-column map (view merges only).
+    pub col_map: HashMap<ColumnId, ColumnId>,
+    /// True if replacing a merged-away grouped view requires a
+    /// compensating group-by (§3.3.2 view transformations).
+    pub regroup_compensation: bool,
+    /// Space freed in bytes (charged model): Σ removed − Σ added.
+    pub delta_bytes: f64,
+}
+
+/// Enumerate every §3.1 transformation applicable to `config`.
+/// Structures in `base` (constraint-enforcing indexes) are never
+/// touched.
+pub fn candidates(config: &Configuration, base: &Configuration) -> Vec<Transformation> {
+    let mut out = Vec::new();
+    let tunable: Vec<&Index> = config
+        .indexes()
+        .filter(|i| !base.contains_index(i))
+        .collect();
+
+    // Group by table for pairwise transformations.
+    let mut by_table: HashMap<TableId, Vec<&Index>> = HashMap::new();
+    for i in &tunable {
+        by_table.entry(i.table).or_default().push(i);
+    }
+
+    for indexes in by_table.values() {
+        for (a_pos, a) in indexes.iter().enumerate() {
+            for (b_pos, b) in indexes.iter().enumerate() {
+                if a_pos == b_pos {
+                    continue;
+                }
+                if !a.clustered && !b.clustered {
+                    // Ordered merging: both directions are distinct.
+                    // Pairs without any common column are skipped: the
+                    // merge would concatenate unrelated indexes, which
+                    // frees almost no space at a large cost increase
+                    // and is never chosen by the penalty heuristic.
+                    let a_cols = a.all_columns();
+                    if b.all_columns().iter().any(|c| a_cols.contains(c)) {
+                        out.push(Transformation::MergeIndexes {
+                            i1: (*a).clone(),
+                            i2: (*b).clone(),
+                        });
+                    }
+                    // Splitting is symmetric: enumerate once.
+                    if a_pos < b_pos && a.split(b).is_some() {
+                        out.push(Transformation::SplitIndexes {
+                            i1: (*a).clone(),
+                            i2: (*b).clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for i in indexes {
+            if !i.clustered {
+                for len in 1..=i.key.len() {
+                    if i.prefix(len).is_some() {
+                        out.push(Transformation::PrefixIndex {
+                            index: (*i).clone(),
+                            len,
+                        });
+                    }
+                }
+                if config.clustered_index_on(i.table).is_none() {
+                    out.push(Transformation::PromoteToClustered { index: (*i).clone() });
+                }
+                out.push(Transformation::RemoveIndex { index: (*i).clone() });
+            }
+        }
+    }
+
+    // View transformations.
+    let views: Vec<&MaterializedView> = config.views().collect();
+    for (i, v1) in views.iter().enumerate() {
+        for v2 in views.iter().skip(i + 1) {
+            if v1.def.tables == v2.def.tables {
+                out.push(Transformation::MergeViews { v1: v1.id, v2: v2.id });
+            }
+        }
+        out.push(Transformation::RemoveView { view: v1.id });
+    }
+    out
+}
+
+/// Apply a transformation to `config`. Returns `None` when the
+/// transformation no longer applies (structures disappeared) or would
+/// be a no-op.
+pub fn apply(
+    t: &Transformation,
+    config: &Configuration,
+    db: &Database,
+    opt: &Optimizer<'_>,
+) -> Option<AppliedTransform> {
+    let model = SizeModel::default();
+    let mut new = config.clone();
+    let mut removed_indexes = Vec::new();
+    let mut removed_views = Vec::new();
+    let mut added_indexes = Vec::new();
+    let mut col_map = HashMap::new();
+    let mut regroup_compensation = false;
+
+    match t {
+        Transformation::MergeIndexes { i1, i2 } => {
+            if !new.contains_index(i1) || !new.contains_index(i2) {
+                return None;
+            }
+            let merged = i1.merge(i2)?;
+            new.remove_index(i1);
+            new.remove_index(i2);
+            removed_indexes.push(i1.clone());
+            removed_indexes.push(i2.clone());
+            if new.add_index(merged.clone()) {
+                added_indexes.push(merged);
+            }
+        }
+        Transformation::SplitIndexes { i1, i2 } => {
+            if !new.contains_index(i1) || !new.contains_index(i2) {
+                return None;
+            }
+            let split = i1.split(i2)?;
+            new.remove_index(i1);
+            new.remove_index(i2);
+            removed_indexes.push(i1.clone());
+            removed_indexes.push(i2.clone());
+            for idx in std::iter::once(split.common)
+                .chain(split.residual1)
+                .chain(split.residual2)
+            {
+                if new.add_index(idx.clone()) {
+                    added_indexes.push(idx);
+                }
+            }
+        }
+        Transformation::PrefixIndex { index, len } => {
+            if !new.contains_index(index) {
+                return None;
+            }
+            let p = index.prefix(*len)?;
+            new.remove_index(index);
+            removed_indexes.push(index.clone());
+            if new.add_index(p.clone()) {
+                added_indexes.push(p);
+            }
+        }
+        Transformation::PromoteToClustered { index } => {
+            if !new.contains_index(index) || new.clustered_index_on(index.table).is_some() {
+                return None;
+            }
+            let c = index.promoted_to_clustered();
+            new.remove_index(index);
+            removed_indexes.push(index.clone());
+            if new.add_index(c.clone()) {
+                added_indexes.push(c);
+            }
+        }
+        Transformation::RemoveIndex { index } => {
+            if !new.remove_index(index) {
+                return None;
+            }
+            removed_indexes.push(index.clone());
+        }
+        Transformation::MergeViews { v1, v2 } => {
+            let view1 = new.view(*v1)?.clone();
+            let view2 = new.view(*v2)?.clone();
+            let merged_def = merge_views(&view1.def, &view2.def)?;
+            // Re-merging into an existing definition is a no-op guard.
+            if merged_def == view1.def || merged_def == view2.def {
+                return None;
+            }
+            let rows = opt.estimate_view_rows(&new, &merged_def);
+            let merged_id = new.allocate_view_id();
+            let merged = MaterializedView::create(merged_id, merged_def, rows, db);
+
+            // Column maps from each source view into the merged view.
+            for src in [&view1, &view2] {
+                let eq = src.def.equivalences();
+                for (ord, vc) in src.columns.iter().enumerate() {
+                    let from = ColumnId::new(src.id, ord as u16);
+                    let to = match &vc.source {
+                        pdt_physical::ViewColumnSource::Base(b) => {
+                            merged.ordinal_of_base(*b, Some(&eq))
+                        }
+                        pdt_physical::ViewColumnSource::Agg(i) => {
+                            let call = &src.def.aggregates[*i];
+                            merged.ordinal_of_agg(call, &eq).or_else(|| {
+                                // AVG expanded into SUM+COUNT: map to the
+                                // SUM component.
+                                let sum = pdt_expr::scalar::AggCall {
+                                    func: pdt_expr::scalar::AggFunc::Sum,
+                                    arg: call.arg.clone(),
+                                    distinct: call.distinct,
+                                };
+                                merged.ordinal_of_agg(&sum, &eq)
+                            })
+                            .or_else(|| {
+                                // Aggregates dropped (merged view is
+                                // ungrouped): map to the argument's base
+                                // column.
+                                call.arg
+                                    .as_ref()
+                                    .and_then(|a| a.columns().into_iter().next())
+                                    .and_then(|b| merged.ordinal_of_base(b, Some(&eq)))
+                            })
+                        }
+                    };
+                    if let Some(to_ord) = to {
+                        col_map.insert(from, ColumnId::new(merged_id, to_ord));
+                    }
+                }
+                if src.def.is_grouped()
+                    && (merged.def.group_by != src.def.group_by || !merged.def.is_grouped())
+                {
+                    regroup_compensation = true;
+                }
+            }
+
+            // Promote indexes of both views onto the merged view
+            // ("all indexes over V1 and V2 are promoted to VM").
+            let mut promoted: Vec<Index> = Vec::new();
+            let mut have_clustered = false;
+            for src in [v1, v2] {
+                for idx in config.indexes_on(*src) {
+                    removed_indexes.push(idx.clone());
+                    let key: Vec<ColumnId> = idx
+                        .key
+                        .iter()
+                        .filter_map(|c| col_map.get(c).copied())
+                        .collect();
+                    let key = if key.is_empty() {
+                        vec![ColumnId::new(merged_id, 0)]
+                    } else {
+                        key
+                    };
+                    let suffix: Vec<ColumnId> = idx
+                        .suffix
+                        .iter()
+                        .filter_map(|c| col_map.get(c).copied())
+                        .collect();
+                    let mut mapped = Index::new(merged_id, key, suffix);
+                    if idx.clustered && !have_clustered {
+                        mapped = Index::clustered(merged_id, mapped.key.clone());
+                        have_clustered = true;
+                    }
+                    promoted.push(mapped);
+                }
+            }
+            new.remove_view(*v1);
+            new.remove_view(*v2);
+            removed_views.push(*v1);
+            removed_views.push(*v2);
+            new.add_view(merged);
+            if !have_clustered {
+                promoted.push(Index::clustered(merged_id, [ColumnId::new(merged_id, 0)]));
+            }
+            for idx in promoted {
+                if new.add_index(idx.clone()) {
+                    added_indexes.push(idx);
+                }
+            }
+        }
+        Transformation::RemoveView { view } => {
+            new.view(*view)?;
+            for idx in config.indexes_on(*view) {
+                removed_indexes.push(idx.clone());
+            }
+            new.remove_view(*view);
+            removed_views.push(*view);
+        }
+    }
+
+    if new.signature() == config.signature() {
+        return None;
+    }
+
+    // Charged space delta: removed sized under the old schema, added
+    // under the new one (view row counts can differ).
+    let old_schema = PhysicalSchema::new(db, config);
+    let new_schema = PhysicalSchema::new(db, &new);
+    let removed_bytes: f64 = removed_indexes
+        .iter()
+        .map(|i| model.index_bytes_charged(&old_schema, i))
+        .sum();
+    let added_bytes: f64 = added_indexes
+        .iter()
+        .map(|i| model.index_bytes_charged(&new_schema, i))
+        .sum();
+
+    Some(AppliedTransform {
+        transformation: t.clone(),
+        config: new,
+        removed_indexes,
+        removed_views,
+        added_indexes,
+        col_map,
+        regroup_compensation,
+        delta_bytes: removed_bytes - added_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnStats, ColumnType};
+    use pdt_expr::scalar::{AggCall, AggFunc, ScalarExpr};
+    use pdt_physical::SpjgExpr;
+
+    fn test_db() -> Database {
+        let mut b = Database::builder("t");
+        let mk = |name: &str| pdt_catalog::Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(1000.0, 0.0, 1000.0, 4.0),
+        };
+        b.add_table(
+            "r",
+            100_000.0,
+            vec![mk("id"), mk("a"), mk("b"), mk("c")],
+            vec![0],
+        );
+        b.add_table("heap", 50_000.0, vec![mk("h1"), mk("h2")], vec![]);
+        b.build()
+    }
+
+    fn rcol(db: &Database, i: u16) -> ColumnId {
+        ColumnId::new(db.table_by_name("r").unwrap().id, i)
+    }
+
+    #[test]
+    fn candidate_enumeration_covers_all_kinds() {
+        let db = test_db();
+        let base = Configuration::base(&db);
+        let mut config = base.clone();
+        let r = db.table_by_name("r").unwrap().id;
+        config.add_index(Index::new(r, [rcol(&db, 1)], [rcol(&db, 3)]));
+        config.add_index(Index::new(r, [rcol(&db, 1), rcol(&db, 2)], []));
+        let cands = candidates(&config, &base);
+        let kinds: Vec<&str> = cands
+            .iter()
+            .map(|t| match t {
+                Transformation::MergeIndexes { .. } => "merge",
+                Transformation::SplitIndexes { .. } => "split",
+                Transformation::PrefixIndex { .. } => "prefix",
+                Transformation::PromoteToClustered { .. } => "promote",
+                Transformation::RemoveIndex { .. } => "remove",
+                Transformation::MergeViews { .. } => "merge-views",
+                Transformation::RemoveView { .. } => "remove-view",
+            })
+            .collect();
+        assert!(kinds.contains(&"merge"));
+        assert!(kinds.contains(&"split"));
+        assert!(kinds.contains(&"prefix"));
+        assert!(kinds.contains(&"remove"));
+        // r has a clustered PK: no promotion offered there.
+        assert!(!kinds.contains(&"promote"));
+        // Base PK indexes are untouchable.
+        for c in &cands {
+            if let Transformation::RemoveIndex { index } = c {
+                assert!(!base.contains_index(index));
+            }
+        }
+    }
+
+    #[test]
+    fn promotion_offered_on_heaps_only() {
+        let db = test_db();
+        let base = Configuration::base(&db);
+        let mut config = base.clone();
+        let heap = db.table_by_name("heap").unwrap().id;
+        config.add_index(Index::new(heap, [ColumnId::new(heap, 0)], []));
+        let cands = candidates(&config, &base);
+        assert!(cands
+            .iter()
+            .any(|t| matches!(t, Transformation::PromoteToClustered { .. })));
+    }
+
+    #[test]
+    fn merge_apply_shrinks_space() {
+        let db = test_db();
+        let base = Configuration::base(&db);
+        let mut config = base.clone();
+        let r = db.table_by_name("r").unwrap().id;
+        let i1 = Index::new(r, [rcol(&db, 1)], [rcol(&db, 3)]);
+        let i2 = Index::new(r, [rcol(&db, 2)], [rcol(&db, 3)]);
+        config.add_index(i1.clone());
+        config.add_index(i2.clone());
+        let opt = Optimizer::new(&db);
+        let applied = apply(
+            &Transformation::MergeIndexes { i1: i1.clone(), i2: i2.clone() },
+            &config,
+            &db,
+            &opt,
+        )
+        .unwrap();
+        assert!(applied.delta_bytes > 0.0, "merging frees space");
+        assert_eq!(applied.removed_indexes.len(), 2);
+        assert_eq!(applied.added_indexes.len(), 1);
+        assert!(applied.config.size_bytes(&db) < config.size_bytes(&db));
+    }
+
+    #[test]
+    fn stale_transformations_return_none() {
+        let db = test_db();
+        let base = Configuration::base(&db);
+        let r = db.table_by_name("r").unwrap().id;
+        let ghost = Index::new(r, [rcol(&db, 1)], []);
+        let opt = Optimizer::new(&db);
+        assert!(apply(
+            &Transformation::RemoveIndex { index: ghost },
+            &base,
+            &db,
+            &opt,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn view_merge_promotes_indexes_and_maps_columns() {
+        let db = test_db();
+        let r = db.table_by_name("r").unwrap().id;
+        let a = rcol(&db, 1);
+        let b = rcol(&db, 2);
+        let c = rcol(&db, 3);
+        let opt = Optimizer::new(&db);
+        let mut config = Configuration::base(&db);
+
+        let sum_c = AggCall {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::column(c)),
+            distinct: false,
+        };
+        let d1 = SpjgExpr {
+            tables: [r].into(),
+            group_by: [a].into(),
+            aggregates: vec![sum_c.clone()],
+            output_cols: [a].into(),
+            ..Default::default()
+        };
+        let d2 = SpjgExpr {
+            tables: [r].into(),
+            group_by: [b].into(),
+            aggregates: vec![sum_c],
+            output_cols: [b].into(),
+            ..Default::default()
+        };
+        let v1 = config.allocate_view_id();
+        config.add_view(MaterializedView::create(
+            v1,
+            d1,
+            opt.estimate_view_rows(&config, &SpjgExpr::default()).max(100.0),
+            &db,
+        ));
+        config.add_index(Index::clustered(v1, [ColumnId::new(v1, 0)]));
+        let v2 = config.allocate_view_id();
+        config.add_view(MaterializedView::create(v2, d2, 100.0, &db));
+        config.add_index(Index::clustered(v2, [ColumnId::new(v2, 0)]));
+
+        let applied = apply(
+            &Transformation::MergeViews { v1, v2 },
+            &config,
+            &db,
+            &opt,
+        )
+        .unwrap();
+        assert_eq!(applied.removed_views.len(), 2);
+        assert_eq!(applied.config.view_count(), 1);
+        let merged = applied.config.views().next().unwrap();
+        assert!(
+            applied.config.clustered_index_on(merged.id).is_some(),
+            "merged view keeps a clustered index"
+        );
+        assert!(applied.regroup_compensation, "groupings differ");
+        // Every source view column must be mapped.
+        assert!(applied.col_map.keys().any(|k| k.table == v1));
+        assert!(applied.col_map.keys().any(|k| k.table == v2));
+    }
+
+    #[test]
+    fn remove_view_cascades() {
+        let db = test_db();
+        let r = db.table_by_name("r").unwrap().id;
+        let opt = Optimizer::new(&db);
+        let mut config = Configuration::base(&db);
+        let def = SpjgExpr {
+            tables: [r].into(),
+            output_cols: [rcol(&db, 1)].into(),
+            ranges: vec![pdt_expr::SargablePred {
+                column: rcol(&db, 2),
+                sarg: pdt_expr::Sarg::Range(pdt_expr::Interval::at_most(10.0, true)),
+            }],
+            ..Default::default()
+        };
+        let vid = config.allocate_view_id();
+        config.add_view(MaterializedView::create(vid, def, 1000.0, &db));
+        config.add_index(Index::clustered(vid, [ColumnId::new(vid, 0)]));
+        let applied = apply(
+            &Transformation::RemoveView { view: vid },
+            &config,
+            &db,
+            &opt,
+        )
+        .unwrap();
+        assert_eq!(applied.removed_indexes.len(), 1);
+        assert_eq!(applied.config.view_count(), 0);
+        assert!(applied.delta_bytes > 0.0);
+    }
+}

@@ -1,0 +1,653 @@
+//! Conjunct classification: join / range / other predicates.
+//!
+//! This is the paper's predicate taxonomy (Section "Assumptions"):
+//!
+//! ```sql
+//! WHERE R.x=S.y AND S.y=T.z      -- join predicates
+//!   AND R.a>5 AND R.a<50 AND R.b>5  -- range predicates
+//!   AND (R.a<R.b OR R.c<8) AND R.a*R.b=5 -- other predicates
+//! ```
+//!
+//! Sargable ("range") predicates can drive index seeks; join predicates
+//! drive join enumeration and column equivalences; everything else is
+//! evaluated by filters and only matters for which *columns* a plan
+//! must carry.
+
+use crate::interval::Interval;
+use crate::scalar::{CmpOp, PredExpr, ScalarExpr};
+use pdt_catalog::{string_sort_key, ColumnId, Database, SortKey, TableId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Default selectivity for predicates we cannot estimate from
+/// statistics (System-R's classic 1/3).
+pub const DEFAULT_OTHER_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// An equi-join predicate between columns of two different tables,
+/// stored with `left < right` for canonical identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JoinPred {
+    pub left: ColumnId,
+    pub right: ColumnId,
+}
+
+impl JoinPred {
+    pub fn new(a: ColumnId, b: ColumnId) -> JoinPred {
+        if a <= b {
+            JoinPred { left: a, right: b }
+        } else {
+            JoinPred { left: b, right: a }
+        }
+    }
+
+    /// The two joined tables.
+    pub fn tables(&self) -> (TableId, TableId) {
+        (self.left.table, self.right.table)
+    }
+
+    /// True if the predicate joins `a` with `b` (in either order).
+    pub fn connects(&self, a: TableId, b: TableId) -> bool {
+        let (ta, tb) = self.tables();
+        (ta == a && tb == b) || (ta == b && tb == a)
+    }
+}
+
+/// The shape of a sargable predicate on a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Sarg {
+    /// A (possibly one-sided, possibly point) range.
+    Range(Interval),
+    /// A disjunction of equalities (`IN` list), values in the sort-key
+    /// domain.
+    InList(Vec<SortKey>),
+    /// A `LIKE 'prefix%'` predicate, kept as its literal prefix.
+    Prefix(String),
+    /// A parameterized equality (`col = ?`), e.g. the inner side of an
+    /// index nested-loops join, with its precomputed selectivity.
+    /// Synthesized by the optimizer; never appears in view definitions.
+    Param { selectivity: f64 },
+}
+
+impl Sarg {
+    /// The loosest interval implied by this sarg (used by view range
+    /// components and by sarg merging).
+    pub fn to_interval(&self) -> Interval {
+        match self {
+            Sarg::Range(i) => *i,
+            Sarg::InList(vals) => {
+                let mut it = vals.iter();
+                match it.next() {
+                    None => Interval::FULL,
+                    Some(first) => it.fold(Interval::point(*first), |acc, v| {
+                        acc.hull(&Interval::point(*v))
+                    }),
+                }
+            }
+            Sarg::Param { .. } => Interval::FULL,
+            Sarg::Prefix(p) => {
+                let lo = string_sort_key(p);
+                // Upper bound: replace the last byte with its successor.
+                let mut bytes = p.as_bytes().to_vec();
+                for i in (0..bytes.len()).rev() {
+                    if bytes[i] < 0xFF {
+                        bytes[i] += 1;
+                        bytes.truncate(i + 1);
+                        break;
+                    }
+                }
+                let hi = string_sort_key(&String::from_utf8_lossy(&bytes));
+                Interval::at_least(lo, true).intersect(&Interval::at_most(hi, false))
+            }
+        }
+    }
+
+    /// True if this sarg pins the column to a single value, enabling
+    /// multi-column index seeks to continue past it.
+    pub fn is_equality(&self) -> bool {
+        match self {
+            Sarg::Range(i) => i.is_point(),
+            Sarg::InList(vals) => vals.len() == 1,
+            Sarg::Prefix(_) => false,
+            Sarg::Param { .. } => true,
+        }
+    }
+}
+
+/// A sargable predicate: a column together with its (merged) sarg.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SargablePred {
+    pub column: ColumnId,
+    pub sarg: Sarg,
+}
+
+impl SargablePred {
+    /// Estimated selectivity against the column's statistics. View
+    /// columns (not resolvable through the base catalog) fall back to
+    /// the default selectivity; resolve them via
+    /// [`sarg_selectivity_with`] and a physical schema instead.
+    pub fn selectivity(&self, db: &Database) -> f64 {
+        if let Sarg::Param { selectivity } = self.sarg {
+            return selectivity;
+        }
+        if self.column.table.is_view() {
+            return DEFAULT_OTHER_SELECTIVITY;
+        }
+        sarg_selectivity_with(&db.column(self.column).stats, &self.sarg)
+    }
+}
+
+/// Selectivity of a sarg against explicit column statistics (shared by
+/// the catalog-backed and view-schema-backed paths).
+pub fn sarg_selectivity_with(stats: &pdt_catalog::ColumnStats, sarg: &Sarg) -> f64 {
+    match sarg {
+        Sarg::Range(i) => {
+            if i.is_empty() {
+                0.0
+            } else if i.is_point() {
+                stats.eq_selectivity(i.lo.value().expect("point has value"))
+            } else {
+                stats.range_selectivity(i.lo.as_stats_bound(), i.hi.as_stats_bound())
+            }
+        }
+        Sarg::InList(vals) => vals
+            .iter()
+            .map(|v| stats.eq_selectivity(*v))
+            .sum::<f64>()
+            .clamp(0.0, 1.0),
+        Sarg::Prefix(_) => {
+            let i = sarg.to_interval();
+            stats.range_selectivity(i.lo.as_stats_bound(), i.hi.as_stats_bound())
+        }
+        Sarg::Param { selectivity } => *selectivity,
+    }
+}
+
+/// A non-sargable ("other") predicate: kept structurally for view
+/// matching/merging, with the columns it references and a heuristic
+/// selectivity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OtherPred {
+    /// Normalized predicate tree (structural identity).
+    pub pred: PredExpr,
+    /// Heuristic selectivity.
+    pub selectivity: f64,
+}
+
+impl OtherPred {
+    pub fn columns(&self) -> BTreeSet<ColumnId> {
+        self.pred.columns()
+    }
+
+    pub fn tables(&self) -> BTreeSet<TableId> {
+        self.pred.tables()
+    }
+}
+
+/// The classification of a WHERE clause into the paper's three classes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedPredicates {
+    pub joins: Vec<JoinPred>,
+    pub ranges: Vec<SargablePred>,
+    pub others: Vec<OtherPred>,
+}
+
+impl ClassifiedPredicates {
+    /// Sargable predicates restricted to one table.
+    pub fn ranges_on(&self, table: TableId) -> impl Iterator<Item = &SargablePred> {
+        self.ranges.iter().filter(move |r| r.column.table == table)
+    }
+
+    /// Other predicates that reference *only* the given table (these
+    /// can be evaluated by a filter directly above its access path).
+    pub fn others_local_to(&self, table: TableId) -> impl Iterator<Item = &OtherPred> {
+        self.others.iter().filter(move |o| {
+            let ts = o.tables();
+            ts.len() == 1 && ts.contains(&table)
+        })
+    }
+
+    /// Combined selectivity of all single-table predicates on `table`
+    /// under the independence assumption.
+    pub fn local_selectivity(&self, db: &Database, table: TableId) -> f64 {
+        let mut sel = 1.0;
+        for r in self.ranges_on(table) {
+            sel *= r.selectivity(db);
+        }
+        for o in self.others_local_to(table) {
+            sel *= o.selectivity;
+        }
+        sel.clamp(0.0, 1.0)
+    }
+
+    /// Column equivalences induced by the join predicates.
+    pub fn equivalences(&self) -> crate::equiv::ColumnEquivalences {
+        crate::equiv::ColumnEquivalences::from_pairs(
+            self.joins.iter().map(|j| (j.left, j.right)),
+        )
+    }
+
+    /// All tables referenced by any predicate.
+    pub fn tables(&self) -> BTreeSet<TableId> {
+        let mut out = BTreeSet::new();
+        for j in &self.joins {
+            out.insert(j.left.table);
+            out.insert(j.right.table);
+        }
+        for r in &self.ranges {
+            out.insert(r.column.table);
+        }
+        for o in &self.others {
+            out.extend(o.tables());
+        }
+        out
+    }
+}
+
+/// Classify a list of conjuncts (see module docs). Conjuncts on the
+/// same column are merged by interval intersection.
+pub fn classify_conjuncts(db: &Database, conjuncts: Vec<PredExpr>) -> ClassifiedPredicates {
+    let mut out = ClassifiedPredicates::default();
+    for conjunct in conjuncts {
+        match try_sargable(&conjunct) {
+            Classified::Join(j) => {
+                if !out.joins.contains(&j) {
+                    out.joins.push(j);
+                }
+            }
+            Classified::Sargable(s) => merge_sarg(&mut out.ranges, s),
+            Classified::Other => {
+                let selectivity = other_selectivity(db, &conjunct);
+                out.others.push(OtherPred {
+                    pred: conjunct.normalized(),
+                    selectivity,
+                });
+            }
+        }
+    }
+    out.joins.sort();
+    out.ranges.sort_by_key(|r| r.column);
+    out
+}
+
+enum Classified {
+    Join(JoinPred),
+    Sargable(SargablePred),
+    Other,
+}
+
+fn try_sargable(p: &PredExpr) -> Classified {
+    match p {
+        PredExpr::Cmp { op, left, right } => {
+            match (left.as_column(), right.as_column()) {
+                (Some(a), Some(b)) if *op == CmpOp::Eq && a.table != b.table => {
+                    return Classified::Join(JoinPred::new(a, b));
+                }
+                _ => {}
+            }
+            // col op literal / literal op col
+            let (col, op, lit) = match (left, right) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => (*c, *op, v),
+                (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (*c, op.flipped(), v),
+                _ => return Classified::Other,
+            };
+            if lit.is_null() {
+                return Classified::Other;
+            }
+            let k = lit.sort_key();
+            let interval = match op {
+                CmpOp::Eq => Interval::point(k),
+                CmpOp::Lt => Interval::at_most(k, false),
+                CmpOp::LtEq => Interval::at_most(k, true),
+                CmpOp::Gt => Interval::at_least(k, false),
+                CmpOp::GtEq => Interval::at_least(k, true),
+                CmpOp::NotEq => return Classified::Other,
+            };
+            Classified::Sargable(SargablePred {
+                column: col,
+                sarg: Sarg::Range(interval),
+            })
+        }
+        PredExpr::InList {
+            expr,
+            list,
+            negated: false,
+        } => match expr.as_column() {
+            Some(c) => {
+                let mut vals: Vec<SortKey> = list.iter().map(|v| v.sort_key()).collect();
+                vals.sort_by(|a, b| a.total_cmp(b));
+                vals.dedup();
+                Classified::Sargable(SargablePred {
+                    column: c,
+                    sarg: Sarg::InList(vals),
+                })
+            }
+            None => Classified::Other,
+        },
+        PredExpr::Like {
+            expr,
+            pattern,
+            negated: false,
+        } => {
+            let prefix: String = pattern.chars().take_while(|c| *c != '%' && *c != '_').collect();
+            match (expr.as_column(), prefix.is_empty()) {
+                (Some(c), false) => Classified::Sargable(SargablePred {
+                    column: c,
+                    sarg: Sarg::Prefix(prefix),
+                }),
+                _ => Classified::Other,
+            }
+        }
+        _ => Classified::Other,
+    }
+}
+
+/// Merge a new sarg into the per-column list, intersecting with any
+/// existing sarg on the same column.
+fn merge_sarg(ranges: &mut Vec<SargablePred>, new: SargablePred) {
+    if let Some(existing) = ranges.iter_mut().find(|r| r.column == new.column) {
+        existing.sarg = intersect_sargs(&existing.sarg, &new.sarg);
+    } else {
+        ranges.push(new);
+    }
+}
+
+fn intersect_sargs(a: &Sarg, b: &Sarg) -> Sarg {
+    match (a, b) {
+        (Sarg::InList(vals), other) | (other, Sarg::InList(vals)) => {
+            let i = other.to_interval();
+            let kept: Vec<SortKey> = vals
+                .iter()
+                .copied()
+                .filter(|v| i.contains(&Interval::point(*v)))
+                .collect();
+            Sarg::InList(kept)
+        }
+        _ => Sarg::Range(a.to_interval().intersect(&b.to_interval())),
+    }
+}
+
+/// Heuristic selectivity for a non-sargable predicate.
+fn other_selectivity(db: &Database, p: &PredExpr) -> f64 {
+    match p {
+        PredExpr::Cmp { op, left, right } => {
+            // Column-to-column comparison on the same table, or
+            // arbitrary arithmetic.
+            match op {
+                CmpOp::NotEq => {
+                    // 1 - 1/ndv when one side is a column.
+                    let ndv = left
+                        .as_column()
+                        .or_else(|| right.as_column())
+                        .filter(|c| !c.table.is_view())
+                        .map(|c| db.column(c).stats.ndv)
+                        .unwrap_or(10.0);
+                    (1.0 - 1.0 / ndv.max(1.0)).clamp(0.0, 1.0)
+                }
+                CmpOp::Eq => 0.1,
+                _ => DEFAULT_OTHER_SELECTIVITY,
+            }
+        }
+        PredExpr::Or(parts) => {
+            // s = 1 - prod(1 - s_i), treating children independently.
+            let mut keep = 1.0;
+            for part in parts {
+                keep *= 1.0 - other_selectivity(db, part);
+            }
+            (1.0 - keep).clamp(0.0, 1.0)
+        }
+        PredExpr::And(parts) => parts
+            .iter()
+            .map(|p| other_selectivity(db, p))
+            .product::<f64>()
+            .clamp(0.0, 1.0),
+        PredExpr::Not(inner) => (1.0 - other_selectivity(db, inner)).clamp(0.0, 1.0),
+        PredExpr::IsNull { expr, negated } => {
+            let null_frac = expr
+                .as_column()
+                .filter(|c| !c.table.is_view())
+                .map(|c| db.column(c).stats.null_frac)
+                .unwrap_or(0.05);
+            if *negated {
+                1.0 - null_frac
+            } else {
+                null_frac
+            }
+        }
+        PredExpr::InList { list, negated, .. } => {
+            let s = (list.len() as f64 * 0.05).clamp(0.0, 0.5);
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        PredExpr::Like { negated, .. } => {
+            if *negated {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnStats, ColumnType, Value};
+
+    fn test_db() -> Database {
+        let mut b = Database::builder("t");
+        let mk = |name: &str| pdt_catalog::Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(100.0, 0.0, 100.0, 4.0),
+        };
+        b.add_table("r", 1000.0, vec![mk("a"), mk("b"), mk("c"), mk("x")], vec![0]);
+        b.add_table("s", 500.0, vec![mk("y"), mk("b")], vec![0]);
+        b.build()
+    }
+
+    fn cid(db: &Database, t: &str, c: &str) -> ColumnId {
+        let table = db.table_by_name(t).unwrap();
+        table.column_id(table.column_ordinal(c).unwrap())
+    }
+
+    fn cmp(op: CmpOp, l: ScalarExpr, r: ScalarExpr) -> PredExpr {
+        PredExpr::Cmp { op, left: l, right: r }
+    }
+
+    #[test]
+    fn classifies_paper_example() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let rb = cid(&db, "r", "b");
+        let rc = cid(&db, "r", "c");
+        let rx = cid(&db, "r", "x");
+        let sy = cid(&db, "s", "y");
+        let conjuncts = vec![
+            // R.x = S.y  -> join
+            cmp(CmpOp::Eq, ScalarExpr::column(rx), ScalarExpr::column(sy)),
+            // R.a > 5 AND R.a < 50 -> one merged range on R.a
+            cmp(CmpOp::Gt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(5))),
+            cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(50))),
+            // R.b > 5 -> range
+            cmp(CmpOp::Gt, ScalarExpr::column(rb), ScalarExpr::literal(Value::Int(5))),
+            // (R.a < R.b OR R.c < 8) -> other
+            PredExpr::Or(vec![
+                cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::column(rb)),
+                cmp(CmpOp::Lt, ScalarExpr::column(rc), ScalarExpr::literal(Value::Int(8))),
+            ]),
+            // R.a * R.b = 5 -> other
+            cmp(
+                CmpOp::Eq,
+                ScalarExpr::Arith {
+                    op: crate::scalar::ArithOp::Mul,
+                    left: Box::new(ScalarExpr::column(ra)),
+                    right: Box::new(ScalarExpr::column(rb)),
+                },
+                ScalarExpr::literal(Value::Int(5)),
+            ),
+        ];
+        let c = classify_conjuncts(&db, conjuncts);
+        assert_eq!(c.joins.len(), 1);
+        assert_eq!(c.ranges.len(), 2, "{:?}", c.ranges);
+        assert_eq!(c.others.len(), 2);
+
+        // Merged interval on R.a is (5, 50).
+        let ra_pred = c.ranges.iter().find(|r| r.column == ra).unwrap();
+        match &ra_pred.sarg {
+            Sarg::Range(i) => {
+                assert_eq!(i.lo.value(), Some(5.0));
+                assert_eq!(i.hi.value(), Some(50.0));
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_literal_comparison_is_sargable() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let c = classify_conjuncts(
+            &db,
+            vec![cmp(
+                CmpOp::Gt,
+                ScalarExpr::literal(Value::Int(10)),
+                ScalarExpr::column(ra),
+            )],
+        );
+        assert_eq!(c.ranges.len(), 1);
+        match &c.ranges[0].sarg {
+            Sarg::Range(i) => assert_eq!(i.hi.value(), Some(10.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_table_column_equality_is_other() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let rb = cid(&db, "r", "b");
+        let c = classify_conjuncts(
+            &db,
+            vec![cmp(CmpOp::Eq, ScalarExpr::column(ra), ScalarExpr::column(rb))],
+        );
+        assert!(c.joins.is_empty());
+        assert_eq!(c.others.len(), 1);
+    }
+
+    #[test]
+    fn in_list_intersects_with_range() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let c = classify_conjuncts(
+            &db,
+            vec![
+                PredExpr::InList {
+                    expr: ScalarExpr::column(ra),
+                    list: vec![Value::Int(1), Value::Int(5), Value::Int(60)],
+                    negated: false,
+                },
+                cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(50))),
+            ],
+        );
+        assert_eq!(c.ranges.len(), 1);
+        match &c.ranges[0].sarg {
+            Sarg::InList(vals) => assert_eq!(vals, &vec![1.0, 5.0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn selectivity_of_range() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let p = SargablePred {
+            column: ra,
+            sarg: Sarg::Range(Interval::at_most(50.0, true)),
+        };
+        let sel = p.selectivity(&db);
+        assert!((sel - 0.5).abs() < 1e-9, "sel={sel}");
+    }
+
+    #[test]
+    fn local_selectivity_multiplies() {
+        let db = test_db();
+        let r = db.table_by_name("r").unwrap().id;
+        let ra = cid(&db, "r", "a");
+        let rb = cid(&db, "r", "b");
+        let c = classify_conjuncts(
+            &db,
+            vec![
+                cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(50))),
+                cmp(CmpOp::Lt, ScalarExpr::column(rb), ScalarExpr::literal(Value::Int(10))),
+            ],
+        );
+        let sel = c.local_selectivity(&db, r);
+        assert!((sel - 0.05).abs() < 1e-9, "sel={sel}");
+    }
+
+    #[test]
+    fn like_prefix_is_sargable() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let c = classify_conjuncts(
+            &db,
+            vec![PredExpr::Like {
+                expr: ScalarExpr::column(ra),
+                pattern: "abc%".into(),
+                negated: false,
+            }],
+        );
+        assert_eq!(c.ranges.len(), 1);
+        match &c.ranges[0].sarg {
+            Sarg::Prefix(p) => assert_eq!(p, "abc"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn like_without_prefix_is_other() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let c = classify_conjuncts(
+            &db,
+            vec![PredExpr::Like {
+                expr: ScalarExpr::column(ra),
+                pattern: "%abc".into(),
+                negated: false,
+            }],
+        );
+        assert!(c.ranges.is_empty());
+        assert_eq!(c.others.len(), 1);
+    }
+
+    #[test]
+    fn equivalences_from_joins() {
+        let db = test_db();
+        let rx = cid(&db, "r", "x");
+        let sy = cid(&db, "s", "y");
+        let c = classify_conjuncts(
+            &db,
+            vec![cmp(CmpOp::Eq, ScalarExpr::column(rx), ScalarExpr::column(sy))],
+        );
+        let eq = c.equivalences();
+        assert!(eq.equivalent(rx, sy));
+    }
+
+    #[test]
+    fn contradictory_ranges_give_zero_selectivity() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let c = classify_conjuncts(
+            &db,
+            vec![
+                cmp(CmpOp::Gt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(60))),
+                cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(40))),
+            ],
+        );
+        assert_eq!(c.ranges.len(), 1);
+        assert_eq!(c.ranges[0].selectivity(&db), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Column-equivalence classes induced by equi-join predicates.
+//!
+//! View matching and view merging compare predicates "modulo column
+//! equivalence" (paper §3.1.2): if `R.x = S.y` holds in a query, a
+//! predicate on `R.x` matches one on `S.y`. This module is a small
+//! union-find keyed by [`ColumnId`].
+
+use pdt_catalog::ColumnId;
+use std::collections::HashMap;
+
+/// Union-find over columns.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnEquivalences {
+    parent: HashMap<ColumnId, ColumnId>,
+}
+
+impl ColumnEquivalences {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a list of equated column pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ColumnId, ColumnId)>) -> Self {
+        let mut eq = Self::new();
+        for (a, b) in pairs {
+            eq.union(a, b);
+        }
+        eq
+    }
+
+    fn find(&mut self, c: ColumnId) -> ColumnId {
+        let p = *self.parent.get(&c).unwrap_or(&c);
+        if p == c {
+            return c;
+        }
+        let root = self.find(p);
+        self.parent.insert(c, root);
+        root
+    }
+
+    /// Find without path compression (usable through `&self`).
+    fn find_ro(&self, mut c: ColumnId) -> ColumnId {
+        while let Some(&p) = self.parent.get(&c) {
+            if p == c {
+                break;
+            }
+            c = p;
+        }
+        c
+    }
+
+    /// Declare `a = b`.
+    pub fn union(&mut self, a: ColumnId, b: ColumnId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Keep the smaller id as the canonical representative for
+            // deterministic output.
+            let (root, child) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(child, root);
+        }
+    }
+
+    /// Canonical representative of `c`'s class.
+    pub fn canon(&self, c: ColumnId) -> ColumnId {
+        self.find_ro(c)
+    }
+
+    /// True if `a` and `b` are known to be equal.
+    pub fn equivalent(&self, a: ColumnId, b: ColumnId) -> bool {
+        self.find_ro(a) == self.find_ro(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::TableId;
+
+    fn cid(t: u32, c: u16) -> ColumnId {
+        ColumnId::new(TableId(t), c)
+    }
+
+    #[test]
+    fn transitive_closure() {
+        // R.x = S.y AND S.y = T.z (paper's Section 1 example).
+        let eq = ColumnEquivalences::from_pairs([
+            (cid(0, 0), cid(1, 0)),
+            (cid(1, 0), cid(2, 0)),
+        ]);
+        assert!(eq.equivalent(cid(0, 0), cid(2, 0)));
+        assert!(!eq.equivalent(cid(0, 0), cid(0, 1)));
+    }
+
+    #[test]
+    fn canon_is_stable_minimum() {
+        let eq = ColumnEquivalences::from_pairs([(cid(2, 3), cid(1, 1)), (cid(1, 1), cid(0, 7))]);
+        assert_eq!(eq.canon(cid(2, 3)), cid(0, 7));
+        assert_eq!(eq.canon(cid(0, 7)), cid(0, 7));
+    }
+
+    #[test]
+    fn singleton_is_its_own_canon() {
+        let eq = ColumnEquivalences::new();
+        assert_eq!(eq.canon(cid(5, 5)), cid(5, 5));
+    }
+}

@@ -1,0 +1,280 @@
+//! One-dimensional intervals over the histogram sort-key domain.
+//!
+//! Range predicates on a column are normalized into an [`Interval`];
+//! conjunctions intersect intervals, and the view-merging
+//! transformation (paper §3.1.2) takes their union ("RM combines
+//! same-column range predicates").
+
+use pdt_catalog::SortKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An endpoint of an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    Unbounded,
+    Inclusive(SortKey),
+    Exclusive(SortKey),
+}
+
+impl Bound {
+    pub fn value(self) -> Option<SortKey> {
+        match self {
+            Bound::Unbounded => None,
+            Bound::Inclusive(v) | Bound::Exclusive(v) => Some(v),
+        }
+    }
+
+    /// As the `(value, inclusive)` pair the stats layer consumes.
+    pub fn as_stats_bound(self) -> Option<(SortKey, bool)> {
+        match self {
+            Bound::Unbounded => None,
+            Bound::Inclusive(v) => Some((v, true)),
+            Bound::Exclusive(v) => Some((v, false)),
+        }
+    }
+}
+
+/// A (possibly unbounded, possibly empty) interval `lo .. hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    pub lo: Bound,
+    pub hi: Bound,
+}
+
+impl Interval {
+    pub const FULL: Interval = Interval {
+        lo: Bound::Unbounded,
+        hi: Bound::Unbounded,
+    };
+
+    /// The point interval `[v, v]` (an equality predicate).
+    pub fn point(v: SortKey) -> Interval {
+        Interval {
+            lo: Bound::Inclusive(v),
+            hi: Bound::Inclusive(v),
+        }
+    }
+
+    /// `col >= v` / `col > v`.
+    pub fn at_least(v: SortKey, inclusive: bool) -> Interval {
+        Interval {
+            lo: if inclusive {
+                Bound::Inclusive(v)
+            } else {
+                Bound::Exclusive(v)
+            },
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// `col <= v` / `col < v`.
+    pub fn at_most(v: SortKey, inclusive: bool) -> Interval {
+        Interval {
+            lo: Bound::Unbounded,
+            hi: if inclusive {
+                Bound::Inclusive(v)
+            } else {
+                Bound::Exclusive(v)
+            },
+        }
+    }
+
+    /// True if the interval is a single point (equality predicate).
+    pub fn is_point(&self) -> bool {
+        match (self.lo, self.hi) {
+            (Bound::Inclusive(a), Bound::Inclusive(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// True if no value satisfies the interval.
+    pub fn is_empty(&self) -> bool {
+        match (self.lo.value(), self.hi.value()) {
+            (Some(lo), Some(hi)) => {
+                lo > hi
+                    || (lo == hi
+                        && (matches!(self.lo, Bound::Exclusive(_))
+                            || matches!(self.hi, Bound::Exclusive(_))))
+            }
+            _ => false,
+        }
+    }
+
+    /// True if both endpoints are unbounded.
+    pub fn is_full(&self) -> bool {
+        matches!(self.lo, Bound::Unbounded) && matches!(self.hi, Bound::Unbounded)
+    }
+
+    /// Intersection (conjunction of two range predicates on a column).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: tighter_lo(self.lo, other.lo),
+            hi: tighter_hi(self.hi, other.hi),
+        }
+    }
+
+    /// Convex hull (the view-merge "combine" of two range predicates:
+    /// the loosest interval implied by either input).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: looser_lo(self.lo, other.lo),
+            hi: looser_hi(self.hi, other.hi),
+        }
+    }
+
+    /// True if every value in `other` also satisfies `self`.
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.intersect(other) == *other
+    }
+}
+
+fn tighter_lo(a: Bound, b: Bound) -> Bound {
+    match (a.value(), b.value()) {
+        (None, _) => b,
+        (_, None) => a,
+        (Some(va), Some(vb)) => {
+            if va > vb {
+                a
+            } else if vb > va {
+                b
+            } else if matches!(a, Bound::Exclusive(_)) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn tighter_hi(a: Bound, b: Bound) -> Bound {
+    match (a.value(), b.value()) {
+        (None, _) => b,
+        (_, None) => a,
+        (Some(va), Some(vb)) => {
+            if va < vb {
+                a
+            } else if vb < va {
+                b
+            } else if matches!(a, Bound::Exclusive(_)) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn looser_lo(a: Bound, b: Bound) -> Bound {
+    match (a.value(), b.value()) {
+        (None, _) | (_, None) => Bound::Unbounded,
+        (Some(va), Some(vb)) => {
+            if va < vb {
+                a
+            } else if vb < va {
+                b
+            } else if matches!(a, Bound::Inclusive(_)) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn looser_hi(a: Bound, b: Bound) -> Bound {
+    match (a.value(), b.value()) {
+        (None, _) | (_, None) => Bound::Unbounded,
+        (Some(va), Some(vb)) => {
+            if va > vb {
+                a
+            } else if vb > va {
+                b
+            } else if matches!(a, Bound::Inclusive(_)) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lo {
+            Bound::Unbounded => f.write_str("(-inf")?,
+            Bound::Inclusive(v) => write!(f, "[{v}")?,
+            Bound::Exclusive(v) => write!(f, "({v}")?,
+        }
+        f.write_str(", ")?;
+        match self.hi {
+            Bound::Unbounded => f.write_str("+inf)"),
+            Bound::Inclusive(v) => write!(f, "{v}]"),
+            Bound::Exclusive(v) => write!(f, "{v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_is_point() {
+        assert!(Interval::point(5.0).is_point());
+        assert!(!Interval::at_least(5.0, true).is_point());
+    }
+
+    #[test]
+    fn intersect_narrows() {
+        // a > 5 AND a < 50 (paper's example range conjuncts).
+        let i = Interval::at_least(5.0, false).intersect(&Interval::at_most(50.0, false));
+        assert_eq!(i.lo, Bound::Exclusive(5.0));
+        assert_eq!(i.hi, Bound::Exclusive(50.0));
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn contradiction_is_empty() {
+        let i = Interval::at_least(10.0, false).intersect(&Interval::at_most(10.0, true));
+        assert!(i.is_empty());
+        let j = Interval::point(3.0).intersect(&Interval::point(4.0));
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn hull_merges_ranges() {
+        // Paper §3.1.2: merging R.a < 10 and 10 <= R.a < 20 relaxes to
+        // R.a < 20.
+        let a = Interval::at_most(10.0, false);
+        let b = Interval::at_least(10.0, true).intersect(&Interval::at_most(20.0, false));
+        let m = a.hull(&b);
+        assert_eq!(m.lo, Bound::Unbounded);
+        assert_eq!(m.hi, Bound::Exclusive(20.0));
+    }
+
+    #[test]
+    fn hull_of_opposite_rays_is_full() {
+        // Merging R.a < 10 and R.a > 5 becomes unbounded and, per the
+        // paper, is dropped from the merged view entirely.
+        let m = Interval::at_most(10.0, false).hull(&Interval::at_least(5.0, false));
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Interval::at_least(0.0, true).intersect(&Interval::at_most(100.0, true));
+        let inner = Interval::point(7.0);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(Interval::FULL.contains(&outer));
+    }
+
+    #[test]
+    fn inclusive_beats_exclusive_in_hull() {
+        let a = Interval::at_least(5.0, true);
+        let b = Interval::at_least(5.0, false);
+        assert_eq!(a.hull(&b).lo, Bound::Inclusive(5.0));
+        assert_eq!(a.intersect(&b).lo, Bound::Exclusive(5.0));
+    }
+}

@@ -1,0 +1,29 @@
+//! # pdt-expr — bound expressions and predicate analysis
+//!
+//! Sits between the SQL front-end and the optimizer/physical layers:
+//!
+//! * [`scalar`] — bound scalar expressions ([`ScalarExpr`]) and boolean
+//!   predicate trees ([`PredExpr`]) over [`pdt_catalog::ColumnId`]s;
+//! * [`interval`] — one-dimensional intervals used to represent (and
+//!   merge) range predicates;
+//! * [`classify`] — splits a WHERE clause into the paper's three
+//!   conjunct classes: **join**, **range** (sargable) and **other**
+//!   predicates, and estimates their selectivities;
+//! * [`bind`] — resolves an unbound `pdt-sql` AST against a catalog;
+//! * [`equiv`] — union-find column-equivalence classes induced by
+//!   equi-join predicates (used by view matching "modulo column
+//!   equivalence").
+
+pub mod bind;
+pub mod classify;
+pub mod equiv;
+pub mod interval;
+pub mod scalar;
+
+pub use bind::{
+    BindError, Binder, BoundDelete, BoundInsert, BoundSelect, BoundStatement, BoundUpdate,
+};
+pub use classify::{classify_conjuncts, ClassifiedPredicates, JoinPred, OtherPred, Sarg, SargablePred};
+pub use equiv::ColumnEquivalences;
+pub use interval::{Bound, Interval};
+pub use scalar::{AggCall, CmpOp, PredExpr, ScalarExpr};

@@ -1,0 +1,757 @@
+//! Single-relation access-path selection — the optimizer's *one* entry
+//! point for physical index strategies (paper §2, Fig. 2).
+//!
+//! Given an [`IndexRequest`] and the available indexes, this module
+//! enumerates the paper's template plans — "(i) one or more index seeks
+//! (or index scans) at the leaf nodes, (ii) combine[d] ... by binary
+//! intersections, (iii) an optional rid lookup ..., (iv) an optional
+//! filter for non-sargable predicates, and (v) an optional sort" — and
+//! returns the cheapest.
+
+use crate::cost::{Cost, CostModel};
+use crate::plan::{IndexUsage, Op, PlanNode, UsageKind};
+use crate::request::IndexRequest;
+use pdt_catalog::ColumnId;
+use pdt_expr::classify::sarg_selectivity_with;
+use pdt_expr::{Sarg, SargablePred};
+use pdt_physical::{Index, PhysicalSchema};
+use std::collections::BTreeSet;
+
+/// The chosen access path for one relation.
+#[derive(Debug, Clone)]
+pub struct AccessPath {
+    pub node: PlanNode,
+    pub cost: Cost,
+    pub rows: f64,
+    pub usages: Vec<IndexUsage>,
+    /// True if the output satisfies the requested order without a sort.
+    pub provides_order: bool,
+}
+
+/// Selectivity of one sargable predicate against the physical schema
+/// (resolves view-column statistics, unlike the catalog-only path).
+pub fn sarg_selectivity(schema: &PhysicalSchema<'_>, pred: &SargablePred) -> f64 {
+    if let Sarg::Param { selectivity } = pred.sarg {
+        return selectivity;
+    }
+    match schema.column_stats(pred.column) {
+        Some(stats) => sarg_selectivity_with(stats, &pred.sarg),
+        None => pdt_expr::classify::DEFAULT_OTHER_SELECTIVITY,
+    }
+}
+
+/// Pick the cheapest physical strategy for `req`.
+pub fn best_access_path(
+    model: &CostModel,
+    schema: &PhysicalSchema<'_>,
+    req: &IndexRequest,
+) -> AccessPath {
+    let table = req.table;
+    let table_rows = schema.rows(table).max(1.0);
+    let table_pages =
+        (table_rows * schema.row_width(table) / model.size.page_size).ceil().max(1.0);
+
+    // Per-sarg selectivities.
+    let sargs: Vec<(usize, f64)> = req
+        .sargable
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, sarg_selectivity(schema, s)))
+        .collect();
+    let sarg_sel: f64 = sargs.iter().map(|(_, s)| s).product::<f64>().clamp(0.0, 1.0);
+    let others_sel: f64 = req
+        .non_sargable
+        .iter()
+        .map(|(_, s)| *s)
+        .product::<f64>()
+        .clamp(0.0, 1.0);
+    let out_rows = (table_rows * sarg_sel * others_sel).max(0.0);
+
+    // Columns needed in the output stream (everything referenced at or
+    // above the filter level).
+    let mut needed: BTreeSet<ColumnId> = req.additional.clone();
+    needed.extend(req.order.iter().map(|(c, _)| *c));
+    for (cols, _) in &req.non_sargable {
+        needed.extend(cols.iter().copied());
+    }
+
+    let order_cols: Vec<ColumnId> = req.order.iter().map(|(c, _)| *c).collect();
+    let n_preds = req.sargable.len() + req.non_sargable.len();
+
+    let indexes: Vec<&Index> = schema.config.indexes_on(table).collect();
+    let clustered = indexes.iter().copied().find(|i| i.clustered);
+
+    let mut best: Option<AccessPath> = None;
+    let mut consider = |cand: AccessPath| {
+        if best.as_ref().is_none_or(|b| cand.cost.total() < b.cost.total()) {
+            best = Some(cand);
+        }
+    };
+
+    // ---------------- scans (base relation or covering index) -------
+    {
+        // Scan of the clustered index / heap.
+        let (scan_node, scan_cost, usage) = match clustered {
+            Some(ci) => {
+                let pages = model.index_pages(schema, ci);
+                let cost = model.full_scan(pages, table_rows);
+                let provides = order_satisfied(&ci.key, 0, &order_cols);
+                let usage = IndexUsage {
+                    index: ci.clone(),
+                    kind: UsageKind::Scan,
+                    access_io: cost.io,
+                    access_cpu: cost.cpu,
+                    rows: table_rows,
+                    provided_order: if provides && !order_cols.is_empty() {
+                        Some(req.order.clone())
+                    } else {
+                        None
+                    },
+                    provided_columns: {
+                        let mut c = needed.clone();
+                        c.extend(req.sargable.iter().map(|s| s.column));
+                        c
+                    },
+                    followed_by_lookup: false,
+                    seek_col_sels: Vec::new(),
+                };
+                (
+                    PlanNode::leaf(Op::IndexScan { index: ci.clone() }, cost.total(), table_rows),
+                    cost,
+                    Some(usage),
+                )
+            }
+            None => {
+                let cost = model.full_scan(table_pages, table_rows);
+                (
+                    PlanNode::leaf(Op::HeapScan { table }, cost.total(), table_rows),
+                    cost,
+                    None,
+                )
+            }
+        };
+        let provides = usage
+            .as_ref()
+            .map(|u| u.provided_order.is_some())
+            .unwrap_or(false);
+        consider(finish(
+            model, schema, req, scan_node, scan_cost, table_rows, out_rows, n_preds,
+            usage.into_iter().collect(), provides, &order_cols, &needed,
+        ));
+    }
+
+    for index in &indexes {
+        if index.clustered {
+            continue;
+        }
+        // Covering secondary scan: must provide every referenced column
+        // (sargable ones included — they are filtered here).
+        let mut all_ref = needed.clone();
+        all_ref.extend(req.sargable.iter().map(|s| s.column));
+        if index.covers(&all_ref) {
+            let pages = model.index_pages(schema, index);
+            let cost = model.full_scan(pages, table_rows);
+            let provides = order_satisfied(&index.key, 0, &order_cols);
+            let usage = IndexUsage {
+                index: (*index).clone(),
+                kind: UsageKind::Scan,
+                access_io: cost.io,
+                access_cpu: cost.cpu,
+                rows: table_rows,
+                provided_order: if provides && !order_cols.is_empty() {
+                    Some(req.order.clone())
+                } else {
+                    None
+                },
+                provided_columns: all_ref.clone(),
+                followed_by_lookup: false,
+                seek_col_sels: Vec::new(),
+            };
+            let node =
+                PlanNode::leaf(Op::IndexScan { index: (*index).clone() }, cost.total(), table_rows);
+            consider(finish(
+                model, schema, req, node, cost, table_rows, out_rows, n_preds,
+                vec![usage], provides, &order_cols, &needed,
+            ));
+        }
+    }
+
+    // ---------------- single-index seeks ----------------------------
+    let mut seekables: Vec<(usize, f64, &Index)> = Vec::new(); // (prefix len, sel, index)
+    for index in &indexes {
+        let (prefix_len, seek_sel, eq_prefix) = seek_prefix(index, req, &sargs);
+        if prefix_len == 0 {
+            continue;
+        }
+        seekables.push((prefix_len, seek_sel, index));
+        let rows_after_seek = (table_rows * seek_sel).max(0.0);
+        let levels = model.btree_levels(schema, index);
+        let leaf_pages = model.index_pages(schema, index);
+        let seek_cost = model.seek(levels, leaf_pages, seek_sel, rows_after_seek);
+
+        // Residual predicates: sargs not consumed by the seek plus the
+        // non-sargable ones.
+        let consumed: BTreeSet<ColumnId> = index.key[..prefix_len]
+            .iter()
+            .copied()
+            .collect();
+        let mut resid_sel_on_index = 1.0;
+        let mut resid_sel_after_lookup = 1.0;
+        let mut n_on_index = 0usize;
+        let mut n_after = 0usize;
+        for (si, sel) in &sargs {
+            let sp = &req.sargable[*si];
+            if consumed.contains(&sp.column) {
+                continue;
+            }
+            if index.covers([&sp.column]) {
+                resid_sel_on_index *= sel;
+                n_on_index += 1;
+            } else {
+                resid_sel_after_lookup *= sel;
+                n_after += 1;
+            }
+        }
+        for (cols, sel) in &req.non_sargable {
+            if index.covers(cols) {
+                resid_sel_on_index *= sel;
+                n_on_index += 1;
+            } else {
+                resid_sel_after_lookup *= sel;
+                n_after += 1;
+            }
+        }
+
+        let covers_output = index.covers(&needed);
+        let provides = order_satisfied(&index.key, 0, &order_cols)
+            || order_satisfied(&index.key, eq_prefix, &order_cols);
+
+        let mut usage = IndexUsage {
+            index: (*index).clone(),
+            kind: UsageKind::Seek {
+                seek_cols: prefix_len,
+                selectivity: seek_sel,
+            },
+            access_io: seek_cost.io,
+            access_cpu: seek_cost.cpu,
+            rows: rows_after_seek,
+            provided_order: if provides && !order_cols.is_empty() {
+                Some(req.order.clone())
+            } else {
+                None
+            },
+            provided_columns: {
+                let all = index.all_columns();
+                let mut c: BTreeSet<ColumnId> = needed
+                    .iter()
+                    .copied()
+                    .filter(|x| index.clustered || all.contains(x))
+                    .collect();
+                c.extend(consumed.iter().copied());
+                c
+            },
+            followed_by_lookup: false,
+            seek_col_sels: index.key[..prefix_len]
+                .iter()
+                .map(|kc| {
+                    let sel = sargs
+                        .iter()
+                        .find(|(si, _)| req.sargable[*si].column == *kc)
+                        .map(|(_, s)| *s)
+                        .unwrap_or(1.0);
+                    (*kc, sel)
+                })
+                .collect(),
+        };
+
+        let seek_node = PlanNode::leaf(
+            Op::IndexSeek { index: (*index).clone(), selectivity: seek_sel },
+            seek_cost.total(),
+            rows_after_seek,
+        );
+
+        if covers_output && n_after == 0 {
+            // Fully covered: seek + filter.
+            let mut cost = seek_cost;
+            let mut node = seek_node;
+            let rows_mid = rows_after_seek * resid_sel_on_index;
+            if n_on_index > 0 {
+                let f = model.filter(rows_after_seek, n_on_index);
+                cost = cost.add(f);
+                node = PlanNode::unary(
+                    Op::Filter { predicates: n_on_index, selectivity: resid_sel_on_index },
+                    cost.total(),
+                    rows_mid,
+                    node,
+                );
+            }
+            consider(finish(
+                model, schema, req, node, cost, rows_mid, out_rows, 0,
+                vec![usage.clone()], provides, &order_cols, &needed,
+            ));
+        } else {
+            // Seek -> on-index filters -> rid lookup -> remaining
+            // filters. (Rid lookups lose index order in this engine:
+            // rows come back in rid order.)
+            usage.followed_by_lookup = true;
+            usage.provided_order = None;
+            let mut cost = seek_cost;
+            let mut node = seek_node;
+            let mut rows_mid = rows_after_seek;
+            if n_on_index > 0 {
+                let f = model.filter(rows_mid, n_on_index);
+                cost = cost.add(f);
+                rows_mid *= resid_sel_on_index;
+                node = PlanNode::unary(
+                    Op::Filter { predicates: n_on_index, selectivity: resid_sel_on_index },
+                    cost.total(),
+                    rows_mid,
+                    node,
+                );
+            }
+            let lk = model.rid_lookup(rows_mid, table_pages);
+            cost = cost.add(lk);
+            node = PlanNode::unary(Op::RidLookup, cost.total(), rows_mid, node);
+            if n_after > 0 {
+                let f = model.filter(rows_mid, n_after);
+                cost = cost.add(f);
+                rows_mid *= resid_sel_after_lookup;
+                node = PlanNode::unary(
+                    Op::Filter { predicates: n_after, selectivity: resid_sel_after_lookup },
+                    cost.total(),
+                    rows_mid,
+                    node,
+                );
+            }
+            consider(finish(
+                model, schema, req, node, cost, rows_mid, out_rows, 0,
+                vec![usage], false, &order_cols, &needed,
+            ));
+        }
+    }
+
+    // ---------------- two-way rid intersection ----------------------
+    seekables.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for i in 0..seekables.len().min(4) {
+        for j in (i + 1)..seekables.len().min(4) {
+            let (p1, s1, i1) = seekables[i];
+            let (p2, s2, i2) = seekables[j];
+            if i1.key[0] == i2.key[0] {
+                continue; // same leading column: intersection is useless
+            }
+            let r1 = table_rows * s1;
+            let r2 = table_rows * s2;
+            let combined = (table_rows * s1 * s2).max(0.0);
+            let c1 = model.seek(
+                model.btree_levels(schema, i1),
+                model.index_pages(schema, i1),
+                s1,
+                r1,
+            );
+            let c2 = model.seek(
+                model.btree_levels(schema, i2),
+                model.index_pages(schema, i2),
+                s2,
+                r2,
+            );
+            let ci = model.rid_intersect(r1, r2);
+            let lk = model.rid_lookup(combined, table_pages);
+            let mut cost = c1.add(c2).add(ci).add(lk);
+            let n_resid = n_preds.saturating_sub(2);
+            let mk_usage = |idx: &Index, sel: f64, prefix: usize, c: Cost, r: f64| IndexUsage {
+                index: idx.clone(),
+                kind: UsageKind::Seek { seek_cols: prefix, selectivity: sel },
+                access_io: c.io,
+                access_cpu: c.cpu,
+                rows: r,
+                provided_order: None,
+                provided_columns: idx.key[..prefix].iter().copied().collect(),
+                followed_by_lookup: true,
+                seek_col_sels: idx.key[..prefix]
+                    .iter()
+                    .map(|kc| {
+                        let s = sargs
+                            .iter()
+                            .find(|(si, _)| req.sargable[*si].column == *kc)
+                            .map(|(_, v)| *v)
+                            .unwrap_or(1.0);
+                        (*kc, s)
+                    })
+                    .collect(),
+            };
+            let usages = vec![
+                mk_usage(i1, s1, p1, c1, r1),
+                mk_usage(i2, s2, p2, c2, r2),
+            ];
+            let seek1 = PlanNode::leaf(
+                Op::IndexSeek { index: i1.clone(), selectivity: s1 },
+                c1.total(),
+                r1,
+            );
+            let seek2 = PlanNode::leaf(
+                Op::IndexSeek { index: i2.clone(), selectivity: s2 },
+                c2.total(),
+                r2,
+            );
+            let inter = PlanNode::binary(
+                Op::RidIntersect,
+                c1.add(c2).add(ci).total(),
+                combined,
+                seek1,
+                seek2,
+            );
+            let mut node = PlanNode::unary(Op::RidLookup, cost.total(), combined, inter);
+            let mut rows_mid = combined;
+            if n_resid > 0 {
+                let f = model.filter(rows_mid, n_resid);
+                cost = cost.add(f);
+                rows_mid = out_rows.min(rows_mid);
+                node = PlanNode::unary(
+                    Op::Filter { predicates: n_resid, selectivity: 1.0 },
+                    cost.total(),
+                    rows_mid,
+                    node,
+                );
+            }
+            consider(finish(
+                model, schema, req, node, cost, rows_mid.max(out_rows), out_rows, 0,
+                usages, false, &order_cols, &needed,
+            ));
+        }
+    }
+
+    best.expect("at least the base scan is always available")
+}
+
+/// Longest seekable key prefix: every column must carry a sarg, and
+/// only point-equality sargs allow the seek to continue to the next
+/// key column. Returns `(prefix_len, selectivity, equality_prefix_len)`.
+fn seek_prefix(index: &Index, req: &IndexRequest, sels: &[(usize, f64)]) -> (usize, f64, usize) {
+    let mut len = 0usize;
+    let mut eq_len = 0usize;
+    let mut sel = 1.0f64;
+    for key_col in &index.key {
+        match req.sargable.iter().position(|s| s.column == *key_col) {
+            Some(si) => {
+                sel *= sels.iter().find(|(i, _)| *i == si).map(|(_, s)| *s).unwrap_or(1.0);
+                len += 1;
+                if req.sargable[si].sarg.is_equality() {
+                    eq_len = len;
+                } else {
+                    break; // a range consumes the column and stops the seek
+                }
+            }
+            None => break,
+        }
+    }
+    (len, sel, eq_len)
+}
+
+/// True if `order_cols` is a prefix of `key[skip..]`.
+fn order_satisfied(key: &[ColumnId], skip: usize, order_cols: &[ColumnId]) -> bool {
+    if order_cols.is_empty() {
+        return true;
+    }
+    if skip >= key.len() {
+        return false;
+    }
+    let tail = &key[skip..];
+    tail.len() >= order_cols.len() && tail[..order_cols.len()] == *order_cols
+}
+
+/// Attach residual filters (when `extra_preds > 0`) and a sort (when
+/// order is requested but not provided), producing the final candidate.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    model: &CostModel,
+    schema: &PhysicalSchema<'_>,
+    req: &IndexRequest,
+    mut node: PlanNode,
+    mut cost: Cost,
+    rows_in: f64,
+    out_rows: f64,
+    extra_preds: usize,
+    usages: Vec<IndexUsage>,
+    provides_order: bool,
+    order_cols: &[ColumnId],
+    needed: &BTreeSet<ColumnId>,
+) -> AccessPath {
+    let mut rows = rows_in;
+    if extra_preds > 0 {
+        let f = model.filter(rows, extra_preds);
+        cost = cost.add(f);
+        rows = out_rows;
+        node = PlanNode::unary(
+            Op::Filter { predicates: extra_preds, selectivity: 1.0 },
+            cost.total(),
+            rows,
+            node,
+        );
+    }
+    // The access path's final estimate is the logical output
+    // cardinality regardless of which plan shape produced it.
+    rows = out_rows;
+    let mut provided = provides_order;
+    if !order_cols.is_empty() && !provides_order {
+        let width: f64 = needed.iter().map(|c| schema.column_width(*c)).sum::<f64>().max(8.0);
+        let s = model.sort(rows, width);
+        cost = cost.add(s);
+        node = PlanNode::unary(
+            Op::Sort { columns: req.order.clone() },
+            cost.total(),
+            rows,
+            node,
+        );
+        provided = true;
+    }
+    AccessPath {
+        node,
+        cost,
+        rows,
+        usages,
+        provides_order: provided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnStats, ColumnType, Database};
+    use pdt_expr::Interval;
+    use pdt_physical::Configuration;
+
+    fn test_db() -> Database {
+        let mut b = Database::builder("t");
+        let mk = |name: &str, ndv: f64| pdt_catalog::Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(ndv, 0.0, ndv, 4.0),
+        };
+        b.add_table(
+            "r",
+            1_000_000.0,
+            vec![
+                mk("id", 1_000_000.0),
+                mk("a", 10_000.0),
+                mk("b", 100.0),
+                mk("c", 1000.0),
+                mk("pad", 50.0),
+            ],
+            vec![0],
+        );
+        b.build()
+    }
+
+    fn rid(db: &Database, name: &str) -> ColumnId {
+        let t = db.table_by_name("r").unwrap();
+        t.column_id(t.column_ordinal(name).unwrap())
+    }
+
+    fn req(db: &Database, sargs: Vec<(ColumnId, Interval)>, order: Vec<ColumnId>, additional: Vec<ColumnId>) -> IndexRequest {
+        IndexRequest {
+            table: db.table_by_name("r").unwrap().id,
+            sargable: sargs
+                .into_iter()
+                .map(|(c, i)| SargablePred { column: c, sarg: Sarg::Range(i) })
+                .collect(),
+            non_sargable: vec![],
+            order: order.into_iter().map(|c| (c, false)).collect(),
+            additional: additional.into_iter().collect(),
+            input_rows: 1_000_000.0,
+        }
+    }
+
+    fn schema_with<'a>(db: &'a Database, config: &'a Configuration) -> PhysicalSchema<'a> {
+        PhysicalSchema::new(db, config)
+    }
+
+    #[test]
+    fn no_indexes_means_heap_or_clustered_scan() {
+        let db = test_db();
+        let config = Configuration::base(&db);
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+        let r = req(&db, vec![(rid(&db, "a"), Interval::point(5.0))], vec![], vec![rid(&db, "b")]);
+        let path = best_access_path(&model, &schema, &r);
+        let mut scans = 0;
+        let mut seeks = 0;
+        path.node.walk(&mut |n| match n.op {
+            Op::IndexScan { .. } | Op::HeapScan { .. } => scans += 1,
+            Op::IndexSeek { .. } => seeks += 1,
+            _ => {}
+        });
+        assert_eq!((scans, seeks), (1, 0), "{:?}", path.node);
+        assert_eq!(path.usages.len(), 1);
+    }
+
+    #[test]
+    fn selective_seek_beats_scan() {
+        let db = test_db();
+        let mut config = Configuration::base(&db);
+        let a = rid(&db, "a");
+        let b = rid(&db, "b");
+        config.add_index(Index::new(a.table, [a], [b]));
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+        let r = req(&db, vec![(a, Interval::point(5.0))], vec![], vec![b]);
+        let path = best_access_path(&model, &schema, &r);
+        let seek_used = path
+            .usages
+            .iter()
+            .any(|u| matches!(u.kind, UsageKind::Seek { .. }));
+        assert!(seek_used, "expected a seek:\n{:?}", path.node);
+        assert!(!path.usages[0].followed_by_lookup, "covering index needs no lookup");
+    }
+
+    #[test]
+    fn non_covering_seek_adds_lookup_and_wide_range_prefers_scan() {
+        let db = test_db();
+        let mut config = Configuration::base(&db);
+        let a = rid(&db, "a");
+        let c = rid(&db, "c");
+        config.add_index(Index::new(a.table, [a], []));
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+
+        // Tiny range: seek + lookup wins.
+        let tight = req(
+            &db,
+            vec![(a, Interval::point(5.0))],
+            vec![],
+            vec![c],
+        );
+        let p1 = best_access_path(&model, &schema, &tight);
+        assert!(p1.usages.iter().any(|u| u.followed_by_lookup));
+
+        // 90% range: clustered scan wins.
+        let loose = req(
+            &db,
+            vec![(a, Interval::at_least(1000.0, true))],
+            vec![],
+            vec![c],
+        );
+        let p2 = best_access_path(&model, &schema, &loose);
+        assert!(
+            p2.usages.iter().all(|u| matches!(u.kind, UsageKind::Scan)),
+            "{:?}",
+            p2.node
+        );
+    }
+
+    #[test]
+    fn multi_column_seek_uses_equality_prefix() {
+        let db = test_db();
+        let mut config = Configuration::base(&db);
+        let a = rid(&db, "a");
+        let b = rid(&db, "b");
+        let idx = Index::new(a.table, [b, a], []);
+        config.add_index(idx.clone());
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+        let r = IndexRequest {
+            table: a.table,
+            sargable: vec![
+                SargablePred { column: b, sarg: Sarg::Range(Interval::point(1.0)) },
+                SargablePred { column: a, sarg: Sarg::Range(Interval::at_most(100.0, true)) },
+            ],
+            non_sargable: vec![],
+            order: vec![],
+            additional: BTreeSet::new(),
+            input_rows: 1_000_000.0,
+        };
+        let path = best_access_path(&model, &schema, &r);
+        let usage = path.usages.iter().find(|u| u.index == idx).unwrap();
+        match usage.kind {
+            UsageKind::Seek { seek_cols, .. } => assert_eq!(seek_cols, 2),
+            _ => panic!("expected seek"),
+        }
+    }
+
+    #[test]
+    fn order_providing_index_avoids_sort() {
+        let db = test_db();
+        let mut config = Configuration::base(&db);
+        let a = rid(&db, "a");
+        let b = rid(&db, "b");
+        config.add_index(Index::new(a.table, [a], [b]));
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+        let r = req(&db, vec![], vec![a], vec![b]);
+        let path = best_access_path(&model, &schema, &r);
+        let mut has_sort = false;
+        path.node.walk(&mut |n| {
+            if matches!(n.op, Op::Sort { .. }) {
+                has_sort = true;
+            }
+        });
+        assert!(!has_sort, "index provides order:\n{}", path.node.cost);
+        assert!(path.usages.iter().any(|u| u.provided_order.is_some()));
+    }
+
+    #[test]
+    fn sort_added_when_no_order_available() {
+        let db = test_db();
+        let config = Configuration::base(&db);
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+        let a = rid(&db, "a");
+        let r = req(&db, vec![], vec![a], vec![]);
+        let path = best_access_path(&model, &schema, &r);
+        let mut has_sort = false;
+        path.node.walk(&mut |n| {
+            if matches!(n.op, Op::Sort { .. }) {
+                has_sort = true;
+            }
+        });
+        assert!(has_sort);
+        assert!(path.provides_order);
+    }
+
+    #[test]
+    fn intersection_considered_for_two_selective_predicates() {
+        let db = test_db();
+        let mut config = Configuration::base(&db);
+        let a = rid(&db, "a");
+        let c = rid(&db, "c");
+        let pad = rid(&db, "pad");
+        config.add_index(Index::new(a.table, [a], []));
+        config.add_index(Index::new(a.table, [c], []));
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+        let r = req(
+            &db,
+            vec![(a, Interval::point(5.0)), (c, Interval::point(7.0))],
+            vec![],
+            vec![pad],
+        );
+        let path = best_access_path(&model, &schema, &r);
+        // Either intersection or single seek+lookup; both must beat the
+        // scan by far.
+        let scan_cost = model
+            .full_scan(
+                model.index_pages(&schema, config.clustered_index_on(a.table).unwrap()),
+                1_000_000.0,
+            )
+            .total();
+        assert!(path.cost.total() < scan_cost / 20.0);
+    }
+
+    #[test]
+    fn covering_scan_beats_clustered_scan_for_narrow_projection() {
+        let db = test_db();
+        let mut config = Configuration::base(&db);
+        let a = rid(&db, "a");
+        let b = rid(&db, "b");
+        // Covering index on exactly the needed columns (no sargs at
+        // all: pure projection scan).
+        config.add_index(Index::new(a.table, [a], [b]));
+        let schema = schema_with(&db, &config);
+        let model = CostModel::default();
+        let r = req(&db, vec![], vec![], vec![a, b]);
+        let path = best_access_path(&model, &schema, &r);
+        match &path.node.op {
+            Op::IndexScan { index } => assert!(!index.clustered),
+            other => panic!("expected covering index scan, got {other:?}"),
+        }
+    }
+}

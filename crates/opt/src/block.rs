@@ -1,0 +1,265 @@
+//! The logical query block: a bound SPJG query with classified
+//! predicates, ready for plan search.
+
+use pdt_catalog::{ColumnId, Database, TableId};
+use pdt_expr::scalar::{AggCall, ScalarExpr};
+use pdt_expr::{BoundSelect, ClassifiedPredicates, JoinPred};
+use pdt_physical::SpjgExpr;
+use std::collections::BTreeSet;
+
+/// A normalized single-block SPJG query.
+#[derive(Debug, Clone)]
+pub struct QueryBlock {
+    /// Tables in FROM order.
+    pub tables: Vec<TableId>,
+    /// Join / range / other conjuncts.
+    pub classified: ClassifiedPredicates,
+    /// GROUP BY columns.
+    pub group_by: BTreeSet<ColumnId>,
+    /// Aggregate calls appearing in the projections.
+    pub aggregates: Vec<AggCall>,
+    /// Full projection expressions.
+    pub projections: Vec<ScalarExpr>,
+    /// ORDER BY columns with descending flags.
+    pub order_by: Vec<(ColumnId, bool)>,
+    /// Optional row limit.
+    pub top: Option<u64>,
+    /// Base (non-aggregate) columns needed in the output.
+    pub output_cols: BTreeSet<ColumnId>,
+}
+
+impl QueryBlock {
+    /// Build a block from a bound SELECT.
+    pub fn from_bound(db: &Database, q: &BoundSelect) -> QueryBlock {
+        let classified = q.classified(db);
+        let mut aggregates = Vec::new();
+        let mut output_cols = BTreeSet::new();
+        for p in &q.projections {
+            collect_projection(p, &mut aggregates, &mut output_cols);
+        }
+        let group_by: BTreeSet<ColumnId> = q.group_by.iter().copied().collect();
+        output_cols.extend(group_by.iter().copied());
+        output_cols.extend(q.order_by.iter().map(|(c, _)| *c));
+        QueryBlock {
+            tables: q.tables.clone(),
+            classified,
+            group_by,
+            aggregates,
+            projections: q.projections.clone(),
+            order_by: q.order_by.clone(),
+            top: q.top,
+            output_cols,
+        }
+    }
+
+    /// True if the block computes aggregates (grouped or scalar).
+    pub fn is_grouped(&self) -> bool {
+        !self.group_by.is_empty() || !self.aggregates.is_empty()
+    }
+
+    /// Columns of `table` needed *above* its access path: output
+    /// columns, group/order columns, join columns, and columns of
+    /// non-sargable predicates.
+    pub fn required_columns(&self, table: TableId) -> BTreeSet<ColumnId> {
+        let mut cols: BTreeSet<ColumnId> = self
+            .output_cols
+            .iter()
+            .filter(|c| c.table == table)
+            .copied()
+            .collect();
+        for a in &self.aggregates {
+            if let Some(arg) = &a.arg {
+                cols.extend(arg.columns().into_iter().filter(|c| c.table == table));
+            }
+        }
+        for j in &self.classified.joins {
+            if j.left.table == table {
+                cols.insert(j.left);
+            }
+            if j.right.table == table {
+                cols.insert(j.right);
+            }
+        }
+        for o in &self.classified.others {
+            cols.extend(o.columns().into_iter().filter(|c| c.table == table));
+        }
+        cols
+    }
+
+    /// The whole query as an SPJG expression (for top-level view
+    /// requests and matching).
+    pub fn to_spjg(&self) -> SpjgExpr {
+        let mut spjg = SpjgExpr {
+            tables: self.tables.iter().copied().collect(),
+            joins: self.classified.joins.iter().copied().collect(),
+            ranges: self.classified.ranges.clone(),
+            others: self.classified.others.clone(),
+            group_by: self.group_by.clone(),
+            aggregates: self.aggregates.clone(),
+            output_cols: self.output_cols.clone(),
+        };
+        spjg.canonicalize();
+        spjg
+    }
+
+    /// The SPJG expression for a subset of the block's tables: joins,
+    /// ranges and others fully contained in the subset; output columns
+    /// are those needed upwards — including join columns to tables
+    /// outside the subset. Grouping applies only when the subset covers
+    /// the whole block.
+    pub fn spjg_for_subset(&self, subset: &BTreeSet<TableId>) -> SpjgExpr {
+        let full = subset.len() == self.tables.len();
+        if full {
+            return self.to_spjg();
+        }
+        let joins: BTreeSet<JoinPred> = self
+            .classified
+            .joins
+            .iter()
+            .filter(|j| subset.contains(&j.left.table) && subset.contains(&j.right.table))
+            .copied()
+            .collect();
+        let ranges = self
+            .classified
+            .ranges
+            .iter()
+            .filter(|r| subset.contains(&r.column.table))
+            .cloned()
+            .collect();
+        let others = self
+            .classified
+            .others
+            .iter()
+            .filter(|o| o.tables().iter().all(|t| subset.contains(t)))
+            .cloned()
+            .collect();
+        let mut output_cols: BTreeSet<ColumnId> = BTreeSet::new();
+        for t in subset {
+            output_cols.extend(self.required_columns(*t));
+        }
+        // Join columns to the outside are already in required_columns;
+        // aggregate argument columns as well.
+        let mut spjg = SpjgExpr {
+            tables: subset.clone(),
+            joins,
+            ranges,
+            others,
+            group_by: BTreeSet::new(),
+            aggregates: Vec::new(),
+            output_cols,
+        };
+        spjg.canonicalize();
+        spjg
+    }
+}
+
+fn collect_projection(
+    e: &ScalarExpr,
+    aggs: &mut Vec<AggCall>,
+    cols: &mut BTreeSet<ColumnId>,
+) {
+    match e {
+        ScalarExpr::Agg(call) => {
+            if !aggs.contains(call) {
+                aggs.push((**call).clone());
+            }
+        }
+        ScalarExpr::Column(c) => {
+            cols.insert(*c);
+        }
+        ScalarExpr::Arith { left, right, .. } => {
+            collect_projection(left, aggs, cols);
+            collect_projection(right, aggs, cols);
+        }
+        ScalarExpr::Neg(inner) => collect_projection(inner, aggs, cols),
+        ScalarExpr::Literal(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnStats, ColumnType};
+    use pdt_expr::Binder;
+    use pdt_sql::parse_statement;
+
+    fn test_db() -> Database {
+        let mut b = Database::builder("t");
+        let mk = |name: &str| pdt_catalog::Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(100.0, 0.0, 100.0, 4.0),
+        };
+        b.add_table("r", 1000.0, vec![mk("a"), mk("b"), mk("x")], vec![0]);
+        b.add_table("s", 500.0, vec![mk("y"), mk("c")], vec![0]);
+        b.add_table("t", 200.0, vec![mk("z"), mk("d")], vec![0]);
+        b.build()
+    }
+
+    fn block(db: &Database, sql: &str) -> QueryBlock {
+        let stmt = parse_statement(sql).unwrap();
+        let bound = Binder::new(db).bind(&stmt).unwrap();
+        QueryBlock::from_bound(db, bound.as_select().unwrap())
+    }
+
+    #[test]
+    fn collects_aggregates_and_output_columns() {
+        let db = test_db();
+        let b = block(
+            &db,
+            "SELECT r.a, SUM(r.b) FROM r WHERE r.x < 5 GROUP BY r.a ORDER BY r.a",
+        );
+        assert!(b.is_grouped());
+        assert_eq!(b.aggregates.len(), 1);
+        // a in output; b only as aggregate argument (not an output base
+        // column); x only in a sarg.
+        let r = db.table_by_name("r").unwrap();
+        assert!(b.output_cols.contains(&r.column_id(0)));
+        assert!(!b.output_cols.contains(&r.column_id(1)));
+    }
+
+    #[test]
+    fn required_columns_include_join_and_agg_args() {
+        let db = test_db();
+        let b = block(
+            &db,
+            "SELECT SUM(r.b) FROM r, s WHERE r.x = s.y AND s.c > 2 GROUP BY s.c",
+        );
+        let r = db.table_by_name("r").unwrap();
+        let s = db.table_by_name("s").unwrap();
+        let req_r = b.required_columns(r.id);
+        assert!(req_r.contains(&r.column_id(1)), "agg arg b");
+        assert!(req_r.contains(&r.column_id(2)), "join col x");
+        let req_s = b.required_columns(s.id);
+        assert!(req_s.contains(&s.column_id(0)), "join col y");
+        assert!(req_s.contains(&s.column_id(1)), "group col c");
+    }
+
+    #[test]
+    fn subset_spjg_keeps_internal_joins_only() {
+        let db = test_db();
+        let b = block(
+            &db,
+            "SELECT r.a FROM r, s, t WHERE r.x = s.y AND s.c = t.z AND r.a < 10",
+        );
+        let r = db.table_by_name("r").unwrap().id;
+        let s = db.table_by_name("s").unwrap().id;
+        let sub = b.spjg_for_subset(&[r, s].into());
+        assert_eq!(sub.joins.len(), 1);
+        assert_eq!(sub.ranges.len(), 1);
+        // s.c joins to the outside: must be exported.
+        let s_t = db.table_by_name("s").unwrap();
+        assert!(sub.output_cols.contains(&s_t.column_id(1)));
+        assert!(sub.group_by.is_empty());
+    }
+
+    #[test]
+    fn full_subset_includes_grouping() {
+        let db = test_db();
+        let b = block(&db, "SELECT r.a, COUNT(*) FROM r GROUP BY r.a");
+        let r = db.table_by_name("r").unwrap().id;
+        let spjg = b.spjg_for_subset(&[r].into());
+        assert!(!spjg.group_by.is_empty());
+        assert_eq!(spjg.aggregates.len(), 1);
+    }
+}

@@ -1,0 +1,1024 @@
+//! Materialized views: the 6-tuple `V = (S, F, J, R, O, G)` of §3.1.2,
+//! the subsumption-based matching test, and the view-merge operation.
+//!
+//! ```sql
+//! SELECT S FROM F WHERE J AND R AND O GROUP BY G
+//! ```
+//!
+//! A materialized view is a view definition plus an output schema;
+//! once simulated it behaves exactly like a base table (it gets a
+//! [`TableId`] in the view range and per-output-column statistics), so
+//! the optimizer can issue index requests against it.
+
+use pdt_catalog::{ColumnId, ColumnStats, Database, TableId};
+use pdt_expr::scalar::{AggCall, AggFunc};
+use pdt_expr::{ColumnEquivalences, JoinPred, OtherPred, Sarg, SargablePred};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An SPJG expression: used both as a view *definition* and as the
+/// shape of an SPJG (sub-)query being matched against views.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpjgExpr {
+    /// `F`: the joined tables.
+    pub tables: BTreeSet<TableId>,
+    /// `J`: equi-join predicates.
+    pub joins: BTreeSet<JoinPred>,
+    /// `R`: range (sargable) predicates, sorted by column.
+    pub ranges: Vec<SargablePred>,
+    /// `O`: other predicates, normalized.
+    pub others: Vec<OtherPred>,
+    /// `G`: group-by columns (base-table columns).
+    pub group_by: BTreeSet<ColumnId>,
+    /// Aggregate outputs (non-empty implies grouping semantics, even
+    /// with an empty `G` — a scalar aggregate).
+    pub aggregates: Vec<AggCall>,
+    /// Base columns required in the output (`S`'s base-column part,
+    /// including everything compensating operators may need).
+    pub output_cols: BTreeSet<ColumnId>,
+}
+
+impl SpjgExpr {
+    /// True if the expression has grouping semantics.
+    pub fn is_grouped(&self) -> bool {
+        !self.group_by.is_empty() || !self.aggregates.is_empty()
+    }
+
+    /// Canonicalize for structural identity: sort ranges by column,
+    /// normalize and sort other predicates, sort aggregates.
+    pub fn canonicalize(&mut self) {
+        self.ranges.sort_by_key(|r| r.column);
+        for o in &mut self.others {
+            o.pred = o.pred.normalized();
+        }
+        self.others.sort_by_key(|o| format!("{:?}", o.pred));
+        self.others.dedup_by(|a, b| a.pred == b.pred);
+        self.aggregates.sort_by_key(|a| format!("{a:?}"));
+        self.aggregates.dedup();
+    }
+
+    /// Column equivalences induced by this expression's joins.
+    pub fn equivalences(&self) -> ColumnEquivalences {
+        ColumnEquivalences::from_pairs(self.joins.iter().map(|j| (j.left, j.right)))
+    }
+
+    /// Render the definition as SQL (for reports and debugging).
+    pub fn to_sql(&self, db: &Database) -> String {
+        use std::fmt::Write;
+        let mut sql = String::from("SELECT ");
+        let mut first = true;
+        for c in &self.output_cols {
+            if !first {
+                sql.push_str(", ");
+            }
+            first = false;
+            sql.push_str(&db.column_name(*c));
+        }
+        for a in &self.aggregates {
+            if !first {
+                sql.push_str(", ");
+            }
+            first = false;
+            let arg = a
+                .arg
+                .as_ref()
+                .map(|e| e.display(db).to_string())
+                .unwrap_or_else(|| "*".to_string());
+            let _ = write!(sql, "{}({})", a.func.as_str(), arg);
+        }
+        sql.push_str(" FROM ");
+        first = true;
+        for t in &self.tables {
+            if !first {
+                sql.push_str(", ");
+            }
+            first = false;
+            sql.push_str(&db.table(*t).name);
+        }
+        let mut preds: Vec<String> = Vec::new();
+        for j in &self.joins {
+            preds.push(format!(
+                "{} = {}",
+                db.column_name(j.left),
+                db.column_name(j.right)
+            ));
+        }
+        for r in &self.ranges {
+            preds.push(format!("{} IN {}", db.column_name(r.column), r.sarg.to_interval()));
+        }
+        for o in &self.others {
+            preds.push(o.pred.display(db).to_string());
+        }
+        if !preds.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&preds.join(" AND "));
+        }
+        if !self.group_by.is_empty() {
+            sql.push_str(" GROUP BY ");
+            let gs: Vec<String> = self.group_by.iter().map(|c| db.column_name(*c)).collect();
+            sql.push_str(&gs.join(", "));
+        }
+        sql
+    }
+}
+
+/// One output column of a materialized view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewColumn {
+    pub name: String,
+    pub source: ViewColumnSource,
+    pub stats: ColumnStats,
+    pub width: f64,
+}
+
+/// Where a view output column comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ViewColumnSource {
+    /// A base-table column carried through.
+    Base(ColumnId),
+    /// The `i`-th aggregate of the view definition.
+    Agg(usize),
+}
+
+/// A materialized view with its output schema and cardinality estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaterializedView {
+    pub id: TableId,
+    pub def: SpjgExpr,
+    /// Estimated output rows (produced by the optimizer's cardinality
+    /// module when the view is simulated — the paper does the same).
+    pub rows: f64,
+    pub columns: Vec<ViewColumn>,
+}
+
+impl MaterializedView {
+    /// Build the view's output schema from its definition. Output
+    /// columns are: every base column in `output_cols ∪ group_by` (in
+    /// `ColumnId` order), then one column per aggregate.
+    pub fn create(id: TableId, mut def: SpjgExpr, rows: f64, db: &Database) -> MaterializedView {
+        assert!(id.is_view(), "materialized views use the view id range");
+        def.output_cols.extend(def.group_by.iter().copied());
+        def.canonicalize();
+        let rows = rows.max(1.0);
+        let mut columns = Vec::with_capacity(def.output_cols.len() + def.aggregates.len());
+        for &base in &def.output_cols {
+            let col = db.column(base);
+            let mut stats = col.stats.clone();
+            stats.ndv = stats.ndv.min(rows);
+            columns.push(ViewColumn {
+                name: db.column_name(base).replace('.', "_"),
+                source: ViewColumnSource::Base(base),
+                stats,
+                width: col.avg_width(),
+            });
+        }
+        for (i, agg) in def.aggregates.iter().enumerate() {
+            let ndv = match agg.func {
+                AggFunc::Count => rows.sqrt().max(1.0),
+                _ => (rows * 0.8).max(1.0),
+            };
+            columns.push(ViewColumn {
+                name: format!("agg{i}"),
+                source: ViewColumnSource::Agg(i),
+                stats: ColumnStats::uniform(ndv, 0.0, ndv.max(1.0), 8.0),
+                width: 8.0,
+            });
+        }
+        MaterializedView {
+            id,
+            def,
+            rows,
+            columns,
+        }
+    }
+
+    /// The view-column id for output ordinal `i`.
+    pub fn column_id(&self, ordinal: u16) -> ColumnId {
+        ColumnId::new(self.id, ordinal)
+    }
+
+    /// Find the output ordinal carrying base column `base` (modulo the
+    /// supplied equivalences).
+    pub fn ordinal_of_base(
+        &self,
+        base: ColumnId,
+        eq: Option<&ColumnEquivalences>,
+    ) -> Option<u16> {
+        self.columns.iter().position(|vc| match vc.source {
+            ViewColumnSource::Base(b) => {
+                b == base || eq.is_some_and(|e| e.equivalent(b, base))
+            }
+            ViewColumnSource::Agg(_) => false,
+        })
+        .map(|i| i as u16)
+    }
+
+    /// Find the output ordinal carrying an aggregate equal to `agg`
+    /// (arguments compared modulo `eq` by canonical mapping).
+    pub fn ordinal_of_agg(&self, agg: &AggCall, eq: &ColumnEquivalences) -> Option<u16> {
+        let target = canon_agg(agg, eq);
+        self.columns.iter().position(|vc| match vc.source {
+            ViewColumnSource::Agg(i) => canon_agg(&self.def.aggregates[i], eq) == target,
+            ViewColumnSource::Base(_) => false,
+        })
+        .map(|i| i as u16)
+    }
+
+    /// Average row width of the view output.
+    pub fn row_width(&self) -> f64 {
+        self.columns.iter().map(|c| c.width).sum()
+    }
+
+    /// Attempt to match an SPJG query against this view (see module
+    /// docs and §3.1.2). On success, returns the compensations needed.
+    pub fn try_match(&self, q: &SpjgExpr) -> Option<ViewMatch> {
+        // F_Q = F_V (the paper's design choice: subsets would already
+        // have matched a sub-query during optimization).
+        if q.tables != self.def.tables {
+            return None;
+        }
+        let q_eq = q.equivalences();
+        let v_eq = self.def.equivalences();
+
+        // Join sets must be mutually implied (equal modulo closure).
+        for j in &self.def.joins {
+            if !q_eq.equivalent(j.left, j.right) {
+                return None;
+            }
+        }
+        for j in &q.joins {
+            if !v_eq.equivalent(j.left, j.right) {
+                return None;
+            }
+        }
+
+        let mut residual_ranges: Vec<(ColumnId, Sarg)> = Vec::new();
+        // Every view range must be implied by (i.e. looser than) a
+        // query range on an equivalent column.
+        for vr in &self.def.ranges {
+            let q_range = q.ranges.iter().find(|qr| {
+                qr.column == vr.column || q_eq.equivalent(qr.column, vr.column)
+            })?;
+            let vi = vr.sarg.to_interval();
+            let qi = q_range.sarg.to_interval();
+            if !vi.contains(&qi) {
+                return None;
+            }
+        }
+        // Query ranges not exactly enforced by the view become
+        // residual filters.
+        for qr in &q.ranges {
+            let exact = self.def.ranges.iter().any(|vr| {
+                (vr.column == qr.column || q_eq.equivalent(vr.column, qr.column))
+                    && vr.sarg == qr.sarg
+            });
+            if !exact {
+                residual_ranges.push((qr.column, qr.sarg.clone()));
+            }
+        }
+
+        // Other predicates: view conjuncts must appear in the query;
+        // query conjuncts missing from the view become residuals.
+        let q_others_canon: Vec<_> = q
+            .others
+            .iter()
+            .map(|o| canon_pred(&o.pred, &q_eq))
+            .collect();
+        for vo in &self.def.others {
+            let c = canon_pred(&vo.pred, &q_eq);
+            if !q_others_canon.contains(&c) {
+                return None;
+            }
+        }
+        let mut residual_others: Vec<OtherPred> = Vec::new();
+        for (qo, c) in q.others.iter().zip(&q_others_canon) {
+            let in_view = self
+                .def
+                .others
+                .iter()
+                .any(|vo| canon_pred(&vo.pred, &q_eq) == *c);
+            if !in_view {
+                residual_others.push(qo.clone());
+            }
+        }
+
+        // Grouping.
+        let has_compensation = !residual_ranges.is_empty() || !residual_others.is_empty();
+        let mut regroup = false;
+        let mut agg_map: Vec<(AggCall, u16)> = Vec::new();
+        if self.def.is_grouped() {
+            // The query must also aggregate, at a grouping no finer
+            // than the view's.
+            if !q.is_grouped() {
+                return None;
+            }
+            for g in &q.group_by {
+                let in_view_group = self
+                    .def
+                    .group_by
+                    .iter()
+                    .any(|vg| vg == g || q_eq.equivalent(*vg, *g));
+                if !in_view_group {
+                    return None;
+                }
+            }
+            let same_grouping = groups_equal(&q.group_by, &self.def.group_by, &q_eq);
+            regroup = !same_grouping || has_compensation;
+            for agg in &q.aggregates {
+                match self.ordinal_of_agg(agg, &q_eq) {
+                    Some(ord) => {
+                        if regroup && !reaggregatable(agg.func) {
+                            return None;
+                        }
+                        agg_map.push((agg.clone(), ord));
+                    }
+                    None => return None,
+                }
+            }
+            // Residual predicates over a grouped view must be
+            // evaluable over its grouping columns.
+            if has_compensation {
+                let grouped_cols = &self.def.group_by;
+                let evaluable = |c: &ColumnId| {
+                    grouped_cols
+                        .iter()
+                        .any(|g| g == c || q_eq.equivalent(*g, *c))
+                };
+                if !residual_ranges.iter().all(|(c, _)| evaluable(c))
+                    || !residual_others
+                        .iter()
+                        .all(|o| o.columns().iter().all(&evaluable))
+                {
+                    return None;
+                }
+            }
+        }
+
+        // Output availability: every base column the query needs (plus
+        // residual predicate columns and regroup columns) must exist in
+        // the view output.
+        let mut needed: BTreeSet<ColumnId> = q.output_cols.clone();
+        needed.extend(q.group_by.iter().copied());
+        for (c, _) in &residual_ranges {
+            needed.insert(*c);
+        }
+        for o in &residual_others {
+            needed.extend(o.columns());
+        }
+        let mut base_map: Vec<(ColumnId, u16)> = Vec::with_capacity(needed.len());
+        for c in needed {
+            let ord = self.ordinal_of_base(c, Some(&q_eq))?;
+            base_map.push((c, ord));
+        }
+
+        // Re-express residual predicates over the view's column space.
+        let residual_ranges: Vec<SargablePred> = residual_ranges
+            .into_iter()
+            .map(|(c, sarg)| {
+                let ord = base_map
+                    .iter()
+                    .find(|(b, _)| *b == c)
+                    .map(|(_, o)| *o)
+                    .expect("residual column resolved above");
+                SargablePred {
+                    column: self.column_id(ord),
+                    sarg,
+                }
+            })
+            .collect();
+        let map_col = |c: ColumnId| -> ColumnId {
+            base_map
+                .iter()
+                .find(|(b, _)| *b == c)
+                .map(|(_, o)| self.column_id(*o))
+                .unwrap_or(c)
+        };
+        let residual_others: Vec<OtherPred> = residual_others
+            .into_iter()
+            .map(|o| OtherPred {
+                pred: o.pred.map_columns(&mut |c| map_col(c)),
+                selectivity: o.selectivity,
+            })
+            .collect();
+        let regroup_cols: Vec<ColumnId> = if regroup {
+            q.group_by
+                .iter()
+                .map(|g| map_col(*g))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        Some(ViewMatch {
+            view_id: self.id,
+            base_map,
+            agg_map,
+            residual_ranges,
+            residual_others,
+            regroup,
+            regroup_cols,
+        })
+    }
+}
+
+/// Whether an aggregate can be recomputed from per-finer-group values.
+fn reaggregatable(f: AggFunc) -> bool {
+    matches!(f, AggFunc::Sum | AggFunc::Count | AggFunc::Min | AggFunc::Max)
+}
+
+fn groups_equal(
+    a: &BTreeSet<ColumnId>,
+    b: &BTreeSet<ColumnId>,
+    eq: &ColumnEquivalences,
+) -> bool {
+    let canon = |s: &BTreeSet<ColumnId>| -> BTreeSet<ColumnId> {
+        s.iter().map(|c| eq.canon(*c)).collect()
+    };
+    canon(a) == canon(b)
+}
+
+fn canon_pred(p: &pdt_expr::PredExpr, eq: &ColumnEquivalences) -> pdt_expr::PredExpr {
+    p.map_columns(&mut |c| eq.canon(c)).normalized()
+}
+
+fn canon_agg(a: &AggCall, eq: &ColumnEquivalences) -> AggCall {
+    AggCall {
+        func: a.func,
+        arg: a.arg.as_ref().map(|e| e.map_columns(&mut |c| eq.canon(c)).normalized()),
+        distinct: a.distinct,
+    }
+}
+
+/// A successful view match: how to rewrite the query over the view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewMatch {
+    pub view_id: TableId,
+    /// Base column -> view output ordinal for every needed column.
+    pub base_map: Vec<(ColumnId, u16)>,
+    /// Query aggregate -> view output ordinal.
+    pub agg_map: Vec<(AggCall, u16)>,
+    /// Compensating sargable filters, over view columns.
+    pub residual_ranges: Vec<SargablePred>,
+    /// Compensating non-sargable filters, over view columns.
+    pub residual_others: Vec<OtherPred>,
+    /// True if a compensating group-by must run on top.
+    pub regroup: bool,
+    /// Group-by columns (view column space) when `regroup`.
+    pub regroup_cols: Vec<ColumnId>,
+}
+
+impl ViewMatch {
+    /// True if the view can be used as-is (scan output, no
+    /// compensation).
+    pub fn is_exact(&self) -> bool {
+        self.residual_ranges.is_empty() && self.residual_others.is_empty() && !self.regroup
+    }
+}
+
+/// §3.1.2 view merging: the most specific view from which all
+/// information for both inputs can be extracted. Returns `None` when
+/// the FROM sets differ (the paper's prerequisite).
+///
+/// Compensation-enabling rule: any predicate that is loosened or
+/// dropped exposes its columns in the merged output (and, for grouped
+/// results, in the group-by) so the original views' contents can still
+/// be reconstructed — this is the paper's "add the corresponding column
+/// to both GM and SM".
+pub fn merge_views(v1: &SpjgExpr, v2: &SpjgExpr) -> Option<SpjgExpr> {
+    if v1.tables != v2.tables {
+        return None;
+    }
+    let mut exposed: BTreeSet<ColumnId> = BTreeSet::new();
+
+    // J_M = J1 ∩ J2; dropped joins expose their columns.
+    let joins: BTreeSet<JoinPred> = v1.joins.intersection(&v2.joins).copied().collect();
+    for j in v1.joins.symmetric_difference(&v2.joins) {
+        exposed.insert(j.left);
+        exposed.insert(j.right);
+    }
+
+    // R_M: hull of same-column ranges; one-sided ranges are dropped.
+    // Unbounded results are eliminated. Loosened/dropped columns are
+    // exposed.
+    let mut ranges: Vec<SargablePred> = Vec::new();
+    let mut range_cols: BTreeSet<ColumnId> = v1
+        .ranges
+        .iter()
+        .chain(v2.ranges.iter())
+        .map(|r| r.column)
+        .collect();
+    let range_cols: Vec<ColumnId> = std::mem::take(&mut range_cols).into_iter().collect();
+    for col in range_cols {
+        let r1 = v1.ranges.iter().find(|r| r.column == col);
+        let r2 = v2.ranges.iter().find(|r| r.column == col);
+        match (r1, r2) {
+            (Some(a), Some(b)) => {
+                if a.sarg == b.sarg {
+                    ranges.push(a.clone());
+                } else {
+                    let hull = a.sarg.to_interval().hull(&b.sarg.to_interval());
+                    exposed.insert(col);
+                    if !hull.is_full() {
+                        ranges.push(SargablePred {
+                            column: col,
+                            sarg: Sarg::Range(hull),
+                        });
+                    }
+                }
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                // Present in only one input: the other view's rows are
+                // unrestricted on this column, so the merged view drops
+                // the predicate and exposes the column.
+                exposed.insert(col);
+            }
+            (None, None) => unreachable!("column came from some range"),
+        }
+    }
+
+    // O_M = O1 ∩ O2 (structural, with both sides already normalized);
+    // dropped conjuncts expose their columns.
+    let mut others: Vec<OtherPred> = Vec::new();
+    for o in &v1.others {
+        if v2.others.iter().any(|p| p.pred == o.pred) {
+            others.push(o.clone());
+        } else {
+            exposed.extend(o.columns());
+        }
+    }
+    for o in &v2.others {
+        if !v1.others.iter().any(|p| p.pred == o.pred) {
+            exposed.extend(o.columns());
+        }
+    }
+
+    // Grouping: G_M = G1 ∪ G2 when both are grouped, else no grouping.
+    let both_grouped = v1.is_grouped() && v2.is_grouped();
+    let mut group_by: BTreeSet<ColumnId> = BTreeSet::new();
+    let mut aggregates: Vec<AggCall> = Vec::new();
+    let mut output_cols: BTreeSet<ColumnId> =
+        v1.output_cols.union(&v2.output_cols).copied().collect();
+    if both_grouped {
+        group_by.extend(v1.group_by.iter().copied());
+        group_by.extend(v2.group_by.iter().copied());
+        // Exposed compensation columns must be groupable.
+        group_by.extend(exposed.iter().copied());
+        // Union of aggregates, expanding AVG so it stays derivable
+        // under the (finer) merged grouping.
+        for agg in v1.aggregates.iter().chain(v2.aggregates.iter()) {
+            match agg.func {
+                AggFunc::Avg => {
+                    let sum = AggCall {
+                        func: AggFunc::Sum,
+                        arg: agg.arg.clone(),
+                        distinct: false,
+                    };
+                    let count = AggCall {
+                        func: AggFunc::Count,
+                        arg: agg.arg.clone(),
+                        distinct: false,
+                    };
+                    if !aggregates.contains(&sum) {
+                        aggregates.push(sum);
+                    }
+                    if !aggregates.contains(&count) {
+                        aggregates.push(count);
+                    }
+                }
+                _ => {
+                    if !aggregates.contains(agg) {
+                        aggregates.push(agg.clone());
+                    }
+                }
+            }
+        }
+    } else {
+        // At least one input is ungrouped: the merged view keeps raw
+        // rows. Aggregated outputs are replaced by their argument base
+        // columns (the paper's `S_A -> S'_A`).
+        for agg in v1.aggregates.iter().chain(v2.aggregates.iter()) {
+            if let Some(arg) = &agg.arg {
+                output_cols.extend(arg.columns());
+            }
+        }
+        // Grouping columns of a grouped input become plain outputs.
+        output_cols.extend(v1.group_by.iter().copied());
+        output_cols.extend(v2.group_by.iter().copied());
+    }
+    output_cols.extend(exposed.iter().copied());
+
+    let mut merged = SpjgExpr {
+        tables: v1.tables.clone(),
+        joins,
+        ranges,
+        others,
+        group_by,
+        aggregates,
+        output_cols,
+    };
+    merged.canonicalize();
+    Some(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnType, Value};
+    use pdt_expr::scalar::{CmpOp, PredExpr, ScalarExpr};
+    use pdt_expr::Interval;
+
+    fn test_db() -> Database {
+        let mut b = Database::builder("t");
+        let mk = |name: &str| pdt_catalog::Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(100.0, 0.0, 100.0, 4.0),
+        };
+        b.add_table(
+            "r",
+            10_000.0,
+            vec![mk("a"), mk("b"), mk("c"), mk("x")],
+            vec![0],
+        );
+        b.add_table("s", 5_000.0, vec![mk("y"), mk("d")], vec![0]);
+        b.build()
+    }
+
+    fn cid(db: &Database, t: &str, c: &str) -> ColumnId {
+        let table = db.table_by_name(t).unwrap();
+        table.column_id(table.column_ordinal(c).unwrap())
+    }
+
+    fn vid(i: u32) -> TableId {
+        TableId(TableId::VIEW_BASE + i)
+    }
+
+    fn range(col: ColumnId, i: Interval) -> SargablePred {
+        SargablePred {
+            column: col,
+            sarg: Sarg::Range(i),
+        }
+    }
+
+    /// `SELECT R.a, R.b FROM R WHERE R.a < 10`.
+    fn v1_def(db: &Database) -> SpjgExpr {
+        let ra = cid(db, "r", "a");
+        let rb = cid(db, "r", "b");
+        SpjgExpr {
+            tables: [ra.table].into(),
+            ranges: vec![range(ra, Interval::at_most(10.0, false))],
+            output_cols: [ra, rb].into(),
+            ..Default::default()
+        }
+    }
+
+    /// `SELECT R.a FROM R WHERE 10 <= R.a < 20`.
+    fn v2_def(db: &Database) -> SpjgExpr {
+        let ra = cid(db, "r", "a");
+        SpjgExpr {
+            tables: [ra.table].into(),
+            ranges: vec![range(
+                ra,
+                Interval::at_least(10.0, true).intersect(&Interval::at_most(20.0, false)),
+            )],
+            output_cols: [ra].into(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_hulls_ranges_and_exposes_column() {
+        let db = test_db();
+        let m = merge_views(&v1_def(&db), &v2_def(&db)).unwrap();
+        assert_eq!(m.ranges.len(), 1);
+        let i = m.ranges[0].sarg.to_interval();
+        assert_eq!(i.hi.value(), Some(20.0));
+        assert!(matches!(i.lo, pdt_expr::Bound::Unbounded));
+        // The loosened column a stays in the output for compensation.
+        assert!(m.output_cols.contains(&cid(&db, "r", "a")));
+    }
+
+    #[test]
+    fn merge_eliminates_unbounded_ranges() {
+        // R.a < 10 merged with R.a > 5 becomes unbounded => dropped.
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let a = SpjgExpr {
+            tables: [ra.table].into(),
+            ranges: vec![range(ra, Interval::at_most(10.0, false))],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let b = SpjgExpr {
+            tables: [ra.table].into(),
+            ranges: vec![range(ra, Interval::at_least(5.0, false))],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let m = merge_views(&a, &b).unwrap();
+        assert!(m.ranges.is_empty());
+        assert!(m.output_cols.contains(&ra));
+    }
+
+    #[test]
+    fn merge_requires_same_tables() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let sy = cid(&db, "s", "y");
+        let a = SpjgExpr {
+            tables: [ra.table].into(),
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let b = SpjgExpr {
+            tables: [ra.table, sy.table].into(),
+            output_cols: [ra, sy].into(),
+            ..Default::default()
+        };
+        assert!(merge_views(&a, &b).is_none());
+    }
+
+    #[test]
+    fn merge_grouped_views_unions_groups_and_expands_avg() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let rb = cid(&db, "r", "b");
+        let rc = cid(&db, "r", "c");
+        let avg = AggCall {
+            func: AggFunc::Avg,
+            arg: Some(ScalarExpr::column(rc)),
+            distinct: false,
+        };
+        let sum = AggCall {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::column(rc)),
+            distinct: false,
+        };
+        let g1 = SpjgExpr {
+            tables: [ra.table].into(),
+            group_by: [ra].into(),
+            aggregates: vec![avg],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let g2 = SpjgExpr {
+            tables: [ra.table].into(),
+            group_by: [rb].into(),
+            aggregates: vec![sum.clone()],
+            output_cols: [rb].into(),
+            ..Default::default()
+        };
+        let m = merge_views(&g1, &g2).unwrap();
+        assert_eq!(m.group_by, [ra, rb].into());
+        // AVG expanded to SUM + COUNT; SUM deduped with g2's SUM.
+        assert_eq!(m.aggregates.len(), 2, "{:?}", m.aggregates);
+        assert!(m.aggregates.contains(&sum));
+    }
+
+    #[test]
+    fn merge_grouped_with_ungrouped_drops_grouping() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let rc = cid(&db, "r", "c");
+        let g1 = SpjgExpr {
+            tables: [ra.table].into(),
+            group_by: [ra].into(),
+            aggregates: vec![AggCall {
+                func: AggFunc::Sum,
+                arg: Some(ScalarExpr::column(rc)),
+                distinct: false,
+            }],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let plain = SpjgExpr {
+            tables: [ra.table].into(),
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let m = merge_views(&g1, &plain).unwrap();
+        assert!(m.group_by.is_empty());
+        assert!(m.aggregates.is_empty());
+        // SUM(c)'s argument column becomes a plain output.
+        assert!(m.output_cols.contains(&rc));
+    }
+
+    #[test]
+    fn view_matches_itself_exactly() {
+        let db = test_db();
+        let def = v1_def(&db);
+        let v = MaterializedView::create(vid(0), def.clone(), 1000.0, &db);
+        let m = v.try_match(&def).unwrap();
+        assert!(m.is_exact());
+    }
+
+    #[test]
+    fn merged_view_matches_both_inputs_with_compensation() {
+        let db = test_db();
+        let d1 = v1_def(&db);
+        let d2 = v2_def(&db);
+        let m = merge_views(&d1, &d2).unwrap();
+        let vm = MaterializedView::create(vid(1), m, 3000.0, &db);
+        let m1 = vm.try_match(&d1).unwrap();
+        assert!(!m1.is_exact());
+        assert_eq!(m1.residual_ranges.len(), 1);
+        let m2 = vm.try_match(&d2).unwrap();
+        assert!(!m2.is_exact());
+    }
+
+    #[test]
+    fn tighter_view_does_not_match_looser_query() {
+        let db = test_db();
+        let d1 = v1_def(&db); // a < 10
+        let mut loose = d1.clone();
+        loose.ranges[0].sarg = Sarg::Range(Interval::at_most(50.0, false));
+        let v = MaterializedView::create(vid(2), d1, 1000.0, &db);
+        assert!(v.try_match(&loose).is_none());
+    }
+
+    #[test]
+    fn grouped_view_rejects_finer_query_grouping() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let rb = cid(&db, "r", "b");
+        let rc = cid(&db, "r", "c");
+        let sum = AggCall {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::column(rc)),
+            distinct: false,
+        };
+        let vdef = SpjgExpr {
+            tables: [ra.table].into(),
+            group_by: [ra].into(),
+            aggregates: vec![sum.clone()],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let v = MaterializedView::create(vid(3), vdef, 100.0, &db);
+        // Query grouped by (a, b): finer than the view's (a) — cannot
+        // be answered.
+        let q = SpjgExpr {
+            tables: [ra.table].into(),
+            group_by: [ra, rb].into(),
+            aggregates: vec![sum.clone()],
+            output_cols: [ra, rb].into(),
+            ..Default::default()
+        };
+        assert!(v.try_match(&q).is_none());
+        // Query grouped coarser (by nothing over a grouped-by-a view
+        // with reaggregatable SUM) is fine.
+        let q2 = SpjgExpr {
+            tables: [ra.table].into(),
+            group_by: BTreeSet::new(),
+            aggregates: vec![sum],
+            output_cols: BTreeSet::new(),
+            ..Default::default()
+        };
+        let m = v.try_match(&q2).unwrap();
+        assert!(m.regroup);
+    }
+
+    #[test]
+    fn join_views_match_modulo_equivalence() {
+        let db = test_db();
+        let rx = cid(&db, "r", "x");
+        let sy = cid(&db, "s", "y");
+        let ra = cid(&db, "r", "a");
+        let def = SpjgExpr {
+            tables: [rx.table, sy.table].into(),
+            joins: [JoinPred::new(rx, sy)].into(),
+            output_cols: [ra, rx].into(),
+            ..Default::default()
+        };
+        let v = MaterializedView::create(vid(4), def.clone(), 5000.0, &db);
+        // Query asks for s.y in output; it is equivalent to r.x which
+        // the view carries.
+        let q = SpjgExpr {
+            tables: [rx.table, sy.table].into(),
+            joins: [JoinPred::new(rx, sy)].into(),
+            output_cols: [ra, sy].into(),
+            ..Default::default()
+        };
+        let m = v.try_match(&q).unwrap();
+        assert!(m.is_exact());
+    }
+
+    #[test]
+    fn missing_output_column_fails_match() {
+        let db = test_db();
+        let def = v2_def(&db); // outputs only a
+        let v = MaterializedView::create(vid(5), def.clone(), 100.0, &db);
+        let mut q = def;
+        q.output_cols.insert(cid(&db, "r", "b"));
+        assert!(v.try_match(&q).is_none());
+    }
+
+    #[test]
+    fn residual_filter_on_grouped_view_requires_group_column() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let rb = cid(&db, "r", "b");
+        let rc = cid(&db, "r", "c");
+        let sum = AggCall {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::column(rc)),
+            distinct: false,
+        };
+        let vdef = SpjgExpr {
+            tables: [ra.table].into(),
+            group_by: [ra, rb].into(),
+            aggregates: vec![sum.clone()],
+            output_cols: [ra, rb].into(),
+            ..Default::default()
+        };
+        let v = MaterializedView::create(vid(6), vdef, 500.0, &db);
+        // Filter on group column b: OK (with regroup).
+        let q_ok = SpjgExpr {
+            tables: [ra.table].into(),
+            ranges: vec![range(rb, Interval::at_most(5.0, true))],
+            group_by: [ra].into(),
+            aggregates: vec![sum.clone()],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let m = v.try_match(&q_ok).unwrap();
+        assert!(m.regroup);
+        assert_eq!(m.residual_ranges.len(), 1);
+        assert!(m.residual_ranges[0].column.table.is_view());
+        // Filter on non-group column c: impossible.
+        let q_bad = SpjgExpr {
+            tables: [ra.table].into(),
+            ranges: vec![range(rc, Interval::at_most(5.0, true))],
+            group_by: [ra].into(),
+            aggregates: vec![sum],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        assert!(v.try_match(&q_bad).is_none());
+    }
+
+    #[test]
+    fn other_predicates_match_structurally() {
+        let db = test_db();
+        let ra = cid(&db, "r", "a");
+        let rb = cid(&db, "r", "b");
+        let other = OtherPred {
+            pred: PredExpr::Cmp {
+                op: CmpOp::Lt,
+                left: ScalarExpr::column(ra),
+                right: ScalarExpr::column(rb),
+            }
+            .normalized(),
+            selectivity: 1.0 / 3.0,
+        };
+        let def = SpjgExpr {
+            tables: [ra.table].into(),
+            others: vec![other.clone()],
+            output_cols: [ra].into(),
+            ..Default::default()
+        };
+        let v = MaterializedView::create(vid(7), def.clone(), 100.0, &db);
+        assert!(v.try_match(&def).unwrap().is_exact());
+        // A query without the view's conjunct cannot match (view is
+        // more restrictive).
+        let mut q = def.clone();
+        q.others.clear();
+        assert!(v.try_match(&q).is_none());
+        // A query with an extra conjunct gets it as a residual.
+        let extra = OtherPred {
+            pred: PredExpr::Cmp {
+                op: CmpOp::Eq,
+                left: ScalarExpr::column(ra),
+                right: ScalarExpr::Literal(Value::Int(7)),
+            }
+            .normalized(),
+            selectivity: 0.1,
+        };
+        let mut q2 = def;
+        q2.others.push(extra);
+        q2.canonicalize();
+        let m = v.try_match(&q2).unwrap();
+        assert_eq!(m.residual_others.len(), 1);
+    }
+
+    #[test]
+    fn view_schema_and_lookup() {
+        let db = test_db();
+        let def = v1_def(&db);
+        let v = MaterializedView::create(vid(8), def, 1000.0, &db);
+        assert_eq!(v.columns.len(), 2);
+        let ra = cid(&db, "r", "a");
+        let ord = v.ordinal_of_base(ra, None).unwrap();
+        assert_eq!(v.column_id(ord).table, v.id);
+        assert!(v.row_width() > 0.0);
+    }
+
+    #[test]
+    fn to_sql_renders() {
+        let db = test_db();
+        let def = v1_def(&db);
+        let sql = def.to_sql(&db);
+        assert!(sql.starts_with("SELECT"), "{sql}");
+        assert!(sql.contains("FROM r"), "{sql}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Parser/lexer error type.
+
+use std::fmt;
+
+/// Result alias for the front-end.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error raised while lexing or parsing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the original input where the error occurred.
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = ParseError::new("unexpected token", 17);
+        assert!(e.to_string().contains("byte 17"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Hand-written lexer for the SQL subset.
+//!
+//! The lexer is a single forward pass over the input bytes. Identifiers,
+//! numbers and string literals are the only tokens that allocate.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Keyword, Spanned, Token};
+
+/// Tokenize `input` into a vector of spanned tokens, terminated by a
+/// single [`Token::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::with_capacity(input.len() / 4 + 4);
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => push(&mut tokens, Token::Comma, &mut i),
+            b'.' => push(&mut tokens, Token::Dot, &mut i),
+            b'(' => push(&mut tokens, Token::LParen, &mut i),
+            b')' => push(&mut tokens, Token::RParen, &mut i),
+            b';' => push(&mut tokens, Token::Semicolon, &mut i),
+            b'*' => push(&mut tokens, Token::Star, &mut i),
+            b'+' => push(&mut tokens, Token::Plus, &mut i),
+            b'-' => push(&mut tokens, Token::Minus, &mut i),
+            b'/' => push(&mut tokens, Token::Slash, &mut i),
+            b'%' => push(&mut tokens, Token::Percent, &mut i),
+            b'=' => push(&mut tokens, Token::Eq, &mut i),
+            b'!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Spanned {
+                    token: Token::NotEq,
+                    offset: i,
+                });
+                i += 2;
+            }
+            b'<' => {
+                let (token, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (Token::LtEq, 2),
+                    Some(b'>') => (Token::NotEq, 2),
+                    _ => (Token::Lt, 1),
+                };
+                tokens.push(Spanned { token, offset: i });
+                i += len;
+            }
+            b'>' => {
+                let (token, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (Token::GtEq, 2),
+                    _ => (Token::Gt, 1),
+                };
+                tokens.push(Spanned { token, offset: i });
+                i += len;
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError::new("unterminated string literal", start))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            value.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            value.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Str(value),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(
+                        text.parse::<f64>()
+                            .map_err(|e| ParseError::new(format!("bad float: {e}"), start))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse::<i64>()
+                            .map_err(|e| ParseError::new(format!("bad integer: {e}"), start))?,
+                    )
+                };
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let token = match Keyword::lookup(word) {
+                    Some(kw) => Token::Keyword(kw),
+                    None => Token::Ident(word.to_string()),
+                };
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {:?}", other as char),
+                    i,
+                ))
+            }
+        }
+    }
+
+    tokens.push(Spanned {
+        token: Token::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Spanned>, token: Token, i: &mut usize) {
+    tokens.push(Spanned { token, offset: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("< <= > >= = <> !="),
+            vec![
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("42 3.25"),
+            vec![Token::Int(42), Token::Float(3.25), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_qualified_column() {
+        assert_eq!(
+            toks("lineitem.l_shipdate"),
+            vec![
+                Token::Ident("lineitem".into()),
+                Token::Dot,
+                Token::Ident("l_shipdate".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        assert_eq!(
+            toks("'o''brien'"),
+            vec![Token::Str("o'brien".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            toks("SELECT -- hidden\n 1"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Int(1),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("SELECT @x").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("select SELECT Select"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Select),
+                Token::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # pdt-sql — SQL subset front-end for `pdtune`
+//!
+//! A hand-written lexer and recursive-descent parser for the exact SQL
+//! subset that Bruno & Chaudhuri's SIGMOD 2005 tuner reasons about:
+//!
+//! * single-block **SPJG** queries (`SELECT` / `FROM` / `WHERE` /
+//!   `GROUP BY`) plus `ORDER BY`,
+//! * the DML statements the update-handling machinery of Section 3.6
+//!   needs (`UPDATE`, `INSERT`, `DELETE`).
+//!
+//! The parser produces an *unbound* [`ast`] (names are strings); binding
+//! against a catalog happens in `pdt-expr` / `pdt-opt`.
+//!
+//! ```
+//! use pdt_sql::parse_statement;
+//!
+//! let stmt = parse_statement(
+//!     "SELECT r.a, SUM(s.b) FROM r, s \
+//!      WHERE r.x = s.y AND r.a > 5 GROUP BY r.a ORDER BY r.a",
+//! )
+//! .unwrap();
+//! assert!(stmt.as_select().is_some());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggFunc, AstExpr, BinOp, DeleteStmt, InsertStmt, OrderDir, SelectItem, SelectStmt, Statement,
+    TableRefAst, UnOp, UpdateStmt,
+};
+pub use error::{ParseError, Result};
+pub use parser::{parse_statement, parse_workload, Parser};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple_select() {
+        let sql = "SELECT r.a FROM r WHERE r.a < 10";
+        let stmt = parse_statement(sql).unwrap();
+        let rendered = stmt.to_string();
+        let stmt2 = parse_statement(&rendered).unwrap();
+        assert_eq!(stmt, stmt2, "render/parse must be a fixed point");
+    }
+
+    #[test]
+    fn workload_splitting() {
+        let stmts = parse_workload(
+            "SELECT r.a FROM r; UPDATE r SET a = 1 WHERE r.b < 3;\nDELETE FROM r WHERE r.a = 5",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+}

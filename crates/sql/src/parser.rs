@@ -1,0 +1,664 @@
+//! Recursive-descent parser with precedence climbing for expressions.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Spanned, Token};
+
+/// Parse a single statement (trailing semicolon allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut parser = Parser::new(input)?;
+    let stmt = parser.statement()?;
+    parser.eat_if(&Token::Semicolon);
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a semicolon-separated workload into a list of statements.
+/// Empty statements (duplicate semicolons, trailing whitespace) are
+/// skipped.
+pub fn parse_workload(input: &str) -> Result<Vec<Statement>> {
+    let mut parser = Parser::new(input)?;
+    let mut stmts = Vec::new();
+    loop {
+        while parser.eat_if(&Token::Semicolon) {}
+        if parser.at_eof() {
+            break;
+        }
+        stmts.push(parser.statement()?);
+    }
+    Ok(stmts)
+}
+
+/// The parser state: a token stream and a cursor.
+pub struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lex `input` and position the cursor at the first token.
+    pub fn new(input: &str) -> Result<Parser> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn eat_if(&mut self, token: &Token) -> bool {
+        if self.peek() == token {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if *k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<()> {
+        if self.eat_if(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError::new(message, self.offset())
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    /// Parse one statement at the cursor.
+    pub fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Token::Keyword(Keyword::Select) => Ok(Statement::Select(self.select()?)),
+            Token::Keyword(Keyword::Update) => self.update(),
+            Token::Keyword(Keyword::Insert) => self.insert(),
+            Token::Keyword(Keyword::Delete) => self.delete(),
+            other => Err(self.err(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(Keyword::Select)?;
+        let top = if self.eat_kw(Keyword::Top) {
+            match self.advance() {
+                Token::Int(k) if k >= 0 => Some(k as u64),
+                other => return Err(self.err(format!("expected TOP count, found {other}"))),
+            }
+        } else {
+            None
+        };
+
+        let mut projections = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw(Keyword::As) {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            projections.push(SelectItem { expr, alias });
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+
+        self.expect_kw(Keyword::From)?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.expect_ident()?;
+            let alias = if self.eat_kw(Keyword::As) {
+                Some(self.expect_ident()?)
+            } else if let Token::Ident(_) = self.peek() {
+                // Bare alias: `FROM lineitem l`.
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            from.push(TableRefAst { table, alias });
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+
+        let predicate = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let e = self.expr()?;
+                let dir = if self.eat_kw(Keyword::Desc) {
+                    OrderDir::Desc
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    OrderDir::Asc
+                };
+                order_by.push((e, dir));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        Ok(SelectStmt {
+            projections,
+            from,
+            predicate,
+            group_by,
+            order_by,
+            top,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Update)?;
+        let top = if self.eat_kw(Keyword::Top) {
+            match self.advance() {
+                Token::Int(k) if k >= 0 => Some(k as u64),
+                other => return Err(self.err(format!("expected TOP count, found {other}"))),
+            }
+        } else {
+            None
+        };
+        let table = self.expect_ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect(&Token::Eq)?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(UpdateStmt {
+            table,
+            assignments,
+            predicate,
+            top,
+        }))
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.expect_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_if(&Token::LParen) {
+            loop {
+                columns.push(self.expect_ident()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect_kw(Keyword::Values)?;
+        self.expect(&Token::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.expr()?);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::Insert(InsertStmt {
+            table,
+            columns,
+            values,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.expect_ident()?;
+        let predicate = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(DeleteStmt { table, predicate }))
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // -----------------------------------------------------------------
+
+    /// Parse an expression at the cursor.
+    pub fn expr(&mut self) -> Result<AstExpr> {
+        self.expr_bp(0)
+    }
+
+    fn expr_bp(&mut self, min_bp: u8) -> Result<AstExpr> {
+        let mut lhs = self.prefix()?;
+
+        loop {
+            // Postfix predicates: BETWEEN / IN / LIKE / IS [NOT] NULL,
+            // optionally preceded by NOT. They bind tighter than AND/OR
+            // but looser than comparisons.
+            const PRED_BP: u8 = 3;
+            if PRED_BP >= min_bp {
+                let negated = matches!(self.peek(), Token::Keyword(Keyword::Not))
+                    && matches!(
+                        self.tokens.get(self.pos + 1).map(|s| &s.token),
+                        Some(Token::Keyword(
+                            Keyword::Between | Keyword::In | Keyword::Like
+                        ))
+                    );
+                if negated {
+                    self.advance();
+                }
+                if self.eat_kw(Keyword::Between) {
+                    let low = self.expr_bp(8)?;
+                    self.expect_kw(Keyword::And)?;
+                    let high = self.expr_bp(8)?;
+                    lhs = AstExpr::Between {
+                        expr: Box::new(lhs),
+                        low: Box::new(low),
+                        high: Box::new(high),
+                        negated,
+                    };
+                    continue;
+                }
+                if self.eat_kw(Keyword::In) {
+                    self.expect(&Token::LParen)?;
+                    let mut list = Vec::new();
+                    loop {
+                        list.push(self.expr_bp(0)?);
+                        if !self.eat_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    lhs = AstExpr::InList {
+                        expr: Box::new(lhs),
+                        list,
+                        negated,
+                    };
+                    continue;
+                }
+                if self.eat_kw(Keyword::Like) {
+                    let pattern = match self.advance() {
+                        Token::Str(s) => s,
+                        other => {
+                            return Err(
+                                self.err(format!("expected LIKE pattern, found {other}"))
+                            )
+                        }
+                    };
+                    lhs = AstExpr::Like {
+                        expr: Box::new(lhs),
+                        pattern,
+                        negated,
+                    };
+                    continue;
+                }
+                if negated {
+                    return Err(self.err("dangling NOT".to_string()));
+                }
+                if self.eat_kw(Keyword::Is) {
+                    let negated = self.eat_kw(Keyword::Not);
+                    self.expect_kw(Keyword::Null)?;
+                    lhs = AstExpr::Unary {
+                        op: if negated { UnOp::IsNotNull } else { UnOp::IsNull },
+                        expr: Box::new(lhs),
+                    };
+                    continue;
+                }
+            }
+
+            let (op, bp) = match self.peek() {
+                Token::Keyword(Keyword::Or) => (BinOp::Or, 1),
+                Token::Keyword(Keyword::And) => (BinOp::And, 2),
+                Token::Eq => (BinOp::Eq, 4),
+                Token::NotEq => (BinOp::NotEq, 4),
+                Token::Lt => (BinOp::Lt, 4),
+                Token::LtEq => (BinOp::LtEq, 4),
+                Token::Gt => (BinOp::Gt, 4),
+                Token::GtEq => (BinOp::GtEq, 4),
+                Token::Plus => (BinOp::Add, 6),
+                Token::Minus => (BinOp::Sub, 6),
+                Token::Star => (BinOp::Mul, 7),
+                Token::Slash => (BinOp::Div, 7),
+                Token::Percent => (BinOp::Mod, 7),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.advance();
+            let rhs = self.expr_bp(bp + 1)?;
+            lhs = AstExpr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<AstExpr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.advance();
+                Ok(AstExpr::IntLit(v))
+            }
+            Token::Float(v) => {
+                self.advance();
+                Ok(AstExpr::FloatLit(v))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(AstExpr::StrLit(s))
+            }
+            Token::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(AstExpr::Null)
+            }
+            Token::Minus => {
+                self.advance();
+                let e = self.expr_bp(8)?;
+                // Constant-fold negated literals so `-5` is a literal.
+                Ok(match e {
+                    AstExpr::IntLit(v) => AstExpr::IntLit(-v),
+                    AstExpr::FloatLit(v) => AstExpr::FloatLit(-v),
+                    other => AstExpr::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(other),
+                    },
+                })
+            }
+            Token::Keyword(Keyword::Not) => {
+                self.advance();
+                let e = self.expr_bp(3)?;
+                Ok(AstExpr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                })
+            }
+            Token::LParen => {
+                self.advance();
+                let e = self.expr_bp(0)?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Keyword(kw @ (Keyword::Count
+            | Keyword::Sum
+            | Keyword::Avg
+            | Keyword::Min
+            | Keyword::Max)) => {
+                self.advance();
+                let func = match kw {
+                    Keyword::Count => AggFunc::Count,
+                    Keyword::Sum => AggFunc::Sum,
+                    Keyword::Avg => AggFunc::Avg,
+                    Keyword::Min => AggFunc::Min,
+                    _ => AggFunc::Max,
+                };
+                self.expect(&Token::LParen)?;
+                let distinct = self.eat_kw(Keyword::Distinct);
+                let arg = if self.eat_if(&Token::Star) {
+                    None
+                } else {
+                    Some(Box::new(self.expr_bp(0)?))
+                };
+                self.expect(&Token::RParen)?;
+                Ok(AstExpr::Agg {
+                    func,
+                    arg,
+                    distinct,
+                })
+            }
+            Token::Ident(first) => {
+                self.advance();
+                if self.eat_if(&Token::Dot) {
+                    let name = self.expect_ident()?;
+                    Ok(AstExpr::Column {
+                        qualifier: Some(first),
+                        name,
+                    })
+                } else {
+                    Ok(AstExpr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
+                }
+            }
+            other => Err(self.err(format!("unexpected token in expression: {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_example_query() {
+        // The running example from Section 1 of the paper.
+        let s = select(
+            "SELECT R.a, S.b, T.c FROM R, S, T \
+             WHERE R.x = S.y AND S.y = T.z \
+             AND R.a > 5 AND R.a < 50 AND R.b > 5 \
+             AND (R.a < R.b OR R.c < 8) AND R.a * R.b = 5",
+        );
+        assert_eq!(s.from.len(), 3);
+        assert_eq!(s.projections.len(), 3);
+        assert!(s.predicate.is_some());
+    }
+
+    #[test]
+    fn parses_group_by_order_by() {
+        let s = select(
+            "SELECT r.a, SUM(r.b) AS total FROM r \
+             WHERE r.c BETWEEN 1 AND 9 GROUP BY r.a ORDER BY r.a DESC",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+        assert_eq!(s.order_by[0].1, OrderDir::Desc);
+        assert_eq!(s.projections[1].alias.as_deref(), Some("total"));
+    }
+
+    #[test]
+    fn parses_table_aliases() {
+        let s = select("SELECT l.a FROM lineitem AS l WHERE l.a = 1");
+        assert_eq!(s.from[0].binding_name(), "l");
+        let s = select("SELECT l.a FROM lineitem l WHERE l.a = 1");
+        assert_eq!(s.from[0].binding_name(), "l");
+    }
+
+    #[test]
+    fn parses_update_with_arithmetic() {
+        // The update-shell example from Section 3.6.
+        let stmt =
+            parse_statement("UPDATE R SET a = b + 1, c = c * c + 5 WHERE a < 10 AND d < 20")
+                .unwrap();
+        match stmt {
+            Statement::Update(u) => {
+                assert_eq!(u.assignments.len(), 2);
+                assert!(u.predicate.is_some());
+            }
+            other => panic!("expected UPDATE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_shell_top() {
+        let stmt = parse_statement("UPDATE TOP 100 R SET a = 0, c = 0").unwrap();
+        match stmt {
+            Statement::Update(u) => assert_eq!(u.top, Some(100)),
+            other => panic!("expected UPDATE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_and_delete() {
+        let ins = parse_statement("INSERT INTO r (a, b) VALUES (1, 'x')").unwrap();
+        assert_eq!(ins.written_table(), Some("r"));
+        let del = parse_statement("DELETE FROM r WHERE r.a = 3").unwrap();
+        assert_eq!(del.written_table(), Some("r"));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let s = select("SELECT r.a FROM r WHERE r.a = 1 OR r.b = 2 AND r.c = 3");
+        let p = s.predicate.unwrap();
+        match p {
+            AstExpr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("expected OR at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let s = select("SELECT COUNT(*), COUNT(DISTINCT r.a) FROM r");
+        match &s.projections[0].expr {
+            AstExpr::Agg { arg: None, .. } => {}
+            other => panic!("expected COUNT(*), got {other:?}"),
+        }
+        match &s.projections[1].expr {
+            AstExpr::Agg { distinct: true, .. } => {}
+            other => panic!("expected DISTINCT agg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_and_like_and_null_tests() {
+        let s = select(
+            "SELECT r.a FROM r WHERE r.a IN (1, 2, 3) AND r.s LIKE 'abc%' \
+             AND r.b IS NOT NULL AND r.c NOT BETWEEN 2 AND 4",
+        );
+        assert!(s.predicate.is_some());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let s = select("SELECT r.a FROM r WHERE r.a > -5");
+        let rendered = s.to_string();
+        assert!(rendered.contains("-5"), "{rendered}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_statement("SELECT FROM r").unwrap_err();
+        assert!(err.offset > 0);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT r.a FROM r extra garbage !").is_err());
+    }
+
+    #[test]
+    fn workload_skips_blank_statements() {
+        let w = parse_workload(";;SELECT r.a FROM r;;  ;").unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    // ---------------- round-trip property --------------------------
+
+    #[test]
+    fn round_trip_corpus() {
+        let corpus = [
+            "SELECT r.a, r.b FROM r WHERE r.a < 10 AND r.b >= 3 ORDER BY r.a",
+            "SELECT r.a, SUM(r.b) FROM r GROUP BY r.a",
+            "SELECT r.a FROM r, s WHERE r.x = s.y AND (r.a < r.b OR r.c < 8)",
+            "SELECT TOP 5 r.a FROM r ORDER BY r.a DESC",
+            "UPDATE r SET a = b + 1 WHERE a < 10",
+            "INSERT INTO r (a, b) VALUES (1, 2)",
+            "DELETE FROM r WHERE r.a = 5",
+            "SELECT COUNT(*) FROM r WHERE r.s LIKE 'x%' AND r.a IN (1, 2)",
+        ];
+        for sql in corpus {
+            let s1 = parse_statement(sql).unwrap();
+            let s2 = parse_statement(&s1.to_string())
+                .unwrap_or_else(|e| panic!("reparse of {:?} failed: {e}", s1.to_string()));
+            assert_eq!(s1, s2, "round trip failed for {sql}");
+        }
+    }
+}

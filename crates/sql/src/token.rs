@@ -1,0 +1,163 @@
+//! Token definitions for the SQL subset lexer.
+
+use std::fmt;
+
+/// A lexical token together with its byte offset in the input (for
+/// error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// The tokens of the SQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased during lexing).
+    Keyword(Keyword),
+    /// Bare identifier (case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Semicolon => f.write_str(";"),
+            Token::Star => f.write_str("*"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Eq => f.write_str("="),
+            Token::NotEq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words recognised by the lexer.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// Look a candidate identifier up in the keyword table
+            /// (case-insensitive).
+            pub fn lookup(word: &str) -> Option<Keyword> {
+                // Keyword list is short; a linear scan over static
+                // strings beats building a HashMap per call and keeps
+                // the lexer allocation-free.
+                $(
+                    if word.eq_ignore_ascii_case($text) {
+                        return Some(Keyword::$variant);
+                    }
+                )+
+                None
+            }
+
+            /// Canonical (upper-case) spelling.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text),+
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "SELECT",
+    From => "FROM",
+    Where => "WHERE",
+    Group => "GROUP",
+    Order => "ORDER",
+    By => "BY",
+    Asc => "ASC",
+    Desc => "DESC",
+    And => "AND",
+    Or => "OR",
+    Not => "NOT",
+    As => "AS",
+    Between => "BETWEEN",
+    In => "IN",
+    Like => "LIKE",
+    Is => "IS",
+    Null => "NULL",
+    Count => "COUNT",
+    Sum => "SUM",
+    Avg => "AVG",
+    Min => "MIN",
+    Max => "MAX",
+    Distinct => "DISTINCT",
+    Update => "UPDATE",
+    Set => "SET",
+    Insert => "INSERT",
+    Into => "INTO",
+    Values => "VALUES",
+    Delete => "DELETE",
+    Top => "TOP",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("grp"), None);
+    }
+
+    #[test]
+    fn keyword_display_is_canonical() {
+        assert_eq!(Keyword::Group.to_string(), "GROUP");
+        assert_eq!(Keyword::Between.as_str(), "BETWEEN");
+    }
+}

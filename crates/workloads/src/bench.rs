@@ -1,0 +1,247 @@
+//! Fully random schemas and workloads — the paper's "Bench" databases
+//! (Table 2 lists synthetic benchmark databases alongside TPC-H and
+//! the internal DS databases).
+
+use crate::{parse_all, WorkloadSpec};
+use pdt_catalog::{ColumnSpec, ColumnType, Database, Distribution, TableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a random benchmark database.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    pub name: String,
+    pub tables: usize,
+    pub max_columns: usize,
+    pub max_rows: f64,
+    pub seed: u64,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams {
+            name: "bench".into(),
+            tables: 8,
+            max_columns: 12,
+            max_rows: 2_000_000.0,
+            seed: 0xBE9C,
+        }
+    }
+}
+
+/// Build a random database: every table gets a serial primary key, a
+/// few integer/double/string attributes, and (for non-first tables) a
+/// foreign key into a random earlier table — yielding a connected join
+/// graph.
+pub fn bench_database(p: &BenchParams) -> Database {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut builder = Database::builder(p.name.clone());
+    let mut ids = Vec::with_capacity(p.tables);
+    let mut rows_of = Vec::with_capacity(p.tables);
+
+    for t in 0..p.tables {
+        let rows = 10f64.powf(rng.gen_range(3.0..p.max_rows.log10()));
+        let n_cols = rng.gen_range(4..=p.max_columns);
+        let mut columns = vec![ColumnSpec::new("id", ColumnType::Int, Distribution::Serial)];
+        // Optional FK column into an earlier table.
+        let fk_target = if t > 0 { Some(rng.gen_range(0..t)) } else { None };
+        if let Some(target) = fk_target {
+            columns.push(ColumnSpec::new(
+                format!("ref{target}"),
+                ColumnType::Int,
+                Distribution::UniformInt {
+                    min: 0,
+                    max: (rows_of[target] as i64 - 1).max(0),
+                },
+            ));
+        }
+        while columns.len() < n_cols {
+            let i = columns.len();
+            let choice = rng.gen_range(0..4);
+            columns.push(match choice {
+                0 => ColumnSpec::new(
+                    format!("c{i}"),
+                    ColumnType::Int,
+                    Distribution::UniformInt { min: 0, max: rng.gen_range(10..100_000) },
+                ),
+                1 => ColumnSpec::new(
+                    format!("c{i}"),
+                    ColumnType::Double,
+                    Distribution::UniformDouble { min: 0.0, max: 1e6 },
+                ),
+                2 => ColumnSpec::new(
+                    format!("c{i}"),
+                    ColumnType::Int,
+                    Distribution::Zipf { n: rng.gen_range(100..10_000), theta: 0.7 },
+                ),
+                _ => ColumnSpec::new(
+                    format!("c{i}"),
+                    ColumnType::VarChar(rng.gen_range(8..40)),
+                    Distribution::StringPool {
+                        pool: rng.gen_range(10..5_000),
+                        avg_len: 12,
+                    },
+                ),
+            });
+        }
+        let spec = TableSpec {
+            name: format!("t{t}"),
+            rows,
+            columns,
+            primary_key: vec![0],
+        };
+        let id = spec.register(&mut builder, p.seed ^ t as u64);
+        if let Some(target) = fk_target {
+            builder.add_foreign_key(id, 1, ids[target], 0);
+        }
+        ids.push(id);
+        rows_of.push(rows);
+    }
+    builder.build()
+}
+
+/// Generate a seeded workload over a bench database: single-table
+/// selections, FK joins following the generated graph, and grouped
+/// aggregations.
+pub fn bench_workload(db: &Database, seed: u64, n_queries: usize) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBE);
+    let mut sqls = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        sqls.push(gen_bench_query(db, &mut rng));
+    }
+    WorkloadSpec::new(format!("{}-w{seed}", db.name), parse_all(&sqls))
+}
+
+fn gen_bench_query(db: &Database, rng: &mut StdRng) -> String {
+    let tables = db.tables();
+    let start = rng.gen_range(0..tables.len());
+    let mut chain = vec![start];
+    // Follow FK edges to build a join chain of up to 3 tables.
+    let mut current = start;
+    for _ in 0..rng.gen_range(0..3) {
+        let fks = &tables[current].foreign_keys;
+        if fks.is_empty() {
+            break;
+        }
+        let fk = &fks[rng.gen_range(0..fks.len())];
+        let target = fk.referenced_table.0 as usize;
+        if chain.contains(&target) {
+            break;
+        }
+        chain.push(target);
+        current = target;
+    }
+
+    let mut preds: Vec<String> = Vec::new();
+    for w in chain.windows(2) {
+        let (child, parent) = (w[0], w[1]);
+        let fk = tables[child]
+            .foreign_keys
+            .iter()
+            .find(|f| f.referenced_table.0 as usize == parent)
+            .expect("chain follows fks");
+        preds.push(format!(
+            "{}.{} = {}.{}",
+            tables[child].name,
+            tables[child].column(fk.column).name,
+            tables[parent].name,
+            tables[parent].column(fk.referenced_column).name,
+        ));
+    }
+
+    // Range predicates on random numeric columns.
+    let mut numeric_cols: Vec<(usize, usize)> = Vec::new();
+    for &t in &chain {
+        for (ci, c) in tables[t].columns.iter().enumerate() {
+            if c.ty.is_numeric() && ci > 0 {
+                numeric_cols.push((t, ci));
+            }
+        }
+    }
+    let n_preds = rng.gen_range(1..=3.min(numeric_cols.len().max(1)));
+    for _ in 0..n_preds {
+        if numeric_cols.is_empty() {
+            break;
+        }
+        let (t, ci) = numeric_cols[rng.gen_range(0..numeric_cols.len())];
+        let stats = &tables[t].columns[ci].stats;
+        let span = stats.max - stats.min;
+        let v = stats.min + span * rng.gen_range(0.05..0.95);
+        let op = ["<", ">", "="][rng.gen_range(0..3)];
+        preds.push(format!(
+            "{}.{} {op} {}",
+            tables[t].name,
+            tables[t].columns[ci].name,
+            v.round()
+        ));
+    }
+
+    let from: Vec<String> = chain.iter().map(|&t| tables[t].name.clone()).collect();
+    let (t0, c0) = numeric_cols
+        .first()
+        .copied()
+        .unwrap_or((chain[0], 0));
+    let out_col = format!("{}.{}", tables[t0].name, tables[t0].columns[c0].name);
+
+    if rng.gen_bool(0.5) {
+        let agg = ["SUM", "COUNT", "MIN", "MAX"][rng.gen_range(0..4)];
+        // Group by a column from the last chain table.
+        let gt = *chain.last().unwrap();
+        let gc = rng.gen_range(0..tables[gt].columns.len());
+        let group_col = format!("{}.{}", tables[gt].name, tables[gt].columns[gc].name);
+        format!(
+            "SELECT {group_col}, {agg}({out_col}) FROM {} WHERE {} GROUP BY {group_col}",
+            from.join(", "),
+            preds.join(" AND "),
+        )
+    } else {
+        let order = if rng.gen_bool(0.3) {
+            format!(" ORDER BY {out_col}")
+        } else {
+            String::new()
+        };
+        format!(
+            "SELECT {out_col} FROM {} WHERE {}{order}",
+            from.join(", "),
+            preds.join(" AND "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_expr::Binder;
+
+    #[test]
+    fn database_is_connected_and_deterministic() {
+        let p = BenchParams::default();
+        let a = bench_database(&p);
+        let b = bench_database(&p);
+        assert_eq!(a.tables().len(), p.tables);
+        for t in 1..p.tables {
+            assert!(
+                !a.tables()[t].foreign_keys.is_empty(),
+                "t{t} should reference an earlier table"
+            );
+        }
+        assert_eq!(
+            format!("{:?}", a.tables()[3].columns),
+            format!("{:?}", b.tables()[3].columns)
+        );
+    }
+
+    #[test]
+    fn workloads_bind_across_seeds() {
+        let db = bench_database(&BenchParams::default());
+        let binder = Binder::new(&db);
+        for seed in 0..10 {
+            let w = bench_workload(&db, seed, 15);
+            for stmt in &w.statements {
+                binder
+                    .bind(stmt)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\n  {stmt}"));
+            }
+        }
+    }
+}

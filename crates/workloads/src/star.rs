@@ -1,0 +1,243 @@
+//! Synthetic star-schema databases ("DS1" / "DS2" in the paper's
+//! Table 2) and seeded SPJG workload generators.
+
+use crate::{parse_all, WorkloadSpec};
+use pdt_catalog::{ColumnSpec, ColumnType, Database, Distribution, TableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated star schema.
+#[derive(Debug, Clone)]
+pub struct StarParams {
+    pub name: String,
+    pub fact_rows: f64,
+    pub dims: usize,
+    pub dim_rows: f64,
+    /// Attribute columns per dimension.
+    pub dim_attrs: usize,
+    /// Measure columns on the fact table.
+    pub measures: usize,
+    pub seed: u64,
+}
+
+impl StarParams {
+    /// The paper-analog "DS1": a mid-sized decision-support database.
+    pub fn ds1() -> StarParams {
+        StarParams {
+            name: "ds1".into(),
+            fact_rows: 2_000_000.0,
+            dims: 6,
+            dim_rows: 10_000.0,
+            dim_attrs: 4,
+            measures: 5,
+            seed: 0xD51,
+        }
+    }
+
+    /// "DS2": larger fact table, more dimensions.
+    pub fn ds2() -> StarParams {
+        StarParams {
+            name: "ds2".into(),
+            fact_rows: 8_000_000.0,
+            dims: 9,
+            dim_rows: 50_000.0,
+            dim_attrs: 5,
+            measures: 7,
+            seed: 0xD52,
+        }
+    }
+}
+
+/// Build a star-schema database: one fact table `fact` with foreign
+/// keys `fk0..fkN` and measures `m0..`, dimensions `dim0..dimN` with
+/// primary key `pk` and attributes `a0..`.
+pub fn star_database(p: &StarParams) -> Database {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut builder = Database::builder(p.name.clone());
+
+    let mut dim_ids = Vec::with_capacity(p.dims);
+    for d in 0..p.dims {
+        let rows = p.dim_rows * rng.gen_range(0.5..2.0);
+        let mut columns = vec![ColumnSpec::new("pk", ColumnType::Int, Distribution::Serial)];
+        for a in 0..p.dim_attrs {
+            let ndv = rng.gen_range(5..500);
+            columns.push(ColumnSpec::new(
+                format!("a{a}"),
+                ColumnType::Int,
+                Distribution::UniformInt { min: 0, max: ndv },
+            ));
+        }
+        columns.push(ColumnSpec::new(
+            "label",
+            ColumnType::VarChar(24),
+            Distribution::StringPool { pool: 1000, avg_len: 16 },
+        ));
+        let spec = TableSpec {
+            name: format!("dim{d}"),
+            rows,
+            columns,
+            primary_key: vec![0],
+        };
+        dim_ids.push((spec.register(&mut builder, p.seed), rows));
+    }
+
+    let mut fact_cols = Vec::new();
+    for (d, (_, rows)) in dim_ids.iter().enumerate() {
+        fact_cols.push(ColumnSpec::new(
+            format!("fk{d}"),
+            ColumnType::Int,
+            Distribution::UniformInt { min: 0, max: *rows as i64 - 1 },
+        ));
+    }
+    for m in 0..p.measures {
+        let dist = if m % 2 == 0 {
+            Distribution::UniformDouble { min: 0.0, max: 10_000.0 }
+        } else {
+            Distribution::Zipf { n: 1_000, theta: 0.8 }
+        };
+        let ty = if m % 2 == 0 { ColumnType::Double } else { ColumnType::Int };
+        fact_cols.push(ColumnSpec::new(format!("m{m}"), ty, dist));
+    }
+    fact_cols.push(ColumnSpec::new(
+        "ts",
+        ColumnType::Date,
+        Distribution::DateRange { min_day: 0, max_day: 3650 },
+    ));
+    let fact_spec = TableSpec {
+        name: "fact".into(),
+        rows: p.fact_rows,
+        columns: fact_cols,
+        primary_key: vec![],
+    };
+    let fact = fact_spec.register(&mut builder, p.seed);
+    for (d, (dim, _)) in dim_ids.iter().enumerate() {
+        builder.add_foreign_key(fact, d as u16, *dim, 0);
+    }
+    builder.build()
+}
+
+/// Generate a seeded SPJG workload over a star database built with
+/// `params`: each query joins the fact table with 1..=4 dimensions,
+/// applies range predicates on measures/attributes, and optionally
+/// groups and orders.
+pub fn star_workload(p: &StarParams, seed: u64, n_queries: usize) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A2);
+    let mut sqls = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        sqls.push(gen_star_query(p, &mut rng));
+    }
+    WorkloadSpec::new(format!("{}-w{seed}", p.name), parse_all(&sqls))
+}
+
+fn gen_star_query(p: &StarParams, rng: &mut StdRng) -> String {
+    let n_dims = rng.gen_range(0..=p.dims.min(4));
+    let mut dims: Vec<usize> = (0..p.dims).collect();
+    // Fisher-Yates prefix shuffle for the dimension choice.
+    for i in 0..n_dims {
+        let j = rng.gen_range(i..dims.len());
+        dims.swap(i, j);
+    }
+    let dims = &dims[..n_dims];
+
+    let mut from = vec!["fact".to_string()];
+    let mut preds: Vec<String> = Vec::new();
+    let mut group_candidates: Vec<String> = Vec::new();
+    for &d in dims {
+        from.push(format!("dim{d}"));
+        preds.push(format!("fact.fk{d} = dim{d}.pk"));
+        let attr = rng.gen_range(0..p.dim_attrs);
+        if rng.gen_bool(0.7) {
+            let v = rng.gen_range(0..100);
+            let op = ["=", "<", ">"][rng.gen_range(0..3)];
+            preds.push(format!("dim{d}.a{attr} {op} {v}"));
+        }
+        group_candidates.push(format!("dim{d}.a{}", rng.gen_range(0..p.dim_attrs)));
+    }
+    // Fact-local predicates.
+    if rng.gen_bool(0.8) {
+        let lo = rng.gen_range(0..3000);
+        preds.push(format!("fact.ts BETWEEN {lo} AND {}", lo + rng.gen_range(30..700)));
+    }
+    if rng.gen_bool(0.5) {
+        let m = rng.gen_range(0..p.measures);
+        preds.push(format!("fact.m{m} < {}", rng.gen_range(100..9000)));
+    }
+
+    let grouped = !group_candidates.is_empty() && rng.gen_bool(0.6);
+    let measure = format!("fact.m{}", rng.gen_range(0..p.measures));
+    let (select, group, order) = if grouped {
+        let g = group_candidates[rng.gen_range(0..group_candidates.len())].clone();
+        let agg = ["SUM", "AVG", "MIN", "COUNT"][rng.gen_range(0..4)];
+        let order = if rng.gen_bool(0.4) {
+            format!(" ORDER BY {g}")
+        } else {
+            String::new()
+        };
+        (
+            format!("{g}, {agg}({measure})"),
+            format!(" GROUP BY {g}"),
+            order,
+        )
+    } else {
+        let extra = if dims.is_empty() {
+            format!("fact.m{}", (1 + rng.gen_range(0..p.measures)) % p.measures)
+        } else {
+            format!("dim{}.label", dims[0])
+        };
+        let order = if rng.gen_bool(0.3) {
+            format!(" ORDER BY {measure}")
+        } else {
+            String::new()
+        };
+        (format!("{measure}, {extra}"), String::new(), order)
+    };
+
+    let where_clause = if preds.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", preds.join(" AND "))
+    };
+    format!(
+        "SELECT {select} FROM {}{where_clause}{group}{order}",
+        from.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_expr::Binder;
+
+    #[test]
+    fn ds1_builds_with_fact_and_dims() {
+        let p = StarParams::ds1();
+        let db = star_database(&p);
+        assert_eq!(db.tables().len(), p.dims + 1);
+        assert!(db.table_by_name("fact").is_some());
+        assert_eq!(db.table_by_name("fact").unwrap().foreign_keys.len(), p.dims);
+    }
+
+    #[test]
+    fn workloads_bind_across_seeds() {
+        let p = StarParams::ds1();
+        let db = star_database(&p);
+        let binder = Binder::new(&db);
+        for seed in 0..10 {
+            let w = star_workload(&p, seed, 12);
+            assert_eq!(w.len(), 12);
+            for stmt in &w.statements {
+                binder
+                    .bind(stmt)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\n  {stmt}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = StarParams::ds2();
+        let a = star_workload(&p, 3, 5);
+        let b = star_workload(&p, 3, 5);
+        assert_eq!(a.statements, b.statements);
+    }
+}

@@ -1,0 +1,446 @@
+//! A TPC-H-style database and 22-query workload.
+//!
+//! The schema mirrors TPC-H's eight tables with dbgen's cardinality
+//! ratios at a configurable scale factor. Dates are day numbers from
+//! 1992-01-01 (day 0) to 1998-12-01 (day ~2525). The 22 queries are
+//! single-block SPJG approximations of the originals: nested
+//! sub-queries are flattened to their SPJG skeletons, which is the
+//! query class the paper's view language covers.
+
+use crate::{parse_all, WorkloadSpec};
+use pdt_catalog::{ColumnSpec, ColumnType, Database, Distribution, TableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Latest shipdate-style day number used by the generators.
+pub const MAX_DAY: i64 = 2525;
+
+fn col(name: &str, ty: ColumnType, dist: Distribution) -> ColumnSpec {
+    ColumnSpec::new(name, ty, dist)
+}
+
+fn int(name: &str, min: i64, max: i64) -> ColumnSpec {
+    col(name, ColumnType::Int, Distribution::UniformInt { min, max })
+}
+
+fn dbl(name: &str, min: f64, max: f64) -> ColumnSpec {
+    col(name, ColumnType::Double, Distribution::UniformDouble { min, max })
+}
+
+fn date(name: &str) -> ColumnSpec {
+    col(
+        name,
+        ColumnType::Date,
+        Distribution::DateRange { min_day: 0, max_day: MAX_DAY },
+    )
+}
+
+fn strpool(name: &str, pool: u64, len: u16) -> ColumnSpec {
+    col(
+        name,
+        ColumnType::VarChar(len),
+        Distribution::StringPool { pool, avg_len: len },
+    )
+}
+
+fn serial(name: &str) -> ColumnSpec {
+    col(name, ColumnType::Int, Distribution::Serial)
+}
+
+/// Build the TPC-H-style database at scale factor `sf` (sf = 1.0 is
+/// the standard ~1 GB database).
+pub fn tpch_database(sf: f64) -> Database {
+    let sf = sf.max(0.001);
+    let n = |base: f64| (base * sf).round().max(1.0);
+
+    let supplier_rows = n(10_000.0);
+    let part_rows = n(200_000.0);
+    let customer_rows = n(150_000.0);
+    let orders_rows = n(1_500_000.0);
+
+    let tables = [TableSpec {
+            name: "region".into(),
+            rows: 5.0,
+            columns: vec![serial("r_regionkey"), strpool("r_name", 5, 12)],
+            primary_key: vec![0],
+        },
+        TableSpec {
+            name: "nation".into(),
+            rows: 25.0,
+            columns: vec![
+                serial("n_nationkey"),
+                strpool("n_name", 25, 15),
+                int("n_regionkey", 0, 4),
+            ],
+            primary_key: vec![0],
+        },
+        TableSpec {
+            name: "supplier".into(),
+            rows: supplier_rows,
+            columns: vec![
+                serial("s_suppkey"),
+                strpool("s_name", supplier_rows as u64, 18),
+                int("s_nationkey", 0, 24),
+                dbl("s_acctbal", -999.99, 9999.99),
+                strpool("s_comment", 10_000, 60),
+            ],
+            primary_key: vec![0],
+        },
+        TableSpec {
+            name: "part".into(),
+            rows: part_rows,
+            columns: vec![
+                serial("p_partkey"),
+                strpool("p_name", 5_000, 35),
+                strpool("p_mfgr", 5, 14),
+                strpool("p_brand", 25, 10),
+                strpool("p_type", 150, 25),
+                int("p_size", 1, 50),
+                strpool("p_container", 40, 10),
+                dbl("p_retailprice", 900.0, 2100.0),
+            ],
+            primary_key: vec![0],
+        },
+        TableSpec {
+            name: "partsupp".into(),
+            rows: n(800_000.0),
+            columns: vec![
+                int("ps_partkey", 0, part_rows as i64 - 1),
+                int("ps_suppkey", 0, supplier_rows as i64 - 1),
+                int("ps_availqty", 1, 9_999),
+                dbl("ps_supplycost", 1.0, 1000.0),
+            ],
+            primary_key: vec![0, 1],
+        },
+        TableSpec {
+            name: "customer".into(),
+            rows: customer_rows,
+            columns: vec![
+                serial("c_custkey"),
+                strpool("c_name", customer_rows as u64, 18),
+                int("c_nationkey", 0, 24),
+                dbl("c_acctbal", -999.99, 9999.99),
+                strpool("c_mktsegment", 5, 10),
+                strpool("c_phone", 100_000, 15),
+            ],
+            primary_key: vec![0],
+        },
+        TableSpec {
+            name: "orders".into(),
+            rows: orders_rows,
+            columns: vec![
+                serial("o_orderkey"),
+                int("o_custkey", 0, customer_rows as i64 - 1),
+                strpool("o_orderstatus", 3, 1),
+                dbl("o_totalprice", 800.0, 500_000.0),
+                date("o_orderdate"),
+                strpool("o_orderpriority", 5, 15),
+                int("o_shippriority", 0, 1),
+            ],
+            primary_key: vec![0],
+        },
+        TableSpec {
+            name: "lineitem".into(),
+            rows: n(6_000_000.0),
+            columns: vec![
+                int("l_orderkey", 0, orders_rows as i64 - 1),
+                int("l_partkey", 0, part_rows as i64 - 1),
+                int("l_suppkey", 0, supplier_rows as i64 - 1),
+                int("l_linenumber", 1, 7),
+                int("l_quantity", 1, 50),
+                dbl("l_extendedprice", 900.0, 105_000.0),
+                dbl("l_discount", 0.0, 0.1),
+                dbl("l_tax", 0.0, 0.08),
+                strpool("l_returnflag", 3, 1),
+                strpool("l_linestatus", 2, 1),
+                date("l_shipdate"),
+                date("l_commitdate"),
+                date("l_receiptdate"),
+                strpool("l_shipmode", 7, 10),
+            ],
+            primary_key: vec![0, 3],
+        }];
+
+    let mut builder = Database::builder(format!("tpch_sf{sf}"));
+    let ids: Vec<_> = tables.iter().map(|t| t.register(&mut builder, 0xA11CE)).collect();
+    // Foreign keys: nation->region, supplier->nation, partsupp->part,
+    // partsupp->supplier, customer->nation, orders->customer,
+    // lineitem->orders, lineitem->part, lineitem->supplier.
+    let (region, nation, supplier, part, partsupp, customer, orders, lineitem) = (
+        ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7],
+    );
+    builder.add_foreign_key(nation, 2, region, 0);
+    builder.add_foreign_key(supplier, 2, nation, 0);
+    builder.add_foreign_key(partsupp, 0, part, 0);
+    builder.add_foreign_key(partsupp, 1, supplier, 0);
+    builder.add_foreign_key(customer, 2, nation, 0);
+    builder.add_foreign_key(orders, 1, customer, 0);
+    builder.add_foreign_key(lineitem, 0, orders, 0);
+    builder.add_foreign_key(lineitem, 1, part, 0);
+    builder.add_foreign_key(lineitem, 2, supplier, 0);
+    builder.build()
+}
+
+/// The 22 SPJG query skeletons with default (spec-like) constants.
+pub fn tpch_queries() -> Vec<String> {
+    tpch_queries_seeded(&mut None)
+}
+
+/// Seeded variant: every numeric constant is re-drawn, producing a
+/// distinct workload with the same shapes (used for the paper's
+/// "hundreds of workloads").
+pub fn tpch_queries_with_seed(seed: u64) -> Vec<String> {
+    tpch_queries_seeded(&mut Some(StdRng::seed_from_u64(seed)))
+}
+
+fn tpch_queries_seeded(rng: &mut Option<StdRng>) -> Vec<String> {
+    // Draw a constant in [lo, hi] (default mid-range when unseeded).
+    let mut c = |lo: i64, hi: i64| -> i64 {
+        match rng {
+            Some(r) => r.gen_range(lo..=hi),
+            None => (lo + hi) / 2,
+        }
+    };
+    let d90 = c(2200, 2400); // "recent date" cutoffs
+    let dlo = c(300, 1200);
+    let dhi = dlo + c(300, 700);
+    let q = |s: String| s;
+    vec![
+        // Q1: pricing summary report.
+        q(format!(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), \
+             AVG(l_discount), COUNT(*) FROM lineitem WHERE l_shipdate <= {d90} \
+             GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus"
+        )),
+        // Q2: minimum-cost supplier (flattened).
+        q(format!(
+            "SELECT s_acctbal, s_name, n_name, p_partkey FROM part, supplier, partsupp, nation, region \
+             WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND s_nationkey = n_nationkey \
+             AND n_regionkey = r_regionkey AND p_size = {} AND ps_supplycost < {} \
+             ORDER BY s_acctbal DESC",
+            c(1, 50),
+            c(100, 900),
+        )),
+        // Q3: shipping priority.
+        q(format!(
+            "SELECT l_orderkey, SUM(l_extendedprice), o_orderdate, o_shippriority \
+             FROM customer, orders, lineitem \
+             WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+             AND o_orderdate < {dlo} AND l_shipdate > {dlo} \
+             GROUP BY l_orderkey, o_orderdate, o_shippriority ORDER BY o_orderdate"
+        )),
+        // Q4: order priority checking (EXISTS flattened to a join).
+        q(format!(
+            "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem \
+             WHERE l_orderkey = o_orderkey AND o_orderdate >= {dlo} AND o_orderdate < {dhi} \
+             AND l_commitdate < l_receiptdate GROUP BY o_orderpriority ORDER BY o_orderpriority"
+        )),
+        // Q5: local supplier volume.
+        q(format!(
+            "SELECT n_name, SUM(l_extendedprice) FROM customer, orders, lineitem, supplier, nation, region \
+             WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey \
+             AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+             AND o_orderdate >= {dlo} AND o_orderdate < {dhi} GROUP BY n_name"
+        )),
+        // Q6: forecasting revenue change.
+        q(format!(
+            "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+             WHERE l_shipdate >= {dlo} AND l_shipdate < {dhi} \
+             AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < {}",
+            c(20, 30),
+        )),
+        // Q7: volume shipping (nation pair flattened).
+        q(format!(
+            "SELECT n_name, SUM(l_extendedprice) FROM supplier, lineitem, orders, customer, nation \
+             WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey \
+             AND s_nationkey = n_nationkey AND l_shipdate BETWEEN {dlo} AND {dhi} \
+             GROUP BY n_name"
+        )),
+        // Q8: national market share skeleton.
+        q(format!(
+            "SELECT o_orderdate, SUM(l_extendedprice) FROM part, lineitem, orders, customer, nation, region \
+             WHERE p_partkey = l_partkey AND l_orderkey = o_orderkey AND o_custkey = c_custkey \
+             AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+             AND o_orderdate BETWEEN {dlo} AND {dhi} AND p_size < {} \
+             GROUP BY o_orderdate",
+            c(10, 40),
+        )),
+        // Q9: product type profit measure.
+        q(format!(
+            "SELECT n_name, SUM(l_extendedprice - ps_supplycost * l_quantity) \
+             FROM part, supplier, lineitem, partsupp, nation \
+             WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+             AND p_partkey = l_partkey AND s_nationkey = n_nationkey AND p_size > {} \
+             GROUP BY n_name",
+            c(5, 45),
+        )),
+        // Q10: returned item reporting.
+        q(format!(
+            "SELECT c_custkey, c_name, SUM(l_extendedprice), c_acctbal, n_name \
+             FROM customer, orders, lineitem, nation \
+             WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND c_nationkey = n_nationkey \
+             AND o_orderdate >= {dlo} AND o_orderdate < {dhi} \
+             GROUP BY c_custkey, c_name, c_acctbal, n_name"
+        )),
+        // Q11: important stock identification.
+        q(format!(
+            "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) FROM partsupp, supplier, nation \
+             WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND ps_availqty > {} \
+             GROUP BY ps_partkey",
+            c(100, 9000),
+        )),
+        // Q12: shipping modes and order priority.
+        q(format!(
+            "SELECT l_shipmode, COUNT(*) FROM orders, lineitem \
+             WHERE o_orderkey = l_orderkey AND l_commitdate < l_receiptdate \
+             AND l_shipdate < l_commitdate AND l_receiptdate >= {dlo} AND l_receiptdate < {dhi} \
+             GROUP BY l_shipmode ORDER BY l_shipmode"
+        )),
+        // Q13: customer distribution skeleton.
+        q(format!(
+            "SELECT c_custkey, COUNT(*) FROM customer, orders \
+             WHERE c_custkey = o_custkey AND o_totalprice > {} GROUP BY c_custkey",
+            c(1_000, 300_000),
+        )),
+        // Q14: promotion effect.
+        q(format!(
+            "SELECT SUM(l_extendedprice * l_discount) FROM lineitem, part \
+             WHERE l_partkey = p_partkey AND l_shipdate >= {dlo} AND l_shipdate < {dhi}"
+        )),
+        // Q15: top supplier (view flattened).
+        q(format!(
+            "SELECT l_suppkey, SUM(l_extendedprice) FROM lineitem \
+             WHERE l_shipdate >= {dlo} AND l_shipdate < {dhi} GROUP BY l_suppkey"
+        )),
+        // Q16: parts/supplier relationship.
+        q(format!(
+            "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) FROM partsupp, part \
+             WHERE p_partkey = ps_partkey AND p_size IN ({}, {}, {}, {}) \
+             GROUP BY p_brand, p_type, p_size ORDER BY p_brand",
+            c(1, 12),
+            c(13, 25),
+            c(26, 38),
+            c(39, 50),
+        )),
+        // Q17: small-quantity-order revenue.
+        q(format!(
+            "SELECT AVG(l_extendedprice) FROM lineitem, part \
+             WHERE p_partkey = l_partkey AND p_container = 'medbox' AND l_quantity < {}",
+            c(3, 10),
+        )),
+        // Q18: large volume customer.
+        q(format!(
+            "SELECT c_name, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) \
+             FROM customer, orders, lineitem \
+             WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND o_totalprice > {} \
+             GROUP BY c_name, o_orderkey, o_orderdate, o_totalprice ORDER BY o_totalprice DESC",
+            c(100_000, 400_000),
+        )),
+        // Q19: discounted revenue.
+        q(format!(
+            "SELECT SUM(l_extendedprice) FROM lineitem, part \
+             WHERE p_partkey = l_partkey AND l_quantity BETWEEN {} AND {} \
+             AND p_size BETWEEN 1 AND {} AND l_shipmode IN ('air', 'rail')",
+            c(1, 10),
+            c(11, 30),
+            c(5, 15),
+        )),
+        // Q20: potential part promotion.
+        q(format!(
+            "SELECT s_name, s_acctbal FROM supplier, nation, partsupp \
+             WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey \
+             AND ps_availqty > {} ORDER BY s_name",
+            c(1_000, 9_000),
+        )),
+        // Q21: suppliers who kept orders waiting.
+        q("SELECT s_name, COUNT(*) FROM supplier, lineitem, orders, nation \
+             WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey \
+             AND o_orderstatus = 'f' AND l_receiptdate > l_commitdate \
+             AND s_nationkey = n_nationkey GROUP BY s_name".to_string()),
+        // Q22: global sales opportunity skeleton.
+        q(format!(
+            "SELECT c_nationkey, COUNT(*), SUM(c_acctbal) FROM customer \
+             WHERE c_acctbal > {} GROUP BY c_nationkey ORDER BY c_nationkey",
+            c(0, 5_000),
+        )),
+    ]
+}
+
+/// The default 22-query workload.
+pub fn tpch_workload() -> WorkloadSpec {
+    WorkloadSpec::new("tpch-22", parse_all(&tpch_queries()))
+}
+
+/// A seeded workload: a random subset (of `size` queries, with
+/// replacement across shapes but fresh constants) of the 22 shapes.
+pub fn tpch_workload_variant(seed: u64, size: usize) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all = tpch_queries_with_seed(rng.gen());
+    let mut stmts = Vec::with_capacity(size);
+    for _ in 0..size {
+        let i = rng.gen_range(0..all.len());
+        stmts.push(all[i].clone());
+    }
+    WorkloadSpec::new(format!("tpch-var-{seed}"), parse_all(&stmts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_expr::Binder;
+
+    #[test]
+    fn schema_has_eight_tables_with_ratios() {
+        let db = tpch_database(0.1);
+        assert_eq!(db.tables().len(), 8);
+        let li = db.table_by_name("lineitem").unwrap();
+        let ord = db.table_by_name("orders").unwrap();
+        assert!((li.rows / ord.rows - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn all_22_queries_parse_and_bind() {
+        let db = tpch_database(0.01);
+        let w = tpch_workload();
+        assert_eq!(w.len(), 22);
+        let binder = Binder::new(&db);
+        for stmt in &w.statements {
+            binder
+                .bind(stmt)
+                .unwrap_or_else(|e| panic!("bind failed: {e}\n  {stmt}"));
+        }
+    }
+
+    #[test]
+    fn variants_differ_by_seed_but_are_deterministic() {
+        let a = tpch_workload_variant(7, 10);
+        let b = tpch_workload_variant(7, 10);
+        let c = tpch_workload_variant(8, 10);
+        assert_eq!(a.statements, b.statements);
+        assert_ne!(a.statements, c.statements);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn variants_bind_for_many_seeds() {
+        let db = tpch_database(0.01);
+        let binder = Binder::new(&db);
+        for seed in 0..20 {
+            let w = tpch_workload_variant(seed, 8);
+            for stmt in &w.statements {
+                binder
+                    .bind(stmt)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\n  {stmt}"));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_factor_scales_sizes() {
+        let small = tpch_database(0.01);
+        let big = tpch_database(0.1);
+        let s = small.table_by_name("lineitem").unwrap().rows;
+        let b = big.table_by_name("lineitem").unwrap().rows;
+        assert!((b / s - 10.0).abs() < 0.2);
+    }
+}

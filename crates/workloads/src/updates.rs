@@ -1,0 +1,160 @@
+//! Mixed SELECT/UPDATE workload generation (inputs for the paper's
+//! §3.6 and Figure 9 experiments).
+//!
+//! Mirrors the paper's setup: "we used both real workloads with
+//! updates and synthetically generated ones, such as those obtained
+//! with dbgen" — here, a seeded transformation that interleaves
+//! UPDATE / INSERT / DELETE statements over the tables a SELECT
+//! workload touches.
+
+use crate::WorkloadSpec;
+use pdt_catalog::Database;
+use pdt_sql::Statement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Make a mixed workload: keeps the SELECT statements and adds
+/// `round(update_ratio * len)` DML statements over the referenced
+/// tables.
+pub fn with_updates(
+    db: &Database,
+    base: &WorkloadSpec,
+    update_ratio: f64,
+    seed: u64,
+) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bda7e5);
+    let mut statements = base.statements.clone();
+    let n_updates = ((base.len() as f64) * update_ratio).round().max(1.0) as usize;
+
+    // Tables referenced by the base workload (by FROM-list names).
+    let mut tables: Vec<&str> = Vec::new();
+    for stmt in &base.statements {
+        if let Some(s) = stmt.as_select() {
+            for t in &s.from {
+                if !tables.contains(&t.table.as_str()) {
+                    tables.push(&t.table);
+                }
+            }
+        }
+    }
+    if tables.is_empty() {
+        return WorkloadSpec::new(format!("{}-upd", base.name), statements);
+    }
+
+    for _ in 0..n_updates {
+        let tname = tables[rng.gen_range(0..tables.len())];
+        let Some(table) = db.table_by_name(tname) else { continue };
+        // Pick a numeric non-key column to update / filter on.
+        let numeric: Vec<usize> = table
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.ty.is_numeric() && !table.primary_key.contains(&(*i as u16)))
+            .map(|(i, _)| i)
+            .collect();
+        if numeric.is_empty() {
+            continue;
+        }
+        let target = numeric[rng.gen_range(0..numeric.len())];
+        let filter = numeric[rng.gen_range(0..numeric.len())];
+        let fc = &table.columns[filter];
+        let span = (fc.stats.max - fc.stats.min).max(1.0);
+        let lo = fc.stats.min + span * rng.gen_range(0.0..0.9);
+        let hi = lo + span * rng.gen_range(0.01..0.1);
+        let sql = match rng.gen_range(0..4) {
+            0 | 1 => format!(
+                "UPDATE {tname} SET {} = {} + 1 WHERE {} BETWEEN {} AND {}",
+                table.columns[target].name,
+                table.columns[target].name,
+                fc.name,
+                lo.round(),
+                hi.round(),
+            ),
+            2 => {
+                let cols: Vec<String> =
+                    table.columns.iter().map(|c| c.name.clone()).collect();
+                let vals: Vec<String> = table.columns.iter().map(|_| "0".to_string()).collect();
+                format!(
+                    "INSERT INTO {tname} ({}) VALUES ({})",
+                    cols.join(", "),
+                    vals.join(", ")
+                )
+            }
+            _ => format!(
+                "DELETE FROM {tname} WHERE {} BETWEEN {} AND {}",
+                fc.name,
+                lo.round(),
+                hi.round(),
+            ),
+        };
+        statements.push(
+            pdt_sql::parse_statement(&sql)
+                .unwrap_or_else(|e| panic!("bad generated DML: {e}\n  {sql}")),
+        );
+    }
+
+    // Interleave deterministically: Fisher-Yates with the same rng.
+    for i in (1..statements.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        statements.swap(i, j);
+    }
+    WorkloadSpec::new(format!("{}-upd", base.name), statements)
+}
+
+/// Count of statements by kind, for reporting.
+pub fn statement_mix(w: &WorkloadSpec) -> (usize, usize, usize, usize) {
+    let mut selects = 0;
+    let mut updates = 0;
+    let mut inserts = 0;
+    let mut deletes = 0;
+    for s in &w.statements {
+        match s {
+            Statement::Select(_) => selects += 1,
+            Statement::Update(_) => updates += 1,
+            Statement::Insert(_) => inserts += 1,
+            Statement::Delete(_) => deletes += 1,
+        }
+    }
+    (selects, updates, inserts, deletes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{tpch_database, tpch_workload};
+    use pdt_expr::Binder;
+
+    #[test]
+    fn adds_requested_fraction_of_dml() {
+        let db = tpch_database(0.01);
+        let base = tpch_workload();
+        let mixed = with_updates(&db, &base, 0.5, 1);
+        let (selects, u, i, d) = statement_mix(&mixed);
+        assert_eq!(selects, 22);
+        assert!(u + i + d >= 8, "mix: {u} {i} {d}");
+    }
+
+    #[test]
+    fn generated_dml_binds() {
+        let db = tpch_database(0.01);
+        let base = tpch_workload();
+        let binder = Binder::new(&db);
+        for seed in 0..5 {
+            let mixed = with_updates(&db, &base, 0.4, seed);
+            for stmt in &mixed.statements {
+                binder
+                    .bind(stmt)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\n  {stmt}"));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = tpch_database(0.01);
+        let base = tpch_workload();
+        let a = with_updates(&db, &base, 0.3, 9);
+        let b = with_updates(&db, &base, 0.3, 9);
+        assert_eq!(a.statements, b.statements);
+    }
+}

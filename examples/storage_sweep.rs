@@ -1,0 +1,62 @@
+//! Sweep the storage budget and print the space/quality frontier —
+//! the "what would one more disk buy me" analysis of the paper's
+//! Figure 4, produced as a by-product of relaxation.
+//!
+//! ```sh
+//! cargo run --release --example storage_sweep
+//! ```
+
+use pdtune::prelude::*;
+use pdtune::workloads::star::{star_database, star_workload, StarParams};
+
+fn main() {
+    let params = StarParams::ds1();
+    let db = star_database(&params);
+    let spec = star_workload(&params, 3, 12);
+    let workload = Workload::bind(&db, &spec.statements).unwrap();
+
+    // Find the unconstrained extremes first (index tuning).
+    let free = tune(
+        &db,
+        &workload,
+        &TunerOptions {
+            with_views: false,
+            ..TunerOptions::default()
+        },
+    );
+    println!(
+        "optimal: {:.0} MB for {:.1}% improvement\n",
+        free.optimal_size / 1e6,
+        free.optimal_improvement_pct()
+    );
+
+    println!("{:>8} {:>12} {:>13}", "budget", "size used", "improvement");
+    for pct in [5, 10, 20, 30, 50, 75, 100] {
+        let budget = free.initial_size
+            + (free.optimal_size - free.initial_size) * pct as f64 / 100.0;
+        let report = tune(
+            &db,
+            &workload,
+            &TunerOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                max_iterations: 400,
+                ..TunerOptions::default()
+            },
+        );
+        match &report.best {
+            Some(best) => println!(
+                "{:>7}% {:>9.0} MB {:>12.1}%  {}",
+                pct,
+                best.size_bytes / 1e6,
+                report.best_improvement_pct(),
+                "#".repeat((report.best_improvement_pct() / 2.0).max(0.0) as usize),
+            ),
+            None => println!("{pct:>7}% (no configuration fits)"),
+        }
+    }
+    println!(
+        "\nEach point comes from one tuning session; within a session the frontier\n\
+         of every explored configuration is available in `report.frontier`."
+    );
+}

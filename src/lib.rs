@@ -1,0 +1,44 @@
+//! # pdtune — relaxation-based automatic physical database tuning
+//!
+//! A Rust reproduction of Bruno & Chaudhuri, *"Automatic Physical
+//! Database Tuning: A Relaxation-based Approach"* (SIGMOD 2005).
+//!
+//! This facade crate re-exports the workspace members under stable
+//! names. Most users want:
+//!
+//! * [`workloads`] to obtain a database + workload,
+//! * [`tuner`] to run the relaxation-based tuning session (PTT),
+//! * [`baseline`] for the bottom-up advisor it is compared against (CTT).
+//!
+//! ```no_run
+//! use pdtune::prelude::*;
+//!
+//! let db = pdtune::workloads::tpch::tpch_database(0.01);
+//! let spec = pdtune::workloads::tpch::tpch_workload();
+//! let workload = Workload::bind(&db, &spec.statements).unwrap();
+//! let opts = TunerOptions {
+//!     space_budget: Some(64.0 * 1024.0 * 1024.0),
+//!     ..TunerOptions::default()
+//! };
+//! let report = tune(&db, &workload, &opts);
+//! assert!(report.best.is_some());
+//! ```
+
+pub use pdt_baseline as baseline;
+pub use pdt_catalog as catalog;
+pub use pdt_expr as expr;
+pub use pdt_opt as opt;
+pub use pdt_physical as physical;
+pub use pdt_sql as sql;
+pub use pdt_tuner as tuner;
+pub use pdt_workloads as workloads;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+    pub use pdt_catalog::{Catalog, Database};
+    pub use pdt_opt::{Optimizer, OptimizerOptions};
+    pub use pdt_physical::{Configuration, Index, MaterializedView};
+    pub use pdt_sql::parse_statement;
+    pub use pdt_tuner::{tune, TunerOptions, TuningReport, Workload};
+}

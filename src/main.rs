@@ -1,0 +1,349 @@
+//! `pdtune` — command-line physical design tuning.
+//!
+//! ```text
+//! pdtune tune    --db tpch --sf 0.1 --budget 256MB [--workload FILE] [--indexes-only]
+//! pdtune explain --db tpch --sf 0.1 --sql "SELECT ..." [--optimal]
+//! pdtune compare --db ds1 --seed 3 --queries 12
+//! pdtune corpus
+//! ```
+
+use pdtune::baseline::{BaselineAdvisor, BaselineOptions};
+use pdtune::catalog::Database;
+use pdtune::expr::Binder;
+use pdtune::prelude::*;
+use pdtune::tuner::instrument::gather_optimal_configuration;
+use pdtune::workloads::bench::{bench_database, bench_workload, BenchParams};
+use pdtune::workloads::star::{star_database, star_workload, StarParams};
+use pdtune::workloads::{tpch, WorkloadSpec};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match CliOptions::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "tune" => cmd_tune(&opts),
+        "explain" => cmd_explain(&opts),
+        "compare" => cmd_compare(&opts),
+        "corpus" => cmd_corpus(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pdtune — relaxation-based automatic physical database tuning
+(Bruno & Chaudhuri, SIGMOD 2005)
+
+USAGE:
+  pdtune tune    [options]      run a tuning session and print the recommendation
+  pdtune explain [options]      show a query's plan (optionally under the optimal config)
+  pdtune compare [options]      relaxation (PTT) vs bottom-up (CTT) on one workload
+  pdtune corpus                 list the built-in benchmark databases
+
+OPTIONS:
+  --db <tpch|ds1|ds2|bench>     benchmark database            [default: tpch]
+  --sf <float>                  TPC-H scale factor            [default: 0.1]
+  --budget <bytes|K|M|G>        storage budget, e.g. 256M     [default: none]
+  --workload <file.sql>         semicolon-separated SQL file  [default: built-in]
+  --queries <n>                 built-in workload size        [default: all]
+  --seed <n>                    workload generator seed       [default: 0]
+  --iterations <n>              relaxation iteration budget   [default: 300]
+  --indexes-only                do not recommend materialized views
+  --updates <ratio>             mix in DML statements (e.g. 0.5)
+  --sql <text>                  query text (explain)
+  --optimal                     explain under the optimal configuration
+";
+
+#[derive(Default)]
+struct CliOptions {
+    db: String,
+    sf: f64,
+    budget: Option<f64>,
+    workload_file: Option<String>,
+    queries: Option<usize>,
+    seed: u64,
+    iterations: usize,
+    indexes_only: bool,
+    updates: Option<f64>,
+    sql: Option<String>,
+    optimal: bool,
+}
+
+impl CliOptions {
+    fn parse(args: &[String]) -> Result<CliOptions, String> {
+        let mut o = CliOptions {
+            db: "tpch".to_string(),
+            sf: 0.1,
+            iterations: 300,
+            ..Default::default()
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--db" => o.db = value("--db")?,
+                "--sf" => o.sf = value("--sf")?.parse().map_err(|e| format!("--sf: {e}"))?,
+                "--budget" => o.budget = Some(parse_bytes(&value("--budget")?)?),
+                "--workload" => o.workload_file = Some(value("--workload")?),
+                "--queries" => {
+                    o.queries =
+                        Some(value("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?)
+                }
+                "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--iterations" => {
+                    o.iterations = value("--iterations")?
+                        .parse()
+                        .map_err(|e| format!("--iterations: {e}"))?
+                }
+                "--indexes-only" => o.indexes_only = true,
+                "--updates" => {
+                    o.updates =
+                        Some(value("--updates")?.parse().map_err(|e| format!("--updates: {e}"))?)
+                }
+                "--sql" => o.sql = Some(value("--sql")?),
+                "--optimal" => o.optimal = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn parse_bytes(s: &str) -> Result<f64, String> {
+    let (num, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1e3),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1e6),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1e9),
+        _ => (s, 1.0),
+    };
+    num.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|e| format!("bad byte size `{s}`: {e}"))
+}
+
+fn load_database(o: &CliOptions) -> Result<Database, String> {
+    match o.db.as_str() {
+        "tpch" => Ok(tpch::tpch_database(o.sf)),
+        "ds1" => Ok(star_database(&StarParams::ds1())),
+        "ds2" => Ok(star_database(&StarParams::ds2())),
+        "bench" => Ok(bench_database(&BenchParams::default())),
+        other => Err(format!("unknown database `{other}` (try tpch|ds1|ds2|bench)")),
+    }
+}
+
+fn load_workload(o: &CliOptions, db: &Database) -> Result<WorkloadSpec, String> {
+    let mut spec = if let Some(path) = &o.workload_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let statements =
+            pdtune::sql::parse_workload(&text).map_err(|e| format!("{path}: {e}"))?;
+        WorkloadSpec::new(path.clone(), statements)
+    } else {
+        match o.db.as_str() {
+            "tpch" => match o.queries {
+                Some(n) => tpch::tpch_workload_variant(o.seed, n),
+                None => tpch::tpch_workload(),
+            },
+            "ds1" => star_workload(&StarParams::ds1(), o.seed, o.queries.unwrap_or(12)),
+            "ds2" => star_workload(&StarParams::ds2(), o.seed, o.queries.unwrap_or(12)),
+            _ => bench_workload(db, o.seed, o.queries.unwrap_or(15)),
+        }
+    };
+    if let Some(ratio) = o.updates {
+        spec = pdtune::workloads::updates::with_updates(db, &spec, ratio, o.seed);
+    }
+    Ok(spec)
+}
+
+fn cmd_tune(o: &CliOptions) -> Result<(), String> {
+    let db = load_database(o)?;
+    let spec = load_workload(o, &db)?;
+    let workload =
+        Workload::bind(&db, &spec.statements).map_err(|e| format!("binding workload: {e}"))?;
+    println!(
+        "tuning `{}` over {} statements ({} updates)...",
+        db.name,
+        workload.len(),
+        spec.update_count()
+    );
+    let report = tune(
+        &db,
+        &workload,
+        &TunerOptions {
+            space_budget: o.budget,
+            max_iterations: o.iterations,
+            with_views: !o.indexes_only,
+            ..TunerOptions::default()
+        },
+    );
+    println!(
+        "\ninitial  cost {:>12.0}   ({:.1} MB)",
+        report.initial_cost,
+        report.initial_size / 1e6
+    );
+    println!(
+        "optimal  cost {:>12.0}   ({:.1} MB, {:+.1}%)",
+        report.optimal_cost,
+        report.optimal_size / 1e6,
+        report.optimal_improvement_pct()
+    );
+    match &report.best {
+        Some(best) => {
+            println!(
+                "best     cost {:>12.0}   ({:.1} MB, {:+.1}%)\n",
+                best.cost,
+                best.size_bytes / 1e6,
+                report.best_improvement_pct()
+            );
+            println!("recommended physical design:");
+            for index in best.config.indexes() {
+                if index.table.is_view() {
+                    continue;
+                }
+                let t = db.table(index.table);
+                let cols: Vec<&str> = index
+                    .key
+                    .iter()
+                    .map(|c| t.column(c.ordinal).name.as_str())
+                    .collect();
+                let suffix: Vec<&str> = index
+                    .suffix
+                    .iter()
+                    .map(|c| t.column(c.ordinal).name.as_str())
+                    .collect();
+                let kind = if index.clustered { "CLUSTERED " } else { "" };
+                if suffix.is_empty() {
+                    println!("  CREATE {kind}INDEX ON {} ({})", t.name, cols.join(", "));
+                } else {
+                    println!(
+                        "  CREATE {kind}INDEX ON {} ({}) INCLUDE ({})",
+                        t.name,
+                        cols.join(", "),
+                        suffix.join(", ")
+                    );
+                }
+            }
+            for view in best.config.views() {
+                println!("  CREATE MATERIALIZED VIEW AS {}", view.def.to_sql(&db));
+            }
+        }
+        None => println!("no configuration fits the budget"),
+    }
+    println!(
+        "\n{} iterations, {} optimizer calls, {:?}",
+        report.iterations, report.optimizer_calls, report.elapsed
+    );
+    Ok(())
+}
+
+fn cmd_explain(o: &CliOptions) -> Result<(), String> {
+    let db = load_database(o)?;
+    let sql = o.sql.as_deref().ok_or("explain needs --sql")?;
+    let stmt = parse_statement(sql).map_err(|e| e.to_string())?;
+    let bound = Binder::new(&db).bind(&stmt).map_err(|e| e.to_string())?;
+    let query = bound.as_select().ok_or("explain supports SELECT only")?;
+    let optimizer = Optimizer::new(&db);
+
+    let config = if o.optimal {
+        let w = Workload::bind(&db, std::slice::from_ref(&stmt)).map_err(|e| e.to_string())?;
+        let (c, _) = gather_optimal_configuration(&db, &w, !o.indexes_only);
+        c
+    } else {
+        Configuration::base(&db)
+    };
+    let plan = optimizer.optimize(&config, query);
+    println!("cost {:.1}, rows {:.0}\n{}", plan.cost, plan.rows, plan.explain());
+    Ok(())
+}
+
+fn cmd_compare(o: &CliOptions) -> Result<(), String> {
+    let db = load_database(o)?;
+    let spec = load_workload(o, &db)?;
+    let workload =
+        Workload::bind(&db, &spec.statements).map_err(|e| format!("binding workload: {e}"))?;
+    let ptt = tune(
+        &db,
+        &workload,
+        &TunerOptions {
+            space_budget: o.budget,
+            max_iterations: o.iterations,
+            with_views: !o.indexes_only,
+            ..TunerOptions::default()
+        },
+    );
+    let ctt = BaselineAdvisor::new(
+        &db,
+        BaselineOptions {
+            space_budget: o.budget,
+            with_views: !o.indexes_only,
+            ..BaselineOptions::default()
+        },
+    )
+    .tune(&workload);
+    println!("workload `{}` ({} statements)", spec.name, workload.len());
+    println!(
+        "PTT (relaxation): {:+.1}% improvement, {} optimizer calls, {:?}",
+        ptt.best_improvement_pct(),
+        ptt.optimizer_calls,
+        ptt.elapsed
+    );
+    println!(
+        "CTT (bottom-up) : {:+.1}% improvement, {} optimizer calls, {:?}",
+        ctt.improvement_pct(),
+        ctt.optimizer_calls,
+        ctt.elapsed
+    );
+    println!(
+        "dImprovement = {:+.1} points",
+        ptt.best_improvement_pct() - ctt.improvement_pct()
+    );
+    Ok(())
+}
+
+fn cmd_corpus() -> Result<(), String> {
+    println!("built-in benchmark databases:\n");
+    for (name, db) in [
+        ("tpch (SF 0.1)", tpch::tpch_database(0.1)),
+        ("ds1", star_database(&StarParams::ds1())),
+        ("ds2", star_database(&StarParams::ds2())),
+        ("bench", bench_database(&BenchParams::default())),
+    ] {
+        println!(
+            "  {name:<14} {:>2} tables, {:>8.2} GB",
+            db.tables().len(),
+            db.total_heap_bytes() / 1e9
+        );
+        for t in db.tables() {
+            println!(
+                "      {:<12} {:>12.0} rows x {:>3} cols",
+                t.name,
+                t.rows,
+                t.columns.len()
+            );
+        }
+    }
+    Ok(())
+}

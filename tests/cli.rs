@@ -1,0 +1,99 @@
+//! CLI smoke tests: every subcommand runs end-to-end on a small
+//! database and produces the expected sections.
+
+use std::process::Command;
+
+fn pdtune(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pdtune"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn tune_prints_recommendation() {
+    let (ok, stdout, stderr) = pdtune(&[
+        "tune", "--db", "tpch", "--sf", "0.01", "--queries", "6", "--budget", "64M",
+        "--iterations", "60",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("initial"), "{stdout}");
+    assert!(stdout.contains("optimal"), "{stdout}");
+    assert!(stdout.contains("recommended physical design"), "{stdout}");
+}
+
+#[test]
+fn explain_shows_plan() {
+    let (ok, stdout, stderr) = pdtune(&[
+        "explain", "--db", "tpch", "--sf", "0.01", "--sql",
+        "SELECT c_name FROM customer WHERE c_acctbal > 100",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("cost"), "{stdout}");
+    assert!(stdout.contains("Project"), "{stdout}");
+}
+
+#[test]
+fn explain_optimal_differs_from_base() {
+    let sql = "SELECT c_name FROM customer WHERE c_acctbal > 9000";
+    let (_, base_out, _) = pdtune(&["explain", "--db", "tpch", "--sf", "0.01", "--sql", sql]);
+    let (ok, opt_out, stderr) = pdtune(&[
+        "explain", "--db", "tpch", "--sf", "0.01", "--sql", sql, "--optimal",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert_ne!(base_out, opt_out, "optimal config should change the plan");
+}
+
+#[test]
+fn compare_reports_both_tools() {
+    let (ok, stdout, stderr) = pdtune(&[
+        "compare", "--db", "bench", "--seed", "1", "--queries", "6", "--iterations", "40",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("PTT"), "{stdout}");
+    assert!(stdout.contains("CTT"), "{stdout}");
+    assert!(stdout.contains("dImprovement"), "{stdout}");
+}
+
+#[test]
+fn corpus_lists_databases() {
+    let (ok, stdout, _) = pdtune(&["corpus"]);
+    assert!(ok);
+    for name in ["tpch", "ds1", "ds2", "bench", "lineitem", "fact"] {
+        assert!(stdout.contains(name), "missing {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn workload_file_round_trip() {
+    let dir = std::env::temp_dir().join("pdtune_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("w.sql");
+    std::fs::write(
+        &path,
+        "SELECT c_name FROM customer WHERE c_acctbal > 500;\n\
+         SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority;",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = pdtune(&[
+        "tune", "--db", "tpch", "--sf", "0.01", "--workload",
+        path.to_str().unwrap(), "--iterations", "40",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("2 statements"), "{stdout}");
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let (ok, _, stderr) = pdtune(&["tune", "--db", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown database"), "{stderr}");
+    let (ok2, _, stderr2) = pdtune(&["frobnicate"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown command"), "{stderr2}");
+}

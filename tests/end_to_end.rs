@@ -1,0 +1,185 @@
+//! End-to-end integration tests: SQL text -> binder -> optimizer ->
+//! tuner/baseline, across the workload generators.
+
+use pdtune::prelude::*;
+use pdtune::tuner::TransformationChoice;
+use pdtune::workloads::star::{star_database, star_workload, StarParams};
+use pdtune::workloads::tpch;
+
+fn tpch_setup() -> (pdtune::catalog::Database, Workload) {
+    let db = tpch::tpch_database(0.02);
+    let spec = tpch::tpch_workload();
+    let w = Workload::bind(&db, &spec.statements).expect("tpch binds");
+    (db, w)
+}
+
+#[test]
+fn unconstrained_tuning_reaches_a_large_improvement() {
+    let (db, w) = tpch_setup();
+    let report = tune(&db, &w, &TunerOptions::default());
+    assert!(
+        report.optimal_improvement_pct() > 50.0,
+        "views should collapse most TPC-H aggregates: {:.1}%",
+        report.optimal_improvement_pct()
+    );
+    // Optimal cost is a floor for everything else.
+    assert!(report.optimal_cost <= report.initial_cost);
+    assert!(report.lower_bound_cost <= report.optimal_cost * 1.0001);
+}
+
+#[test]
+fn constrained_tuning_respects_budget_and_orders_costs() {
+    let (db, w) = tpch_setup();
+    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.25;
+    let report = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            space_budget: Some(budget),
+            max_iterations: 300,
+            ..Default::default()
+        },
+    );
+    let best = report.best.as_ref().expect("found a configuration");
+    assert!(best.size_bytes <= budget * 1.0001);
+    assert!(best.cost >= report.optimal_cost * 0.999, "optimal is the floor");
+    assert!(best.cost <= report.initial_cost * 1.0001, "never worse than doing nothing");
+}
+
+#[test]
+fn more_budget_never_hurts() {
+    let params = StarParams {
+        fact_rows: 200_000.0,
+        ..StarParams::ds1()
+    };
+    let db = star_database(&params);
+    let spec = star_workload(&params, 11, 10);
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let mut last = f64::INFINITY;
+    for pct in [0.1, 0.3, 0.7] {
+        let budget = free.initial_size + (free.optimal_size - free.initial_size) * pct;
+        let r = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                max_iterations: 300,
+                ..Default::default()
+            },
+        );
+        let cost = r.best.as_ref().map(|b| b.cost).unwrap_or(f64::INFINITY);
+        assert!(
+            cost <= last * 1.001,
+            "improvement must be monotone in budget: {cost} after {last}"
+        );
+        last = cost;
+    }
+}
+
+#[test]
+fn baseline_and_tuner_agree_on_metrics() {
+    let (db, w) = tpch_setup();
+    let ptt = tune(&db, &w, &TunerOptions::default());
+    let ctt = BaselineAdvisor::new(&db, BaselineOptions::default()).tune(&w);
+    // Same initial cost definition on both sides.
+    assert!(
+        (ptt.initial_cost - ctt.initial_cost).abs() / ptt.initial_cost < 1e-9,
+        "{} vs {}",
+        ptt.initial_cost,
+        ctt.initial_cost
+    );
+    // Unconstrained PTT is optimal under this optimizer, so CTT cannot
+    // beat it by more than rounding.
+    assert!(
+        ctt.best_cost >= ptt.optimal_cost * 0.999,
+        "CTT {} cannot beat the optimal {}",
+        ctt.best_cost,
+        ptt.optimal_cost
+    );
+}
+
+#[test]
+fn mixed_workload_recommendation_beats_both_extremes() {
+    let db = tpch::tpch_database(0.02);
+    let base = tpch::tpch_workload_variant(3, 8);
+    let mixed = pdtune::workloads::updates::with_updates(&db, &base, 0.5, 3);
+    let w = Workload::bind(&db, &mixed.statements).unwrap();
+    let report = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            space_budget: Some(f64::MAX),
+            max_iterations: 300,
+            ..Default::default()
+        },
+    );
+    let best = report.best.as_ref().unwrap();
+    // Never worse than doing nothing, never better than the bound.
+    assert!(best.cost <= report.initial_cost * 1.0001);
+    assert!(best.cost >= report.lower_bound_cost * 0.999);
+}
+
+#[test]
+fn random_transformation_choice_is_worse_or_equal_on_average() {
+    // The §3.4 penalty heuristic ablation: with the same iteration
+    // budget, penalty-guided search should not lose to random choice.
+    let (db, w) = tpch_setup();
+    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.2;
+    let mk = |choice: TransformationChoice, seed: u64| {
+        tune(
+            &db,
+            &w,
+            &TunerOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                max_iterations: 150,
+                transformation_choice: choice,
+                seed,
+                ..Default::default()
+            },
+        )
+        .best
+        .map(|b| b.cost)
+        .unwrap_or(f64::INFINITY)
+    };
+    let penalty = mk(TransformationChoice::Penalty, 0);
+    let random_avg = (mk(TransformationChoice::Random, 1)
+        + mk(TransformationChoice::Random, 2)
+        + mk(TransformationChoice::Random, 3))
+        / 3.0;
+    assert!(
+        penalty <= random_avg * 1.02,
+        "penalty {penalty} should not lose to random {random_avg}"
+    );
+}
+
+#[test]
+fn report_counts_are_consistent() {
+    let (db, w) = tpch_setup();
+    let free = tune(&db, &w, &TunerOptions::default());
+    let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.3;
+    let report = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            space_budget: Some(budget),
+            max_iterations: 60,
+            ..Default::default()
+        },
+    );
+    assert!(report.iterations <= 60);
+    // Every recorded candidate count corresponds to one loop pass that
+    // reached scoring; passes can also end early (exhausted node,
+    // empty pool), so the count is bounded by the iterations.
+    assert!(report.candidate_counts.len() <= report.iterations);
+    assert!(!report.candidate_counts.is_empty());
+    assert!(!report.frontier.is_empty());
+    assert!(report.request_counts.0 > 0, "index requests were intercepted");
+    assert!(report.request_counts.1 > 0, "view requests were intercepted");
+    assert!(report.optimizer_calls >= w.len());
+}

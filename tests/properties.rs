@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) over the core data structures and
+//! the paper's key invariants.
+
+use proptest::prelude::*;
+use pdtune::catalog::{ColumnId, ColumnStats, ColumnType, Database, TableId};
+use pdtune::expr::{Bound, Interval};
+use pdtune::physical::{Configuration, Index};
+use pdtune::sql::parse_statement;
+
+fn test_db() -> Database {
+    let mut b = Database::builder("prop");
+    let mk = |name: String| pdtune::catalog::Column {
+        name,
+        ty: ColumnType::Int,
+        stats: ColumnStats::uniform(1000.0, 0.0, 1000.0, 4.0),
+    };
+    b.add_table(
+        "t",
+        1_000_000.0,
+        (0..8).map(|i| mk(format!("c{i}"))).collect(),
+        vec![0],
+    );
+    b.build()
+}
+
+fn arb_bound() -> impl Strategy<Value = Bound> {
+    prop_oneof![
+        Just(Bound::Unbounded),
+        (-100.0f64..100.0).prop_map(Bound::Inclusive),
+        (-100.0f64..100.0).prop_map(Bound::Exclusive),
+    ]
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (arb_bound(), arb_bound()).prop_map(|(lo, hi)| Interval { lo, hi })
+}
+
+fn arb_index() -> impl Strategy<Value = Index> {
+    let t = TableId(0);
+    (
+        proptest::collection::vec(0u16..8, 1..5),
+        proptest::collection::vec(0u16..8, 0..4),
+    )
+        .prop_map(move |(key, suffix)| {
+            Index::new(
+                t,
+                key.into_iter().map(|o| ColumnId::new(t, o)),
+                suffix.into_iter().map(|o| ColumnId::new(t, o)),
+            )
+        })
+}
+
+proptest! {
+    /// Interval intersection is sound: a point in both inputs is in
+    /// the intersection, and the hull contains both inputs.
+    #[test]
+    fn interval_algebra(a in arb_interval(), b in arb_interval()) {
+        let inter = a.intersect(&b);
+        let hull = a.hull(&b);
+        prop_assert!(hull.contains(&a));
+        prop_assert!(hull.contains(&b));
+        prop_assert!(a.contains(&inter) || inter.is_empty());
+        prop_assert!(b.contains(&inter) || inter.is_empty());
+        // Intersection and hull are commutative.
+        prop_assert_eq!(inter, b.intersect(&a));
+        prop_assert_eq!(hull, b.hull(&a));
+    }
+
+    /// §3.1.1 merge: the merged index answers every request either
+    /// input answered (covers both column sets) and can be sought the
+    /// way I1 was (shares I1's key prefix or extends it).
+    #[test]
+    fn index_merge_covers_both(i1 in arb_index(), i2 in arb_index()) {
+        let merged = i1.merge(&i2).expect("same table");
+        prop_assert!(merged.covers(&i1.all_columns()));
+        prop_assert!(merged.covers(&i2.all_columns()));
+        // Key starts with one of the input keys.
+        let starts_with_k1 = merged.shared_key_prefix(&i1.key) == i1.key.len().min(merged.key.len());
+        let starts_with_k2 = merged.shared_key_prefix(&i2.key) == i2.key.len().min(merged.key.len());
+        prop_assert!(starts_with_k1 || starts_with_k2);
+    }
+
+    /// §3.1.1 split: the common + residual indexes partition the
+    /// original columns (nothing outside the inputs, common covered by
+    /// both).
+    #[test]
+    fn index_split_is_sound(i1 in arb_index(), i2 in arb_index()) {
+        if let Some(split) = i1.split(&i2) {
+            let c1 = i1.all_columns();
+            let c2 = i2.all_columns();
+            for col in split.common.all_columns() {
+                prop_assert!(c1.contains(&col) && c2.contains(&col));
+            }
+            if let Some(r1) = &split.residual1 {
+                for col in r1.all_columns() {
+                    prop_assert!(c1.contains(&col));
+                    prop_assert!(!split.common.all_columns().contains(&col));
+                }
+                // IC ∪ IR1 restores I1's columns.
+                let mut union = split.common.all_columns();
+                union.extend(r1.all_columns());
+                prop_assert!(union.is_superset(&c1));
+            }
+        }
+    }
+
+    /// Index prefix yields a strictly narrower structure whose key is
+    /// a prefix of the original key.
+    #[test]
+    fn index_prefix_shrinks(i in arb_index(), len in 1usize..5) {
+        if let Some(p) = i.prefix(len) {
+            prop_assert!(p.key.len() <= i.key.len());
+            prop_assert_eq!(&i.key[..p.key.len()], &p.key[..]);
+            prop_assert!(p.suffix.is_empty());
+            prop_assert!(p.width() < i.width() || p.key.len() < i.key.len());
+        }
+    }
+
+    /// Configuration size decreases under removal, for arbitrary
+    /// index sets.
+    #[test]
+    fn removal_shrinks_configurations(indexes in proptest::collection::vec(arb_index(), 1..6)) {
+        let db = test_db();
+        let mut config = Configuration::base(&db);
+        for i in &indexes {
+            config.add_index(i.clone());
+        }
+        let full = config.size_bytes(&db);
+        let victim = indexes[0].clone();
+        if config.remove_index(&victim) {
+            prop_assert!(config.size_bytes(&db) < full);
+        }
+    }
+
+    /// Histogram selectivities are probabilities and respect
+    /// monotonicity of range width.
+    #[test]
+    fn selectivity_bounds(lo in 0.0f64..900.0, width in 0.0f64..100.0) {
+        let stats = ColumnStats::uniform(1000.0, 0.0, 1000.0, 4.0);
+        let narrow = stats.range_selectivity(Some((lo, true)), Some((lo + width, true)));
+        let wide = stats.range_selectivity(Some((lo, true)), Some((lo + width * 2.0, true)));
+        prop_assert!((0.0..=1.0).contains(&narrow));
+        prop_assert!(wide >= narrow - 1e-12);
+    }
+
+    /// Parser round-trip on generated predicates.
+    #[test]
+    fn parser_round_trip(a in 0u16..8, v in -1000i64..1000, k in 0u16..8) {
+        let sql = format!(
+            "SELECT t.c{a} FROM t WHERE t.c{a} < {v} AND t.c{k} = {} ORDER BY t.c{a}",
+            v / 2
+        );
+        let s1 = parse_statement(&sql).unwrap();
+        let s2 = parse_statement(&s1.to_string()).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+}
