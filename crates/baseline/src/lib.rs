@@ -23,8 +23,10 @@
 use pdt_catalog::{Database, TableId};
 use pdt_opt::Optimizer;
 use pdt_physical::{Configuration, Index, MaterializedView};
-use pdt_tuner::eval::{evaluate_full, evaluate_incremental, EvalResult};
+use pdt_tuner::cache::{CacheEntry, CostCache};
+use pdt_tuner::eval::{evaluate_full_ctx, EvalCtx, EvalResult};
 use pdt_tuner::instrument::OptimalSink;
+use pdt_tuner::par::{par_map, resolve_threads};
 use pdt_tuner::Workload;
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
@@ -55,6 +57,14 @@ pub struct BaselineOptions {
     pub max_view_join_tables: usize,
     /// Optimizer-call budget (the tool's "tuning time").
     pub max_evaluations: usize,
+    /// Worker threads for atomic-configuration evaluation (0 = one per
+    /// available core). The report is identical for every value.
+    pub threads: usize,
+    /// Memoize optimizer what-if calls in a shared [`CostCache`] — the
+    /// generalization of the atomic-configuration shortcut: a query is
+    /// re-optimized at most once per distinct projection of a trial
+    /// configuration onto its tables.
+    pub cost_cache: bool,
 }
 
 impl Default for BaselineOptions {
@@ -67,6 +77,8 @@ impl Default for BaselineOptions {
             view_table_subset_min_freq: 2,
             max_view_join_tables: 4,
             max_evaluations: 5_000,
+            threads: 1,
+            cost_cache: true,
         }
     }
 }
@@ -170,6 +182,9 @@ pub struct BaselineReport {
     pub best_size: f64,
     pub candidate_count: usize,
     pub optimizer_calls: usize,
+    /// What-if cost-cache hits/misses (both 0 with the cache disabled).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
     pub progress: Vec<ProgressPoint>,
     pub elapsed: Duration,
 }
@@ -199,7 +214,14 @@ impl<'a> BaselineAdvisor<'a> {
         let base = Configuration::base(self.db);
         let mut calls = 0usize;
 
-        let base_eval = evaluate_full(self.db, &opt, &base, workload);
+        let threads = resolve_threads(self.options.threads);
+        let cache = self.options.cost_cache.then(CostCache::new);
+        let ctx = EvalCtx {
+            threads,
+            cache: cache.as_ref(),
+        };
+
+        let base_eval = evaluate_full_ctx(self.db, &opt, &base, workload, ctx);
         calls += base_eval.optimizer_calls;
         let initial_cost = base_eval.total_cost;
 
@@ -324,9 +346,9 @@ impl<'a> BaselineAdvisor<'a> {
                 // Atomic-configuration approximation: re-optimize only
                 // queries touching the candidate's tables.
                 let affected = cand.affected_tables();
-                let trial_eval = reopt_affected(
-                    self.db, &opt, &trial, workload, &eval, &affected, &mut calls,
-                );
+                let trial_eval =
+                    reopt_affected(self.db, &opt, &trial, workload, &eval, &affected, ctx);
+                calls += trial_eval.optimizer_calls;
                 let benefit = eval.total_cost - trial_eval.total_cost;
                 if benefit <= 0.0 {
                     continue;
@@ -356,6 +378,8 @@ impl<'a> BaselineAdvisor<'a> {
             best_config: config,
             candidate_count,
             optimizer_calls: calls,
+            cache_hits: cache.as_ref().map_or(0, |c| c.hits()),
+            cache_misses: cache.as_ref().map_or(0, |c| c.misses()),
             progress,
             elapsed: start.elapsed(),
         }
@@ -403,11 +427,14 @@ impl<'a> BaselineAdvisor<'a> {
                 .map(|o| pdt_catalog::ColumnId::new(id, o))
                 .collect()
         };
-        let clustered = Index::clustered(id, if key.is_empty() {
-            vec![pdt_catalog::ColumnId::new(id, 0)]
-        } else {
-            key
-        });
+        let clustered = Index::clustered(
+            id,
+            if key.is_empty() {
+                vec![pdt_catalog::ColumnId::new(id, 0)]
+            } else {
+                key
+            },
+        );
         Some(Candidate::View {
             view,
             indexes: vec![clustered],
@@ -437,22 +464,17 @@ impl<'a> BaselineAdvisor<'a> {
                             }
                         }
                     }
-                    (
-                        Candidate::View { view: v1, .. },
-                        Candidate::View { view: v2, .. },
-                    ) if v1.def.tables == v2.def.tables => {
-                        if let Some(def) =
-                            pdt_physical::view::merge_views(&v1.def, &v2.def)
-                        {
+                    (Candidate::View { view: v1, .. }, Candidate::View { view: v2, .. })
+                        if v1.def.tables == v2.def.tables =>
+                    {
+                        if let Some(def) = pdt_physical::view::merge_views(&v1.def, &v2.def) {
                             let opt = Optimizer::new(self.db);
                             let scratch = Configuration::new();
                             let rows = opt.estimate_view_rows(&scratch, &def);
                             let id = scratch.allocate_view_id();
                             let view = MaterializedView::create(id, def, rows, self.db);
-                            let clustered = Index::clustered(
-                                id,
-                                [pdt_catalog::ColumnId::new(id, 0)],
-                            );
+                            let clustered =
+                                Index::clustered(id, [pdt_catalog::ColumnId::new(id, 0)]);
                             merged.push(Candidate::View {
                                 view,
                                 indexes: vec![clustered],
@@ -474,7 +496,10 @@ impl<'a> BaselineAdvisor<'a> {
 /// everything else keeps its cached plan. (The "atomic configuration"
 /// shortcut: cheap, but — as the paper notes — it "introduces
 /// additional inaccuracies" because additions can in principle change
-/// other plans.)
+/// other plans.) Touched queries go through the shared what-if cache
+/// when one is attached: greedy rounds repeatedly trial candidates that
+/// leave a query's visible structures unchanged, and those trials cost
+/// nothing. The returned `optimizer_calls` counts actual invocations.
 fn reopt_affected(
     db: &Database,
     opt: &Optimizer<'_>,
@@ -482,24 +507,58 @@ fn reopt_affected(
     workload: &Workload,
     prev: &EvalResult,
     affected: &BTreeSet<TableId>,
-    calls: &mut usize,
+    ctx: EvalCtx<'_>,
 ) -> EvalResult {
-    // Build a pseudo-removed list: re-optimize queries whose SELECT
-    // references an affected table by faking usage invalidation.
-    let mut per_query = Vec::with_capacity(workload.len());
-    let mut total = 0.0;
     let schema = pdt_physical::PhysicalSchema::new(db, config);
     let model = opt.opts.cost;
-    for (entry, q_prev) in workload.entries.iter().zip(&prev.per_query) {
+    let indices: Vec<usize> = (0..workload.len()).collect();
+    // (eval, calls, hit, miss, pending cache insert), in entry order.
+    type Entry = (
+        pdt_tuner::QueryEval,
+        usize,
+        bool,
+        bool,
+        Option<(u64, CacheEntry)>,
+    );
+    let evals: Vec<Entry> = par_map(ctx.threads, &indices, |_, &i| {
+        let entry = &workload.entries[i];
+        let q_prev = &prev.per_query[i];
         let touches = entry
             .select
             .as_ref()
             .map(|s| s.tables.iter().any(|t| affected.contains(t)))
             .unwrap_or(false);
+        let mut calls = 0;
+        let (mut hit, mut miss) = (false, false);
+        let mut pending = None;
         let (select_cost, usages) = if touches {
-            let plan = opt.optimize(config, entry.select.as_ref().expect("touches"));
-            *calls += 1;
-            (plan.cost, plan.index_usages)
+            let q = entry.select.as_ref().expect("touches");
+            let cached = ctx.cache.map(|cache| {
+                let tables: BTreeSet<TableId> = q.tables.iter().copied().collect();
+                (cache, config.signature_for_tables(&tables))
+            });
+            match cached.as_ref().and_then(|(c, sig)| c.lookup(i, *sig)) {
+                Some(e) => {
+                    hit = true;
+                    (e.cost, e.usages)
+                }
+                None => {
+                    let plan = opt.optimize(config, q);
+                    calls = 1;
+                    let usages: std::sync::Arc<[pdt_opt::IndexUsage]> = plan.index_usages.into();
+                    if let Some((_, sig)) = cached {
+                        miss = true;
+                        pending = Some((
+                            sig,
+                            CacheEntry {
+                                cost: plan.cost,
+                                usages: usages.clone(),
+                            },
+                        ));
+                    }
+                    (plan.cost, usages)
+                }
+            }
         } else {
             (q_prev.select_cost, q_prev.usages.clone())
         };
@@ -508,24 +567,39 @@ fn reopt_affected(
             .as_ref()
             .map(|s| pdt_tuner::eval::shell_cost(&model, &schema, s))
             .unwrap_or(0.0);
-        total += entry.weight * (select_cost + shell_cost);
-        per_query.push(pdt_tuner::eval::QueryEval {
+        let q = pdt_tuner::QueryEval {
             select_cost,
             shell_cost,
             usages,
-        });
+        };
+        (q, calls, hit, miss, pending)
+    });
+
+    let mut per_query = Vec::with_capacity(evals.len());
+    let mut total = 0.0;
+    let mut calls = 0;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for (i, (q, c, hit, miss, pending)) in evals.into_iter().enumerate() {
+        total += workload.entries[i].weight * q.total();
+        calls += c;
+        hits += u64::from(hit);
+        misses += u64::from(miss);
+        if let Some((sig, ce)) = pending {
+            if let Some(cache) = ctx.cache {
+                cache.insert(i, sig, ce);
+            }
+        }
+        per_query.push(q);
+    }
+    if let Some(cache) = ctx.cache {
+        cache.record(hits, misses);
     }
     EvalResult {
         per_query,
         total_cost: total,
-        optimizer_calls: 0,
+        optimizer_calls: calls,
     }
 }
-
-// Silence the unused import when evaluate_incremental is not referenced
-// directly (kept for API parity in tests).
-#[allow(unused_imports)]
-use evaluate_incremental as _evaluate_incremental;
 
 #[cfg(test)]
 mod tests {

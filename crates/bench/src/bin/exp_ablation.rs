@@ -6,24 +6,36 @@
 //! Reports recommendation quality (improvement %) and work (optimizer
 //! calls) at a fixed iteration budget.
 
+use pdt_bench::json_struct;
 use pdt_bench::{bind_workload, render_table, write_json};
 use pdt_tuner::{tune, ConfigChoice, TransformationChoice, TunerOptions};
 use pdt_workloads::{tpch, updates::with_updates};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     variant: String,
     improvement_pct: f64,
     optimizer_calls: usize,
     iterations: usize,
 }
+json_struct!(Row {
+    variant,
+    improvement_pct,
+    optimizer_calls,
+    iterations
+});
 
 fn main() {
     let db = tpch::tpch_database(0.05);
     let spec = tpch::tpch_workload();
     let w = bind_workload(&db, &spec.statements);
-    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let free = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
     let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.2;
 
     let run = |label: &str, opts: TunerOptions| -> Row {
@@ -85,7 +97,10 @@ fn main() {
     // Skyline ablation needs updates to matter (§3.6).
     let mixed = with_updates(&db, &tpch::tpch_workload_variant(4, 10), 0.6, 4);
     let wu = bind_workload(&db, &mixed.statements);
-    for (label, skyline) in [("updates: skyline on", true), ("updates: skyline off", false)] {
+    for (label, skyline) in [
+        ("updates: skyline on", true),
+        ("updates: skyline off", false),
+    ] {
         let r = tune(
             &db,
             &wu,
@@ -118,7 +133,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["variant", "improvement", "optimizer calls", "iterations"], &table)
+        render_table(
+            &["variant", "improvement", "optimizer calls", "iterations"],
+            &table
+        )
     );
     write_json("ablation", &rows);
 }

@@ -7,27 +7,32 @@
 //! available ("due to multiple heuristics and greedy approximation").
 
 use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::json_struct;
 use pdt_bench::{bind_workload, render_table, write_json};
 use pdt_catalog::Database;
 use pdt_sql::Statement;
 use pdt_tuner::{tune, TunerOptions};
 use pdt_workloads::star::{star_database, star_workload, StarParams};
 use pdt_workloads::tpch;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct SweepPoint {
     pct_of_optimal: f64,
     budget_mb: f64,
     impr_ptt: f64,
     impr_ctt: f64,
 }
+json_struct!(SweepPoint {
+    pct_of_optimal,
+    budget_mb,
+    impr_ptt,
+    impr_ctt
+});
 
-#[derive(Serialize)]
 struct Sweep {
     name: String,
     points: Vec<SweepPoint>,
 }
+json_struct!(Sweep { name, points });
 
 fn main() {
     let mut sweeps = Vec::new();
@@ -68,9 +73,7 @@ fn main() {
             .points
             .windows(2)
             .any(|w| w[1].impr_ctt < w[0].impr_ctt - 0.5);
-        println!(
-            "PTT monotone non-decreasing: {monotone}; CTT dips with more space: {ctt_dips}\n"
-        );
+        println!("PTT monotone non-decreasing: {monotone}; CTT dips with more space: {ctt_dips}\n");
     }
     write_json("fig10", &sweeps);
 }
@@ -88,8 +91,7 @@ fn sweep(name: &str, db: &Database, statements: &[Statement]) -> Sweep {
     );
     let mut points = Vec::new();
     for pct in [5.0, 10.0, 20.0, 35.0, 50.0, 70.0, 90.0, 100.0] {
-        let budget =
-            free.initial_size + (free.optimal_size - free.initial_size) * pct / 100.0;
+        let budget = free.initial_size + (free.optimal_size - free.initial_size) * pct / 100.0;
         let ptt = tune(
             db,
             &w,

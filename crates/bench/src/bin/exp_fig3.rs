@@ -7,16 +7,19 @@
 //! stop the bottom-up tool early; without it one must run to the end.
 
 use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::json_struct;
 use pdt_bench::{bind_workload, write_json};
 use pdt_tuner::{tune, TunerOptions};
 use pdt_workloads::tpch;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     optimizer_calls: usize,
     improvement_pct: f64,
 }
+json_struct!(Point {
+    optimizer_calls,
+    improvement_pct
+});
 
 fn main() {
     let db = tpch::tpch_database(0.1);
@@ -39,14 +42,20 @@ fn main() {
 
     println!("Figure 3: bottom-up tool's best configuration over time (30-query workload)\n");
     println!("optimal-improvement bound (known to PTT up front): {bound:.1}%\n");
-    println!("{:>16} {:>13}  trajectory", "optimizer calls", "improvement");
+    println!(
+        "{:>16} {:>13}  trajectory",
+        "optimizer calls", "improvement"
+    );
     let max = points
         .iter()
         .map(|p| p.improvement_pct)
         .fold(1.0f64, f64::max);
     for p in &points {
         let bar = "#".repeat(((p.improvement_pct / max) * 50.0).round().max(0.0) as usize);
-        println!("{:>16} {:>12.1}%  {}", p.optimizer_calls, p.improvement_pct, bar);
+        println!(
+            "{:>16} {:>12.1}%  {}",
+            p.optimizer_calls, p.improvement_pct, bar
+        );
     }
     if let Some(last) = points.last() {
         let when_close = points

@@ -3,17 +3,21 @@
 //! indexes, annotated with the initial, optimal and best-under-budget
 //! configurations.
 
+use pdt_bench::json_struct;
 use pdt_bench::{bind_workload, write_json};
 use pdt_tuner::{tune, TunerOptions};
 use pdt_workloads::tpch;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     size_mb: f64,
     cost: f64,
     fits: bool,
 }
+json_struct!(Point {
+    size_mb,
+    cost,
+    fits
+});
 
 fn main() {
     let db = tpch::tpch_database(0.1);
@@ -78,13 +82,20 @@ fn main() {
         .collect();
     points.sort_by(|a, b| a.size_mb.total_cmp(&b.size_mb));
 
-    println!("{:>10} {:>12}  (cost, * = within budget)", "size (MB)", "est. cost");
+    println!(
+        "{:>10} {:>12}  (cost, * = within budget)",
+        "size (MB)", "est. cost"
+    );
     let min_c = points.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min);
     let max_c = points.iter().map(|p| p.cost).fold(1.0f64, f64::max);
     // Pareto lower envelope per size bucket for a readable curve.
     let buckets = 30usize;
     let min_s = points.first().map(|p| p.size_mb).unwrap_or(0.0);
-    let max_s = points.last().map(|p| p.size_mb).unwrap_or(1.0).max(min_s + 1.0);
+    let max_s = points
+        .last()
+        .map(|p| p.size_mb)
+        .unwrap_or(1.0)
+        .max(min_s + 1.0);
     for b in 0..buckets {
         let lo = min_s + (max_s - min_s) * b as f64 / buckets as f64;
         let hi = min_s + (max_s - min_s) * (b + 1) as f64 / buckets as f64;

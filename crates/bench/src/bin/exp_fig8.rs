@@ -4,6 +4,7 @@
 //! for {TPC-H, DS1, BENCH} × {indexes only, indexes and views}.
 
 use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::json_struct;
 use pdt_bench::{bind_workload, render_delta_bars, write_json, DeltaSummary};
 use pdt_catalog::Database;
 use pdt_sql::Statement;
@@ -11,14 +12,17 @@ use pdt_tuner::{tune, TunerOptions};
 use pdt_workloads::bench::{bench_database, bench_workload, BenchParams};
 use pdt_workloads::star::{star_database, star_workload, StarParams};
 use pdt_workloads::tpch;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Panel {
     name: String,
     deltas: Vec<f64>,
     summary: DeltaSummary,
 }
+json_struct!(Panel {
+    name,
+    deltas,
+    summary
+});
 
 fn main() {
     let n: usize = std::env::args()
@@ -33,7 +37,11 @@ fn main() {
     let bench_db_ = bench_database(&BenchParams::default());
 
     for with_views in [false, true] {
-        let mode = if with_views { "indexes+views" } else { "indexes" };
+        let mode = if with_views {
+            "indexes+views"
+        } else {
+            "indexes"
+        };
 
         let mut deltas = Vec::with_capacity(n);
         for seed in 0..n as u64 {
@@ -70,7 +78,10 @@ fn main() {
             p.summary.mean_delta,
         );
     }
-    let all: Vec<f64> = panels.iter().flat_map(|p| p.deltas.iter().copied()).collect();
+    let all: Vec<f64> = panels
+        .iter()
+        .flat_map(|p| p.deltas.iter().copied())
+        .collect();
     let overall = DeltaSummary::from(&all);
     println!(
         "OVERALL: {} workloads — {:.0}% ties, {:.0}% PTT wins, {:.0}% PTT losses\n\

@@ -4,6 +4,7 @@
 //! paper gave it 15/30 minutes; CTT was unbounded).
 
 use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::json_struct;
 use pdt_bench::{bind_workload, render_delta_bars, write_json, DeltaSummary};
 use pdt_catalog::Database;
 use pdt_sql::Statement;
@@ -11,14 +12,17 @@ use pdt_tuner::{tune, TunerOptions};
 use pdt_workloads::star::{star_database, star_workload, StarParams};
 use pdt_workloads::tpch;
 use pdt_workloads::updates::with_updates;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Panel {
     name: String,
     deltas: Vec<f64>,
     summary: DeltaSummary,
 }
+json_struct!(Panel {
+    name,
+    deltas,
+    summary
+});
 
 fn main() {
     let n: usize = std::env::args()
@@ -32,7 +36,11 @@ fn main() {
     let mut panels = Vec::new();
 
     for with_views in [false, true] {
-        let mode = if with_views { "indexes+views" } else { "indexes" };
+        let mode = if with_views {
+            "indexes+views"
+        } else {
+            "indexes"
+        };
         // PTT gets a bounded run, as in the paper (15 min for indexes,
         // 30 min for indexes+views — scaled to iterations here).
         let iters = if with_views { 500 } else { 300 };

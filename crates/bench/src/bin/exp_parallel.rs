@@ -1,0 +1,170 @@
+//! Parallel-scaling run for the relaxation engine: wall-clock,
+//! optimizer calls, and what-if cost-cache hit rate as a function of
+//! the worker-thread count, plus a cache on/off comparison.
+//!
+//! Writes `BENCH_parallel.json` into the current directory (run from
+//! the repo root) in addition to the shared results directory. The
+//! JSON records `available_parallelism` so single-core environments —
+//! where thread scaling cannot show a speedup — are self-documenting.
+
+use pdt_bench::json::ToJson;
+use pdt_bench::json_struct;
+use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_tuner::{tune, TunerOptions, TuningReport};
+use pdt_workloads::tpch;
+use std::time::Instant;
+
+struct Row {
+    threads: usize,
+    cost_cache: bool,
+    wall_clock_ms: f64,
+    optimizer_calls: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate_pct: f64,
+    improvement_pct: f64,
+}
+json_struct!(Row {
+    threads,
+    cost_cache,
+    wall_clock_ms,
+    optimizer_calls,
+    cache_hits,
+    cache_misses,
+    cache_hit_rate_pct,
+    improvement_pct
+});
+
+struct Summary {
+    available_parallelism: usize,
+    speedup_vs_1_thread: f64,
+    cache_speedup_1_thread: f64,
+    rows: Vec<Row>,
+}
+json_struct!(Summary {
+    available_parallelism,
+    speedup_vs_1_thread,
+    cache_speedup_1_thread,
+    rows
+});
+
+fn main() {
+    let db = tpch::tpch_database(0.05);
+    let spec = tpch::tpch_workload();
+    let w = bind_workload(&db, &spec.statements);
+
+    // Constrained run: budget at 20% of the optimal configuration's
+    // extra space, the regime where relaxation does real work.
+    let free = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
+    let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.2;
+
+    let run = |threads: usize, cost_cache: bool| -> (Row, TuningReport) {
+        let start = Instant::now();
+        let r = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                max_iterations: 150,
+                threads,
+                cost_cache,
+                ..Default::default()
+            },
+        );
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let probes = r.cache_hits + r.cache_misses;
+        let row = Row {
+            threads,
+            cost_cache,
+            wall_clock_ms: wall,
+            optimizer_calls: r.optimizer_calls,
+            cache_hits: r.cache_hits,
+            cache_misses: r.cache_misses,
+            cache_hit_rate_pct: if probes == 0 {
+                0.0
+            } else {
+                100.0 * r.cache_hits as f64 / probes as f64
+            },
+            improvement_pct: r.best_improvement_pct(),
+        };
+        (row, r)
+    };
+
+    let mut rows = Vec::new();
+    let (uncached, _) = run(1, false);
+    rows.push(uncached);
+    let mut best_fp: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (row, report) = run(threads, true);
+        rows.push(row);
+        // Cross-check the determinism contract while we're here.
+        let fp = format!("{:?}", report.best.as_ref().map(|b| (b.cost, &b.config)));
+        match &best_fp {
+            None => best_fp = Some(fp),
+            Some(prev) => assert_eq!(prev, &fp, "thread count changed the recommendation"),
+        }
+    }
+
+    let wall = |threads: usize, cache: bool| {
+        rows.iter()
+            .find(|r| r.threads == threads && r.cost_cache == cache)
+            .map(|r| r.wall_clock_ms)
+            .unwrap_or(f64::NAN)
+    };
+    let best_parallel = [2usize, 4, 8]
+        .iter()
+        .map(|&t| wall(t, true))
+        .fold(f64::INFINITY, f64::min);
+    let summary = Summary {
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        speedup_vs_1_thread: wall(1, true) / best_parallel,
+        cache_speedup_1_thread: wall(1, false) / wall(1, true),
+        rows,
+    };
+
+    let table: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                if r.cost_cache { "on" } else { "off" }.to_string(),
+                format!("{:.0}", r.wall_clock_ms),
+                r.optimizer_calls.to_string(),
+                format!("{:.1}", r.cache_hit_rate_pct),
+                format!("{:+.1}", r.improvement_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "threads",
+                "cache",
+                "wall ms",
+                "opt calls",
+                "hit %",
+                "improv %"
+            ],
+            &table
+        )
+    );
+    println!(
+        "available parallelism: {}   speedup vs 1 thread: {:.2}x   cache speedup: {:.2}x",
+        summary.available_parallelism, summary.speedup_vs_1_thread, summary.cache_speedup_1_thread
+    );
+
+    write_json("BENCH_parallel", &summary);
+    std::fs::write("BENCH_parallel.json", summary.to_json().pretty())
+        .expect("write BENCH_parallel.json");
+    eprintln!("[saved BENCH_parallel.json]");
+}

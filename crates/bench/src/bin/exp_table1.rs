@@ -4,15 +4,14 @@
 //! issues during instrumented optimization and the structures the
 //! tuner simulates in response.
 
+use pdt_bench::json_struct;
 use pdt_bench::{render_table, write_json};
 use pdt_opt::Optimizer;
 use pdt_physical::Configuration;
 use pdt_tuner::instrument::OptimalSink;
 use pdt_tuner::Workload;
 use pdt_workloads::tpch;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     query: usize,
     index_requests: usize,
@@ -20,6 +19,13 @@ struct Row {
     simulated_indexes: usize,
     simulated_views: usize,
 }
+json_struct!(Row {
+    query,
+    index_requests,
+    view_requests,
+    simulated_indexes,
+    simulated_views
+});
 
 fn main() {
     let sf = 0.1;
@@ -91,10 +97,7 @@ fn main() {
     println!(
         "The number of simulated structures ({} indexes, {} views) stays small\n\
          relative to the requests analyzed ({} + {}), as the paper reports.",
-        total.simulated_indexes,
-        total.simulated_views,
-        total.index_requests,
-        total.view_requests
+        total.simulated_indexes, total.simulated_views, total.index_requests, total.view_requests
     );
     write_json("table1", &rows);
 }

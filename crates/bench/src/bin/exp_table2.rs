@@ -1,12 +1,11 @@
 //! Table 2 — "Databases and workloads used in the experiments."
 
+use pdt_bench::json_struct;
 use pdt_bench::{render_table, write_json};
 use pdt_workloads::bench::{bench_database, BenchParams};
 use pdt_workloads::star::{star_database, StarParams};
 use pdt_workloads::tpch;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     database: String,
     tables: usize,
@@ -15,6 +14,14 @@ struct Row {
     update_workloads: usize,
     queries_per_workload: String,
 }
+json_struct!(Row {
+    database,
+    tables,
+    data_gb,
+    select_workloads,
+    update_workloads,
+    queries_per_workload
+});
 
 fn main() {
     let mut rows: Vec<Row> = Vec::new();

@@ -4,13 +4,12 @@
 //! constraints, SELECT-only — §4.1).
 
 use pdt_baseline::{BaselineAdvisor, BaselineOptions};
+use pdt_bench::json_struct;
 use pdt_bench::{bind_workload, render_table, write_json};
 use pdt_tuner::{tune, TunerOptions};
 use pdt_workloads::star::{star_database, star_workload, StarParams};
 use pdt_workloads::tpch;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     ctt_ms: f64,
@@ -20,6 +19,15 @@ struct Row {
     impr_ctt: f64,
     impr_ptt: f64,
 }
+json_struct!(Row {
+    workload,
+    ctt_ms,
+    ptt_ms,
+    ctt_calls,
+    ptt_calls,
+    impr_ctt,
+    impr_ptt
+});
 
 fn main() {
     let mut rows: Vec<Row> = Vec::new();

@@ -1,0 +1,235 @@
+//! A minimal JSON emitter so the harness writes machine-readable
+//! results without an external serialization dependency (the workspace
+//! builds fully offline). Only what the experiment binaries need:
+//! objects, arrays, strings, numbers, bools — pretty-printed with
+//! stable key order (declaration order).
+
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Pretty-print with two-space indentation (trailing newline).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(n) => {
+                // JSON has no NaN/Infinity; map them to null like
+                // serde_json's lossy writers do.
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into [`Json`]; implemented for primitives, collections,
+/// and (via [`crate::json_struct!`]) the experiment result structs.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+int_to_json!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl ToJson for std::time::Duration {
+    fn to_json(&self) -> Json {
+        Json::Num(self.as_secs_f64())
+    }
+}
+
+/// Derive [`ToJson`] for a struct by listing its fields:
+///
+/// ```ignore
+/// struct Point { x: f64, y: f64 }
+/// json_struct!(Point { x, y });
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::json::ToJson for $name {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::json::ToJson::to_json(&self.$field))),*
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::Obj(vec![
+            ("name".into(), "q\"1\"".to_json()),
+            ("cost".into(), 12.5.to_json()),
+            ("tags".into(), vec!["a", "b"].to_json()),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let s = v.pretty();
+        assert!(s.contains("\"q\\\"1\\\"\""), "{s}");
+        assert!(s.contains("\"cost\": 12.5"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(f64::NAN.to_json().pretty(), "null\n");
+        assert_eq!(f64::INFINITY.to_json().pretty(), "null\n");
+    }
+
+    #[test]
+    fn json_struct_macro_emits_declaration_order() {
+        struct P {
+            b: f64,
+            a: usize,
+        }
+        json_struct!(P { b, a });
+        let s = P { b: 1.0, a: 2 }.to_json().pretty();
+        let (bi, ai) = (s.find("\"b\"").unwrap(), s.find("\"a\"").unwrap());
+        assert!(bi < ai, "{s}");
+    }
+}

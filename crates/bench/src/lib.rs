@@ -1,9 +1,8 @@
 //! # pdt-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper's evaluation (Section 4),
-//! plus Criterion micro-benchmarks. Every binary prints the
-//! rows/series the paper reports and writes machine-readable JSON to
-//! `results/`.
+//! plus a parallel-scaling run. Every binary prints the rows/series
+//! the paper reports and writes machine-readable JSON to `results/`.
 //!
 //! | binary       | reproduces |
 //! |--------------|------------|
@@ -16,11 +15,15 @@
 //! | `exp_fig8`   | Fig. 8 — ΔImprovement, no constraints |
 //! | `exp_fig9`   | Fig. 9 — ΔImprovement, UPDATE workloads |
 //! | `exp_fig10`  | Fig. 10 — quality vs storage constraint |
+//! | `exp_ablation` | design-choice ablations (DESIGN.md §5) |
+//! | `exp_parallel` | thread/cache scaling → `BENCH_parallel.json` |
 
+pub mod json;
+
+use json::ToJson;
 use pdt_catalog::Database;
 use pdt_sql::Statement;
 use pdt_tuner::Workload;
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -33,10 +36,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Persist a JSON result next to the printed output.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
-    std::fs::write(&path, json).expect("write results");
+    std::fs::write(&path, value.to_json().pretty()).expect("write results");
     eprintln!("[saved {}]", path.display());
 }
 
@@ -83,7 +85,12 @@ pub fn render_delta_bars(deltas: &[f64]) -> String {
     for d in sorted {
         let n = (d.abs() / scale).round().min(60.0) as usize;
         if d >= 0.0 {
-            let _ = writeln!(out, "{:>7.2} | {}", d, "#".repeat(n.max(usize::from(d > 0.05))));
+            let _ = writeln!(
+                out,
+                "{:>7.2} | {}",
+                d,
+                "#".repeat(n.max(usize::from(d > 0.05)))
+            );
         } else {
             let _ = writeln!(out, "{:>7.2} | {}", d, "-".repeat(n));
         }
@@ -92,7 +99,7 @@ pub fn render_delta_bars(deltas: &[f64]) -> String {
 }
 
 /// Summary statistics for a ΔImprovement panel.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct DeltaSummary {
     pub workloads: usize,
     pub ties_within_1pct: usize,
@@ -102,6 +109,16 @@ pub struct DeltaSummary {
     pub min_delta: f64,
     pub mean_delta: f64,
 }
+
+json_struct!(DeltaSummary {
+    workloads,
+    ties_within_1pct,
+    ptt_wins_over_1pct,
+    ptt_losses_over_1pct,
+    max_delta,
+    min_delta,
+    mean_delta,
+});
 
 impl DeltaSummary {
     pub fn from(deltas: &[f64]) -> DeltaSummary {

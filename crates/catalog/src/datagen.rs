@@ -43,9 +43,7 @@ impl Distribution {
     /// rows are drawn.
     pub fn ndv(&self, rows: f64) -> f64 {
         match self {
-            Distribution::UniformInt { min, max } => {
-                distinct_drawn((*max - *min + 1) as f64, rows)
-            }
+            Distribution::UniformInt { min, max } => distinct_drawn((*max - *min + 1) as f64, rows),
             Distribution::UniformDouble { .. } => rows.max(1.0),
             Distribution::Zipf { n, .. } => distinct_drawn(*n as f64, rows),
             Distribution::DateRange { min_day, max_day } => {
@@ -190,7 +188,12 @@ impl TableSpec {
             .iter()
             .map(|c| c.build_column(&mut rng, self.rows))
             .collect();
-        builder.add_table(self.name.clone(), self.rows, columns, self.primary_key.clone())
+        builder.add_table(
+            self.name.clone(),
+            self.rows,
+            columns,
+            self.primary_key.clone(),
+        )
     }
 }
 
@@ -243,7 +246,10 @@ mod tests {
         let spec = ColumnSpec::new(
             "x",
             ColumnType::Int,
-            Distribution::Zipf { n: 1000, theta: 0.9 },
+            Distribution::Zipf {
+                n: 1000,
+                theta: 0.9,
+            },
         );
         let mut rng = StdRng::seed_from_u64(2);
         let c = spec.build_column(&mut rng, 100_000.0);
@@ -273,7 +279,10 @@ mod tests {
                 ColumnSpec::new(
                     "v",
                     ColumnType::VarChar(20),
-                    Distribution::StringPool { pool: 50, avg_len: 12 },
+                    Distribution::StringPool {
+                        pool: 50,
+                        avg_len: 12,
+                    },
                 ),
             ],
             primary_key: vec![0],

@@ -5,13 +5,10 @@
 //! receive `TableId`s from a separate, high range so that base tables
 //! and view "tables" never collide.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a table (or of a materialized view acting as a table).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableId(pub u32);
 
 impl TableId {
@@ -35,9 +32,7 @@ impl fmt::Display for TableId {
 }
 
 /// Globally unique column identifier: owning table + ordinal.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ColumnId {
     pub table: TableId,
     pub ordinal: u16,

@@ -3,11 +3,10 @@
 use crate::ids::{ColumnId, TableId};
 use crate::stats::ColumnStats;
 use crate::types::ColumnType;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A column definition with its statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Column {
     pub name: String,
     pub ty: ColumnType,
@@ -26,7 +25,7 @@ impl Column {
 }
 
 /// A foreign-key edge `this.column -> referenced_table.referenced_column`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ForeignKey {
     pub column: u16,
     pub referenced_table: TableId,
@@ -34,7 +33,7 @@ pub struct ForeignKey {
 }
 
 /// A base table: columns, cardinality and key metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     pub id: TableId,
     pub name: String,
@@ -84,11 +83,10 @@ impl Table {
 }
 
 /// A database: the set of base tables plus a name index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Database {
     pub name: String,
     tables: Vec<Table>,
-    #[serde(skip)]
     by_name: HashMap<String, TableId>,
 }
 
@@ -174,10 +172,7 @@ impl DatabaseBuilder {
             "too many base tables (collides with view id range)"
         );
         assert!(
-            !self
-                .db
-                .by_name
-                .contains_key(&name.to_ascii_lowercase()),
+            !self.db.by_name.contains_key(&name.to_ascii_lowercase()),
             "duplicate table name {name}"
         );
         for &pk in &primary_key {
@@ -207,11 +202,13 @@ impl DatabaseBuilder {
         referenced_table: TableId,
         referenced_column: u16,
     ) {
-        self.db.tables[table.0 as usize].foreign_keys.push(ForeignKey {
-            column,
-            referenced_table,
-            referenced_column,
-        });
+        self.db.tables[table.0 as usize]
+            .foreign_keys
+            .push(ForeignKey {
+                column,
+                referenced_table,
+                referenced_column,
+            });
     }
 
     /// Finalize the database.
@@ -245,12 +242,7 @@ mod tests {
             ],
             vec![0],
         );
-        let s = b.add_table(
-            "s",
-            500.0,
-            vec![col("y", ColumnType::Int, 500.0)],
-            vec![0],
-        );
+        let s = b.add_table("s", 500.0, vec![col("y", ColumnType::Int, 500.0)], vec![0]);
         b.add_foreign_key(r, 1, s, 0);
         b.build()
     }

@@ -6,10 +6,9 @@
 //! statistical information to the system catalogs".
 
 use crate::types::SortKey;
-use serde::{Deserialize, Serialize};
 
 /// Per-column statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
     /// Number of distinct non-null values.
     pub ndv: f64,
@@ -99,7 +98,7 @@ fn uniform_range_selectivity(
 /// Equi-depth histogram: `bounds.len() == buckets + 1`, each bucket
 /// holds `1 / buckets` of the non-null rows, and `distinct[i]` counts
 /// the distinct values inside bucket `i`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     pub bounds: Vec<SortKey>,
     pub distinct: Vec<f64>,

@@ -6,12 +6,11 @@
 //! the standard trick used by commercial optimizers to keep histogram
 //! machinery type-agnostic.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// SQL column types supported by the catalog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// 4-byte integer.
     Int,
@@ -80,7 +79,7 @@ impl fmt::Display for ColumnType {
 pub type SortKey = f64;
 
 /// A literal value as it appears in predicates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Int(i64),
     Double(f64),
@@ -165,10 +164,7 @@ mod tests {
 
     #[test]
     fn value_cmp_is_consistent() {
-        assert_eq!(
-            Value::Int(3).total_cmp(&Value::Double(3.5)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Int(3).total_cmp(&Value::Double(3.5)), Ordering::Less);
         assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
     }
 

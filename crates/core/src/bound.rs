@@ -20,6 +20,7 @@
 use crate::eval::{shell_cost, EvalResult};
 use crate::transform::AppliedTransform;
 use crate::workload::Workload;
+use parking_lot::RwLock;
 use pdt_catalog::{ColumnId, Database, TableId};
 use pdt_opt::{CostModel, IndexUsage, UsageKind};
 use pdt_physical::size::SizeModel;
@@ -29,9 +30,14 @@ use std::collections::HashMap;
 /// Cache of `CBV` values: the cost to (re)compute a view from the base
 /// configuration (§3.3.2: "each time we consider a new view V, we
 /// optimize V with respect to the base configuration").
+///
+/// Shared by concurrent scoring workers through a read/write lock. All
+/// callers within one search node pass the same costing configuration,
+/// so whichever worker computes a view first inserts the same value any
+/// other would — the memo stays deterministic under races.
 #[derive(Debug, Default)]
 pub struct ViewBuildCosts {
-    costs: HashMap<TableId, f64>,
+    costs: RwLock<HashMap<TableId, f64>>,
 }
 
 impl ViewBuildCosts {
@@ -46,13 +52,13 @@ impl ViewBuildCosts {
     /// indexes make the view cheap to recompute), tables are
     /// hash-joined, and grouped views pay one aggregation.
     pub fn get(
-        &mut self,
+        &self,
         db: &Database,
         model: &CostModel,
         config: &Configuration,
         view: TableId,
     ) -> f64 {
-        if let Some(c) = self.costs.get(&view) {
+        if let Some(c) = self.costs.read().get(&view) {
             return *c;
         }
         let cost = match config.view(view) {
@@ -98,7 +104,7 @@ impl ViewBuildCosts {
             }
             None => 0.0,
         };
-        self.costs.insert(view, cost);
+        self.costs.write().insert(view, cost);
         cost
     }
 }
@@ -114,7 +120,7 @@ pub fn cost_upper_bound(
     prev: &EvalResult,
     old_config: &Configuration,
     applied: &AppliedTransform,
-    view_costs: &mut ViewBuildCosts,
+    view_costs: &ViewBuildCosts,
 ) -> f64 {
     let new_schema = PhysicalSchema::new(db, &applied.config);
     let old_schema = PhysicalSchema::new(db, old_config);
@@ -122,14 +128,21 @@ pub fn cost_upper_bound(
 
     for (entry, q) in workload.entries.iter().zip(&prev.per_query) {
         let mut select = q.select_cost;
-        for usage in &q.usages {
+        for usage in q.usages.iter() {
             let removed_index = applied.removed_indexes.contains(&usage.index);
             let removed_view = applied.removed_views.contains(&usage.index.table);
             if !removed_index && !removed_view {
                 continue;
             }
             let patch = replacement_cost(
-                db, model, &old_schema, &new_schema, old_config, applied, usage, view_costs,
+                db,
+                model,
+                &old_schema,
+                &new_schema,
+                old_config,
+                applied,
+                usage,
+                view_costs,
             );
             select += (patch - usage.access_cost()).max(0.0);
         }
@@ -155,7 +168,7 @@ fn replacement_cost(
     old_config: &Configuration,
     applied: &AppliedTransform,
     usage: &IndexUsage,
-    view_costs: &mut ViewBuildCosts,
+    view_costs: &ViewBuildCosts,
 ) -> f64 {
     let size_model = SizeModel::default();
     // Map the usage into the merged view's column space if applicable.
@@ -180,8 +193,7 @@ fn replacement_cost(
     if !table_alive {
         let cbv = view_costs.get(db, model, old_config, usage.index.table);
         let rows = old_schema.rows(usage.index.table);
-        let pages = (rows * old_schema.row_width(usage.index.table)
-            / model.size.page_size)
+        let pages = (rows * old_schema.row_width(usage.index.table) / model.size.page_size)
             .ceil()
             .max(1.0);
         let mut cost = cbv + model.full_scan(pages, rows).total();
@@ -191,9 +203,7 @@ fn replacement_cost(
         return cost;
     }
 
-    let map_col = |c: &ColumnId| -> ColumnId {
-        applied.col_map.get(c).copied().unwrap_or(*c)
-    };
+    let map_col = |c: &ColumnId| -> ColumnId { applied.col_map.get(c).copied().unwrap_or(*c) };
     let old_size = size_model
         .index_bytes(old_schema, &usage.index)
         .max(model.size.page_size);
@@ -209,8 +219,7 @@ fn replacement_cost(
         .map(|o| o.iter().map(|(c, _)| map_col(c)).collect());
 
     let table_rows = new_schema.rows(target_table).max(1.0);
-    let table_pages = (table_rows * new_schema.row_width(target_table)
-        / model.size.page_size)
+    let table_pages = (table_rows * new_schema.row_width(target_table) / model.size.page_size)
         .ceil()
         .max(1.0);
 
@@ -234,13 +243,15 @@ fn replacement_cost(
                     None => break,
                 }
             }
-            if any { s } else { 1.0 }
+            if any {
+                s
+            } else {
+                1.0
+            }
         };
         let scaled = match usage.kind {
             UsageKind::Scan => usage.access_cost() * new_size / old_size,
-            UsageKind::Seek { .. } => {
-                usage.access_cost() * (s_ir * new_size) / (s_i * old_size)
-            }
+            UsageKind::Seek { .. } => usage.access_cost() * (s_ir * new_size) / (s_i * old_size),
         };
         let mut cost = scaled;
         // A degraded seek (s_IR > s_I) must re-filter the extra rows it
@@ -263,8 +274,7 @@ fn replacement_cost(
         // Sort when a relied-upon order is lost (key prefixes must
         // match).
         if let Some(oc) = &order_cols {
-            let compatible = candidate.key.len() >= oc.len()
-                && candidate.key[..oc.len()] == oc[..];
+            let compatible = candidate.key.len() >= oc.len() && candidate.key[..oc.len()] == oc[..];
             if !compatible {
                 cost += model.sort(usage.rows, 64.0).total();
             }
@@ -298,9 +308,9 @@ mod tests {
     use super::*;
     use crate::eval::evaluate_full;
     use crate::transform::{apply, Transformation};
-    use pdt_physical::Index;
     use pdt_catalog::{ColumnStats, ColumnType};
     use pdt_opt::Optimizer;
+    use pdt_physical::Index;
     use pdt_sql::parse_workload;
 
     fn test_db() -> Database {
@@ -324,10 +334,7 @@ mod tests {
         b.build()
     }
 
-    fn setup(
-        db: &Database,
-        sql: &str,
-    ) -> (Workload, Configuration, Index, Index) {
+    fn setup(db: &Database, sql: &str) -> (Workload, Configuration, Index, Index) {
         let w = Workload::bind(db, &parse_workload(sql).unwrap()).unwrap();
         let t = db.table_by_name("r").unwrap();
         let i1 = Index::new(t.id, [t.column_id(1)], [t.column_id(3)]);
@@ -351,15 +358,24 @@ mod tests {
         let opt = Optimizer::new(&db);
         let eval = evaluate_full(&db, &opt, &config, &w);
         let applied = apply(
-            &Transformation::MergeIndexes { i1: i1.clone(), i2: i2.clone() },
+            &Transformation::MergeIndexes {
+                i1: i1.clone(),
+                i2: i2.clone(),
+            },
             &config,
             &db,
             &opt,
         )
         .unwrap();
-        let mut vc = ViewBuildCosts::new();
+        let vc = ViewBuildCosts::new();
         let bound = cost_upper_bound(
-            &db, &CostModel::default(), &w, &eval, &config, &applied, &mut vc,
+            &db,
+            &CostModel::default(),
+            &w,
+            &eval,
+            &config,
+            &applied,
+            &vc,
         );
         let truth = evaluate_full(&db, &opt, &applied.config, &w).total_cost;
         assert!(
@@ -375,20 +391,26 @@ mod tests {
     #[test]
     fn bound_dominates_for_removal_and_prefix() {
         let db = test_db();
-        let (w, config, i1, _) = setup(
-            &db,
-            "SELECT r.c FROM r WHERE r.a = 5 AND r.b = 9",
-        );
+        let (w, config, i1, _) = setup(&db, "SELECT r.c FROM r WHERE r.a = 5 AND r.b = 9");
         let opt = Optimizer::new(&db);
         let eval = evaluate_full(&db, &opt, &config, &w);
-        let mut vc = ViewBuildCosts::new();
+        let vc = ViewBuildCosts::new();
         for t in [
             Transformation::RemoveIndex { index: i1.clone() },
-            Transformation::PrefixIndex { index: i1.clone(), len: 1 },
+            Transformation::PrefixIndex {
+                index: i1.clone(),
+                len: 1,
+            },
         ] {
             let applied = apply(&t, &config, &db, &opt).unwrap();
             let bound = cost_upper_bound(
-                &db, &CostModel::default(), &w, &eval, &config, &applied, &mut vc,
+                &db,
+                &CostModel::default(),
+                &w,
+                &eval,
+                &config,
+                &applied,
+                &vc,
             );
             let truth = evaluate_full(&db, &opt, &applied.config, &w).total_cost;
             assert!(
@@ -416,9 +438,15 @@ mod tests {
             &opt,
         )
         .unwrap();
-        let mut vc = ViewBuildCosts::new();
+        let vc = ViewBuildCosts::new();
         let bound = cost_upper_bound(
-            &db, &CostModel::default(), &w, &eval, &config, &applied, &mut vc,
+            &db,
+            &CostModel::default(),
+            &w,
+            &eval,
+            &config,
+            &applied,
+            &vc,
         );
         assert!(bound >= eval.total_cost);
         let q1 = eval.per_query[0].select_cost;
@@ -430,10 +458,7 @@ mod tests {
         // §3.6: removing an index can *reduce* total cost because its
         // maintenance vanishes — the bound must see that.
         let db = test_db();
-        let stmts = parse_workload(
-            "UPDATE r SET c = c + 1 WHERE b BETWEEN 1 AND 90",
-        )
-        .unwrap();
+        let stmts = parse_workload("UPDATE r SET c = c + 1 WHERE b BETWEEN 1 AND 90").unwrap();
         let w = Workload::bind(&db, &stmts).unwrap();
         let t = db.table_by_name("r").unwrap();
         // Index on c: maintained by the update, never useful for it.
@@ -449,9 +474,15 @@ mod tests {
             &opt,
         )
         .unwrap();
-        let mut vc = ViewBuildCosts::new();
+        let vc = ViewBuildCosts::new();
         let bound = cost_upper_bound(
-            &db, &CostModel::default(), &w, &eval, &config, &applied, &mut vc,
+            &db,
+            &CostModel::default(),
+            &w,
+            &eval,
+            &config,
+            &applied,
+            &vc,
         );
         assert!(
             bound < eval.total_cost,
@@ -475,9 +506,11 @@ mod tests {
             ..Default::default()
         };
         let vid = config.allocate_view_id();
-        config.add_view(pdt_physical::MaterializedView::create(vid, def, 1000.0, &db));
+        config.add_view(pdt_physical::MaterializedView::create(
+            vid, def, 1000.0, &db,
+        ));
         let model = CostModel::default();
-        let mut vc = ViewBuildCosts::new();
+        let vc = ViewBuildCosts::new();
         let a = vc.get(&db, &model, &config, vid);
         let b = vc.get(&db, &model, &config, vid);
         assert!(a > 0.0);

@@ -1,0 +1,156 @@
+//! Shared what-if cost cache.
+//!
+//! The search asks the optimizer the same what-if question over and
+//! over: "what does query `q` cost under configuration `C`?" Distinct
+//! search nodes frequently agree on the part of the configuration a
+//! given query can see (the structures on its tables), so the cache is
+//! keyed by `(query index, projected configuration signature)` — see
+//! [`Configuration::signature_for_tables`] — and shared across every
+//! evaluation of a tuning session, including the concurrent ones.
+//!
+//! Callers must follow a commit-on-success protocol: look entries up
+//! freely, but buffer new entries and hit/miss tallies locally and
+//! [`CostCache::insert`]/[`CostCache::record`] them only after the
+//! whole evaluation succeeds. Shortcut-aborted evaluations then leave
+//! no trace, which keeps cache contents, counters, and the downstream
+//! `optimizer_calls` totals independent of thread count and scheduling.
+//!
+//! [`Configuration::signature_for_tables`]: pdt_physical::Configuration::signature_for_tables
+
+use parking_lot::RwLock;
+use pdt_opt::IndexUsage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 16;
+
+/// A memoized what-if answer: the optimizer's cost for one query under
+/// one (projected) configuration, plus the plan's index usages so
+/// incremental evaluation can keep reasoning about removed structures.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    pub cost: f64,
+    pub usages: Arc<[IndexUsage]>,
+}
+
+/// Concurrent cost memo shared by every evaluation in a tuning session.
+///
+/// Sharded `RwLock<HashMap>`: lookups take a read lock on one shard, so
+/// scoring workers proceed in parallel; inserts are rare (only on cache
+/// misses that survive to commit).
+#[derive(Debug)]
+pub struct CostCache {
+    shards: Vec<RwLock<HashMap<(usize, u64), CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CostCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostCache {
+    pub fn new() -> Self {
+        CostCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, query: usize, signature: u64) -> &RwLock<HashMap<(usize, u64), CacheEntry>> {
+        // The signature is already a hash; fold the query index in and
+        // take high bits so consecutive queries spread across shards.
+        let h = signature ^ (query as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 59) as usize % SHARDS]
+    }
+
+    pub fn lookup(&self, query: usize, signature: u64) -> Option<CacheEntry> {
+        self.shard(query, signature)
+            .read()
+            .get(&(query, signature))
+            .cloned()
+    }
+
+    pub fn insert(&self, query: usize, signature: u64, entry: CacheEntry) {
+        self.shard(query, signature)
+            .write()
+            .insert((query, signature), entry);
+    }
+
+    /// Commit the hit/miss tallies of one successful evaluation.
+    pub fn record(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cost: f64) -> CacheEntry {
+        CacheEntry {
+            cost,
+            usages: Vec::new().into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let cache = CostCache::new();
+        assert!(cache.lookup(0, 42).is_none());
+        cache.insert(0, 42, entry(7.5));
+        assert_eq!(cache.lookup(0, 42).unwrap().cost, 7.5);
+        // Distinct query, same signature: a different key.
+        assert!(cache.lookup(1, 42).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_only_via_record() {
+        let cache = CostCache::new();
+        cache.lookup(0, 1);
+        cache.lookup(0, 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        cache.record(3, 2);
+        cache.record(1, 0);
+        assert_eq!((cache.hits(), cache.misses()), (4, 2));
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = CostCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..250usize {
+                        cache.insert(i, t, entry(i as f64));
+                        assert_eq!(cache.lookup(i, t).unwrap().cost, i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1000);
+    }
+}

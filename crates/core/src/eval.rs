@@ -5,12 +5,32 @@
 //! only need to re-optimize queries that used some of the relaxed
 //! structures", §3). Update shells are costed in closed form — no
 //! optimizer calls (§3.6).
+//!
+//! Evaluation is parallel and cache-aware: entries are optimized on a
+//! scoped worker pool ([`EvalCtx::threads`]) and what-if answers are
+//! memoized in a shared [`CostCache`]. Both are engineered so the
+//! result — costs, plans, optimizer-call counts, cache counters — is
+//! identical for every thread count:
+//!
+//! * totals are summed sequentially in entry order from the collected
+//!   per-entry results, never from the parallel accumulator;
+//! * shortcut evaluation aborts workers through an atomic running
+//!   total with a small relative margin, and the authoritative
+//!   over-limit decision is re-made from the ordered sum (costs are
+//!   non-negative, so any partial sum exceeding the margin implies the
+//!   ordered total exceeds the limit);
+//! * cache inserts and hit/miss tallies commit only after the whole
+//!   evaluation succeeds, so aborted evaluations leave no trace.
 
+use crate::cache::{CacheEntry, CostCache};
+use crate::par::par_map;
 use crate::workload::{UpdateShell, Workload};
 use pdt_catalog::{Database, TableId};
 use pdt_opt::{CostModel, IndexUsage, Optimizer};
 use pdt_physical::{Configuration, Index, PhysicalSchema};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Evaluation of one workload entry under a configuration.
 #[derive(Debug, Clone)]
@@ -20,7 +40,9 @@ pub struct QueryEval {
     /// Closed-form maintenance cost of the update shell (0 for SELECTs).
     pub shell_cost: f64,
     /// Index usages of the SELECT plan (§3.3.2's explain records).
-    pub usages: Vec<IndexUsage>,
+    /// Shared: unaffected queries reuse their plan across the many
+    /// configurations the search evaluates, so reuse is a pointer copy.
+    pub usages: Arc<[IndexUsage]>,
 }
 
 impl QueryEval {
@@ -29,14 +51,10 @@ impl QueryEval {
     }
 
     /// True if the plan used any of the given structures.
-    pub fn uses_any(
-        &self,
-        removed_indexes: &[Index],
-        removed_views: &[TableId],
-    ) -> bool {
-        self.usages.iter().any(|u| {
-            removed_indexes.contains(&u.index) || removed_views.contains(&u.index.table)
-        })
+    pub fn uses_any(&self, removed_indexes: &[Index], removed_views: &[TableId]) -> bool {
+        self.usages
+            .iter()
+            .any(|u| removed_indexes.contains(&u.index) || removed_views.contains(&u.index.table))
     }
 }
 
@@ -46,8 +64,22 @@ pub struct EvalResult {
     pub per_query: Vec<QueryEval>,
     /// Weighted total cost.
     pub total_cost: f64,
-    /// Optimizer invocations needed to produce this result.
+    /// Optimizer invocations needed to produce this result (cache hits
+    /// excluded — they invoke nothing).
     pub optimizer_calls: usize,
+}
+
+/// How an evaluation runs: worker count and the shared what-if cache.
+/// The default — one thread, no cache — reproduces the plain
+/// sequential evaluation exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalCtx<'c> {
+    /// Scoped workers to optimize entries on (0 and 1 both mean
+    /// sequential).
+    pub threads: usize,
+    /// Shared memo of optimizer answers, keyed per query by the
+    /// configuration projected onto the query's tables.
+    pub cache: Option<&'c CostCache>,
 }
 
 /// Maintenance cost of one update shell against one index: descend the
@@ -78,11 +110,7 @@ pub fn shell_index_cost(
 }
 
 /// Total shell cost of one entry under a configuration.
-pub fn shell_cost(
-    model: &CostModel,
-    schema: &PhysicalSchema<'_>,
-    shell: &UpdateShell,
-) -> f64 {
+pub fn shell_cost(model: &CostModel, schema: &PhysicalSchema<'_>, shell: &UpdateShell) -> f64 {
     schema
         .config
         .indexes()
@@ -97,37 +125,19 @@ pub fn evaluate_full(
     config: &Configuration,
     workload: &Workload,
 ) -> EvalResult {
-    let schema = PhysicalSchema::new(db, config);
-    let model = opt.opts.cost;
-    let mut per_query = Vec::with_capacity(workload.len());
-    let mut total = 0.0;
-    let mut calls = 0;
-    for entry in &workload.entries {
-        let (select_cost, usages) = match &entry.select {
-            Some(q) => {
-                let plan = opt.optimize(config, q);
-                calls += 1;
-                (plan.cost, plan.index_usages)
-            }
-            None => (0.0, Vec::new()),
-        };
-        let shell_cost = entry
-            .shell
-            .as_ref()
-            .map(|s| shell_cost(&model, &schema, s))
-            .unwrap_or(0.0);
-        total += entry.weight * (select_cost + shell_cost);
-        per_query.push(QueryEval {
-            select_cost,
-            shell_cost,
-            usages,
-        });
-    }
-    EvalResult {
-        per_query,
-        total_cost: total,
-        optimizer_calls: calls,
-    }
+    evaluate_full_ctx(db, opt, config, workload, EvalCtx::default())
+}
+
+/// [`evaluate_full`] with explicit threading/caching.
+pub fn evaluate_full_ctx(
+    db: &Database,
+    opt: &Optimizer<'_>,
+    config: &Configuration,
+    workload: &Workload,
+    ctx: EvalCtx<'_>,
+) -> EvalResult {
+    evaluate_entries(db, opt, config, workload, None, None, ctx)
+        .expect("no shortcut limit, cannot abort")
 }
 
 /// Re-evaluate after a relaxation: only queries whose plans used one of
@@ -145,41 +155,215 @@ pub fn evaluate_incremental(
     removed_views: &[TableId],
     shortcut_limit: Option<f64>,
 ) -> Option<EvalResult> {
+    evaluate_incremental_ctx(
+        db,
+        opt,
+        config,
+        workload,
+        prev,
+        removed_indexes,
+        removed_views,
+        shortcut_limit,
+        EvalCtx::default(),
+    )
+}
+
+/// [`evaluate_incremental`] with explicit threading/caching.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_incremental_ctx(
+    db: &Database,
+    opt: &Optimizer<'_>,
+    config: &Configuration,
+    workload: &Workload,
+    prev: &EvalResult,
+    removed_indexes: &[Index],
+    removed_views: &[TableId],
+    shortcut_limit: Option<f64>,
+    ctx: EvalCtx<'_>,
+) -> Option<EvalResult> {
+    evaluate_entries(
+        db,
+        opt,
+        config,
+        workload,
+        Some((prev, removed_indexes, removed_views)),
+        shortcut_limit,
+        ctx,
+    )
+}
+
+/// One entry's evaluation plus its bookkeeping, produced by a worker
+/// and committed (cache inserts, counters) only if the whole
+/// evaluation survives the shortcut check.
+struct EntryEval {
+    q: QueryEval,
+    calls: usize,
+    hit: bool,
+    miss: bool,
+    pending_insert: Option<(u64, CacheEntry)>,
+}
+
+/// The common core of full and incremental evaluation.
+fn evaluate_entries(
+    db: &Database,
+    opt: &Optimizer<'_>,
+    config: &Configuration,
+    workload: &Workload,
+    prev: Option<(&EvalResult, &[Index], &[TableId])>,
+    shortcut_limit: Option<f64>,
+    ctx: EvalCtx<'_>,
+) -> Option<EvalResult> {
     let schema = PhysicalSchema::new(db, config);
     let model = opt.opts.cost;
-    let mut per_query = Vec::with_capacity(workload.len());
-    let mut total = 0.0;
-    let mut calls = 0;
-    for (entry, prev_eval) in workload.entries.iter().zip(&prev.per_query) {
-        let needs_reopt = prev_eval.uses_any(removed_indexes, removed_views);
-        let (select_cost, usages) = if needs_reopt {
+    let entries = &workload.entries;
+
+    let compute = |i: usize| -> EntryEval {
+        let entry = &entries[i];
+        let needs_reopt = match prev {
+            Some((p, ri, rv)) => p.per_query[i].uses_any(ri, rv),
+            None => true,
+        };
+        let mut calls = 0;
+        let (mut hit, mut miss) = (false, false);
+        let mut pending_insert = None;
+        let (select_cost, usages): (f64, Arc<[IndexUsage]>) = if needs_reopt {
             match &entry.select {
                 Some(q) => {
-                    let plan = opt.optimize(config, q);
-                    calls += 1;
-                    (plan.cost, plan.index_usages)
+                    let cached = ctx.cache.map(|cache| {
+                        let tables: BTreeSet<TableId> = q.tables.iter().copied().collect();
+                        (cache, config.signature_for_tables(&tables))
+                    });
+                    match cached.as_ref().and_then(|(c, sig)| c.lookup(i, *sig)) {
+                        Some(e) => {
+                            hit = true;
+                            (e.cost, e.usages)
+                        }
+                        None => {
+                            let plan = opt.optimize(config, q);
+                            calls = 1;
+                            let usages: Arc<[IndexUsage]> = plan.index_usages.into();
+                            if let Some((_, sig)) = cached {
+                                miss = true;
+                                pending_insert = Some((
+                                    sig,
+                                    CacheEntry {
+                                        cost: plan.cost,
+                                        usages: usages.clone(),
+                                    },
+                                ));
+                            }
+                            (plan.cost, usages)
+                        }
+                    }
                 }
-                None => (0.0, Vec::new()),
+                None => (0.0, Vec::new().into()),
             }
         } else {
-            (prev_eval.select_cost, prev_eval.usages.clone())
+            // Unaffected plan: a pointer copy of the previous usages.
+            let pe = &prev
+                .expect("needs_reopt is false only with prev")
+                .0
+                .per_query[i];
+            (pe.select_cost, pe.usages.clone())
         };
         let shell_cost = entry
             .shell
             .as_ref()
             .map(|s| shell_cost(&model, &schema, s))
             .unwrap_or(0.0);
-        total += entry.weight * (select_cost + shell_cost);
-        if let Some(limit) = shortcut_limit {
-            if total > limit {
+        EntryEval {
+            q: QueryEval {
+                select_cost,
+                shell_cost,
+                usages,
+            },
+            calls,
+            hit,
+            miss,
+            pending_insert,
+        }
+    };
+
+    let evals: Vec<EntryEval> = if ctx.threads <= 1 {
+        // Sequential: abort the moment the ordered running total
+        // exceeds the limit, exactly like the paper's §3.5 shortcut.
+        let mut evals = Vec::with_capacity(entries.len());
+        let mut running = 0.0;
+        for (i, entry) in entries.iter().enumerate() {
+            let e = compute(i);
+            running += entry.weight * e.q.total();
+            if shortcut_limit.is_some_and(|l| running > l) {
                 return None;
             }
+            evals.push(e);
         }
-        per_query.push(QueryEval {
-            select_cost,
-            shell_cost,
-            usages,
+        evals
+    } else {
+        // Parallel: an atomic running total aborts in-flight workers.
+        // Partial sums of non-negative costs never exceed the ordered
+        // total by more than float-reordering noise, so a generous
+        // relative margin makes the abort a pure optimization: the
+        // Some/None outcome is decided by the ordered sum below.
+        let accumulated = AtomicU64::new(0f64.to_bits());
+        let aborted = AtomicBool::new(false);
+        let margin = shortcut_limit.map(|l| l * (1.0 + 1e-6));
+        let indices: Vec<usize> = (0..entries.len()).collect();
+        let results = par_map(ctx.threads, &indices, |_, &i| {
+            if aborted.load(Ordering::Relaxed) {
+                return None;
+            }
+            let e = compute(i);
+            if let Some(margin) = margin {
+                let add = entries[i].weight * e.q.total();
+                let mut cur = accumulated.load(Ordering::Relaxed);
+                loop {
+                    let new = (f64::from_bits(cur) + add).to_bits();
+                    match accumulated.compare_exchange_weak(
+                        cur,
+                        new,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => cur = seen,
+                    }
+                }
+                if f64::from_bits(accumulated.load(Ordering::Relaxed)) > margin {
+                    aborted.store(true, Ordering::Relaxed);
+                }
+            }
+            Some(e)
         });
+        results.into_iter().collect::<Option<Vec<_>>>()?
+    };
+
+    // Assemble in entry order: the ordered sum is the authoritative
+    // total (and shortcut decision) for every thread count.
+    let mut per_query = Vec::with_capacity(evals.len());
+    let mut total = 0.0;
+    let mut calls = 0;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut inserts: Vec<(usize, u64, CacheEntry)> = Vec::new();
+    for (i, e) in evals.into_iter().enumerate() {
+        total += entries[i].weight * e.q.total();
+        calls += e.calls;
+        hits += u64::from(e.hit);
+        misses += u64::from(e.miss);
+        if let Some((sig, ce)) = e.pending_insert {
+            inserts.push((i, sig, ce));
+        }
+        per_query.push(e.q);
+    }
+    if shortcut_limit.is_some_and(|l| total > l) {
+        return None;
+    }
+    // Commit on success only: aborted evaluations leave the cache and
+    // its counters untouched, keeping both independent of scheduling.
+    if let Some(cache) = ctx.cache {
+        for (i, sig, ce) in inserts {
+            cache.insert(i, sig, ce);
+        }
+        cache.record(hits, misses);
     }
     Some(EvalResult {
         per_query,
@@ -198,7 +382,7 @@ pub fn unused_structures(
     let mut used_indexes: BTreeSet<&Index> = BTreeSet::new();
     let mut used_views: BTreeSet<TableId> = BTreeSet::new();
     for q in &eval.per_query {
-        for u in &q.usages {
+        for u in q.usages.iter() {
             used_indexes.insert(&u.index);
             if u.index.table.is_view() {
                 used_views.insert(u.index.table);
@@ -207,9 +391,7 @@ pub fn unused_structures(
     }
     let unused_ix: Vec<Index> = config
         .indexes()
-        .filter(|i| {
-            !used_indexes.contains(*i) && !base.contains_index(i) && !i.table.is_view()
-        })
+        .filter(|i| !used_indexes.contains(*i) && !base.contains_index(i) && !i.table.is_view())
         .cloned()
         .collect();
     let unused_views: Vec<TableId> = config
@@ -254,7 +436,10 @@ mod tests {
     #[test]
     fn full_eval_counts_calls_and_costs() {
         let db = test_db();
-        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10");
+        let w = workload(
+            &db,
+            "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10",
+        );
         let opt = Optimizer::new(&db);
         let config = Configuration::base(&db);
         let e = evaluate_full(&db, &opt, &config, &w);
@@ -266,7 +451,10 @@ mod tests {
     #[test]
     fn incremental_skips_unaffected_queries() {
         let db = test_db();
-        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10");
+        let w = workload(
+            &db,
+            "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10",
+        );
         let opt = Optimizer::new(&db);
         let mut config = Configuration::base(&db);
         let t = db.table_by_name("r").unwrap();
@@ -281,8 +469,13 @@ mod tests {
         // Only query 1 used ix_a, so exactly one re-optimization.
         assert_eq!(e1.optimizer_calls, 1);
         assert!(e1.total_cost >= e0.total_cost);
-        // Query 2's cached cost is identical.
+        // Query 2's cached cost is identical, and its usages are the
+        // same allocation (pointer copy, not a deep clone).
         assert_eq!(e1.per_query[1].select_cost, e0.per_query[1].select_cost);
+        assert!(Arc::ptr_eq(
+            &e1.per_query[1].usages,
+            &e0.per_query[1].usages
+        ));
     }
 
     #[test]
@@ -299,7 +492,14 @@ mod tests {
         smaller.remove_index(&ix);
         // A limit below the base cost must trigger the shortcut.
         let r = evaluate_incremental(
-            &db, &opt, &smaller, &w, &e0, &[ix], &[], Some(e0.total_cost),
+            &db,
+            &opt,
+            &smaller,
+            &w,
+            &e0,
+            &[ix],
+            &[],
+            Some(e0.total_cost),
         );
         assert!(r.is_none(), "removal makes it worse than the limit");
     }
@@ -346,5 +546,102 @@ mod tests {
         assert!(unused_ix.contains(&useless));
         assert!(!unused_ix.contains(&useful));
         assert!(unused_views.is_empty());
+    }
+
+    #[test]
+    fn parallel_eval_matches_sequential() {
+        let db = test_db();
+        let w = workload(
+            &db,
+            "SELECT r.c FROM r WHERE r.a = 5; \
+             SELECT r.b FROM r WHERE r.b < 10; \
+             SELECT r.a FROM r WHERE r.c = 3; \
+             UPDATE r SET a = 1 WHERE b < 10",
+        );
+        let opt = Optimizer::new(&db);
+        let config = Configuration::base(&db);
+        let seq = evaluate_full(&db, &opt, &config, &w);
+        for threads in [2, 4, 8] {
+            let par = evaluate_full_ctx(
+                &db,
+                &opt,
+                &config,
+                &w,
+                EvalCtx {
+                    threads,
+                    cache: None,
+                },
+            );
+            assert_eq!(par.total_cost, seq.total_cost, "threads = {threads}");
+            assert_eq!(par.optimizer_calls, seq.optimizer_calls);
+            for (a, b) in par.per_query.iter().zip(&seq.per_query) {
+                assert_eq!(a.select_cost, b.select_cost);
+                assert_eq!(a.shell_cost, b.shell_cost);
+                assert_eq!(a.usages.len(), b.usages.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_transparent_and_counts() {
+        let db = test_db();
+        let w = workload(
+            &db,
+            "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10",
+        );
+        let opt = Optimizer::new(&db);
+        let config = Configuration::base(&db);
+        let plain = evaluate_full(&db, &opt, &config, &w);
+
+        let cache = CostCache::new();
+        let ctx = EvalCtx {
+            threads: 1,
+            cache: Some(&cache),
+        };
+        let first = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
+        assert_eq!(first.total_cost, plain.total_cost);
+        assert_eq!(first.optimizer_calls, 2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+
+        // Same configuration again: pure hits, zero optimizer calls.
+        let second = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
+        assert_eq!(second.total_cost, plain.total_cost);
+        assert_eq!(second.optimizer_calls, 0);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn aborted_evaluations_commit_nothing() {
+        let db = test_db();
+        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5");
+        let opt = Optimizer::new(&db);
+        let mut config = Configuration::base(&db);
+        let t = db.table_by_name("r").unwrap();
+        let ix = Index::new(t.id, [t.column_id(1)], [t.column_id(3)]);
+        config.add_index(ix.clone());
+        let e0 = evaluate_full(&db, &opt, &config, &w);
+        let mut smaller = config.clone();
+        smaller.remove_index(&ix);
+        let cache = CostCache::new();
+        for threads in [1, 4] {
+            let ctx = EvalCtx {
+                threads,
+                cache: Some(&cache),
+            };
+            let r = evaluate_incremental_ctx(
+                &db,
+                &opt,
+                &smaller,
+                &w,
+                &e0,
+                &[ix.clone()],
+                &[],
+                Some(e0.total_cost),
+                ctx,
+            );
+            assert!(r.is_none());
+            assert!(cache.is_empty(), "aborted eval must not populate the cache");
+            assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        }
     }
 }

@@ -17,12 +17,12 @@
 //! efficient view": simulate it with a clustered index so a plain scan
 //! answers the request.
 
-use pdt_expr::Sarg;
+use crate::workload::Workload;
 use pdt_catalog::{ColumnId, Database};
+use pdt_expr::Sarg;
 use pdt_opt::access::{best_access_path, sarg_selectivity};
 use pdt_opt::{CostModel, IndexRequest, Optimizer, RequestSink, ViewRequest};
 use pdt_physical::{Configuration, Index, MaterializedView, PhysicalSchema};
-use crate::workload::Workload;
 use std::collections::BTreeSet;
 
 /// The instrumentation sink that builds the optimal configuration.
@@ -58,12 +58,7 @@ impl OptimalSink {
 }
 
 impl RequestSink for OptimalSink {
-    fn on_index_request(
-        &mut self,
-        req: &IndexRequest,
-        db: &Database,
-        config: &mut Configuration,
-    ) {
+    fn on_index_request(&mut self, req: &IndexRequest, db: &Database, config: &mut Configuration) {
         self.index_requests += 1;
         for index in optimal_indexes_for_request(db, config, req) {
             if config.add_index(index) {
@@ -134,13 +129,7 @@ pub fn optimal_indexes_for_request(
     let mut sarg_cols: Vec<(ColumnId, f64, bool)> = req
         .sargable
         .iter()
-        .map(|s| {
-            (
-                s.column,
-                sarg_selectivity(&schema, s),
-                s.sarg.is_equality(),
-            )
-        })
+        .map(|s| (s.column, sarg_selectivity(&schema, s), s.sarg.is_equality()))
         .collect();
     sarg_cols.sort_by(|a, b| {
         b.2.cmp(&a.2) // equalities first
@@ -273,7 +262,12 @@ mod tests {
             ],
             vec![0],
         );
-        b.add_table("s", 10_000.0, vec![mk("y", 10_000.0), mk("w", 100.0)], vec![0]);
+        b.add_table(
+            "s",
+            10_000.0,
+            vec![mk("y", 10_000.0), mk("w", 100.0)],
+            vec![0],
+        );
         b.build()
     }
 
@@ -286,7 +280,7 @@ mod tests {
     fn paper_request_example_builds_covering_index() {
         // τD ΠD,E σ(A<10 ∧ B<10 ∧ A+C=8)(R): S={A,B}, N={{A,C}},
         // O=[D], A={E}. The optimal index covers everything; key is
-    // either the order column D or the best sargable prefix.
+        // either the order column D or the best sargable prefix.
         let db = test_db();
         let config = Configuration::base(&db);
         let a = cid(&db, "r", "a");
@@ -297,8 +291,14 @@ mod tests {
         let req = IndexRequest {
             table: a.table,
             sargable: vec![
-                SargablePred { column: a, sarg: Sarg::Range(Interval::at_most(10.0, false)) },
-                SargablePred { column: b, sarg: Sarg::Range(Interval::at_most(10.0, false)) },
+                SargablePred {
+                    column: a,
+                    sarg: Sarg::Range(Interval::at_most(10.0, false)),
+                },
+                SargablePred {
+                    column: b,
+                    sarg: Sarg::Range(Interval::at_most(10.0, false)),
+                },
             ],
             non_sargable: vec![([a, c].into(), 0.1)],
             order: vec![(d, false)],
@@ -324,9 +324,15 @@ mod tests {
             table: a.table,
             sargable: vec![
                 // range on a (sel 1e-3 of 10k domain? at_most(10) is ~0.1%)
-                SargablePred { column: a, sarg: Sarg::Range(Interval::at_most(10.0, false)) },
+                SargablePred {
+                    column: a,
+                    sarg: Sarg::Range(Interval::at_most(10.0, false)),
+                },
                 // equality on b (sel 1%)
-                SargablePred { column: b, sarg: Sarg::Range(Interval::point(5.0)) },
+                SargablePred {
+                    column: b,
+                    sarg: Sarg::Range(Interval::point(5.0)),
+                },
             ],
             non_sargable: vec![],
             order: vec![],
@@ -347,8 +353,14 @@ mod tests {
         let req = IndexRequest {
             table: a.table,
             sargable: vec![
-                SargablePred { column: b, sarg: Sarg::Range(Interval::point(5.0)) },
-                SargablePred { column: a, sarg: Sarg::Range(Interval::point(5.0)) },
+                SargablePred {
+                    column: b,
+                    sarg: Sarg::Range(Interval::point(5.0)),
+                },
+                SargablePred {
+                    column: a,
+                    sarg: Sarg::Range(Interval::point(5.0)),
+                },
             ],
             non_sargable: vec![],
             order: vec![],
@@ -411,10 +423,8 @@ mod tests {
     #[test]
     fn view_sink_creates_views_with_clustered_index() {
         let db = test_db();
-        let stmts = parse_workload(
-            "SELECT r.b, SUM(r.c) FROM r WHERE r.d = 3 GROUP BY r.b",
-        )
-        .unwrap();
+        let stmts =
+            parse_workload("SELECT r.b, SUM(r.c) FROM r WHERE r.d = 3 GROUP BY r.b").unwrap();
         let w = Workload::bind(&db, &stmts).unwrap();
         let (config, sink) = gather_optimal_configuration(&db, &w, true);
         assert!(sink.created_views >= 1, "{sink:?}");
@@ -433,10 +443,9 @@ mod tests {
     #[test]
     fn requests_are_deduplicated() {
         let db = test_db();
-        let stmts = parse_workload(
-            "SELECT r.e FROM r WHERE r.a = 7; SELECT r.e FROM r WHERE r.a = 7",
-        )
-        .unwrap();
+        let stmts =
+            parse_workload("SELECT r.e FROM r WHERE r.a = 7; SELECT r.e FROM r WHERE r.a = 7")
+                .unwrap();
         let w = Workload::bind(&db, &stmts).unwrap();
         let (config, _) = gather_optimal_configuration(&db, &w, false);
         let t = db.table_by_name("r").unwrap().id;

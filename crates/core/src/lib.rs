@@ -14,7 +14,9 @@
 //! 4. [`search`] — the Fig. 5 template search with the §3.4 penalty
 //!    heuristic, §3.5 variations, and §3.6 update handling (update
 //!    shells, skyline filtering, keep-relaxing-below-budget);
-//! 5. [`eval`] — workload cost evaluation with minimal re-optimization;
+//! 5. [`eval`] — workload cost evaluation with minimal re-optimization,
+//!    parallel across entries and memoized through the shared what-if
+//!    cost cache ([`cache`]; scoped-thread helpers in [`par`]);
 //! 6. [`workload`] — bound workloads and update-shell splitting.
 //!
 //! Entry point: [`tune`].
@@ -33,18 +35,21 @@
 //! ```
 
 pub mod bound;
+pub mod cache;
 pub mod eval;
 pub mod instrument;
+pub mod par;
 pub mod report;
 pub mod search;
 pub mod transform;
 pub mod workload;
 
-pub use eval::{EvalResult, QueryEval};
+pub use cache::{CacheEntry, CostCache};
+pub use eval::{EvalCtx, EvalResult, QueryEval};
 pub use instrument::{gather_optimal_configuration, OptimalSink};
+pub use report::{configuration_ddl, index_ddl, summarize};
 pub use search::{
     tune, ConfigChoice, FrontierPoint, TransformationChoice, TunerOptions, TuningReport,
 };
-pub use report::{configuration_ddl, index_ddl, summarize};
 pub use transform::{AppliedTransform, Transformation};
 pub use workload::{UpdateShell, Workload, WorkloadEntry};

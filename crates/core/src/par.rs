@@ -1,0 +1,114 @@
+//! Scoped-thread fork/join helpers for the parallel relaxation engine.
+//!
+//! The search must produce bit-identical reports for any thread count,
+//! so the only parallel primitive offered is an *order-preserving* map:
+//! workers pull items off a shared cursor, stash `(index, result)`
+//! pairs locally, and the results are merged back into input order
+//! after the scope joins. Work distribution varies run to run; the
+//! returned vector never does (provided `f` is a pure function of the
+//! item).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a user-facing thread-count setting: `0` means "one worker
+/// per available core".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order. Falls back to a plain sequential loop when
+/// one worker (or one item) makes threading pointless.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("par_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn resolve_zero_means_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(threads, &items, |_, x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        par_map(4, &items, |i, _| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..64).rev().collect();
+        let got = par_map(8, &items, |i, &x| (i, x));
+        for (i, (idx, x)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*x, items[i]);
+        }
+    }
+}

@@ -9,18 +9,20 @@ use std::fmt::Write;
 /// Render an index as a `CREATE INDEX` statement. Indexes over views
 /// reference the view by its generated name `mv<N>`.
 pub fn index_ddl(db: &Database, index: &Index) -> String {
-    let (table_name, col_name): (String, Box<dyn Fn(u16) -> String>) =
-        if index.table.is_view() {
-            let view = index.table;
-            (format!("mv{}", view.0 - pdt_catalog::TableId::VIEW_BASE), {
-                Box::new(move |ordinal| format!("col{ordinal}"))
-            })
-        } else {
-            let t = db.table(index.table);
-            let name = t.name.clone();
-            let cols: Vec<String> = t.columns.iter().map(|c| c.name.clone()).collect();
-            (name, Box::new(move |ordinal| cols[ordinal as usize].clone()))
-        };
+    let (table_name, col_name): (String, Box<dyn Fn(u16) -> String>) = if index.table.is_view() {
+        let view = index.table;
+        (format!("mv{}", view.0 - pdt_catalog::TableId::VIEW_BASE), {
+            Box::new(move |ordinal| format!("col{ordinal}"))
+        })
+    } else {
+        let t = db.table(index.table);
+        let name = t.name.clone();
+        let cols: Vec<String> = t.columns.iter().map(|c| c.name.clone()).collect();
+        (
+            name,
+            Box::new(move |ordinal| cols[ordinal as usize].clone()),
+        )
+    };
     let keys: Vec<String> = index.key.iter().map(|c| col_name(c.ordinal)).collect();
     let mut ddl = format!(
         "CREATE {}INDEX ix_{}_{} ON {} ({})",
@@ -64,11 +66,7 @@ pub fn configuration_ddl(
 /// A compact multi-line summary of a tuning session.
 pub fn summarize(db: &Database, report: &TuningReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "tuning `{}`:",
-        db.name
-    );
+    let _ = writeln!(out, "tuning `{}`:", db.name);
     let _ = writeln!(
         out,
         "initial:  cost {:>12.0}  size {:>9.1} MB",
@@ -110,6 +108,16 @@ pub fn summarize(db: &Database, report: &TuningReport) -> String {
         report.request_counts.0 + report.request_counts.1,
         report.elapsed
     );
+    let probes = report.cache_hits + report.cache_misses;
+    if probes > 0 {
+        let _ = writeln!(
+            out,
+            "cache:    {} hits / {} misses ({:.1}% hit rate)",
+            report.cache_hits,
+            report.cache_misses,
+            100.0 * report.cache_hits as f64 / probes as f64
+        );
+    }
     out
 }
 

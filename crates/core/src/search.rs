@@ -14,8 +14,12 @@
 //! ```
 
 use crate::bound::{cost_upper_bound, ViewBuildCosts};
-use crate::eval::{evaluate_full, evaluate_incremental, unused_structures, EvalResult};
+use crate::cache::CostCache;
+use crate::eval::{
+    evaluate_full_ctx, evaluate_incremental_ctx, unused_structures, EvalCtx, EvalResult,
+};
 use crate::instrument::gather_optimal_configuration;
+use crate::par::{par_map, resolve_threads};
 use crate::transform::{apply, candidates, AppliedTransform, Transformation};
 use crate::workload::Workload;
 use pdt_catalog::Database;
@@ -72,6 +76,13 @@ pub struct TunerOptions {
     pub transformation_choice: TransformationChoice,
     /// Seed for the `Random` ablation.
     pub seed: u64,
+    /// Worker threads for candidate scoring and workload evaluation
+    /// (0 = one per available core). The report is identical for every
+    /// value; only wall-clock time changes.
+    pub threads: usize,
+    /// Memoize optimizer what-if calls across the session in a shared
+    /// [`CostCache`].
+    pub cost_cache: bool,
 }
 
 impl Default for TunerOptions {
@@ -86,6 +97,8 @@ impl Default for TunerOptions {
             config_choice: ConfigChoice::default(),
             transformation_choice: TransformationChoice::default(),
             seed: 0,
+            threads: 1,
+            cost_cache: true,
         }
     }
 }
@@ -127,6 +140,10 @@ pub struct TuningReport {
     pub frontier: Vec<FrontierPoint>,
     pub iterations: usize,
     pub optimizer_calls: usize,
+    /// What-if cost-cache hits/misses over the whole session (both 0
+    /// when the cache is disabled).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
     /// Candidate transformations available at each iteration (Fig. 6).
     pub candidate_counts: Vec<usize>,
     /// (index requests, view requests) intercepted (Table 1).
@@ -196,15 +213,14 @@ impl ScoredCandidate {
     /// Structures this transformation depends on still being present.
     fn still_valid(&self, config: &Configuration) -> bool {
         match &self.transformation {
-            Transformation::MergeIndexes { i1, i2 }
-            | Transformation::SplitIndexes { i1, i2 } => {
+            Transformation::MergeIndexes { i1, i2 } | Transformation::SplitIndexes { i1, i2 } => {
                 config.contains_index(i1) && config.contains_index(i2)
             }
-            Transformation::PrefixIndex { index, .. }
-            | Transformation::RemoveIndex { index } => config.contains_index(index),
-            Transformation::PromoteToClustered { index } => {
+            Transformation::PrefixIndex { index, .. } | Transformation::RemoveIndex { index } => {
                 config.contains_index(index)
-                    && config.clustered_index_on(index.table).is_none()
+            }
+            Transformation::PromoteToClustered { index } => {
+                config.contains_index(index) && config.clustered_index_on(index.table).is_none()
             }
             Transformation::MergeViews { v1, v2 } => {
                 config.view(*v1).is_some() && config.view(*v2).is_some()
@@ -223,7 +239,7 @@ fn score_one(
     eval: &EvalResult,
     config: &Configuration,
     t: &Transformation,
-    view_costs: &mut ViewBuildCosts,
+    view_costs: &ViewBuildCosts,
 ) -> Option<ScoredCandidate> {
     let applied = apply(t, config, db, opt)?;
     let delta_s = applied.delta_bytes;
@@ -254,16 +270,27 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     let base = Configuration::base(db);
     let mut optimizer_calls = 0;
 
+    let threads = resolve_threads(options.threads);
+    let cache = options.cost_cache.then(CostCache::new);
+    let ctx = EvalCtx {
+        threads,
+        cache: cache.as_ref(),
+    };
+
     // Initial (base) evaluation.
-    let base_eval = evaluate_full(db, &opt, &base, workload);
+    let base_eval = evaluate_full_ctx(db, &opt, &base, workload, ctx);
     optimizer_calls += base_eval.optimizer_calls;
     let initial_cost = base_eval.total_cost;
     let initial_size = base.size_bytes(db);
 
     // Lines 1–2: the optimal configuration via instrumentation.
     let (optimal_config, sink) = gather_optimal_configuration(db, workload, options.with_views);
-    optimizer_calls += workload.entries.iter().filter(|e| e.select.is_some()).count();
-    let opt_eval = evaluate_full(db, &opt, &optimal_config, workload);
+    optimizer_calls += workload
+        .entries
+        .iter()
+        .filter(|e| e.select.is_some())
+        .count();
+    let opt_eval = evaluate_full_ctx(db, &opt, &optimal_config, workload, ctx);
     optimizer_calls += opt_eval.optimizer_calls;
     let optimal_cost = opt_eval.total_cost;
     let optimal_size = optimal_config.size_bytes(db);
@@ -305,6 +332,8 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         }],
         iterations: 0,
         optimizer_calls,
+        cache_hits: 0,
+        cache_misses: 0,
         candidate_counts: Vec::new(),
         request_counts: (sink.index_requests, sink.view_requests),
         elapsed: start.elapsed(),
@@ -319,13 +348,17 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             cost: optimal_cost,
             size_bytes: optimal_size,
         });
+        if let Some(c) = &cache {
+            report.cache_hits = c.hits();
+            report.cache_misses = c.misses();
+        }
         report.elapsed = start.elapsed();
         return report;
     }
 
     // Line 3: the configuration pool.
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut view_costs = ViewBuildCosts::new();
+    let view_costs = ViewBuildCosts::new();
 
     // Pruning pre-pass (§3.5 "multiple transformations per iteration"):
     // greedily apply every *removal* whose cost upper bound does not
@@ -346,21 +379,33 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
                     )
                 })
                 .collect();
-            let mut best_removal: Option<(f64, AppliedTransform)> = None;
-            for t in &removals {
-                let Some(applied) = apply(t, &cfg, db, &opt) else { continue };
+            // Score every removal on the worker pool, then fold the
+            // results in candidate order: the fold keeps the sequential
+            // tie-break (first strict minimum wins), so the pre-pass is
+            // identical for any thread count.
+            let scored = par_map(threads, &removals, |_, t| {
+                let applied = apply(t, &cfg, db, &opt)?;
                 let bound = cost_upper_bound(
-                    db, &opt.opts.cost, workload, &eval, &cfg, &applied, &mut view_costs,
+                    db,
+                    &opt.opts.cost,
+                    workload,
+                    &eval,
+                    &cfg,
+                    &applied,
+                    &view_costs,
                 );
-                let delta_t = bound - eval.total_cost;
-                if delta_t <= 1e-9
-                    && best_removal.as_ref().is_none_or(|(d, _)| delta_t < *d)
-                {
+                Some((bound - eval.total_cost, applied))
+            });
+            let mut best_removal: Option<(f64, AppliedTransform)> = None;
+            for (delta_t, applied) in scored.into_iter().flatten() {
+                if delta_t <= 1e-9 && best_removal.as_ref().is_none_or(|(d, _)| delta_t < *d) {
                     best_removal = Some((delta_t, applied));
                 }
             }
-            let Some((_, applied)) = best_removal else { break };
-            let Some(new_eval) = evaluate_incremental(
+            let Some((_, applied)) = best_removal else {
+                break;
+            };
+            let Some(new_eval) = evaluate_incremental_ctx(
                 db,
                 &opt,
                 &applied.config,
@@ -369,6 +414,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
                 &applied.removed_indexes,
                 &applied.removed_views,
                 None,
+                ctx,
             ) else {
                 break;
             };
@@ -404,13 +450,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     for iteration in 1..=options.max_iterations {
         report.iterations = iteration;
         // ---- line 5: pick a configuration ---------------------------
-        let Some(node_idx) = pick_node(
-            &nodes,
-            last_created,
-            options,
-            has_updates,
-            &fits,
-        ) else {
+        let Some(node_idx) = pick_node(&nodes, last_created, options, has_updates, &fits) else {
             break;
         };
 
@@ -434,22 +474,20 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
                         .collect(),
                     None => std::collections::HashMap::new(),
                 };
-            let mut scored: Vec<ScoredCandidate> = Vec::with_capacity(cands.len());
-            for t in cands {
+            // Fresh candidates are scored on the worker pool; results
+            // come back in candidate order, so the scored list (and
+            // everything downstream) is thread-count-invariant.
+            let node = &nodes[node_idx];
+            let scored: Vec<ScoredCandidate> = par_map(threads, &cands, |_, t| {
                 if let Some(c) = inherited.get(&t.to_string()) {
-                    scored.push(c.clone());
-                } else if let Some(c) = score_one(
-                    db,
-                    &opt,
-                    workload,
-                    &nodes[node_idx].eval,
-                    &nodes[node_idx].config,
-                    &t,
-                    &mut view_costs,
-                ) {
-                    scored.push(c);
+                    Some(c.clone())
+                } else {
+                    score_one(db, &opt, workload, &node.eval, &node.config, t, &view_costs)
                 }
-            }
+            })
+            .into_iter()
+            .flatten()
+            .collect();
             nodes[node_idx].scored = Some(scored);
         }
 
@@ -461,18 +499,19 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             .as_ref()
             .expect("scored above")
             .iter()
-            .filter(|c| !nodes[node_idx].tried.contains(&c.transformation.to_string()))
+            .filter(|c| {
+                !nodes[node_idx]
+                    .tried
+                    .contains(&c.transformation.to_string())
+            })
             .collect();
         // §3.6 skyline: with updates, drop dominated candidates (worse
         // ΔT and worse ΔS than another candidate).
         if has_updates && options.skyline_filter && open.len() > 1 {
-            let snapshot: Vec<(f64, f64)> =
-                open.iter().map(|c| (c.delta_t, c.delta_s)).collect();
+            let snapshot: Vec<(f64, f64)> = open.iter().map(|c| (c.delta_t, c.delta_s)).collect();
             open.retain(|c| {
                 !snapshot.iter().any(|(ot, os)| {
-                    *ot <= c.delta_t
-                        && *os >= c.delta_s
-                        && (*ot < c.delta_t || *os > c.delta_s)
+                    *ot <= c.delta_t && *os >= c.delta_s && (*ot < c.delta_t || *os > c.delta_s)
                 })
             });
         }
@@ -505,7 +544,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         } else {
             None
         };
-        let eval = evaluate_incremental(
+        let eval = evaluate_incremental_ctx(
             db,
             &opt,
             &applied.config,
@@ -514,6 +553,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             &applied.removed_indexes,
             &applied.removed_views,
             shortcut_limit,
+            ctx,
         );
         let Some(eval) = eval else {
             // §3.5 shortcut: this configuration (and its descendants)
@@ -531,8 +571,16 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
                     config.remove_index(i);
                 }
                 // Unused indexes carry no plans, but shells change.
-                if let Some(e2) = evaluate_incremental(
-                    db, &opt, &config, workload, &eval, &[], &[], None,
+                if let Some(e2) = evaluate_incremental_ctx(
+                    db,
+                    &opt,
+                    &config,
+                    workload,
+                    &eval,
+                    &[],
+                    &[],
+                    None,
+                    ctx,
                 ) {
                     eval = e2;
                 }
@@ -541,10 +589,8 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
 
         let size = config.size_bytes(db);
         let cost = eval.total_cost;
-        let actual_penalty =
-            (cost - nodes[node_idx].eval.total_cost) / delta_s.abs().max(1.0);
-        nodes[node_idx].last_relax_penalty =
-            nodes[node_idx].last_relax_penalty.max(actual_penalty);
+        let actual_penalty = (cost - nodes[node_idx].eval.total_cost) / delta_s.abs().max(1.0);
+        nodes[node_idx].last_relax_penalty = nodes[node_idx].last_relax_penalty.max(actual_penalty);
 
         report.frontier.push(FrontierPoint {
             iteration,
@@ -552,9 +598,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             cost,
             fits: fits(size),
         });
-        if fits(size)
-            && report.best.as_ref().is_none_or(|b| cost < b.cost)
-        {
+        if fits(size) && report.best.as_ref().is_none_or(|b| cost < b.cost) {
             report.best = Some(BestConfig {
                 config: config.clone(),
                 cost,
@@ -578,12 +622,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     // Recommending nothing (the base configuration) is always an
     // option: never return a configuration worse than the current one.
     let base_size = base.size_bytes(db);
-    if fits(base_size)
-        && report
-            .best
-            .as_ref()
-            .is_none_or(|b| b.cost > initial_cost)
-    {
+    if fits(base_size) && report.best.as_ref().is_none_or(|b| b.cost > initial_cost) {
         report.best = Some(BestConfig {
             config: base,
             cost: initial_cost,
@@ -592,6 +631,10 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     }
 
     report.optimizer_calls = optimizer_calls;
+    if let Some(c) = &cache {
+        report.cache_hits = c.hits();
+        report.cache_misses = c.misses();
+    }
     report.elapsed = start.elapsed();
     report
 }
@@ -735,7 +778,10 @@ mod tests {
             best.cost < report.initial_cost,
             "must beat the base configuration"
         );
-        assert!(best.cost >= report.optimal_cost * 0.999, "optimal is a floor");
+        assert!(
+            best.cost >= report.optimal_cost * 0.999,
+            "optimal is a floor"
+        );
         assert!(!report.frontier.is_empty());
         assert!(report.iterations > 0);
     }
@@ -880,8 +926,7 @@ mod tests {
         let w = workload(&db, SELECTS);
         let report = tune(&db, &w, &TunerOptions::default());
         let pct = report.best_improvement_pct();
-        let manual =
-            100.0 * (1.0 - report.best.as_ref().unwrap().cost / report.initial_cost);
+        let manual = 100.0 * (1.0 - report.best.as_ref().unwrap().cost / report.initial_cost);
         assert!((pct - manual).abs() < 1e-9);
         assert!(pct <= 100.0);
     }

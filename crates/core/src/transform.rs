@@ -9,10 +9,10 @@
 
 use pdt_catalog::{ColumnId, Database, TableId};
 use pdt_opt::Optimizer;
+use pdt_physical::size::SizeModel;
 use pdt_physical::view::merge_views;
 use pdt_physical::{Configuration, Index, MaterializedView, PhysicalSchema};
-use pdt_physical::size::SizeModel;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// One §3.1 transformation.
@@ -80,8 +80,11 @@ pub fn candidates(config: &Configuration, base: &Configuration) -> Vec<Transform
         .filter(|i| !base.contains_index(i))
         .collect();
 
-    // Group by table for pairwise transformations.
-    let mut by_table: HashMap<TableId, Vec<&Index>> = HashMap::new();
+    // Group by table for pairwise transformations. BTreeMap so the
+    // candidate list has one deterministic order: consumers sample and
+    // tie-break by position, and the parallel scorer relies on stable
+    // candidate indexes.
+    let mut by_table: BTreeMap<TableId, Vec<&Index>> = BTreeMap::new();
     for i in &tunable {
         by_table.entry(i.table).or_default().push(i);
     }
@@ -126,9 +129,13 @@ pub fn candidates(config: &Configuration, base: &Configuration) -> Vec<Transform
                     }
                 }
                 if config.clustered_index_on(i.table).is_none() {
-                    out.push(Transformation::PromoteToClustered { index: (*i).clone() });
+                    out.push(Transformation::PromoteToClustered {
+                        index: (*i).clone(),
+                    });
                 }
-                out.push(Transformation::RemoveIndex { index: (*i).clone() });
+                out.push(Transformation::RemoveIndex {
+                    index: (*i).clone(),
+                });
             }
         }
     }
@@ -138,7 +145,10 @@ pub fn candidates(config: &Configuration, base: &Configuration) -> Vec<Transform
     for (i, v1) in views.iter().enumerate() {
         for v2 in views.iter().skip(i + 1) {
             if v1.def.tables == v2.def.tables {
-                out.push(Transformation::MergeViews { v1: v1.id, v2: v2.id });
+                out.push(Transformation::MergeViews {
+                    v1: v1.id,
+                    v2: v2.id,
+                });
             }
         }
         out.push(Transformation::RemoveView { view: v1.id });
@@ -246,25 +256,27 @@ pub fn apply(
                         }
                         pdt_physical::ViewColumnSource::Agg(i) => {
                             let call = &src.def.aggregates[*i];
-                            merged.ordinal_of_agg(call, &eq).or_else(|| {
-                                // AVG expanded into SUM+COUNT: map to the
-                                // SUM component.
-                                let sum = pdt_expr::scalar::AggCall {
-                                    func: pdt_expr::scalar::AggFunc::Sum,
-                                    arg: call.arg.clone(),
-                                    distinct: call.distinct,
-                                };
-                                merged.ordinal_of_agg(&sum, &eq)
-                            })
-                            .or_else(|| {
-                                // Aggregates dropped (merged view is
-                                // ungrouped): map to the argument's base
-                                // column.
-                                call.arg
-                                    .as_ref()
-                                    .and_then(|a| a.columns().into_iter().next())
-                                    .and_then(|b| merged.ordinal_of_base(b, Some(&eq)))
-                            })
+                            merged
+                                .ordinal_of_agg(call, &eq)
+                                .or_else(|| {
+                                    // AVG expanded into SUM+COUNT: map to the
+                                    // SUM component.
+                                    let sum = pdt_expr::scalar::AggCall {
+                                        func: pdt_expr::scalar::AggFunc::Sum,
+                                        arg: call.arg.clone(),
+                                        distinct: call.distinct,
+                                    };
+                                    merged.ordinal_of_agg(&sum, &eq)
+                                })
+                                .or_else(|| {
+                                    // Aggregates dropped (merged view is
+                                    // ungrouped): map to the argument's base
+                                    // column.
+                                    call.arg
+                                        .as_ref()
+                                        .and_then(|a| a.columns().into_iter().next())
+                                        .and_then(|b| merged.ordinal_of_base(b, Some(&eq)))
+                                })
                         }
                     };
                     if let Some(to_ord) = to {
@@ -449,7 +461,10 @@ mod tests {
         config.add_index(i2.clone());
         let opt = Optimizer::new(&db);
         let applied = apply(
-            &Transformation::MergeIndexes { i1: i1.clone(), i2: i2.clone() },
+            &Transformation::MergeIndexes {
+                i1: i1.clone(),
+                i2: i2.clone(),
+            },
             &config,
             &db,
             &opt,
@@ -510,7 +525,8 @@ mod tests {
         config.add_view(MaterializedView::create(
             v1,
             d1,
-            opt.estimate_view_rows(&config, &SpjgExpr::default()).max(100.0),
+            opt.estimate_view_rows(&config, &SpjgExpr::default())
+                .max(100.0),
             &db,
         ));
         config.add_index(Index::clustered(v1, [ColumnId::new(v1, 0)]));
@@ -518,13 +534,7 @@ mod tests {
         config.add_view(MaterializedView::create(v2, d2, 100.0, &db));
         config.add_index(Index::clustered(v2, [ColumnId::new(v2, 0)]));
 
-        let applied = apply(
-            &Transformation::MergeViews { v1, v2 },
-            &config,
-            &db,
-            &opt,
-        )
-        .unwrap();
+        let applied = apply(&Transformation::MergeViews { v1, v2 }, &config, &db, &opt).unwrap();
         assert_eq!(applied.removed_views.len(), 2);
         assert_eq!(applied.config.view_count(), 1);
         let merged = applied.config.views().next().unwrap();

@@ -163,9 +163,7 @@ fn split(
                     .table(d.table)
                     .primary_key
                     .iter()
-                    .map(|o| {
-                        pdt_expr::ScalarExpr::Column(ColumnId::new(d.table, *o))
-                    })
+                    .map(|o| pdt_expr::ScalarExpr::Column(ColumnId::new(d.table, *o)))
                     .collect(),
                 predicate: d.predicate.clone(),
                 group_by: Vec::new(),
@@ -207,7 +205,12 @@ mod tests {
             ty: ColumnType::Int,
             stats: ColumnStats::uniform(100.0, 0.0, 100.0, 4.0),
         };
-        b.add_table("r", 10_000.0, vec![mk("a"), mk("b"), mk("c"), mk("d")], vec![0]);
+        b.add_table(
+            "r",
+            10_000.0,
+            vec![mk("a"), mk("b"), mk("c"), mk("d")],
+            vec![0],
+        );
         b.build()
     }
 
@@ -215,9 +218,8 @@ mod tests {
     fn paper_update_shell_example() {
         // UPDATE R SET a=b+1, c=c*c+5 WHERE a<10 AND d<20
         let db = test_db();
-        let stmts =
-            parse_workload("UPDATE r SET a = b + 1, c = c * c + 5 WHERE a < 10 AND d < 20")
-                .unwrap();
+        let stmts = parse_workload("UPDATE r SET a = b + 1, c = c * c + 5 WHERE a < 10 AND d < 20")
+            .unwrap();
         let w = Workload::bind(&db, &stmts).unwrap();
         let e = &w.entries[0];
         assert!(e.is_update());
@@ -251,9 +253,10 @@ mod tests {
     #[test]
     fn insert_and_delete_touch_everything() {
         let db = test_db();
-        let stmts =
-            parse_workload("INSERT INTO r (a, b, c, d) VALUES (1, 2, 3, 4); DELETE FROM r WHERE a = 1")
-                .unwrap();
+        let stmts = parse_workload(
+            "INSERT INTO r (a, b, c, d) VALUES (1, 2, 3, 4); DELETE FROM r WHERE a = 1",
+        )
+        .unwrap();
         let w = Workload::bind(&db, &stmts).unwrap();
         assert!(w.has_updates());
         let ins = w.entries[0].shell.as_ref().unwrap();

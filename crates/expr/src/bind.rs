@@ -156,9 +156,8 @@ impl<'a> Binder<'a> {
                     i.columns
                         .iter()
                         .map(|c| {
-                            t.column_ordinal(c).ok_or_else(|| {
-                                BindError(format!("unknown column {c} in INSERT"))
-                            })
+                            t.column_ordinal(c)
+                                .ok_or_else(|| BindError(format!("unknown column {c} in INSERT")))
                         })
                         .collect::<Result<Vec<_>>>()?
                 };
@@ -330,9 +329,10 @@ impl<'a> Scope<'a> {
                     right: Box::new(self.bind_scalar(right)?),
                 })
             }
-            AstExpr::Unary { op: UnOp::Neg, expr } => {
-                Ok(ScalarExpr::Neg(Box::new(self.bind_scalar(expr)?)))
-            }
+            AstExpr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => Ok(ScalarExpr::Neg(Box::new(self.bind_scalar(expr)?))),
             AstExpr::Unary { op, .. } => Err(BindError(format!(
                 "operator {op:?} not valid in scalar context"
             ))),
@@ -355,9 +355,9 @@ impl<'a> Scope<'a> {
                     distinct: *distinct,
                 })))
             }
-            AstExpr::Between { .. } | AstExpr::InList { .. } | AstExpr::Like { .. } => Err(
-                BindError("predicate expression in scalar context".into()),
-            ),
+            AstExpr::Between { .. } | AstExpr::InList { .. } | AstExpr::Like { .. } => {
+                Err(BindError("predicate expression in scalar context".into()))
+            }
         }
     }
 
@@ -392,9 +392,10 @@ impl<'a> Scope<'a> {
                     other.as_str()
                 ))),
             },
-            AstExpr::Unary { op: UnOp::Not, expr } => {
-                Ok(PredExpr::Not(Box::new(self.bind_pred(expr)?)))
-            }
+            AstExpr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => Ok(PredExpr::Not(Box::new(self.bind_pred(expr)?))),
             AstExpr::Unary {
                 op: UnOp::IsNull,
                 expr,
@@ -463,17 +464,13 @@ impl<'a> Scope<'a> {
                 pattern: pattern.clone(),
                 negated: *negated,
             }),
-            other => Err(BindError(format!(
-                "expression {other} is not a predicate"
-            ))),
+            other => Err(BindError(format!("expression {other} is not a predicate"))),
         }
     }
 
     fn bind_plain_column(&self, e: &AstExpr, clause: &str) -> Result<ColumnId> {
         match e {
-            AstExpr::Column { qualifier, name } => {
-                self.resolve_column(qualifier.as_deref(), name)
-            }
+            AstExpr::Column { qualifier, name } => self.resolve_column(qualifier.as_deref(), name),
             other => Err(BindError(format!(
                 "{clause} supports plain columns only, got {other}"
             ))),

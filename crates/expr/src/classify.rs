@@ -16,7 +16,6 @@
 use crate::interval::Interval;
 use crate::scalar::{CmpOp, PredExpr, ScalarExpr};
 use pdt_catalog::{string_sort_key, ColumnId, Database, SortKey, TableId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Default selectivity for predicates we cannot estimate from
@@ -25,7 +24,7 @@ pub const DEFAULT_OTHER_SELECTIVITY: f64 = 1.0 / 3.0;
 
 /// An equi-join predicate between columns of two different tables,
 /// stored with `left < right` for canonical identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JoinPred {
     pub left: ColumnId,
     pub right: ColumnId,
@@ -53,7 +52,7 @@ impl JoinPred {
 }
 
 /// The shape of a sargable predicate on a single column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Sarg {
     /// A (possibly one-sided, possibly point) range.
     Range(Interval),
@@ -114,7 +113,7 @@ impl Sarg {
 }
 
 /// A sargable predicate: a column together with its (merged) sarg.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SargablePred {
     pub column: ColumnId,
     pub sarg: Sarg,
@@ -165,7 +164,7 @@ pub fn sarg_selectivity_with(stats: &pdt_catalog::ColumnStats, sarg: &Sarg) -> f
 /// A non-sargable ("other") predicate: kept structurally for view
 /// matching/merging, with the columns it references and a heuristic
 /// selectivity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OtherPred {
     /// Normalized predicate tree (structural identity).
     pub pred: PredExpr,
@@ -184,7 +183,7 @@ impl OtherPred {
 }
 
 /// The classification of a WHERE clause into the paper's three classes.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassifiedPredicates {
     pub joins: Vec<JoinPred>,
     pub ranges: Vec<SargablePred>,
@@ -221,9 +220,7 @@ impl ClassifiedPredicates {
 
     /// Column equivalences induced by the join predicates.
     pub fn equivalences(&self) -> crate::equiv::ColumnEquivalences {
-        crate::equiv::ColumnEquivalences::from_pairs(
-            self.joins.iter().map(|j| (j.left, j.right)),
-        )
+        crate::equiv::ColumnEquivalences::from_pairs(self.joins.iter().map(|j| (j.left, j.right)))
     }
 
     /// All tables referenced by any predicate.
@@ -328,7 +325,10 @@ fn try_sargable(p: &PredExpr) -> Classified {
             pattern,
             negated: false,
         } => {
-            let prefix: String = pattern.chars().take_while(|c| *c != '%' && *c != '_').collect();
+            let prefix: String = pattern
+                .chars()
+                .take_while(|c| *c != '%' && *c != '_')
+                .collect();
             match (expr.as_column(), prefix.is_empty()) {
                 (Some(c), false) => Classified::Sargable(SargablePred {
                     column: c,
@@ -443,7 +443,12 @@ mod tests {
             ty: ColumnType::Int,
             stats: ColumnStats::uniform(100.0, 0.0, 100.0, 4.0),
         };
-        b.add_table("r", 1000.0, vec![mk("a"), mk("b"), mk("c"), mk("x")], vec![0]);
+        b.add_table(
+            "r",
+            1000.0,
+            vec![mk("a"), mk("b"), mk("c"), mk("x")],
+            vec![0],
+        );
         b.add_table("s", 500.0, vec![mk("y"), mk("b")], vec![0]);
         b.build()
     }
@@ -454,7 +459,11 @@ mod tests {
     }
 
     fn cmp(op: CmpOp, l: ScalarExpr, r: ScalarExpr) -> PredExpr {
-        PredExpr::Cmp { op, left: l, right: r }
+        PredExpr::Cmp {
+            op,
+            left: l,
+            right: r,
+        }
     }
 
     #[test]
@@ -469,14 +478,30 @@ mod tests {
             // R.x = S.y  -> join
             cmp(CmpOp::Eq, ScalarExpr::column(rx), ScalarExpr::column(sy)),
             // R.a > 5 AND R.a < 50 -> one merged range on R.a
-            cmp(CmpOp::Gt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(5))),
-            cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(50))),
+            cmp(
+                CmpOp::Gt,
+                ScalarExpr::column(ra),
+                ScalarExpr::literal(Value::Int(5)),
+            ),
+            cmp(
+                CmpOp::Lt,
+                ScalarExpr::column(ra),
+                ScalarExpr::literal(Value::Int(50)),
+            ),
             // R.b > 5 -> range
-            cmp(CmpOp::Gt, ScalarExpr::column(rb), ScalarExpr::literal(Value::Int(5))),
+            cmp(
+                CmpOp::Gt,
+                ScalarExpr::column(rb),
+                ScalarExpr::literal(Value::Int(5)),
+            ),
             // (R.a < R.b OR R.c < 8) -> other
             PredExpr::Or(vec![
                 cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::column(rb)),
-                cmp(CmpOp::Lt, ScalarExpr::column(rc), ScalarExpr::literal(Value::Int(8))),
+                cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::column(rc),
+                    ScalarExpr::literal(Value::Int(8)),
+                ),
             ]),
             // R.a * R.b = 5 -> other
             cmp(
@@ -531,7 +556,11 @@ mod tests {
         let rb = cid(&db, "r", "b");
         let c = classify_conjuncts(
             &db,
-            vec![cmp(CmpOp::Eq, ScalarExpr::column(ra), ScalarExpr::column(rb))],
+            vec![cmp(
+                CmpOp::Eq,
+                ScalarExpr::column(ra),
+                ScalarExpr::column(rb),
+            )],
         );
         assert!(c.joins.is_empty());
         assert_eq!(c.others.len(), 1);
@@ -549,7 +578,11 @@ mod tests {
                     list: vec![Value::Int(1), Value::Int(5), Value::Int(60)],
                     negated: false,
                 },
-                cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(50))),
+                cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::column(ra),
+                    ScalarExpr::literal(Value::Int(50)),
+                ),
             ],
         );
         assert_eq!(c.ranges.len(), 1);
@@ -580,8 +613,16 @@ mod tests {
         let c = classify_conjuncts(
             &db,
             vec![
-                cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(50))),
-                cmp(CmpOp::Lt, ScalarExpr::column(rb), ScalarExpr::literal(Value::Int(10))),
+                cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::column(ra),
+                    ScalarExpr::literal(Value::Int(50)),
+                ),
+                cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::column(rb),
+                    ScalarExpr::literal(Value::Int(10)),
+                ),
             ],
         );
         let sel = c.local_selectivity(&db, r);
@@ -630,7 +671,11 @@ mod tests {
         let sy = cid(&db, "s", "y");
         let c = classify_conjuncts(
             &db,
-            vec![cmp(CmpOp::Eq, ScalarExpr::column(rx), ScalarExpr::column(sy))],
+            vec![cmp(
+                CmpOp::Eq,
+                ScalarExpr::column(rx),
+                ScalarExpr::column(sy),
+            )],
         );
         let eq = c.equivalences();
         assert!(eq.equivalent(rx, sy));
@@ -643,8 +688,16 @@ mod tests {
         let c = classify_conjuncts(
             &db,
             vec![
-                cmp(CmpOp::Gt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(60))),
-                cmp(CmpOp::Lt, ScalarExpr::column(ra), ScalarExpr::literal(Value::Int(40))),
+                cmp(
+                    CmpOp::Gt,
+                    ScalarExpr::column(ra),
+                    ScalarExpr::literal(Value::Int(60)),
+                ),
+                cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::column(ra),
+                    ScalarExpr::literal(Value::Int(40)),
+                ),
             ],
         );
         assert_eq!(c.ranges.len(), 1);

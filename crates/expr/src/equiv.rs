@@ -84,10 +84,7 @@ mod tests {
     #[test]
     fn transitive_closure() {
         // R.x = S.y AND S.y = T.z (paper's Section 1 example).
-        let eq = ColumnEquivalences::from_pairs([
-            (cid(0, 0), cid(1, 0)),
-            (cid(1, 0), cid(2, 0)),
-        ]);
+        let eq = ColumnEquivalences::from_pairs([(cid(0, 0), cid(1, 0)), (cid(1, 0), cid(2, 0))]);
         assert!(eq.equivalent(cid(0, 0), cid(2, 0)));
         assert!(!eq.equivalent(cid(0, 0), cid(0, 1)));
     }

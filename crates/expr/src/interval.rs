@@ -6,11 +6,10 @@
 //! same-column range predicates").
 
 use pdt_catalog::SortKey;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An endpoint of an interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Bound {
     Unbounded,
     Inclusive(SortKey),
@@ -36,7 +35,7 @@ impl Bound {
 }
 
 /// A (possibly unbounded, possibly empty) interval `lo .. hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     pub lo: Bound,
     pub hi: Bound,

@@ -23,7 +23,9 @@ pub mod scalar;
 pub use bind::{
     BindError, Binder, BoundDelete, BoundInsert, BoundSelect, BoundStatement, BoundUpdate,
 };
-pub use classify::{classify_conjuncts, ClassifiedPredicates, JoinPred, OtherPred, Sarg, SargablePred};
+pub use classify::{
+    classify_conjuncts, ClassifiedPredicates, JoinPred, OtherPred, Sarg, SargablePred,
+};
 pub use equiv::ColumnEquivalences;
 pub use interval::{Bound, Interval};
 pub use scalar::{AggCall, CmpOp, PredExpr, ScalarExpr};

@@ -1,12 +1,11 @@
 //! Bound scalar expressions and predicate trees.
 
 use pdt_catalog::{ColumnId, Database, TableId, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Comparison operators in bound predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     NotEq,
@@ -41,7 +40,7 @@ impl CmpOp {
 }
 
 /// Arithmetic operators inside scalar expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArithOp {
     Add,
     Sub,
@@ -67,7 +66,7 @@ impl ArithOp {
 }
 
 /// Aggregate functions over bound expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     Count,
     Sum,
@@ -89,7 +88,7 @@ impl AggFunc {
 }
 
 /// A bound aggregate call (`arg == None` means `COUNT(*)`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggCall {
     pub func: AggFunc,
     pub arg: Option<ScalarExpr>,
@@ -97,7 +96,7 @@ pub struct AggCall {
 }
 
 /// A bound scalar expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScalarExpr {
     Column(ColumnId),
     Literal(Value),
@@ -280,7 +279,7 @@ fn fmt_scalar(e: &ScalarExpr, db: &Database, f: &mut fmt::Formatter<'_>) -> fmt:
 }
 
 /// A bound boolean predicate tree (pre-classification form).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PredExpr {
     /// `left op right` over scalar expressions.
     Cmp {
@@ -314,20 +313,14 @@ impl PredExpr {
     /// nested ANDs.
     pub fn conjuncts(self) -> Vec<PredExpr> {
         match self {
-            PredExpr::And(parts) => parts
-                .into_iter()
-                .flat_map(PredExpr::conjuncts)
-                .collect(),
+            PredExpr::And(parts) => parts.into_iter().flat_map(PredExpr::conjuncts).collect(),
             other => vec![other],
         }
     }
 
     /// Conjunction of a list of predicates (flattened).
     pub fn and_all(parts: Vec<PredExpr>) -> Option<PredExpr> {
-        let mut flat: Vec<PredExpr> = parts
-            .into_iter()
-            .flat_map(PredExpr::conjuncts)
-            .collect();
+        let mut flat: Vec<PredExpr> = parts.into_iter().flat_map(PredExpr::conjuncts).collect();
         match flat.len() {
             0 => None,
             1 => Some(flat.remove(0)),
@@ -396,12 +389,8 @@ impl PredExpr {
                 expr: expr.map_columns(f),
                 negated: *negated,
             },
-            PredExpr::And(parts) => {
-                PredExpr::And(parts.iter().map(|p| p.map_columns(f)).collect())
-            }
-            PredExpr::Or(parts) => {
-                PredExpr::Or(parts.iter().map(|p| p.map_columns(f)).collect())
-            }
+            PredExpr::And(parts) => PredExpr::And(parts.iter().map(|p| p.map_columns(f)).collect()),
+            PredExpr::Or(parts) => PredExpr::Or(parts.iter().map(|p| p.map_columns(f)).collect()),
             PredExpr::Not(inner) => PredExpr::Not(Box::new(inner.map_columns(f))),
         }
     }

@@ -48,8 +48,9 @@ pub fn best_access_path(
 ) -> AccessPath {
     let table = req.table;
     let table_rows = schema.rows(table).max(1.0);
-    let table_pages =
-        (table_rows * schema.row_width(table) / model.size.page_size).ceil().max(1.0);
+    let table_pages = (table_rows * schema.row_width(table) / model.size.page_size)
+        .ceil()
+        .max(1.0);
 
     // Per-sarg selectivities.
     let sargs: Vec<(usize, f64)> = req
@@ -58,7 +59,11 @@ pub fn best_access_path(
         .enumerate()
         .map(|(i, s)| (i, sarg_selectivity(schema, s)))
         .collect();
-    let sarg_sel: f64 = sargs.iter().map(|(_, s)| s).product::<f64>().clamp(0.0, 1.0);
+    let sarg_sel: f64 = sargs
+        .iter()
+        .map(|(_, s)| s)
+        .product::<f64>()
+        .clamp(0.0, 1.0);
     let others_sel: f64 = req
         .non_sargable
         .iter()
@@ -83,7 +88,10 @@ pub fn best_access_path(
 
     let mut best: Option<AccessPath> = None;
     let mut consider = |cand: AccessPath| {
-        if best.as_ref().is_none_or(|b| cand.cost.total() < b.cost.total()) {
+        if best
+            .as_ref()
+            .is_none_or(|b| cand.cost.total() < b.cost.total())
+        {
             best = Some(cand);
         }
     };
@@ -116,7 +124,11 @@ pub fn best_access_path(
                     seek_col_sels: Vec::new(),
                 };
                 (
-                    PlanNode::leaf(Op::IndexScan { index: ci.clone() }, cost.total(), table_rows),
+                    PlanNode::leaf(
+                        Op::IndexScan { index: ci.clone() },
+                        cost.total(),
+                        table_rows,
+                    ),
                     cost,
                     Some(usage),
                 )
@@ -135,8 +147,18 @@ pub fn best_access_path(
             .map(|u| u.provided_order.is_some())
             .unwrap_or(false);
         consider(finish(
-            model, schema, req, scan_node, scan_cost, table_rows, out_rows, n_preds,
-            usage.into_iter().collect(), provides, &order_cols, &needed,
+            model,
+            schema,
+            req,
+            scan_node,
+            scan_cost,
+            table_rows,
+            out_rows,
+            n_preds,
+            usage.into_iter().collect(),
+            provides,
+            &order_cols,
+            &needed,
         ));
     }
 
@@ -167,11 +189,26 @@ pub fn best_access_path(
                 followed_by_lookup: false,
                 seek_col_sels: Vec::new(),
             };
-            let node =
-                PlanNode::leaf(Op::IndexScan { index: (*index).clone() }, cost.total(), table_rows);
+            let node = PlanNode::leaf(
+                Op::IndexScan {
+                    index: (*index).clone(),
+                },
+                cost.total(),
+                table_rows,
+            );
             consider(finish(
-                model, schema, req, node, cost, table_rows, out_rows, n_preds,
-                vec![usage], provides, &order_cols, &needed,
+                model,
+                schema,
+                req,
+                node,
+                cost,
+                table_rows,
+                out_rows,
+                n_preds,
+                vec![usage],
+                provides,
+                &order_cols,
+                &needed,
             ));
         }
     }
@@ -191,10 +228,7 @@ pub fn best_access_path(
 
         // Residual predicates: sargs not consumed by the seek plus the
         // non-sargable ones.
-        let consumed: BTreeSet<ColumnId> = index.key[..prefix_len]
-            .iter()
-            .copied()
-            .collect();
+        let consumed: BTreeSet<ColumnId> = index.key[..prefix_len].iter().copied().collect();
         let mut resid_sel_on_index = 1.0;
         let mut resid_sel_after_lookup = 1.0;
         let mut n_on_index = 0usize;
@@ -265,7 +299,10 @@ pub fn best_access_path(
         };
 
         let seek_node = PlanNode::leaf(
-            Op::IndexSeek { index: (*index).clone(), selectivity: seek_sel },
+            Op::IndexSeek {
+                index: (*index).clone(),
+                selectivity: seek_sel,
+            },
             seek_cost.total(),
             rows_after_seek,
         );
@@ -279,15 +316,28 @@ pub fn best_access_path(
                 let f = model.filter(rows_after_seek, n_on_index);
                 cost = cost.add(f);
                 node = PlanNode::unary(
-                    Op::Filter { predicates: n_on_index, selectivity: resid_sel_on_index },
+                    Op::Filter {
+                        predicates: n_on_index,
+                        selectivity: resid_sel_on_index,
+                    },
                     cost.total(),
                     rows_mid,
                     node,
                 );
             }
             consider(finish(
-                model, schema, req, node, cost, rows_mid, out_rows, 0,
-                vec![usage.clone()], provides, &order_cols, &needed,
+                model,
+                schema,
+                req,
+                node,
+                cost,
+                rows_mid,
+                out_rows,
+                0,
+                vec![usage.clone()],
+                provides,
+                &order_cols,
+                &needed,
             ));
         } else {
             // Seek -> on-index filters -> rid lookup -> remaining
@@ -303,7 +353,10 @@ pub fn best_access_path(
                 cost = cost.add(f);
                 rows_mid *= resid_sel_on_index;
                 node = PlanNode::unary(
-                    Op::Filter { predicates: n_on_index, selectivity: resid_sel_on_index },
+                    Op::Filter {
+                        predicates: n_on_index,
+                        selectivity: resid_sel_on_index,
+                    },
                     cost.total(),
                     rows_mid,
                     node,
@@ -317,15 +370,28 @@ pub fn best_access_path(
                 cost = cost.add(f);
                 rows_mid *= resid_sel_after_lookup;
                 node = PlanNode::unary(
-                    Op::Filter { predicates: n_after, selectivity: resid_sel_after_lookup },
+                    Op::Filter {
+                        predicates: n_after,
+                        selectivity: resid_sel_after_lookup,
+                    },
                     cost.total(),
                     rows_mid,
                     node,
                 );
             }
             consider(finish(
-                model, schema, req, node, cost, rows_mid, out_rows, 0,
-                vec![usage], false, &order_cols, &needed,
+                model,
+                schema,
+                req,
+                node,
+                cost,
+                rows_mid,
+                out_rows,
+                0,
+                vec![usage],
+                false,
+                &order_cols,
+                &needed,
             ));
         }
     }
@@ -360,7 +426,10 @@ pub fn best_access_path(
             let n_resid = n_preds.saturating_sub(2);
             let mk_usage = |idx: &Index, sel: f64, prefix: usize, c: Cost, r: f64| IndexUsage {
                 index: idx.clone(),
-                kind: UsageKind::Seek { seek_cols: prefix, selectivity: sel },
+                kind: UsageKind::Seek {
+                    seek_cols: prefix,
+                    selectivity: sel,
+                },
                 access_io: c.io,
                 access_cpu: c.cpu,
                 rows: r,
@@ -379,17 +448,20 @@ pub fn best_access_path(
                     })
                     .collect(),
             };
-            let usages = vec![
-                mk_usage(i1, s1, p1, c1, r1),
-                mk_usage(i2, s2, p2, c2, r2),
-            ];
+            let usages = vec![mk_usage(i1, s1, p1, c1, r1), mk_usage(i2, s2, p2, c2, r2)];
             let seek1 = PlanNode::leaf(
-                Op::IndexSeek { index: i1.clone(), selectivity: s1 },
+                Op::IndexSeek {
+                    index: i1.clone(),
+                    selectivity: s1,
+                },
                 c1.total(),
                 r1,
             );
             let seek2 = PlanNode::leaf(
-                Op::IndexSeek { index: i2.clone(), selectivity: s2 },
+                Op::IndexSeek {
+                    index: i2.clone(),
+                    selectivity: s2,
+                },
                 c2.total(),
                 r2,
             );
@@ -407,15 +479,28 @@ pub fn best_access_path(
                 cost = cost.add(f);
                 rows_mid = out_rows.min(rows_mid);
                 node = PlanNode::unary(
-                    Op::Filter { predicates: n_resid, selectivity: 1.0 },
+                    Op::Filter {
+                        predicates: n_resid,
+                        selectivity: 1.0,
+                    },
                     cost.total(),
                     rows_mid,
                     node,
                 );
             }
             consider(finish(
-                model, schema, req, node, cost, rows_mid.max(out_rows), out_rows, 0,
-                usages, false, &order_cols, &needed,
+                model,
+                schema,
+                req,
+                node,
+                cost,
+                rows_mid.max(out_rows),
+                out_rows,
+                0,
+                usages,
+                false,
+                &order_cols,
+                &needed,
             ));
         }
     }
@@ -433,7 +518,11 @@ fn seek_prefix(index: &Index, req: &IndexRequest, sels: &[(usize, f64)]) -> (usi
     for key_col in &index.key {
         match req.sargable.iter().position(|s| s.column == *key_col) {
             Some(si) => {
-                sel *= sels.iter().find(|(i, _)| *i == si).map(|(_, s)| *s).unwrap_or(1.0);
+                sel *= sels
+                    .iter()
+                    .find(|(i, _)| *i == si)
+                    .map(|(_, s)| *s)
+                    .unwrap_or(1.0);
                 len += 1;
                 if req.sargable[si].sarg.is_equality() {
                     eq_len = len;
@@ -482,7 +571,10 @@ fn finish(
         cost = cost.add(f);
         rows = out_rows;
         node = PlanNode::unary(
-            Op::Filter { predicates: extra_preds, selectivity: 1.0 },
+            Op::Filter {
+                predicates: extra_preds,
+                selectivity: 1.0,
+            },
             cost.total(),
             rows,
             node,
@@ -493,11 +585,17 @@ fn finish(
     rows = out_rows;
     let mut provided = provides_order;
     if !order_cols.is_empty() && !provides_order {
-        let width: f64 = needed.iter().map(|c| schema.column_width(*c)).sum::<f64>().max(8.0);
+        let width: f64 = needed
+            .iter()
+            .map(|c| schema.column_width(*c))
+            .sum::<f64>()
+            .max(8.0);
         let s = model.sort(rows, width);
         cost = cost.add(s);
         node = PlanNode::unary(
-            Op::Sort { columns: req.order.clone() },
+            Op::Sort {
+                columns: req.order.clone(),
+            },
             cost.total(),
             rows,
             node,
@@ -547,12 +645,20 @@ mod tests {
         t.column_id(t.column_ordinal(name).unwrap())
     }
 
-    fn req(db: &Database, sargs: Vec<(ColumnId, Interval)>, order: Vec<ColumnId>, additional: Vec<ColumnId>) -> IndexRequest {
+    fn req(
+        db: &Database,
+        sargs: Vec<(ColumnId, Interval)>,
+        order: Vec<ColumnId>,
+        additional: Vec<ColumnId>,
+    ) -> IndexRequest {
         IndexRequest {
             table: db.table_by_name("r").unwrap().id,
             sargable: sargs
                 .into_iter()
-                .map(|(c, i)| SargablePred { column: c, sarg: Sarg::Range(i) })
+                .map(|(c, i)| SargablePred {
+                    column: c,
+                    sarg: Sarg::Range(i),
+                })
                 .collect(),
             non_sargable: vec![],
             order: order.into_iter().map(|c| (c, false)).collect(),
@@ -571,7 +677,12 @@ mod tests {
         let config = Configuration::base(&db);
         let schema = schema_with(&db, &config);
         let model = CostModel::default();
-        let r = req(&db, vec![(rid(&db, "a"), Interval::point(5.0))], vec![], vec![rid(&db, "b")]);
+        let r = req(
+            &db,
+            vec![(rid(&db, "a"), Interval::point(5.0))],
+            vec![],
+            vec![rid(&db, "b")],
+        );
         let path = best_access_path(&model, &schema, &r);
         let mut scans = 0;
         let mut seeks = 0;
@@ -600,7 +711,10 @@ mod tests {
             .iter()
             .any(|u| matches!(u.kind, UsageKind::Seek { .. }));
         assert!(seek_used, "expected a seek:\n{:?}", path.node);
-        assert!(!path.usages[0].followed_by_lookup, "covering index needs no lookup");
+        assert!(
+            !path.usages[0].followed_by_lookup,
+            "covering index needs no lookup"
+        );
     }
 
     #[test]
@@ -614,12 +728,7 @@ mod tests {
         let model = CostModel::default();
 
         // Tiny range: seek + lookup wins.
-        let tight = req(
-            &db,
-            vec![(a, Interval::point(5.0))],
-            vec![],
-            vec![c],
-        );
+        let tight = req(&db, vec![(a, Interval::point(5.0))], vec![], vec![c]);
         let p1 = best_access_path(&model, &schema, &tight);
         assert!(p1.usages.iter().any(|u| u.followed_by_lookup));
 
@@ -651,8 +760,14 @@ mod tests {
         let r = IndexRequest {
             table: a.table,
             sargable: vec![
-                SargablePred { column: b, sarg: Sarg::Range(Interval::point(1.0)) },
-                SargablePred { column: a, sarg: Sarg::Range(Interval::at_most(100.0, true)) },
+                SargablePred {
+                    column: b,
+                    sarg: Sarg::Range(Interval::point(1.0)),
+                },
+                SargablePred {
+                    column: a,
+                    sarg: Sarg::Range(Interval::at_most(100.0, true)),
+                },
             ],
             non_sargable: vec![],
             order: vec![],

@@ -153,11 +153,7 @@ impl QueryBlock {
     }
 }
 
-fn collect_projection(
-    e: &ScalarExpr,
-    aggs: &mut Vec<AggCall>,
-    cols: &mut BTreeSet<ColumnId>,
-) {
+fn collect_projection(e: &ScalarExpr, aggs: &mut Vec<AggCall>, cols: &mut BTreeSet<ColumnId>) {
     match e {
         ScalarExpr::Agg(call) => {
             if !aggs.contains(call) {

@@ -17,11 +17,7 @@ pub fn column_ndv(schema: &PhysicalSchema<'_>, col: ColumnId) -> f64 {
 }
 
 /// Selectivity of one equi-join predicate: `1 / max(ndv_l, ndv_r)`.
-pub fn join_selectivity(
-    schema: &PhysicalSchema<'_>,
-    left: ColumnId,
-    right: ColumnId,
-) -> f64 {
+pub fn join_selectivity(schema: &PhysicalSchema<'_>, left: ColumnId, right: ColumnId) -> f64 {
     1.0 / column_ndv(schema, left).max(column_ndv(schema, right))
 }
 
@@ -95,7 +91,12 @@ mod tests {
             vec![mk("fk", 1000.0), mk("v", 100.0)],
             vec![],
         );
-        b.add_table("dim", 1000.0, vec![mk("pk", 1000.0), mk("w", 10.0)], vec![0]);
+        b.add_table(
+            "dim",
+            1000.0,
+            vec![mk("pk", 1000.0), mk("w", 10.0)],
+            vec![0],
+        );
         b.build()
     }
 
@@ -121,7 +122,10 @@ mod tests {
         );
         let rows = subset_rows(&schema, &[fk.table, pk.table].into(), &preds);
         // 1M x 1000 / max(1000,1000) = 1M.
-        assert!((rows - 1_000_000.0).abs() / 1_000_000.0 < 0.01, "rows={rows}");
+        assert!(
+            (rows - 1_000_000.0).abs() / 1_000_000.0 < 0.01,
+            "rows={rows}"
+        );
     }
 
     #[test]

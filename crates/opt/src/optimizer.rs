@@ -125,7 +125,10 @@ impl<'a> Optimizer<'a> {
         // ---- whole-query view alternatives ---------------------------
         let full_spjg = block.to_spjg();
         sink.on_view_request(
-            &ViewRequest { spjg: full_spjg.clone(), top_level: true },
+            &ViewRequest {
+                spjg: full_spjg.clone(),
+                top_level: true,
+            },
             self.db,
             config,
         );
@@ -134,9 +137,7 @@ impl<'a> Optimizer<'a> {
             .filter_map(|v| v.try_match(&full_spjg).map(|m| (m, v.rows)))
             .collect();
         for (m, view_rows) in matches {
-            if let Some(candidate) =
-                self.view_plan(config, block, &m, view_rows, sink)
-            {
+            if let Some(candidate) = self.view_plan(config, block, &m, view_rows, sink) {
                 if candidate.cost < best.cost {
                     best = candidate;
                 }
@@ -148,12 +149,7 @@ impl<'a> Optimizer<'a> {
     /// Finish a pre-aggregation subplan: grouping, ordering,
     /// projection. (Plans from exact grouped view matches never pass
     /// through here — `view_plan` finishes those itself.)
-    fn finish_plan(
-        &self,
-        config: &Configuration,
-        block: &QueryBlock,
-        sub: SubPlan,
-    ) -> PhysPlan {
+    fn finish_plan(&self, config: &Configuration, block: &QueryBlock, sub: SubPlan) -> PhysPlan {
         let schema = PhysicalSchema::new(self.db, config);
         let model = &self.opts.cost;
         let mut node = sub.node;
@@ -166,7 +162,9 @@ impl<'a> Optimizer<'a> {
             let agg_cost = model.hash_aggregate(rows, groups);
             cost += agg_cost.total();
             node = PlanNode::unary(
-                Op::HashAggregate { groups: block.group_by.len() },
+                Op::HashAggregate {
+                    groups: block.group_by.len(),
+                },
                 cost,
                 groups,
                 node,
@@ -184,7 +182,14 @@ impl<'a> Optimizer<'a> {
                 .max(8.0);
             let s = model.sort(rows, width);
             cost += s.total();
-            node = PlanNode::unary(Op::Sort { columns: block.order_by.clone() }, cost, rows, node);
+            node = PlanNode::unary(
+                Op::Sort {
+                    columns: block.order_by.clone(),
+                },
+                cost,
+                rows,
+                node,
+            );
         }
 
         if let Some(k) = block.top {
@@ -218,7 +223,11 @@ impl<'a> Optimizer<'a> {
             .iter()
             .map(|(_, ord)| ColumnId::new(m.view_id, *ord))
             .collect();
-        additional.extend(m.agg_map.iter().map(|(_, ord)| ColumnId::new(m.view_id, *ord)));
+        additional.extend(
+            m.agg_map
+                .iter()
+                .map(|(_, ord)| ColumnId::new(m.view_id, *ord)),
+        );
         let order: Vec<(ColumnId, bool)> = if m.regroup {
             Vec::new()
         } else {
@@ -264,7 +273,9 @@ impl<'a> Optimizer<'a> {
             let agg = model.hash_aggregate(rows, groups);
             cost += agg.total();
             node = PlanNode::unary(
-                Op::HashAggregate { groups: group_cols.len() },
+                Op::HashAggregate {
+                    groups: group_cols.len(),
+                },
                 cost,
                 groups,
                 node,
@@ -276,7 +287,14 @@ impl<'a> Optimizer<'a> {
         if !block.order_by.is_empty() && !ordered {
             let s = model.sort(rows, 64.0);
             cost += s.total();
-            node = PlanNode::unary(Op::Sort { columns: block.order_by.clone() }, cost, rows, node);
+            node = PlanNode::unary(
+                Op::Sort {
+                    columns: block.order_by.clone(),
+                },
+                cost,
+                rows,
+                node,
+            );
         }
         if let Some(k) = block.top {
             rows = rows.min(k as f64);
@@ -308,11 +326,7 @@ impl<'a> Optimizer<'a> {
         order: Vec<(ColumnId, bool)>,
     ) -> IndexRequest {
         let schema = PhysicalSchema::new(self.db, config);
-        let mut sargable: Vec<SargablePred> = block
-            .classified
-            .ranges_on(table)
-            .cloned()
-            .collect();
+        let mut sargable: Vec<SargablePred> = block.classified.ranges_on(table).cloned().collect();
         for (col, sel) in join_params {
             if !sargable.iter().any(|s| s.column == *col) {
                 sargable.push(SargablePred {
@@ -416,7 +430,10 @@ impl<'a> Optimizer<'a> {
             let sub_spjg = if self.opts.subset_view_requests && mask != full_mask {
                 let spjg = block.spjg_for_subset(&subset);
                 sink.on_view_request(
-                    &ViewRequest { spjg: spjg.clone(), top_level: false },
+                    &ViewRequest {
+                        spjg: spjg.clone(),
+                        top_level: false,
+                    },
                     self.db,
                     config,
                 );
@@ -436,9 +453,7 @@ impl<'a> Optimizer<'a> {
                     .filter_map(|v| v.try_match(spjg).map(|m| (m, v.rows)))
                     .collect();
                 for (m, view_rows) in matches {
-                    if let Some(cand) =
-                        self.subset_view_subplan(config, &m, view_rows, sink)
-                    {
+                    if let Some(cand) = self.subset_view_subplan(config, &m, view_rows, sink) {
                         if best.as_ref().is_none_or(|b| cand.cost < b.cost) {
                             best = Some(cand);
                         }
@@ -454,7 +469,9 @@ impl<'a> Optimizer<'a> {
                 if rest == 0 {
                     continue;
                 }
-                let Some(outer) = dp.get(&rest).cloned() else { continue };
+                let Some(outer) = dp.get(&rest).cloned() else {
+                    continue;
+                };
                 let inner_table = block.tables[i];
                 // Prefer connected joins; cross products only when the
                 // rest has no join edge to this table.
@@ -486,9 +503,15 @@ impl<'a> Optimizer<'a> {
                     &block.classified,
                 );
 
-                for cand in
-                    self.join_candidates(config, block, &outer, inner_table, &join_cols, out_rows, sink)
-                {
+                for cand in self.join_candidates(
+                    config,
+                    block,
+                    &outer,
+                    inner_table,
+                    &join_cols,
+                    out_rows,
+                    sink,
+                ) {
                     if best.as_ref().is_none_or(|b| cand.cost < b.cost) {
                         best = Some(cand);
                     }
@@ -591,8 +614,7 @@ impl<'a> Optimizer<'a> {
         if !join_cols.is_empty() {
             let inner = self.table_access(config, block, inner_table, join_cols, Vec::new(), sink);
             let per_exec = inner.cost.total();
-            let cost =
-                outer.cost + outer.rows * per_exec + out_rows * model.cpu_tuple;
+            let cost = outer.cost + outer.rows * per_exec + out_rows * model.cpu_tuple;
             let mut usages = outer.usages.clone();
             for mut u in inner.usages {
                 // Scale the per-execution usage to the whole join.
@@ -633,8 +655,7 @@ impl<'a> Optimizer<'a> {
         };
         let mut remaining: Vec<usize> = (0..n).collect();
         remaining.sort_by(|a, b| {
-            schema_rows(config, block.tables[*a])
-                .total_cmp(&schema_rows(config, block.tables[*b]))
+            schema_rows(config, block.tables[*a]).total_cmp(&schema_rows(config, block.tables[*b]))
         });
         let first = remaining.remove(0);
         let mut joined: BTreeSet<TableId> = [block.tables[first]].into();
@@ -699,11 +720,7 @@ impl<'a> Optimizer<'a> {
 /// Create a materialized view for a definition: estimate its rows with
 /// the optimizer's cardinality module and register it (without any
 /// index — callers add a clustered index to make it usable).
-pub fn simulate_view(
-    opt: &Optimizer<'_>,
-    config: &mut Configuration,
-    def: SpjgExpr,
-) -> TableId {
+pub fn simulate_view(opt: &Optimizer<'_>, config: &mut Configuration, def: SpjgExpr) -> TableId {
     if let Some(v) = config.find_view_by_def(&def) {
         return v.id;
     }
@@ -772,11 +789,7 @@ mod tests {
         let p0 = plan_sql(&db, &base, sql);
         let mut with_ix = base.clone();
         let t = db.table_by_name("fact").unwrap();
-        with_ix.add_index(Index::new(
-            t.id,
-            [t.column_id(1)],
-            [t.column_id(3)],
-        ));
+        with_ix.add_index(Index::new(t.id, [t.column_id(1)], [t.column_id(3)]));
         let p1 = plan_sql(&db, &with_ix, sql);
         assert!(
             p1.cost < p0.cost / 10.0,
@@ -883,11 +896,7 @@ mod tests {
         .unwrap();
         let bound = Binder::new(&db).bind(&stmt).unwrap();
         let mut sink = CountingSink::default();
-        Optimizer::new(&db).optimize_with_sink(
-            &mut config,
-            bound.as_select().unwrap(),
-            &mut sink,
-        );
+        Optimizer::new(&db).optimize_with_sink(&mut config, bound.as_select().unwrap(), &mut sink);
         assert!(sink.index_requests >= 3, "{:?}", sink);
         // Subsets of size 2 (three of them) plus the full query.
         assert!(sink.view_requests >= 4, "{:?}", sink);
@@ -918,7 +927,10 @@ mod tests {
             with_view.cost,
             baseline.cost
         );
-        assert!(with_view.index_usages.iter().any(|u| u.index.table.is_view()));
+        assert!(with_view
+            .index_usages
+            .iter()
+            .any(|u| u.index.table.is_view()));
     }
 
     #[test]
@@ -973,7 +985,11 @@ mod tests {
                 has_sort2 = true;
             }
         });
-        assert!(!has_sort2, "eq-prefix + order column avoids sort:\n{}", p2.explain());
+        assert!(
+            !has_sort2,
+            "eq-prefix + order column avoids sort:\n{}",
+            p2.explain()
+        );
         assert!(p2.cost <= p.cost);
     }
 
@@ -1053,7 +1069,11 @@ mod tests {
         let db = test_db();
         let mut config = Configuration::base(&db);
         let fact = db.table_by_name("fact").unwrap();
-        config.add_index(Index::new(fact.id, [fact.column_id(1)], [fact.column_id(3)]));
+        config.add_index(Index::new(
+            fact.id,
+            [fact.column_id(1)],
+            [fact.column_id(3)],
+        ));
         let p = plan_sql(
             &db,
             &config,
@@ -1074,11 +1094,7 @@ mod tests {
                 .iter()
                 .find(|u| !u.index.clustered && u.index.table == fact.id)
                 .expect("join index used");
-            assert!(
-                usage.rows > 1.0,
-                "scaled rows expected, got {}",
-                usage.rows
-            );
+            assert!(usage.rows > 1.0, "scaled rows expected, got {}", usage.rows);
             assert!(usage.access_cost() > 0.0);
         }
     }

@@ -81,12 +81,7 @@ pub trait RequestSink {
     /// Called before view matching for an SPJG sub-query. The sink may
     /// add hypothetical materialized views (plus their clustered
     /// indexes) to `config`.
-    fn on_view_request(
-        &mut self,
-        _req: &ViewRequest,
-        _db: &Database,
-        _config: &mut Configuration,
-    ) {
+    fn on_view_request(&mut self, _req: &ViewRequest, _db: &Database, _config: &mut Configuration) {
     }
 }
 
@@ -113,12 +108,7 @@ impl RequestSink for CountingSink {
         self.index_requests += 1;
     }
 
-    fn on_view_request(
-        &mut self,
-        _req: &ViewRequest,
-        _db: &Database,
-        _config: &mut Configuration,
-    ) {
+    fn on_view_request(&mut self, _req: &ViewRequest, _db: &Database, _config: &mut Configuration) {
         self.view_requests += 1;
     }
 }

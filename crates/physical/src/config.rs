@@ -5,7 +5,6 @@ use crate::index::Index;
 use crate::size::SizeModel;
 use crate::view::{MaterializedView, SpjgExpr};
 use pdt_catalog::{ColumnId, ColumnStats, Database, TableId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -15,7 +14,7 @@ use std::sync::Arc;
 /// clustered index has been implemented": a view in a configuration is
 /// only *usable* once it has at least a clustered index; its size is
 /// the sum of the sizes of its indexes.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Configuration {
     indexes: BTreeSet<Index>,
     // Arc makes configuration clones cheap during the relaxation
@@ -220,12 +219,45 @@ impl Configuration {
         }
         h.finish()
     }
+
+    /// Signature of the configuration *as seen by a query over
+    /// `tables`*: the indexes on those tables, the views whose
+    /// definitions join a subset of them (the only views that can
+    /// match, per [`MaterializedView::try_match`]), and the indexes on
+    /// those views. Two configurations with equal projected signatures
+    /// yield identical plans for the query, so this is the cache key
+    /// for memoized what-if optimizer calls.
+    pub fn signature_for_tables(&self, tables: &BTreeSet<TableId>) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let visible_view = |id: TableId| {
+            self.views
+                .get(&id)
+                .is_some_and(|v| v.def.tables.is_subset(tables))
+        };
+        let mut h = DefaultHasher::new();
+        for i in &self.indexes {
+            if tables.contains(&i.table) || (i.table.is_view() && visible_view(i.table)) {
+                i.hash(&mut h);
+            }
+        }
+        for (id, v) in &self.views {
+            if v.def.tables.is_subset(tables) {
+                id.hash(&mut h);
+                format!("{:?}", v.def).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
 }
 
 fn remap_index(index: &Index, new_table: TableId) -> Index {
     let mut idx = Index::new(
         new_table,
-        index.key.iter().map(|c| ColumnId::new(new_table, c.ordinal)),
+        index
+            .key
+            .iter()
+            .map(|c| ColumnId::new(new_table, c.ordinal)),
         index
             .suffix
             .iter()
@@ -427,6 +459,58 @@ mod tests {
         other.add_index(Index::new(t, [rcol(&db, "b")], []));
         assert_ne!(base.signature(), other.signature());
         assert_eq!(base.signature(), Configuration::base(&db).signature());
+    }
+
+    #[test]
+    fn projected_signatures_ignore_unrelated_tables() {
+        let db = test_db();
+        let r = db.table_by_name("r").unwrap().id;
+        let s = db.table_by_name("s").unwrap().id;
+        let r_only: BTreeSet<TableId> = [r].into();
+
+        let base = Configuration::base(&db);
+        let mut with_s_index = base.clone();
+        with_s_index.add_index(Index::new(s, [ColumnId::new(s, 0)], []));
+        // An index on `s` is invisible to queries over `r` alone...
+        assert_eq!(
+            base.signature_for_tables(&r_only),
+            with_s_index.signature_for_tables(&r_only)
+        );
+        // ...but visible to queries joining both tables.
+        let both: BTreeSet<TableId> = [r, s].into();
+        assert_ne!(
+            base.signature_for_tables(&both),
+            with_s_index.signature_for_tables(&both)
+        );
+
+        // An index on `r` changes `r`'s projection.
+        let mut with_r_index = base.clone();
+        with_r_index.add_index(Index::new(r, [rcol(&db, "b")], []));
+        assert_ne!(
+            base.signature_for_tables(&r_only),
+            with_r_index.signature_for_tables(&r_only)
+        );
+
+        // A view over `r` (and its index) is part of `r`'s projection.
+        let mut with_view = base.clone();
+        let vid = with_view.allocate_view_id();
+        let def = SpjgExpr {
+            tables: [r].into(),
+            output_cols: [rcol(&db, "a")].into(),
+            ..Default::default()
+        };
+        with_view.add_view(MaterializedView::create(vid, def, 1000.0, &db));
+        with_view.add_index(Index::clustered(vid, [ColumnId::new(vid, 0)]));
+        assert_ne!(
+            base.signature_for_tables(&r_only),
+            with_view.signature_for_tables(&r_only)
+        );
+        // But invisible to queries over `s` alone.
+        let s_only: BTreeSet<TableId> = [s].into();
+        assert_eq!(
+            base.signature_for_tables(&s_only),
+            with_view.signature_for_tables(&s_only)
+        );
     }
 
     #[test]

@@ -11,12 +11,11 @@
 //! transformations.
 
 use pdt_catalog::{ColumnId, TableId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A (possibly hypothetical) B-tree index.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Index {
     /// The indexed table — a base table or a materialized view.
     pub table: TableId,
@@ -69,7 +68,11 @@ impl Index {
     /// clustered indexes callers must remember the leaves hold the
     /// whole row; see [`Index::covers`].
     pub fn all_columns(&self) -> BTreeSet<ColumnId> {
-        self.key.iter().copied().chain(self.suffix.iter().copied()).collect()
+        self.key
+            .iter()
+            .copied()
+            .chain(self.suffix.iter().copied())
+            .collect()
     }
 
     /// Number of stored columns (key + suffix).
@@ -113,7 +116,11 @@ impl Index {
         let (key, suffix_pool): (Vec<ColumnId>, Vec<ColumnId>) = if k1_prefix_of_k2 {
             (
                 other.key.clone(),
-                self.suffix.iter().chain(other.suffix.iter()).copied().collect(),
+                self.suffix
+                    .iter()
+                    .chain(other.suffix.iter())
+                    .copied()
+                    .collect(),
             )
         } else {
             (
@@ -148,15 +155,16 @@ impl Index {
             return None;
         }
         let k2: BTreeSet<ColumnId> = other.key.iter().copied().collect();
-        let kc: Vec<ColumnId> = self.key.iter().copied().filter(|c| k2.contains(c)).collect();
+        let kc: Vec<ColumnId> = self
+            .key
+            .iter()
+            .copied()
+            .filter(|c| k2.contains(c))
+            .collect();
         if kc.is_empty() {
             return None;
         }
-        let sc: BTreeSet<ColumnId> = self
-            .suffix
-            .intersection(&other.suffix)
-            .copied()
-            .collect();
+        let sc: BTreeSet<ColumnId> = self.suffix.intersection(&other.suffix).copied().collect();
         let common = Index::new(self.table, kc.clone(), sc);
         let common_cols = common.all_columns();
         let residual = |input: &Index| -> Option<Index> {
@@ -266,11 +274,7 @@ mod tests {
 
     // Column letters from the paper: a=0, b=1, c=2, d=3, e=4, f=5, g=6.
     fn ix(key: &[u16], suffix: &[u16]) -> Index {
-        Index::new(
-            T,
-            key.iter().map(|i| c(*i)),
-            suffix.iter().map(|i| c(*i)),
-        )
+        Index::new(T, key.iter().map(|i| c(*i)), suffix.iter().map(|i| c(*i)))
     }
 
     #[test]

@@ -116,10 +116,9 @@ impl SizeModel {
         let full = self.index_bytes(schema, index);
         if index.clustered && !index.table.is_view() {
             let rows = schema.rows(index.table);
-            let leaf_pages = (rows
-                / self.entries_per_page(self.leaf_entry_width(schema, index)))
-            .ceil()
-            .max(1.0);
+            let leaf_pages = (rows / self.entries_per_page(self.leaf_entry_width(schema, index)))
+                .ceil()
+                .max(1.0);
             (full - leaf_pages * self.page_size).max(self.page_size)
         } else {
             full

@@ -13,12 +13,11 @@
 use pdt_catalog::{ColumnId, ColumnStats, Database, TableId};
 use pdt_expr::scalar::{AggCall, AggFunc};
 use pdt_expr::{ColumnEquivalences, JoinPred, OtherPred, Sarg, SargablePred};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// An SPJG expression: used both as a view *definition* and as the
 /// shape of an SPJG (sub-)query being matched against views.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpjgExpr {
     /// `F`: the joined tables.
     pub tables: BTreeSet<TableId>,
@@ -104,7 +103,11 @@ impl SpjgExpr {
             ));
         }
         for r in &self.ranges {
-            preds.push(format!("{} IN {}", db.column_name(r.column), r.sarg.to_interval()));
+            preds.push(format!(
+                "{} IN {}",
+                db.column_name(r.column),
+                r.sarg.to_interval()
+            ));
         }
         for o in &self.others {
             preds.push(o.pred.display(db).to_string());
@@ -123,7 +126,7 @@ impl SpjgExpr {
 }
 
 /// One output column of a materialized view.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViewColumn {
     pub name: String,
     pub source: ViewColumnSource,
@@ -132,7 +135,7 @@ pub struct ViewColumn {
 }
 
 /// Where a view output column comes from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ViewColumnSource {
     /// A base-table column carried through.
     Base(ColumnId),
@@ -141,7 +144,7 @@ pub enum ViewColumnSource {
 }
 
 /// A materialized view with its output schema and cardinality estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MaterializedView {
     pub id: TableId,
     pub def: SpjgExpr,
@@ -199,29 +202,27 @@ impl MaterializedView {
 
     /// Find the output ordinal carrying base column `base` (modulo the
     /// supplied equivalences).
-    pub fn ordinal_of_base(
-        &self,
-        base: ColumnId,
-        eq: Option<&ColumnEquivalences>,
-    ) -> Option<u16> {
-        self.columns.iter().position(|vc| match vc.source {
-            ViewColumnSource::Base(b) => {
-                b == base || eq.is_some_and(|e| e.equivalent(b, base))
-            }
-            ViewColumnSource::Agg(_) => false,
-        })
-        .map(|i| i as u16)
+    pub fn ordinal_of_base(&self, base: ColumnId, eq: Option<&ColumnEquivalences>) -> Option<u16> {
+        self.columns
+            .iter()
+            .position(|vc| match vc.source {
+                ViewColumnSource::Base(b) => b == base || eq.is_some_and(|e| e.equivalent(b, base)),
+                ViewColumnSource::Agg(_) => false,
+            })
+            .map(|i| i as u16)
     }
 
     /// Find the output ordinal carrying an aggregate equal to `agg`
     /// (arguments compared modulo `eq` by canonical mapping).
     pub fn ordinal_of_agg(&self, agg: &AggCall, eq: &ColumnEquivalences) -> Option<u16> {
         let target = canon_agg(agg, eq);
-        self.columns.iter().position(|vc| match vc.source {
-            ViewColumnSource::Agg(i) => canon_agg(&self.def.aggregates[i], eq) == target,
-            ViewColumnSource::Base(_) => false,
-        })
-        .map(|i| i as u16)
+        self.columns
+            .iter()
+            .position(|vc| match vc.source {
+                ViewColumnSource::Agg(i) => canon_agg(&self.def.aggregates[i], eq) == target,
+                ViewColumnSource::Base(_) => false,
+            })
+            .map(|i| i as u16)
     }
 
     /// Average row width of the view output.
@@ -256,9 +257,10 @@ impl MaterializedView {
         // Every view range must be implied by (i.e. looser than) a
         // query range on an equivalent column.
         for vr in &self.def.ranges {
-            let q_range = q.ranges.iter().find(|qr| {
-                qr.column == vr.column || q_eq.equivalent(qr.column, vr.column)
-            })?;
+            let q_range = q
+                .ranges
+                .iter()
+                .find(|qr| qr.column == vr.column || q_eq.equivalent(qr.column, vr.column))?;
             let vi = vr.sarg.to_interval();
             let qi = q_range.sarg.to_interval();
             if !vi.contains(&qi) {
@@ -401,10 +403,7 @@ impl MaterializedView {
             })
             .collect();
         let regroup_cols: Vec<ColumnId> = if regroup {
-            q.group_by
-                .iter()
-                .map(|g| map_col(*g))
-                .collect()
+            q.group_by.iter().map(|g| map_col(*g)).collect()
         } else {
             Vec::new()
         };
@@ -423,17 +422,15 @@ impl MaterializedView {
 
 /// Whether an aggregate can be recomputed from per-finer-group values.
 fn reaggregatable(f: AggFunc) -> bool {
-    matches!(f, AggFunc::Sum | AggFunc::Count | AggFunc::Min | AggFunc::Max)
+    matches!(
+        f,
+        AggFunc::Sum | AggFunc::Count | AggFunc::Min | AggFunc::Max
+    )
 }
 
-fn groups_equal(
-    a: &BTreeSet<ColumnId>,
-    b: &BTreeSet<ColumnId>,
-    eq: &ColumnEquivalences,
-) -> bool {
-    let canon = |s: &BTreeSet<ColumnId>| -> BTreeSet<ColumnId> {
-        s.iter().map(|c| eq.canon(*c)).collect()
-    };
+fn groups_equal(a: &BTreeSet<ColumnId>, b: &BTreeSet<ColumnId>, eq: &ColumnEquivalences) -> bool {
+    let canon =
+        |s: &BTreeSet<ColumnId>| -> BTreeSet<ColumnId> { s.iter().map(|c| eq.canon(*c)).collect() };
     canon(a) == canon(b)
 }
 
@@ -444,7 +441,10 @@ fn canon_pred(p: &pdt_expr::PredExpr, eq: &ColumnEquivalences) -> pdt_expr::Pred
 fn canon_agg(a: &AggCall, eq: &ColumnEquivalences) -> AggCall {
     AggCall {
         func: a.func,
-        arg: a.arg.as_ref().map(|e| e.map_columns(&mut |c| eq.canon(c)).normalized()),
+        arg: a
+            .arg
+            .as_ref()
+            .map(|e| e.map_columns(&mut |c| eq.canon(c)).normalized()),
         distinct: a.distinct,
     }
 }

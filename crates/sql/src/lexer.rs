@@ -64,9 +64,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                 let mut value = String::new();
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(ParseError::new("unterminated string literal", start))
-                        }
+                        None => return Err(ParseError::new("unterminated string literal", start)),
                         Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
                             value.push('\'');
                             i += 2;
@@ -122,9 +120,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &input[start..i];
@@ -163,7 +159,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -216,11 +216,7 @@ mod tests {
     fn skips_line_comments() {
         assert_eq!(
             toks("SELECT -- hidden\n 1"),
-            vec![
-                Token::Keyword(Keyword::Select),
-                Token::Int(1),
-                Token::Eof
-            ]
+            vec![Token::Keyword(Keyword::Select), Token::Int(1), Token::Eof]
         );
     }
 

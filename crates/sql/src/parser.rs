@@ -363,9 +363,7 @@ impl Parser {
                     let pattern = match self.advance() {
                         Token::Str(s) => s,
                         other => {
-                            return Err(
-                                self.err(format!("expected LIKE pattern, found {other}"))
-                            )
+                            return Err(self.err(format!("expected LIKE pattern, found {other}")))
                         }
                     };
                     lhs = AstExpr::Like {
@@ -382,7 +380,11 @@ impl Parser {
                     let negated = self.eat_kw(Keyword::Not);
                     self.expect_kw(Keyword::Null)?;
                     lhs = AstExpr::Unary {
-                        op: if negated { UnOp::IsNotNull } else { UnOp::IsNull },
+                        op: if negated {
+                            UnOp::IsNotNull
+                        } else {
+                            UnOp::IsNull
+                        },
                         expr: Box::new(lhs),
                     };
                     continue;
@@ -460,11 +462,9 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 Ok(e)
             }
-            Token::Keyword(kw @ (Keyword::Count
-            | Keyword::Sum
-            | Keyword::Avg
-            | Keyword::Min
-            | Keyword::Max)) => {
+            Token::Keyword(
+                kw @ (Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max),
+            ) => {
                 self.advance();
                 let func = match kw {
                     Keyword::Count => AggFunc::Count,
@@ -555,9 +555,8 @@ mod tests {
     #[test]
     fn parses_update_with_arithmetic() {
         // The update-shell example from Section 3.6.
-        let stmt =
-            parse_statement("UPDATE R SET a = b + 1, c = c * c + 5 WHERE a < 10 AND d < 20")
-                .unwrap();
+        let stmt = parse_statement("UPDATE R SET a = b + 1, c = c * c + 5 WHERE a < 10 AND d < 20")
+            .unwrap();
         match stmt {
             Statement::Update(u) => {
                 assert_eq!(u.assignments.len(), 2);

@@ -44,7 +44,11 @@ pub fn bench_database(p: &BenchParams) -> Database {
         let n_cols = rng.gen_range(4..=p.max_columns);
         let mut columns = vec![ColumnSpec::new("id", ColumnType::Int, Distribution::Serial)];
         // Optional FK column into an earlier table.
-        let fk_target = if t > 0 { Some(rng.gen_range(0..t)) } else { None };
+        let fk_target = if t > 0 {
+            Some(rng.gen_range(0..t))
+        } else {
+            None
+        };
         if let Some(target) = fk_target {
             columns.push(ColumnSpec::new(
                 format!("ref{target}"),
@@ -62,7 +66,10 @@ pub fn bench_database(p: &BenchParams) -> Database {
                 0 => ColumnSpec::new(
                     format!("c{i}"),
                     ColumnType::Int,
-                    Distribution::UniformInt { min: 0, max: rng.gen_range(10..100_000) },
+                    Distribution::UniformInt {
+                        min: 0,
+                        max: rng.gen_range(10..100_000),
+                    },
                 ),
                 1 => ColumnSpec::new(
                     format!("c{i}"),
@@ -72,7 +79,10 @@ pub fn bench_database(p: &BenchParams) -> Database {
                 2 => ColumnSpec::new(
                     format!("c{i}"),
                     ColumnType::Int,
-                    Distribution::Zipf { n: rng.gen_range(100..10_000), theta: 0.7 },
+                    Distribution::Zipf {
+                        n: rng.gen_range(100..10_000),
+                        theta: 0.7,
+                    },
                 ),
                 _ => ColumnSpec::new(
                     format!("c{i}"),
@@ -177,10 +187,7 @@ fn gen_bench_query(db: &Database, rng: &mut StdRng) -> String {
     }
 
     let from: Vec<String> = chain.iter().map(|&t| tables[t].name.clone()).collect();
-    let (t0, c0) = numeric_cols
-        .first()
-        .copied()
-        .unwrap_or((chain[0], 0));
+    let (t0, c0) = numeric_cols.first().copied().unwrap_or((chain[0], 0));
     let out_col = format!("{}.{}", tables[t0].name, tables[t0].columns[c0].name);
 
     if rng.gen_bool(0.5) {

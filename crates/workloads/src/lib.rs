@@ -66,8 +66,7 @@ pub struct Corpus {
 pub(crate) fn parse_all(sqls: &[String]) -> Vec<Statement> {
     sqls.iter()
         .map(|s| {
-            pdt_sql::parse_statement(s)
-                .unwrap_or_else(|e| panic!("bad generated SQL: {e}\n  {s}"))
+            pdt_sql::parse_statement(s).unwrap_or_else(|e| panic!("bad generated SQL: {e}\n  {s}"))
         })
         .collect()
 }

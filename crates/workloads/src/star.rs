@@ -70,7 +70,10 @@ pub fn star_database(p: &StarParams) -> Database {
         columns.push(ColumnSpec::new(
             "label",
             ColumnType::VarChar(24),
-            Distribution::StringPool { pool: 1000, avg_len: 16 },
+            Distribution::StringPool {
+                pool: 1000,
+                avg_len: 16,
+            },
         ));
         let spec = TableSpec {
             name: format!("dim{d}"),
@@ -86,22 +89,38 @@ pub fn star_database(p: &StarParams) -> Database {
         fact_cols.push(ColumnSpec::new(
             format!("fk{d}"),
             ColumnType::Int,
-            Distribution::UniformInt { min: 0, max: *rows as i64 - 1 },
+            Distribution::UniformInt {
+                min: 0,
+                max: *rows as i64 - 1,
+            },
         ));
     }
     for m in 0..p.measures {
         let dist = if m % 2 == 0 {
-            Distribution::UniformDouble { min: 0.0, max: 10_000.0 }
+            Distribution::UniformDouble {
+                min: 0.0,
+                max: 10_000.0,
+            }
         } else {
-            Distribution::Zipf { n: 1_000, theta: 0.8 }
+            Distribution::Zipf {
+                n: 1_000,
+                theta: 0.8,
+            }
         };
-        let ty = if m % 2 == 0 { ColumnType::Double } else { ColumnType::Int };
+        let ty = if m % 2 == 0 {
+            ColumnType::Double
+        } else {
+            ColumnType::Int
+        };
         fact_cols.push(ColumnSpec::new(format!("m{m}"), ty, dist));
     }
     fact_cols.push(ColumnSpec::new(
         "ts",
         ColumnType::Date,
-        Distribution::DateRange { min_day: 0, max_day: 3650 },
+        Distribution::DateRange {
+            min_day: 0,
+            max_day: 3650,
+        },
     ));
     let fact_spec = TableSpec {
         name: "fact".into(),
@@ -156,7 +175,10 @@ fn gen_star_query(p: &StarParams, rng: &mut StdRng) -> String {
     // Fact-local predicates.
     if rng.gen_bool(0.8) {
         let lo = rng.gen_range(0..3000);
-        preds.push(format!("fact.ts BETWEEN {lo} AND {}", lo + rng.gen_range(30..700)));
+        preds.push(format!(
+            "fact.ts BETWEEN {lo} AND {}",
+            lo + rng.gen_range(30..700)
+        ));
     }
     if rng.gen_bool(0.5) {
         let m = rng.gen_range(0..p.measures);

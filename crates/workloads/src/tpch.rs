@@ -24,14 +24,21 @@ fn int(name: &str, min: i64, max: i64) -> ColumnSpec {
 }
 
 fn dbl(name: &str, min: f64, max: f64) -> ColumnSpec {
-    col(name, ColumnType::Double, Distribution::UniformDouble { min, max })
+    col(
+        name,
+        ColumnType::Double,
+        Distribution::UniformDouble { min, max },
+    )
 }
 
 fn date(name: &str) -> ColumnSpec {
     col(
         name,
         ColumnType::Date,
-        Distribution::DateRange { min_day: 0, max_day: MAX_DAY },
+        Distribution::DateRange {
+            min_day: 0,
+            max_day: MAX_DAY,
+        },
     )
 }
 
@@ -58,7 +65,8 @@ pub fn tpch_database(sf: f64) -> Database {
     let customer_rows = n(150_000.0);
     let orders_rows = n(1_500_000.0);
 
-    let tables = [TableSpec {
+    let tables = [
+        TableSpec {
             name: "region".into(),
             rows: 5.0,
             columns: vec![serial("r_regionkey"), strpool("r_name", 5, 12)],
@@ -159,10 +167,14 @@ pub fn tpch_database(sf: f64) -> Database {
                 strpool("l_shipmode", 7, 10),
             ],
             primary_key: vec![0, 3],
-        }];
+        },
+    ];
 
     let mut builder = Database::builder(format!("tpch_sf{sf}"));
-    let ids: Vec<_> = tables.iter().map(|t| t.register(&mut builder, 0xA11CE)).collect();
+    let ids: Vec<_> = tables
+        .iter()
+        .map(|t| t.register(&mut builder, 0xA11CE))
+        .collect();
     // Foreign keys: nation->region, supplier->nation, partsupp->part,
     // partsupp->supplier, customer->nation, orders->customer,
     // lineitem->orders, lineitem->part, lineitem->supplier.

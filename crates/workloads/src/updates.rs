@@ -43,7 +43,9 @@ pub fn with_updates(
 
     for _ in 0..n_updates {
         let tname = tables[rng.gen_range(0..tables.len())];
-        let Some(table) = db.table_by_name(tname) else { continue };
+        let Some(table) = db.table_by_name(tname) else {
+            continue;
+        };
         // Pick a numeric non-key column to update / filter on.
         let numeric: Vec<usize> = table
             .columns
@@ -71,8 +73,7 @@ pub fn with_updates(
                 hi.round(),
             ),
             2 => {
-                let cols: Vec<String> =
-                    table.columns.iter().map(|c| c.name.clone()).collect();
+                let cols: Vec<String> = table.columns.iter().map(|c| c.name.clone()).collect();
                 let vals: Vec<String> = table.columns.iter().map(|_| "0".to_string()).collect();
                 format!(
                     "INSERT INTO {tname} ({}) VALUES ({})",

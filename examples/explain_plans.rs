@@ -26,7 +26,11 @@ fn main() {
     // Plan 1: only the base configuration (clustered PK indexes).
     let base = Configuration::base(&db);
     let plan = optimizer.optimize(&base, query);
-    println!("plan under the base configuration (cost {:.0}):\n{}", plan.cost, plan.explain());
+    println!(
+        "plan under the base configuration (cost {:.0}):\n{}",
+        plan.cost,
+        plan.explain()
+    );
 
     // Plan 2: add a what-if covering index on the date range.
     let mut with_index = base.clone();

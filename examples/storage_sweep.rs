@@ -32,8 +32,8 @@ fn main() {
 
     println!("{:>8} {:>12} {:>13}", "budget", "size used", "improvement");
     for pct in [5, 10, 20, 30, 50, 75, 100] {
-        let budget = free.initial_size
-            + (free.optimal_size - free.initial_size) * pct as f64 / 100.0;
+        let budget =
+            free.initial_size + (free.optimal_size - free.initial_size) * pct as f64 / 100.0;
         let report = tune(
             &db,
             &workload,

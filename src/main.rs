@@ -70,6 +70,8 @@ OPTIONS:
   --iterations <n>              relaxation iteration budget   [default: 300]
   --indexes-only                do not recommend materialized views
   --updates <ratio>             mix in DML statements (e.g. 0.5)
+  --threads <n>                 worker threads, 0 = all cores  [default: $PDTUNE_THREADS or 1]
+  --no-cache                    disable the shared what-if cost cache
   --sql <text>                  query text (explain)
   --optimal                     explain under the optimal configuration
 ";
@@ -85,6 +87,8 @@ struct CliOptions {
     iterations: usize,
     indexes_only: bool,
     updates: Option<f64>,
+    threads: usize,
+    no_cache: bool,
     sql: Option<String>,
     optimal: bool,
 }
@@ -95,6 +99,7 @@ impl CliOptions {
             db: "tpch".to_string(),
             sf: 0.1,
             iterations: 300,
+            threads: default_threads(),
             ..Default::default()
         };
         let mut it = args.iter();
@@ -110,10 +115,17 @@ impl CliOptions {
                 "--budget" => o.budget = Some(parse_bytes(&value("--budget")?)?),
                 "--workload" => o.workload_file = Some(value("--workload")?),
                 "--queries" => {
-                    o.queries =
-                        Some(value("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?)
+                    o.queries = Some(
+                        value("--queries")?
+                            .parse()
+                            .map_err(|e| format!("--queries: {e}"))?,
+                    )
                 }
-                "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
                 "--iterations" => {
                     o.iterations = value("--iterations")?
                         .parse()
@@ -121,9 +133,18 @@ impl CliOptions {
                 }
                 "--indexes-only" => o.indexes_only = true,
                 "--updates" => {
-                    o.updates =
-                        Some(value("--updates")?.parse().map_err(|e| format!("--updates: {e}"))?)
+                    o.updates = Some(
+                        value("--updates")?
+                            .parse()
+                            .map_err(|e| format!("--updates: {e}"))?,
+                    )
                 }
+                "--threads" => {
+                    o.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--no-cache" => o.no_cache = true,
                 "--sql" => o.sql = Some(value("--sql")?),
                 "--optimal" => o.optimal = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -131,6 +152,15 @@ impl CliOptions {
         }
         Ok(o)
     }
+}
+
+/// `--threads` default: the `PDTUNE_THREADS` environment variable when
+/// set (0 = all cores), else 1.
+fn default_threads() -> usize {
+    std::env::var("PDTUNE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 fn parse_bytes(s: &str) -> Result<f64, String> {
@@ -151,15 +181,16 @@ fn load_database(o: &CliOptions) -> Result<Database, String> {
         "ds1" => Ok(star_database(&StarParams::ds1())),
         "ds2" => Ok(star_database(&StarParams::ds2())),
         "bench" => Ok(bench_database(&BenchParams::default())),
-        other => Err(format!("unknown database `{other}` (try tpch|ds1|ds2|bench)")),
+        other => Err(format!(
+            "unknown database `{other}` (try tpch|ds1|ds2|bench)"
+        )),
     }
 }
 
 fn load_workload(o: &CliOptions, db: &Database) -> Result<WorkloadSpec, String> {
     let mut spec = if let Some(path) = &o.workload_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let statements =
-            pdtune::sql::parse_workload(&text).map_err(|e| format!("{path}: {e}"))?;
+        let statements = pdtune::sql::parse_workload(&text).map_err(|e| format!("{path}: {e}"))?;
         WorkloadSpec::new(path.clone(), statements)
     } else {
         match o.db.as_str() {
@@ -196,6 +227,8 @@ fn cmd_tune(o: &CliOptions) -> Result<(), String> {
             space_budget: o.budget,
             max_iterations: o.iterations,
             with_views: !o.indexes_only,
+            threads: o.threads,
+            cost_cache: !o.no_cache,
             ..TunerOptions::default()
         },
     );
@@ -256,7 +289,25 @@ fn cmd_tune(o: &CliOptions) -> Result<(), String> {
         "\n{} iterations, {} optimizer calls, {:?}",
         report.iterations, report.optimizer_calls, report.elapsed
     );
+    println!(
+        "{}",
+        cache_line(report.cache_hits, report.cache_misses, o.no_cache)
+    );
     Ok(())
+}
+
+/// Render the cost-cache counter line of a report.
+fn cache_line(hits: u64, misses: u64, disabled: bool) -> String {
+    if disabled {
+        return "cost cache disabled".to_string();
+    }
+    let total = hits + misses;
+    let rate = if total == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / total as f64
+    };
+    format!("cost cache: {hits} hits / {misses} misses ({rate:.1}% hit rate)")
 }
 
 fn cmd_explain(o: &CliOptions) -> Result<(), String> {
@@ -275,7 +326,12 @@ fn cmd_explain(o: &CliOptions) -> Result<(), String> {
         Configuration::base(&db)
     };
     let plan = optimizer.optimize(&config, query);
-    println!("cost {:.1}, rows {:.0}\n{}", plan.cost, plan.rows, plan.explain());
+    println!(
+        "cost {:.1}, rows {:.0}\n{}",
+        plan.cost,
+        plan.rows,
+        plan.explain()
+    );
     Ok(())
 }
 
@@ -291,6 +347,8 @@ fn cmd_compare(o: &CliOptions) -> Result<(), String> {
             space_budget: o.budget,
             max_iterations: o.iterations,
             with_views: !o.indexes_only,
+            threads: o.threads,
+            cost_cache: !o.no_cache,
             ..TunerOptions::default()
         },
     );
@@ -299,6 +357,8 @@ fn cmd_compare(o: &CliOptions) -> Result<(), String> {
         BaselineOptions {
             space_budget: o.budget,
             with_views: !o.indexes_only,
+            threads: o.threads,
+            cost_cache: !o.no_cache,
             ..BaselineOptions::default()
         },
     )
@@ -311,10 +371,18 @@ fn cmd_compare(o: &CliOptions) -> Result<(), String> {
         ptt.elapsed
     );
     println!(
+        "    {}",
+        cache_line(ptt.cache_hits, ptt.cache_misses, o.no_cache)
+    );
+    println!(
         "CTT (bottom-up) : {:+.1}% improvement, {} optimizer calls, {:?}",
         ctt.improvement_pct(),
         ctt.optimizer_calls,
         ctt.elapsed
+    );
+    println!(
+        "    {}",
+        cache_line(ctt.cache_hits, ctt.cache_misses, o.no_cache)
     );
     println!(
         "dImprovement = {:+.1} points",

@@ -31,7 +31,7 @@ fn check_dominance(
     let base = Configuration::base(db);
     let (config, _) = gather_optimal_configuration(db, w, with_views);
     let eval = evaluate_full(db, &opt, &config, w);
-    let mut vc = ViewBuildCosts::new();
+    let vc = ViewBuildCosts::new();
     let mut checked = 0;
     let mut violations = Vec::new();
 
@@ -43,16 +43,10 @@ fn check_dominance(
         if i % 7 != 0 {
             continue;
         }
-        let Some(applied) = apply(&t, &config, db, &opt) else { continue };
-        let bound = cost_upper_bound(
-            db,
-            &CostModel::default(),
-            w,
-            &eval,
-            &config,
-            &applied,
-            &mut vc,
-        );
+        let Some(applied) = apply(&t, &config, db, &opt) else {
+            continue;
+        };
+        let bound = cost_upper_bound(db, &CostModel::default(), w, &eval, &config, &applied, &vc);
         let truth = evaluate_full(db, &opt, &applied.config, w).total_cost;
         checked += 1;
         if bound < truth * 0.90 {

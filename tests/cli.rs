@@ -18,8 +18,17 @@ fn pdtune(args: &[&str]) -> (bool, String, String) {
 #[test]
 fn tune_prints_recommendation() {
     let (ok, stdout, stderr) = pdtune(&[
-        "tune", "--db", "tpch", "--sf", "0.01", "--queries", "6", "--budget", "64M",
-        "--iterations", "60",
+        "tune",
+        "--db",
+        "tpch",
+        "--sf",
+        "0.01",
+        "--queries",
+        "6",
+        "--budget",
+        "64M",
+        "--iterations",
+        "60",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("initial"), "{stdout}");
@@ -30,7 +39,12 @@ fn tune_prints_recommendation() {
 #[test]
 fn explain_shows_plan() {
     let (ok, stdout, stderr) = pdtune(&[
-        "explain", "--db", "tpch", "--sf", "0.01", "--sql",
+        "explain",
+        "--db",
+        "tpch",
+        "--sf",
+        "0.01",
+        "--sql",
         "SELECT c_name FROM customer WHERE c_acctbal > 100",
     ]);
     assert!(ok, "stderr: {stderr}");
@@ -43,7 +57,14 @@ fn explain_optimal_differs_from_base() {
     let sql = "SELECT c_name FROM customer WHERE c_acctbal > 9000";
     let (_, base_out, _) = pdtune(&["explain", "--db", "tpch", "--sf", "0.01", "--sql", sql]);
     let (ok, opt_out, stderr) = pdtune(&[
-        "explain", "--db", "tpch", "--sf", "0.01", "--sql", sql, "--optimal",
+        "explain",
+        "--db",
+        "tpch",
+        "--sf",
+        "0.01",
+        "--sql",
+        sql,
+        "--optimal",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert_ne!(base_out, opt_out, "optimal config should change the plan");
@@ -52,7 +73,15 @@ fn explain_optimal_differs_from_base() {
 #[test]
 fn compare_reports_both_tools() {
     let (ok, stdout, stderr) = pdtune(&[
-        "compare", "--db", "bench", "--seed", "1", "--queries", "6", "--iterations", "40",
+        "compare",
+        "--db",
+        "bench",
+        "--seed",
+        "1",
+        "--queries",
+        "6",
+        "--iterations",
+        "40",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("PTT"), "{stdout}");
@@ -81,8 +110,15 @@ fn workload_file_round_trip() {
     )
     .unwrap();
     let (ok, stdout, stderr) = pdtune(&[
-        "tune", "--db", "tpch", "--sf", "0.01", "--workload",
-        path.to_str().unwrap(), "--iterations", "40",
+        "tune",
+        "--db",
+        "tpch",
+        "--sf",
+        "0.01",
+        "--workload",
+        path.to_str().unwrap(),
+        "--iterations",
+        "40",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("2 statements"), "{stdout}");

@@ -30,7 +30,14 @@ fn unconstrained_tuning_reaches_a_large_improvement() {
 #[test]
 fn constrained_tuning_respects_budget_and_orders_costs() {
     let (db, w) = tpch_setup();
-    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let free = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
     let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.25;
     let report = tune(
         &db,
@@ -44,8 +51,14 @@ fn constrained_tuning_respects_budget_and_orders_costs() {
     );
     let best = report.best.as_ref().expect("found a configuration");
     assert!(best.size_bytes <= budget * 1.0001);
-    assert!(best.cost >= report.optimal_cost * 0.999, "optimal is the floor");
-    assert!(best.cost <= report.initial_cost * 1.0001, "never worse than doing nothing");
+    assert!(
+        best.cost >= report.optimal_cost * 0.999,
+        "optimal is the floor"
+    );
+    assert!(
+        best.cost <= report.initial_cost * 1.0001,
+        "never worse than doing nothing"
+    );
 }
 
 #[test]
@@ -57,7 +70,14 @@ fn more_budget_never_hurts() {
     let db = star_database(&params);
     let spec = star_workload(&params, 11, 10);
     let w = Workload::bind(&db, &spec.statements).unwrap();
-    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let free = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
     let mut last = f64::INFINITY;
     for pct in [0.1, 0.3, 0.7] {
         let budget = free.initial_size + (free.optimal_size - free.initial_size) * pct;
@@ -128,7 +148,14 @@ fn random_transformation_choice_is_worse_or_equal_on_average() {
     // The §3.4 penalty heuristic ablation: with the same iteration
     // budget, penalty-guided search should not lose to random choice.
     let (db, w) = tpch_setup();
-    let free = tune(&db, &w, &TunerOptions { with_views: false, ..Default::default() });
+    let free = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
     let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.2;
     let mk = |choice: TransformationChoice, seed: u64| {
         tune(
@@ -179,7 +206,13 @@ fn report_counts_are_consistent() {
     assert!(report.candidate_counts.len() <= report.iterations);
     assert!(!report.candidate_counts.is_empty());
     assert!(!report.frontier.is_empty());
-    assert!(report.request_counts.0 > 0, "index requests were intercepted");
-    assert!(report.request_counts.1 > 0, "view requests were intercepted");
+    assert!(
+        report.request_counts.0 > 0,
+        "index requests were intercepted"
+    );
+    assert!(
+        report.request_counts.1 > 0,
+        "view requests were intercepted"
+    );
     assert!(report.optimizer_calls >= w.len());
 }
