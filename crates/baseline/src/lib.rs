@@ -23,6 +23,7 @@
 use pdt_catalog::{Database, TableId};
 use pdt_opt::Optimizer;
 use pdt_physical::{Configuration, Index, MaterializedView};
+use pdt_trace::Tracer;
 use pdt_tuner::cache::{CacheEntry, CostCache};
 use pdt_tuner::eval::{evaluate_full_ctx, EvalCtx, EvalResult};
 use pdt_tuner::instrument::OptimalSink;
@@ -186,6 +187,10 @@ pub struct BaselineReport {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub progress: Vec<ProgressPoint>,
+    /// Roll-up of the structured trace (`Some` only when tuned with a
+    /// [`Tracer`]); per-phase `elapsed` is wall-clock, everything else
+    /// deterministic.
+    pub trace: Option<pdt_trace::TraceSummary>,
     pub elapsed: Duration,
 }
 
@@ -209,6 +214,13 @@ impl<'a> BaselineAdvisor<'a> {
 
     /// Run the three-stage pipeline.
     pub fn tune(&self, workload: &Workload) -> BaselineReport {
+        self.tune_traced(workload, None)
+    }
+
+    /// [`BaselineAdvisor::tune`] with an optional structured-event
+    /// [`Tracer`]. Events are emitted from the driver thread only, so
+    /// the trace is byte-identical for every `threads` value.
+    pub fn tune_traced(&self, workload: &Workload, tracer: Option<&Tracer>) -> BaselineReport {
         let start = Instant::now();
         let opt = Optimizer::new(self.db);
         let base = Configuration::base(self.db);
@@ -219,11 +231,25 @@ impl<'a> BaselineAdvisor<'a> {
         let ctx = EvalCtx {
             threads,
             cache: cache.as_ref(),
+            tracer,
         };
 
+        if let Some(t) = tracer {
+            // No thread count in the event stream: the trace must be
+            // byte-identical for every `--threads` value.
+            let mut fields: Vec<(&'static str, pdt_trace::Value)> =
+                vec![("entries", workload.entries.len().into())];
+            if let Some(b) = self.options.space_budget {
+                fields.push(("budget", b.into()));
+            }
+            t.emit("baseline.begin", fields);
+        }
+        let setup_span = tracer.map(|t| t.span("setup"));
         let base_eval = evaluate_full_ctx(self.db, &opt, &base, workload, ctx);
         calls += base_eval.optimizer_calls;
         let initial_cost = base_eval.total_cost;
+        drop(setup_span);
+        let candidates_span = tracer.map(|t| t.span("candidates"));
 
         // ---- stage 1: per-query candidate selection ------------------
         // Index candidates are plan-derived (the Chaudhuri-Narasayya
@@ -246,9 +272,18 @@ impl<'a> BaselineAdvisor<'a> {
             // Index candidates: optimize the query in isolation
             // (indexes only) and keep what the plan used.
             let mut cfg = base.clone();
-            let mut sink = OptimalSink::new(false);
-            let plan = opt.optimize_with_sink(&mut cfg, q, &mut sink);
+            let plan = match tracer {
+                Some(t) => {
+                    let mut sink = pdt_opt::TracingSink::new(OptimalSink::new(false), t);
+                    opt.optimize_with_sink(&mut cfg, q, &mut sink)
+                }
+                None => {
+                    let mut sink = OptimalSink::new(false);
+                    opt.optimize_with_sink(&mut cfg, q, &mut sink)
+                }
+            };
             calls += 1;
+            pdt_trace::incr(tracer, "optimizer.calls", 1);
             let mut used: Vec<&pdt_opt::IndexUsage> = plan.index_usages.iter().collect();
             used.sort_by(|a, b| b.access_cost().total_cmp(&a.access_cost()));
             let mut taken = 0usize;
@@ -312,6 +347,13 @@ impl<'a> BaselineAdvisor<'a> {
             }
         }
         let candidate_count = candidates.len();
+        pdt_trace::emit(
+            tracer,
+            "baseline.candidates",
+            vec![("count", candidate_count.into())],
+        );
+        drop(candidates_span);
+        let greedy_span = tracer.map(|t| t.span("greedy"));
 
         // ---- stage 3: greedy bottom-up enumeration -------------------
         let mut config = base.clone();
@@ -358,10 +400,27 @@ impl<'a> BaselineAdvisor<'a> {
                     best_pick = Some((i, trial_eval, new_size, score));
                 }
             }
-            let Some((idx, new_eval, new_size, _)) = best_pick else {
+            let Some((idx, new_eval, new_size, score)) = best_pick else {
                 break;
             };
             let cand = remaining.swap_remove(idx);
+            pdt_trace::emit(
+                tracer,
+                "baseline.add",
+                vec![
+                    (
+                        "kind",
+                        match &cand {
+                            Candidate::Index(_) => "index".into(),
+                            Candidate::View { .. } => "view".into(),
+                        },
+                    ),
+                    ("cost", new_eval.total_cost.into()),
+                    ("size", new_size.into()),
+                    ("score", score.into()),
+                ],
+            );
+            pdt_trace::incr(tracer, "baseline.additions", 1);
             cand.add_to(&mut config);
             eval = new_eval;
             size = new_size;
@@ -370,7 +429,16 @@ impl<'a> BaselineAdvisor<'a> {
                 best_cost: eval.total_cost,
             });
         }
+        drop(greedy_span);
 
+        pdt_trace::emit(
+            tracer,
+            "baseline.end",
+            vec![
+                ("cost", eval.total_cost.into()),
+                ("optimizer_calls", calls.into()),
+            ],
+        );
         BaselineReport {
             initial_cost,
             best_cost: eval.total_cost,
@@ -381,6 +449,7 @@ impl<'a> BaselineAdvisor<'a> {
             cache_hits: cache.as_ref().map_or(0, |c| c.hits()),
             cache_misses: cache.as_ref().map_or(0, |c| c.misses()),
             progress,
+            trace: tracer.map(|t| t.summary()),
             elapsed: start.elapsed(),
         }
     }
@@ -592,8 +661,20 @@ fn reopt_affected(
         per_query.push(q);
     }
     if let Some(cache) = ctx.cache {
-        cache.record(hits, misses);
+        cache.record_traced(hits, misses, ctx.tracer);
     }
+    pdt_trace::incr(ctx.tracer, "optimizer.calls", calls as u64);
+    pdt_trace::emit(
+        ctx.tracer,
+        "eval.commit",
+        vec![
+            ("entries", per_query.len().into()),
+            ("calls", calls.into()),
+            ("hits", hits.into()),
+            ("misses", misses.into()),
+            ("cost", total.into()),
+        ],
+    );
     EvalResult {
         per_query,
         total_cost: total,

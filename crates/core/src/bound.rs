@@ -31,13 +31,21 @@ use std::collections::HashMap;
 /// configuration (§3.3.2: "each time we consider a new view V, we
 /// optimize V with respect to the base configuration").
 ///
-/// Shared by concurrent scoring workers through a read/write lock. All
-/// callers within one search node pass the same costing configuration,
-/// so whichever worker computes a view first inserts the same value any
-/// other would — the memo stays deterministic under races.
+/// The memo is keyed by `(view, signature of the structures visible on
+/// the view's base tables)` — the same projection the what-if cost
+/// cache uses — because the refined CBV depends on which indexes the
+/// rebuild can exploit. Keying by view id alone would serve values
+/// computed under an earlier, richer configuration, and a stale-low CBV
+/// breaks the §3.3.2 upper-bound guarantee once those indexes are
+/// relaxed away.
+///
+/// Shared by concurrent scoring workers through a read/write lock.
+/// Whichever worker computes a `(view, signature)` pair first inserts
+/// the same value any other would — the memo stays deterministic under
+/// races.
 #[derive(Debug, Default)]
 pub struct ViewBuildCosts {
-    costs: RwLock<HashMap<TableId, f64>>,
+    costs: RwLock<HashMap<(TableId, u64), f64>>,
 }
 
 impl ViewBuildCosts {
@@ -58,7 +66,13 @@ impl ViewBuildCosts {
         config: &Configuration,
         view: TableId,
     ) -> f64 {
-        if let Some(c) = self.costs.read().get(&view) {
+        let key = (
+            view,
+            config
+                .view(view)
+                .map_or(0, |v| config.signature_for_tables(&v.def.tables)),
+        );
+        if let Some(c) = self.costs.read().get(&key) {
             return *c;
         }
         let cost = match config.view(view) {
@@ -104,7 +118,7 @@ impl ViewBuildCosts {
             }
             None => 0.0,
         };
-        self.costs.write().insert(view, cost);
+        self.costs.write().insert(key, cost);
         cost
     }
 }
@@ -196,7 +210,9 @@ fn replacement_cost(
         let pages = (rows * old_schema.row_width(usage.index.table) / model.size.page_size)
             .ceil()
             .max(1.0);
-        let mut cost = cbv + model.full_scan(pages, rows).total();
+        // The view is rebuilt once, but a usage aggregated over
+        // nested-loops executions scans it once per run.
+        let mut cost = cbv + model.full_scan(pages, rows).total() * usage.executions.max(1.0);
         if usage.provided_order.is_some() {
             cost += model.sort(usage.rows, 64.0).total();
         }
@@ -208,10 +224,19 @@ fn replacement_cost(
         .index_bytes(old_schema, &usage.index)
         .max(model.size.page_size);
     let needed: Vec<ColumnId> = usage.provided_columns.iter().map(&map_col).collect();
-    let seek_sels: Vec<(ColumnId, f64)> = usage
+    let seek_sels: Vec<(ColumnId, f64, bool)> = usage
         .seek_col_sels
         .iter()
-        .map(|(c, s)| (map_col(c), *s))
+        .map(|(c, s, eq)| (map_col(c), *s, *eq))
+        .collect();
+    // A lookup-free replacement must provide the output columns AND
+    // every predicate column (consumed seek columns sit in the
+    // candidate's key, so including them here is never a false miss).
+    let full_needed: Vec<ColumnId> = needed
+        .iter()
+        .copied()
+        .chain(usage.resid_pred_cols.iter().map(&map_col))
+        .chain(seek_sels.iter().map(|(c, _, _)| *c))
         .collect();
     let order_cols: Option<Vec<ColumnId>> = usage
         .provided_order
@@ -223,84 +248,172 @@ fn replacement_cost(
         .ceil()
         .max(1.0);
 
-    let mut best: Option<f64> = None;
+    // Sorts are charged the way the optimizer charges them: row width =
+    // sum of the widths of the columns the access must produce. The
+    // old hardcoded 64-byte width undercut wide sorts, and an undercut
+    // patch breaks the §3.3.2 upper-bound guarantee.
+    let sort_width = needed
+        .iter()
+        .map(|c| new_schema.column_width(*c))
+        .sum::<f64>()
+        .max(8.0);
+
+    // View-merge compensation: residual filter and optional re-grouping
+    // on top of the patched access (§3.3.2).
+    let compensation = |cost: &mut f64| {
+        if mapped_table.is_some() {
+            *cost += usage.rows * model.cpu_pred;
+            if applied.regroup_compensation {
+                *cost += model.hash_aggregate(usage.rows * 2.0, usage.rows).total();
+            }
+        }
+    };
+
+    // Filter accounting shared by every patch: a replacement plan
+    // re-filters each predicate its access does not consume, at the
+    // replacement access's cardinality, while the old plan's residual
+    // filter CPU (recorded in the usage) is already part of the carried
+    // query cost — so each patch charges its own full filter bill and
+    // credits the old one. Undercounting the re-filter is exactly the
+    // kind of slack that breaks the §3.3.2 upper-bound guarantee.
+    let n_total = usage.total_preds as f64;
+    let old_resid_cpu = usage.resid_filter_cpu;
+    // A usage aggregated over nested-loops executions recorded E seeks;
+    // a scan-shaped replacement cannot answer E probes with one pass,
+    // so every scan-and-refilter patch repeats per execution. (The
+    // per-execution scan dominates a realizable plan: the same join
+    // with the scan as its inner side.)
+    let executions = usage.executions.max(1.0);
+
+    // The patch the optimizer can always realize: scan the clustered
+    // index (or the heap), re-filter every predicate, and sort if the
+    // old plan relied on the index's order. Mirrors the scan branch of
+    // `best_access_path`, so the patch never undercuts a plan the
+    // optimizer will actually enumerate.
+    let mut best = {
+        let scan = match applied
+            .config
+            .indexes_on(target_table)
+            .find(|i| i.clustered)
+        {
+            Some(ci) => model.full_scan(model.index_pages(new_schema, ci), table_rows),
+            None => model.full_scan(table_pages, table_rows),
+        };
+        let mut cost =
+            (scan.total() + table_rows * model.cpu_pred * n_total) * executions - old_resid_cpu;
+        if usage.provided_order.is_some() {
+            cost += model.sort(usage.rows, sort_width).total();
+        }
+        compensation(&mut cost);
+        cost
+    };
+
     for candidate in applied.config.indexes_on(target_table) {
         let new_size = size_model
             .index_bytes(new_schema, candidate)
             .max(model.size.page_size);
         let s_i = usage.selectivity().max(1e-12);
         // Longest candidate key prefix answerable from the recorded
-        // seek predicates (set-wise, per the paper).
-        let s_ir = {
+        // seek predicates (set-wise, per the paper). A range predicate
+        // consumes its column but stops the prefix — exactly the rule
+        // `seek_prefix` applies, so the patched seek is never deeper
+        // (more selective) than the one the optimizer can run.
+        let (s_ir, any_prefix, used_preds) = {
             let mut s = 1.0f64;
             let mut any = false;
+            let mut used = 0usize;
             for kc in &candidate.key {
-                match seek_sels.iter().find(|(c, _)| c == kc) {
-                    Some((_, sel)) => {
+                match seek_sels.iter().find(|(c, _, _)| c == kc) {
+                    Some((_, sel, eq)) => {
                         s *= sel;
                         any = true;
+                        used += 1;
+                        if !*eq {
+                            break;
+                        }
                     }
                     None => break,
                 }
             }
-            if any {
-                s
-            } else {
-                1.0
+            (if any { s } else { 1.0 }, any, used)
+        };
+        let covers = candidate.covers(full_needed.iter());
+        let mut cost = match usage.kind {
+            // The optimizer scans an index in a scan role only when it
+            // covers every referenced column; leaf I/O scales with the
+            // replacement's size, per-row CPU does not, and the full
+            // filter bill is unchanged between two covering scans.
+            UsageKind::Scan => {
+                if !covers {
+                    continue;
+                }
+                usage.access_io * new_size / old_size
+                    + usage.access_cpu
+                    + table_rows * model.cpu_pred * n_total * executions
+                    - old_resid_cpu
+            }
+            // Seek with a usable key prefix: descent plus leaf I/O
+            // scaled by the touched-leaf volume, CPU by the output-row
+            // ratio (§3.3.2); every predicate the new seek does not
+            // consume is re-filtered at the new seek's cardinality.
+            UsageKind::Seek { .. } if any_prefix => {
+                let resid = (n_total - used_preds as f64).max(0.0);
+                // Seek I/O has two parts that scale differently: leaf
+                // volume scales with the touched-byte ratio, while the
+                // per-descent cost scales with the B-tree level count —
+                // and a usage aggregated over nested-loops executions
+                // pays the descent once *per execution*. Scaling by the
+                // worse of the two ratios dominates both terms.
+                let leaf_ratio = (s_ir * new_size) / (s_i * old_size);
+                let levels_ratio = model.btree_levels(new_schema, candidate)
+                    / model.btree_levels(old_schema, &usage.index).max(1.0);
+                let mut c = model.btree_levels(new_schema, candidate) * model.rand_page
+                    + usage.access_io * leaf_ratio.max(levels_ratio)
+                    + usage.access_cpu * (s_ir / s_i)
+                    + new_schema.rows(target_table) * s_ir * model.cpu_pred * resid * executions
+                    - old_resid_cpu;
+                // Rid lookups when the replacement misses needed
+                // columns, at the degraded seek's cardinality. The
+                // sequential-rescan cap inside `rid_lookup` only holds
+                // within one execution, so charge the per-execution
+                // lookup and multiply — exactly what the optimizer
+                // charges for the same nested-loops inner.
+                if !covers {
+                    let per_exec = usage.rows * (s_ir / s_i) / executions;
+                    c += executions * model.rid_lookup(per_exec, table_pages).total();
+                }
+                c
+            }
+            // No usable key prefix: the only real plan on this index is
+            // a covering scan-and-filter.
+            UsageKind::Seek { .. } => {
+                if !covers {
+                    continue;
+                }
+                (model
+                    .full_scan(model.index_pages(new_schema, candidate), table_rows)
+                    .total()
+                    + table_rows * model.cpu_pred * n_total)
+                    * executions
+                    - old_resid_cpu
             }
         };
-        let scaled = match usage.kind {
-            UsageKind::Scan => usage.access_cost() * new_size / old_size,
-            UsageKind::Seek { .. } => usage.access_cost() * (s_ir * new_size) / (s_i * old_size),
-        };
-        let mut cost = scaled;
-        // A degraded seek (s_IR > s_I) must re-filter the extra rows it
-        // now touches.
-        if matches!(usage.kind, UsageKind::Seek { .. }) && s_ir > s_i {
-            let extra_rows = new_schema.rows(target_table) * s_ir;
-            cost += extra_rows * model.cpu_pred * seek_sels.len().max(1) as f64;
-        }
-        // Rid lookups when the replacement misses provided columns.
-        // Usages aggregated over nested-loops executions can exceed the
-        // table cardinality; the sequential-rescan cap only applies
-        // within one execution, so charge uncapped random I/O there.
-        if !candidate.covers(needed.iter()) {
-            cost += if usage.rows > table_rows {
-                usage.rows * (model.rand_page + model.cpu_tuple)
-            } else {
-                model.rid_lookup(usage.rows, table_pages).total()
-            };
-        }
-        // Sort when a relied-upon order is lost (key prefixes must
-        // match).
+        // Sort when a relied-upon order is lost: key prefixes must
+        // match, and a rid lookup returns rows in rid order regardless
+        // of the index that fed it.
         if let Some(oc) = &order_cols {
-            let compatible = candidate.key.len() >= oc.len() && candidate.key[..oc.len()] == oc[..];
+            let compatible =
+                covers && candidate.key.len() >= oc.len() && candidate.key[..oc.len()] == oc[..];
             if !compatible {
-                cost += model.sort(usage.rows, 64.0).total();
+                cost += model.sort(usage.rows, sort_width).total();
             }
         }
-        // View-merge compensation: residual filter and optional
-        // re-grouping on top of the patched access (§3.3.2).
-        if mapped_table.is_some() {
-            cost += usage.rows * model.cpu_pred;
-            if applied.regroup_compensation {
-                cost += model.hash_aggregate(usage.rows * 2.0, usage.rows).total();
-            }
-        }
-        if best.is_none_or(|b| cost < b) {
-            best = Some(cost);
+        compensation(&mut cost);
+        if cost < best {
+            best = cost;
         }
     }
-
-    best.unwrap_or_else(|| {
-        // No index at all on the target table: a raw scan (plus sort)
-        // answers the request.
-        let mut cost = model.full_scan(table_pages, table_rows).total();
-        if usage.provided_order.is_some() {
-            cost += model.sort(usage.rows, 64.0).total();
-        }
-        cost
-    })
+    best
 }
 
 #[cfg(test)]

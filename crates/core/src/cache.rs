@@ -87,6 +87,27 @@ impl CostCache {
         self.misses.fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// [`CostCache::record`], mirrored into trace counters and a
+    /// `cache.commit` event. Callers must invoke this only from the
+    /// thread driving the evaluation (the commit point), so the running
+    /// totals in the event are deterministic.
+    pub fn record_traced(&self, hits: u64, misses: u64, tracer: Option<&pdt_trace::Tracer>) {
+        self.record(hits, misses);
+        if let Some(t) = tracer {
+            t.incr("cache.hits", hits);
+            t.incr("cache.misses", misses);
+            t.emit(
+                "cache.commit",
+                vec![
+                    ("hits", hits.into()),
+                    ("misses", misses.into()),
+                    ("total_hits", self.hits().into()),
+                    ("total_misses", self.misses().into()),
+                ],
+            );
+        }
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }

@@ -80,6 +80,11 @@ pub struct EvalCtx<'c> {
     /// Shared memo of optimizer answers, keyed per query by the
     /// configuration projected onto the query's tables.
     pub cache: Option<&'c CostCache>,
+    /// Trace sink for `eval.commit`/`eval.abort` events and the
+    /// `optimizer.calls`/`cache.*` counters. Emission happens only at
+    /// the commit point on the calling thread (never from workers), so
+    /// the event stream is identical for every `threads` value.
+    pub tracer: Option<&'c pdt_trace::Tracer>,
 }
 
 /// Maintenance cost of one update shell against one index: descend the
@@ -293,6 +298,7 @@ fn evaluate_entries(
             let e = compute(i);
             running += entry.weight * e.q.total();
             if shortcut_limit.is_some_and(|l| running > l) {
+                pdt_trace::emit(ctx.tracer, "eval.abort", vec![]);
                 return None;
             }
             evals.push(e);
@@ -334,7 +340,16 @@ fn evaluate_entries(
             }
             Some(e)
         });
-        results.into_iter().collect::<Option<Vec<_>>>()?
+        match results.into_iter().collect::<Option<Vec<_>>>() {
+            Some(evals) => evals,
+            None => {
+                // A worker tripped the margin, which guarantees the
+                // ordered total also exceeds the limit — so this emits
+                // in exactly the cases the sequential path does.
+                pdt_trace::emit(ctx.tracer, "eval.abort", vec![]);
+                return None;
+            }
+        }
     };
 
     // Assemble in entry order: the ordered sum is the authoritative
@@ -355,6 +370,7 @@ fn evaluate_entries(
         per_query.push(e.q);
     }
     if shortcut_limit.is_some_and(|l| total > l) {
+        pdt_trace::emit(ctx.tracer, "eval.abort", vec![]);
         return None;
     }
     // Commit on success only: aborted evaluations leave the cache and
@@ -363,8 +379,20 @@ fn evaluate_entries(
         for (i, sig, ce) in inserts {
             cache.insert(i, sig, ce);
         }
-        cache.record(hits, misses);
+        cache.record_traced(hits, misses, ctx.tracer);
     }
+    pdt_trace::incr(ctx.tracer, "optimizer.calls", calls as u64);
+    pdt_trace::emit(
+        ctx.tracer,
+        "eval.commit",
+        vec![
+            ("entries", per_query.len().into()),
+            ("calls", calls.into()),
+            ("hits", hits.into()),
+            ("misses", misses.into()),
+            ("cost", total.into()),
+        ],
+    );
     Some(EvalResult {
         per_query,
         total_cost: total,
@@ -570,6 +598,7 @@ mod tests {
                 EvalCtx {
                     threads,
                     cache: None,
+                    tracer: None,
                 },
             );
             assert_eq!(par.total_cost, seq.total_cost, "threads = {threads}");
@@ -597,6 +626,7 @@ mod tests {
         let ctx = EvalCtx {
             threads: 1,
             cache: Some(&cache),
+            tracer: None,
         };
         let first = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
         assert_eq!(first.total_cost, plain.total_cost);
@@ -627,6 +657,7 @@ mod tests {
             let ctx = EvalCtx {
                 threads,
                 cache: Some(&cache),
+                tracer: None,
             };
             let r = evaluate_incremental_ctx(
                 &db,

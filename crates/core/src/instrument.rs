@@ -224,15 +224,41 @@ pub fn gather_optimal_configuration(
     workload: &Workload,
     with_views: bool,
 ) -> (Configuration, OptimalSink) {
+    gather_optimal_configuration_traced(db, workload, with_views, None)
+}
+
+/// [`gather_optimal_configuration`] with request interception mirrored
+/// into `request.index`/`request.view` trace events. The pass is
+/// sequential over workload entries, so the event order is the plan
+/// enumeration order — deterministic for a given workload.
+pub fn gather_optimal_configuration_traced(
+    db: &Database,
+    workload: &Workload,
+    with_views: bool,
+    tracer: Option<&pdt_trace::Tracer>,
+) -> (Configuration, OptimalSink) {
     let mut config = Configuration::base(db);
-    let mut sink = OptimalSink::new(with_views);
     let opt = Optimizer::new(db);
-    for entry in &workload.entries {
-        if let Some(select) = &entry.select {
-            opt.optimize_with_sink(&mut config, select, &mut sink);
+    match tracer {
+        Some(t) => {
+            let mut sink = pdt_opt::TracingSink::new(OptimalSink::new(with_views), t);
+            for entry in &workload.entries {
+                if let Some(select) = &entry.select {
+                    opt.optimize_with_sink(&mut config, select, &mut sink);
+                }
+            }
+            (config, sink.into_inner())
+        }
+        None => {
+            let mut sink = OptimalSink::new(with_views);
+            for entry in &workload.entries {
+                if let Some(select) = &entry.select {
+                    opt.optimize_with_sink(&mut config, select, &mut sink);
+                }
+            }
+            (config, sink)
         }
     }
-    (config, sink)
 }
 
 #[cfg(test)]

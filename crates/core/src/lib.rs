@@ -46,10 +46,13 @@ pub mod workload;
 
 pub use cache::{CacheEntry, CostCache};
 pub use eval::{EvalCtx, EvalResult, QueryEval};
-pub use instrument::{gather_optimal_configuration, OptimalSink};
+pub use instrument::{
+    gather_optimal_configuration, gather_optimal_configuration_traced, OptimalSink,
+};
 pub use report::{configuration_ddl, index_ddl, summarize};
 pub use search::{
-    tune, ConfigChoice, FrontierPoint, TransformationChoice, TunerOptions, TuningReport,
+    tune, tune_traced, BoundViolation, ConfigChoice, FrontierPoint, TransformationChoice,
+    TunerOptions, TuningReport,
 };
 pub use transform::{AppliedTransform, Transformation};
 pub use workload::{UpdateShell, Workload, WorkloadEntry};

@@ -18,13 +18,14 @@ use crate::cache::CostCache;
 use crate::eval::{
     evaluate_full_ctx, evaluate_incremental_ctx, unused_structures, EvalCtx, EvalResult,
 };
-use crate::instrument::gather_optimal_configuration;
+use crate::instrument::gather_optimal_configuration_traced;
 use crate::par::{par_map, resolve_threads};
 use crate::transform::{apply, candidates, AppliedTransform, Transformation};
 use crate::workload::Workload;
 use pdt_catalog::Database;
 use pdt_opt::Optimizer;
 use pdt_physical::Configuration;
+use pdt_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -83,6 +84,15 @@ pub struct TunerOptions {
     /// Memoize optimizer what-if calls across the session in a shared
     /// [`CostCache`].
     pub cost_cache: bool,
+    /// Differential bound oracle: after each relaxation step, compare
+    /// the §3.3.2 closed-form cost upper bound against the actually
+    /// re-optimized workload cost and record any violation in
+    /// [`TuningReport::bound_violations`]. Decisions are unchanged (the
+    /// §3.5 shortcut skip is re-imposed on the completed evaluation),
+    /// but shortcut-aborted evaluations now run to completion, so
+    /// `optimizer_calls` and cache counters grow — this is the oracle's
+    /// overhead, not a behavior change.
+    pub validate_bounds: bool,
 }
 
 impl Default for TunerOptions {
@@ -99,8 +109,21 @@ impl Default for TunerOptions {
             seed: 0,
             threads: 1,
             cost_cache: true,
+            validate_bounds: false,
         }
     }
+}
+
+/// One failure of the §3.3.2 lemma caught by the differential bound
+/// oracle: the closed-form upper bound was below the re-optimized cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundViolation {
+    pub iteration: usize,
+    pub transformation: String,
+    /// The closed-form `cost_upper_bound` for the step.
+    pub bound: f64,
+    /// The full re-optimized workload cost after the step.
+    pub actual: f64,
 }
 
 /// One point of the size/cost trajectory (Fig. 4).
@@ -148,6 +171,15 @@ pub struct TuningReport {
     pub candidate_counts: Vec<usize>,
     /// (index requests, view requests) intercepted (Table 1).
     pub request_counts: (usize, usize),
+    /// Bound-oracle comparisons performed (0 unless
+    /// [`TunerOptions::validate_bounds`] is set).
+    pub bound_checks: u64,
+    /// §3.3.2 violations the oracle caught (must stay empty).
+    pub bound_violations: Vec<BoundViolation>,
+    /// Roll-up of the structured trace (`Some` only when the session
+    /// ran with a [`Tracer`]); per-phase `elapsed` is wall-clock, all
+    /// other contents are deterministic.
+    pub trace: Option<pdt_trace::TraceSummary>,
     pub elapsed: Duration,
 }
 
@@ -265,6 +297,19 @@ fn score_one(
 
 /// Run a tuning session (the paper's PTT).
 pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> TuningReport {
+    tune_traced(db, workload, options, None)
+}
+
+/// [`tune`] with an optional structured-event [`Tracer`]. Every event
+/// is emitted from the driver thread at points the engine already
+/// serializes, so for a fixed session the trace is byte-identical for
+/// every `threads` value.
+pub fn tune_traced(
+    db: &Database,
+    workload: &Workload,
+    options: &TunerOptions,
+    tracer: Option<&Tracer>,
+) -> TuningReport {
     let start = Instant::now();
     let opt = Optimizer::new(db);
     let base = Configuration::base(db);
@@ -275,7 +320,23 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     let ctx = EvalCtx {
         threads,
         cache: cache.as_ref(),
+        tracer,
     };
+
+    if let Some(t) = tracer {
+        // The thread count is deliberately NOT recorded in the event
+        // stream: the trace must be byte-identical for every
+        // `--threads` value (it lives in the report/CLI output).
+        let mut fields: Vec<(&'static str, pdt_trace::Value)> = vec![
+            ("entries", workload.entries.len().into()),
+            ("validate_bounds", options.validate_bounds.into()),
+        ];
+        if let Some(b) = options.space_budget {
+            fields.push(("budget", b.into()));
+        }
+        t.emit("session.begin", fields);
+    }
+    let setup_span = tracer.map(|t| t.span("setup"));
 
     // Initial (base) evaluation.
     let base_eval = evaluate_full_ctx(db, &opt, &base, workload, ctx);
@@ -284,12 +345,25 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     let initial_size = base.size_bytes(db);
 
     // Lines 1–2: the optimal configuration via instrumentation.
-    let (optimal_config, sink) = gather_optimal_configuration(db, workload, options.with_views);
-    optimizer_calls += workload
+    let (optimal_config, sink) =
+        gather_optimal_configuration_traced(db, workload, options.with_views, tracer);
+    let select_count = workload
         .entries
         .iter()
         .filter(|e| e.select.is_some())
         .count();
+    optimizer_calls += select_count;
+    pdt_trace::incr(tracer, "optimizer.calls", select_count as u64);
+    pdt_trace::emit(
+        tracer,
+        "instrument.done",
+        vec![
+            ("index_requests", sink.index_requests.into()),
+            ("view_requests", sink.view_requests.into()),
+            ("indexes", sink.created_indexes.into()),
+            ("views", sink.created_views.into()),
+        ],
+    );
     let opt_eval = evaluate_full_ctx(db, &opt, &optimal_config, workload, ctx);
     optimizer_calls += opt_eval.optimizer_calls;
     let optimal_cost = opt_eval.total_cost;
@@ -312,6 +386,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             })
             .sum()
     };
+    drop(setup_span);
 
     let has_updates = workload.has_updates();
     let fits = |size: f64| options.space_budget.is_none_or(|b| size <= b);
@@ -336,6 +411,9 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         cache_misses: 0,
         candidate_counts: Vec::new(),
         request_counts: (sink.index_requests, sink.view_requests),
+        bound_checks: 0,
+        bound_violations: Vec::new(),
+        trace: None,
         elapsed: start.elapsed(),
     };
 
@@ -352,6 +430,15 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             report.cache_hits = c.hits();
             report.cache_misses = c.misses();
         }
+        pdt_trace::emit(
+            tracer,
+            "session.end",
+            vec![
+                ("iterations", report.iterations.into()),
+                ("optimizer_calls", report.optimizer_calls.into()),
+            ],
+        );
+        report.trace = tracer.map(|t| t.summary());
         report.elapsed = start.elapsed();
         return report;
     }
@@ -366,6 +453,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     // and under update workloads so do structures whose maintenance
     // outweighs their benefit. This collapses the long prefix of
     // trivially-good relaxations into one step.
+    let prepass_span = tracer.map(|t| t.span("prepass"));
     let (root_config, root_eval) = {
         let mut cfg = optimal_config;
         let mut eval = opt_eval;
@@ -394,15 +482,15 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
                     &applied,
                     &view_costs,
                 );
-                Some((bound - eval.total_cost, applied))
+                Some((bound - eval.total_cost, t.clone(), applied))
             });
-            let mut best_removal: Option<(f64, AppliedTransform)> = None;
-            for (delta_t, applied) in scored.into_iter().flatten() {
-                if delta_t <= 1e-9 && best_removal.as_ref().is_none_or(|(d, _)| delta_t < *d) {
-                    best_removal = Some((delta_t, applied));
+            let mut best_removal: Option<(f64, Transformation, AppliedTransform)> = None;
+            for (delta_t, t, applied) in scored.into_iter().flatten() {
+                if delta_t <= 1e-9 && best_removal.as_ref().is_none_or(|(d, _, _)| delta_t < *d) {
+                    best_removal = Some((delta_t, t, applied));
                 }
             }
-            let Some((_, applied)) = best_removal else {
+            let Some((delta_t, transformation, applied)) = best_removal else {
                 break;
             };
             let Some(new_eval) = evaluate_incremental_ctx(
@@ -419,11 +507,29 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
                 break;
             };
             optimizer_calls += new_eval.optimizer_calls;
+            pdt_trace::emit(
+                tracer,
+                "prepass.remove",
+                vec![
+                    ("transformation", transformation.to_string().into()),
+                    ("delta_t", delta_t.into()),
+                    ("cost", new_eval.total_cost.into()),
+                ],
+            );
+            pdt_trace::incr(tracer, "prepass.removed", 1);
+            if options.validate_bounds {
+                // The kept (delta_t, applied) pair was scored against
+                // the *current* (cfg, eval), so the bound is fresh.
+                let bound = eval.total_cost + delta_t;
+                let actual = new_eval.total_cost;
+                oracle_check(&mut report, tracer, 0, &transformation, bound, actual);
+            }
             cfg = applied.config;
             eval = new_eval;
         }
         (cfg, eval)
     };
+    drop(prepass_span);
     let root_size = root_config.size_bytes(db);
 
     let mut nodes: Vec<Node> = vec![Node {
@@ -447,8 +553,18 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
     let mut last_created = 0usize;
 
     // Line 4: the main loop.
+    let search_span = tracer.map(|t| t.span("search"));
     for iteration in 1..=options.max_iterations {
         report.iterations = iteration;
+        pdt_trace::incr(tracer, "search.iterations", 1);
+        pdt_trace::emit(
+            tracer,
+            "iter.begin",
+            vec![
+                ("iteration", iteration.into()),
+                ("nodes", nodes.len().into()),
+            ],
+        );
         // ---- line 5: pick a configuration ---------------------------
         let Some(node_idx) = pick_node(&nodes, last_created, options, has_updates, &fits) else {
             break;
@@ -488,6 +604,19 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             .into_iter()
             .flatten()
             .collect();
+            pdt_trace::incr(tracer, "search.scored", scored.len() as u64);
+            if let Some(t) = tracer {
+                for c in &scored {
+                    t.emit(
+                        "search.candidate",
+                        vec![
+                            ("transformation", c.transformation.to_string().into()),
+                            ("delta_t", c.delta_t.into()),
+                            ("delta_s", c.delta_s.into()),
+                        ],
+                    );
+                }
+            }
             nodes[node_idx].scored = Some(scored);
         }
 
@@ -509,13 +638,27 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         // ΔT and worse ΔS than another candidate).
         if has_updates && options.skyline_filter && open.len() > 1 {
             let snapshot: Vec<(f64, f64)> = open.iter().map(|c| (c.delta_t, c.delta_s)).collect();
-            open.retain(|c| {
-                !snapshot.iter().any(|(ot, os)| {
+            let dominated = |c: &ScoredCandidate| {
+                snapshot.iter().any(|(ot, os)| {
                     *ot <= c.delta_t && *os >= c.delta_s && (*ot < c.delta_t || *os > c.delta_s)
                 })
-            });
+            };
+            if let Some(t) = tracer {
+                for c in open.iter().filter(|c| dominated(c)) {
+                    t.emit(
+                        "skyline.drop",
+                        vec![
+                            ("transformation", c.transformation.to_string().into()),
+                            ("delta_t", c.delta_t.into()),
+                            ("delta_s", c.delta_s.into()),
+                        ],
+                    );
+                }
+            }
+            open.retain(|c| !dominated(c));
         }
         report.candidate_counts.push(open.len());
+        pdt_trace::incr(tracer, "search.open", open.len() as u64);
         if open.is_empty() {
             nodes[node_idx].exhausted = true;
             continue;
@@ -532,9 +675,30 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             TransformationChoice::Random => open[rng.gen_range(0..open.len())],
         };
         let delta_s = chosen.delta_s;
+        let delta_t_est = chosen.delta_t;
+        let penalty_est = chosen.penalty(over_budget);
         let transformation = chosen.transformation.clone();
+        pdt_trace::emit(
+            tracer,
+            "search.choose",
+            vec![
+                ("iteration", iteration.into()),
+                ("transformation", transformation.to_string().into()),
+                ("delta_t", delta_t_est.into()),
+                ("delta_s", delta_s.into()),
+                ("penalty", penalty_est.into()),
+            ],
+        );
         nodes[node_idx].tried.insert(transformation.to_string());
         let Some(applied) = apply(&transformation, &nodes[node_idx].config, db, &opt) else {
+            pdt_trace::emit(
+                tracer,
+                "step.skip",
+                vec![
+                    ("transformation", transformation.to_string().into()),
+                    ("reason", "inapplicable".into()),
+                ],
+            );
             continue;
         };
 
@@ -544,6 +708,15 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         } else {
             None
         };
+        // Under the bound oracle the evaluation must run to completion
+        // so the §3.3.2 bound can be compared against the true cost;
+        // the §3.5 skip is re-imposed on the finished result below, so
+        // search decisions are identical either way.
+        let eval_limit = if options.validate_bounds {
+            None
+        } else {
+            shortcut_limit
+        };
         let eval = evaluate_incremental_ctx(
             db,
             &opt,
@@ -552,15 +725,57 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             &nodes[node_idx].eval,
             &applied.removed_indexes,
             &applied.removed_views,
-            shortcut_limit,
+            eval_limit,
             ctx,
         );
         let Some(eval) = eval else {
             // §3.5 shortcut: this configuration (and its descendants)
             // cannot beat the best — do not pool it.
+            pdt_trace::emit(
+                tracer,
+                "step.skip",
+                vec![
+                    ("transformation", transformation.to_string().into()),
+                    ("reason", "shortcut".into()),
+                ],
+            );
             continue;
         };
         optimizer_calls += eval.optimizer_calls;
+
+        if options.validate_bounds {
+            // Inherited candidate scores can be stale with respect to
+            // the node they are applied from, so the oracle recomputes
+            // the bound fresh against this node's plans.
+            let bound = cost_upper_bound(
+                db,
+                &opt.opts.cost,
+                workload,
+                &nodes[node_idx].eval,
+                &nodes[node_idx].config,
+                &applied,
+                &view_costs,
+            );
+            oracle_check(
+                &mut report,
+                tracer,
+                iteration,
+                &transformation,
+                bound,
+                eval.total_cost,
+            );
+            if shortcut_limit.is_some_and(|l| eval.total_cost > l) {
+                pdt_trace::emit(
+                    tracer,
+                    "step.skip",
+                    vec![
+                        ("transformation", transformation.to_string().into()),
+                        ("reason", "shortcut".into()),
+                    ],
+                );
+                continue;
+            }
+        }
 
         let mut config = applied.config;
         let mut eval = eval;
@@ -592,6 +807,18 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         let actual_penalty = (cost - nodes[node_idx].eval.total_cost) / delta_s.abs().max(1.0);
         nodes[node_idx].last_relax_penalty = nodes[node_idx].last_relax_penalty.max(actual_penalty);
 
+        pdt_trace::emit(
+            tracer,
+            "search.step",
+            vec![
+                ("iteration", iteration.into()),
+                ("transformation", transformation.to_string().into()),
+                ("parent_size", nodes[node_idx].size.into()),
+                ("size", size.into()),
+                ("cost", cost.into()),
+                ("fits", fits(size).into()),
+            ],
+        );
         report.frontier.push(FrontierPoint {
             iteration,
             size_bytes: size,
@@ -599,6 +826,15 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
             fits: fits(size),
         });
         if fits(size) && report.best.as_ref().is_none_or(|b| cost < b.cost) {
+            pdt_trace::emit(
+                tracer,
+                "search.best",
+                vec![
+                    ("iteration", iteration.into()),
+                    ("cost", cost.into()),
+                    ("size", size.into()),
+                ],
+            );
             report.best = Some(BestConfig {
                 config: config.clone(),
                 cost,
@@ -618,6 +854,7 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         });
         last_created = nodes.len() - 1;
     }
+    drop(search_span);
 
     // Recommending nothing (the base configuration) is always an
     // option: never return a configuration worse than the current one.
@@ -635,8 +872,63 @@ pub fn tune(db: &Database, workload: &Workload, options: &TunerOptions) -> Tunin
         report.cache_hits = c.hits();
         report.cache_misses = c.misses();
     }
+    pdt_trace::emit(
+        tracer,
+        "session.end",
+        vec![
+            ("iterations", report.iterations.into()),
+            ("optimizer_calls", report.optimizer_calls.into()),
+        ],
+    );
+    report.trace = tracer.map(|t| t.summary());
     report.elapsed = start.elapsed();
     report
+}
+
+/// Record one differential bound-oracle comparison (§3.3.2 as a
+/// runtime invariant). The tolerance matches the bound-dominance test
+/// suite's relative epsilon, plus an absolute term for near-zero costs.
+fn oracle_check(
+    report: &mut TuningReport,
+    tracer: Option<&Tracer>,
+    iteration: usize,
+    transformation: &Transformation,
+    bound: f64,
+    actual: f64,
+) {
+    report.bound_checks += 1;
+    pdt_trace::incr(tracer, "oracle.checks", 1);
+    let violated = actual > bound * (1.0 + 1e-3) + 1e-6;
+    pdt_trace::emit(
+        tracer,
+        "oracle.check",
+        vec![
+            ("iteration", iteration.into()),
+            ("transformation", transformation.to_string().into()),
+            ("bound", bound.into()),
+            ("actual", actual.into()),
+            ("violated", violated.into()),
+        ],
+    );
+    if violated {
+        pdt_trace::incr(tracer, "oracle.violations", 1);
+        pdt_trace::emit(
+            tracer,
+            "oracle.violation",
+            vec![
+                ("iteration", iteration.into()),
+                ("transformation", transformation.to_string().into()),
+                ("bound", bound.into()),
+                ("actual", actual.into()),
+            ],
+        );
+        report.bound_violations.push(BoundViolation {
+            iteration,
+            transformation: transformation.to_string(),
+            bound,
+            actual,
+        });
+    }
 }
 
 /// Line 5 of Fig. 5 — the §3.4 heuristic (as amended by §3.6):

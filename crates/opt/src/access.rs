@@ -82,6 +82,18 @@ pub fn best_access_path(
 
     let order_cols: Vec<ColumnId> = req.order.iter().map(|(c, _)| *c).collect();
     let n_preds = req.sargable.len() + req.non_sargable.len();
+    // Every column any predicate references — what a plan that consumes
+    // no predicates must be able to read to filter.
+    let pred_cols: BTreeSet<ColumnId> = req
+        .sargable
+        .iter()
+        .map(|s| s.column)
+        .chain(
+            req.non_sargable
+                .iter()
+                .flat_map(|(cols, _)| cols.iter().copied()),
+        )
+        .collect();
 
     let indexes: Vec<&Index> = schema.config.indexes_on(table).collect();
     let clustered = indexes.iter().copied().find(|i| i.clustered);
@@ -122,6 +134,14 @@ pub fn best_access_path(
                     },
                     followed_by_lookup: false,
                     seek_col_sels: Vec::new(),
+                    total_preds: n_preds,
+                    resid_pred_cols: pred_cols.clone(),
+                    resid_filter_cpu: if n_preds > 0 {
+                        model.filter(table_rows, n_preds).total()
+                    } else {
+                        0.0
+                    },
+                    executions: 1.0,
                 };
                 (
                     PlanNode::leaf(
@@ -188,6 +208,14 @@ pub fn best_access_path(
                 provided_columns: all_ref.clone(),
                 followed_by_lookup: false,
                 seek_col_sels: Vec::new(),
+                total_preds: n_preds,
+                resid_pred_cols: pred_cols.clone(),
+                resid_filter_cpu: if n_preds > 0 {
+                    model.filter(table_rows, n_preds).total()
+                } else {
+                    0.0
+                },
+                executions: 1.0,
             };
             let node = PlanNode::leaf(
                 Op::IndexScan {
@@ -260,6 +288,22 @@ pub fn best_access_path(
         let provides = order_satisfied(&index.key, 0, &order_cols)
             || order_satisfied(&index.key, eq_prefix, &order_cols);
 
+        // Residual-filter CPU this plan will charge downstream of the
+        // seek: on-index filters run at the seek's output, post-lookup
+        // filters at the on-index-filtered cardinality.
+        let resid_filter_cpu = {
+            let mut cpu = 0.0;
+            if n_on_index > 0 {
+                cpu += model.filter(rows_after_seek, n_on_index).total();
+            }
+            if n_after > 0 {
+                cpu += model
+                    .filter(rows_after_seek * resid_sel_on_index, n_after)
+                    .total();
+            }
+            cpu
+        };
+
         let mut usage = IndexUsage {
             index: (*index).clone(),
             kind: UsageKind::Seek {
@@ -288,14 +332,22 @@ pub fn best_access_path(
             seek_col_sels: index.key[..prefix_len]
                 .iter()
                 .map(|kc| {
-                    let sel = sargs
+                    let (sel, eq) = sargs
                         .iter()
                         .find(|(si, _)| req.sargable[*si].column == *kc)
-                        .map(|(_, s)| *s)
-                        .unwrap_or(1.0);
-                    (*kc, sel)
+                        .map(|(si, s)| (*s, req.sargable[*si].sarg.is_equality()))
+                        .unwrap_or((1.0, false));
+                    (*kc, sel, eq)
                 })
                 .collect(),
+            total_preds: n_preds,
+            resid_pred_cols: pred_cols
+                .iter()
+                .copied()
+                .filter(|c| !consumed.contains(c))
+                .collect(),
+            resid_filter_cpu,
+            executions: 1.0,
         };
 
         let seek_node = PlanNode::leaf(
@@ -439,14 +491,29 @@ pub fn best_access_path(
                 seek_col_sels: idx.key[..prefix]
                     .iter()
                     .map(|kc| {
-                        let s = sargs
+                        let (s, eq) = sargs
                             .iter()
                             .find(|(si, _)| req.sargable[*si].column == *kc)
-                            .map(|(_, v)| *v)
-                            .unwrap_or(1.0);
-                        (*kc, s)
+                            .map(|(si, v)| (*v, req.sargable[*si].sarg.is_equality()))
+                            .unwrap_or((1.0, false));
+                        (*kc, s, eq)
                     })
                     .collect(),
+                total_preds: n_preds,
+                resid_pred_cols: {
+                    let consumed: BTreeSet<ColumnId> = idx.key[..prefix].iter().copied().collect();
+                    pred_cols
+                        .iter()
+                        .copied()
+                        .filter(|c| !consumed.contains(c))
+                        .collect()
+                },
+                // The residual filters of an intersection plan are
+                // shared between both seeks; crediting them to either
+                // usage could double-count when both indexes are
+                // removed, so neither claims them.
+                resid_filter_cpu: 0.0,
+                executions: 1.0,
             };
             let usages = vec![mk_usage(i1, s1, p1, c1, r1), mk_usage(i2, s2, p2, c2, r2)];
             let seek1 = PlanNode::leaf(

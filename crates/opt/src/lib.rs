@@ -36,4 +36,4 @@ pub use block::QueryBlock;
 pub use cost::CostModel;
 pub use optimizer::{Optimizer, OptimizerOptions};
 pub use plan::{IndexUsage, Op, PhysPlan, PlanNode, UsageKind};
-pub use request::{CountingSink, IndexRequest, NullSink, RequestSink, ViewRequest};
+pub use request::{CountingSink, IndexRequest, NullSink, RequestSink, TracingSink, ViewRequest};

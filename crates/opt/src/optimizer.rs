@@ -621,6 +621,8 @@ impl<'a> Optimizer<'a> {
                 u.access_io *= outer.rows.max(1.0);
                 u.access_cpu *= outer.rows.max(1.0);
                 u.rows *= outer.rows.max(1.0);
+                u.resid_filter_cpu *= outer.rows.max(1.0);
+                u.executions *= outer.rows.max(1.0);
                 usages.push(u);
             }
             cands.push(SubPlan {

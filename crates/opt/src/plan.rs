@@ -41,10 +41,29 @@ pub struct IndexUsage {
     pub provided_columns: BTreeSet<ColumnId>,
     /// Whether a rid lookup ran on top of this access in the plan.
     pub followed_by_lookup: bool,
-    /// Per-column selectivities of the seek predicates (empty for
-    /// scans) — what the tuner needs to re-derive `s_IR` for an
-    /// arbitrary replacement index (§3.3.2).
-    pub seek_col_sels: Vec<(ColumnId, f64)>,
+    /// Per-column `(column, selectivity, is_equality)` of the seek
+    /// predicates (empty for scans) — what the tuner needs to
+    /// re-derive `s_IR` for an arbitrary replacement index (§3.3.2).
+    /// The equality flag matters because a range predicate consumes
+    /// its key column but stops the seek prefix.
+    pub seek_col_sels: Vec<(ColumnId, f64, bool)>,
+    /// Total predicate count of the request this access answered
+    /// (sargable + non-sargable) — everything a replacement full scan
+    /// must re-filter.
+    pub total_preds: usize,
+    /// Columns referenced by predicates *not* consumed by this
+    /// access's seek. A replacement index must also cover these (on
+    /// top of the provided columns) to filter without a rid lookup.
+    pub resid_pred_cols: BTreeSet<ColumnId>,
+    /// Filter CPU the plan charged downstream of this access
+    /// (residual predicates at their actual cardinalities). A §3.3.2
+    /// patch may credit this much when it re-charges filters itself.
+    pub resid_filter_cpu: f64,
+    /// How many times the plan runs this access (1 normally; the outer
+    /// cardinality for a nested-loops inner side). `access_io`,
+    /// `access_cpu`, `rows`, and `resid_filter_cpu` are aggregated over
+    /// all executions; a scan-shaped replacement must pay per run.
+    pub executions: f64,
 }
 
 impl IndexUsage {
@@ -242,6 +261,10 @@ mod tests {
                 provided_columns: BTreeSet::new(),
                 followed_by_lookup: false,
                 seek_col_sels: Vec::new(),
+                total_preds: 0,
+                resid_pred_cols: BTreeSet::new(),
+                resid_filter_cpu: 0.0,
+                executions: 1.0,
             }],
         };
         assert!(plan.uses_index(&idx));
@@ -274,7 +297,11 @@ mod tests {
             provided_order: None,
             provided_columns: BTreeSet::new(),
             followed_by_lookup: true,
-            seek_col_sels: vec![(ColumnId::new(TableId(0), 0), 0.25)],
+            seek_col_sels: vec![(ColumnId::new(TableId(0), 0), 0.25, true)],
+            total_preds: 1,
+            resid_pred_cols: BTreeSet::new(),
+            resid_filter_cpu: 0.0,
+            executions: 1.0,
         };
         assert_eq!(u.selectivity(), 0.25);
         assert_eq!(u.access_cost(), 3.0);

@@ -34,7 +34,15 @@ pub fn parse_workload(input: &str) -> Result<Vec<Statement>> {
 pub struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current expression-recursion depth (see [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
+
+/// Expression nesting limit. Expressions parse by recursive descent, so
+/// adversarial input like `((((…` would otherwise overflow the stack —
+/// an abort, not a catchable error. Deeper nesting than this never
+/// occurs in legitimate workloads.
+const MAX_EXPR_DEPTH: usize = 128;
 
 impl Parser {
     /// Lex `input` and position the cursor at the first token.
@@ -42,6 +50,7 @@ impl Parser {
         Ok(Parser {
             tokens: tokenize(input)?,
             pos: 0,
+            depth: 0,
         })
     }
 
@@ -312,6 +321,16 @@ impl Parser {
     }
 
     fn expr_bp(&mut self, min_bp: u8) -> Result<AstExpr> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.err("expression too deeply nested".to_string()));
+        }
+        self.depth += 1;
+        let result = self.expr_bp_inner(min_bp);
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_bp_inner(&mut self, min_bp: u8) -> Result<AstExpr> {
         let mut lhs = self.prefix()?;
 
         loop {

@@ -1,0 +1,108 @@
+//! Parser robustness fuzzing: whatever bytes arrive, `parse_workload`
+//! must return `Ok` or `Err` — never panic, never overflow the stack.
+//!
+//! Three generators: (1) byte-level mutations of a valid-SQL corpus,
+//! (2) random shuffles/slices of a token soup, (3) hand-picked
+//! pathological inputs (deep nesting, truncations, repetition).
+
+use pdt_sql::parse_workload;
+use rand::{Rng, SeedableRng};
+
+/// Valid statements to mutate — exercise every production.
+const CORPUS: &[&str] = &[
+    "SELECT c_name FROM customer WHERE c_acctbal > 100",
+    "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority",
+    "SELECT n_name, SUM(l_extendedprice) FROM nation, lineitem \
+     WHERE n_nationkey = l_suppkey AND l_shipdate BETWEEN 10 AND 20 \
+     GROUP BY n_name ORDER BY n_name DESC",
+    "SELECT a FROM t WHERE x IN (1, 2, 3) AND NOT y LIKE 'abc%'",
+    "SELECT a, b FROM t WHERE (a + b) * 2 >= -3 OR a IS NOT NULL ORDER BY a, b DESC",
+    "UPDATE t SET a = a + 1, b = 2 WHERE c < 10",
+    "DELETE FROM t WHERE a BETWEEN 1 AND 5",
+    "INSERT INTO t (a, b) VALUES (1, 'two')",
+    "SELECT AVG(a), MIN(b), MAX(c) FROM t WHERE a <> 0",
+];
+
+/// Tokens for the shuffle generator: keywords, punctuation, literals.
+const SOUP: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE",
+    "IS", "NULL", "UPDATE", "SET", "DELETE", "INSERT", "INTO", "VALUES", "COUNT", "SUM", "AVG",
+    "(", ")", ",", ";", "*", "+", "-", "=", "<", ">", "<=", ">=", "<>", ".", "'x'", "1", "2.5",
+    "t", "a", "b", "c",
+];
+
+#[test]
+fn byte_mutations_never_panic() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF022);
+    for case in 0..400 {
+        let base = CORPUS[case % CORPUS.len()];
+        let mut bytes = base.as_bytes().to_vec();
+        for _ in 0..rng.gen_range(1..=6) {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = rng.gen_range(0..bytes.len());
+            match rng.gen_range(0..4) {
+                0 => bytes[at] = rng.gen::<u32>() as u8,
+                1 => {
+                    bytes.remove(at);
+                }
+                2 => bytes.insert(at, rng.gen::<u32>() as u8),
+                _ => {
+                    // Swap two positions.
+                    let other = rng.gen_range(0..bytes.len());
+                    bytes.swap(at, other);
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_workload(&text);
+    }
+}
+
+#[test]
+fn token_shuffles_never_panic() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5007);
+    for _ in 0..400 {
+        let len = rng.gen_range(1..40);
+        let text: Vec<&str> = (0..len)
+            .map(|_| SOUP[rng.gen_range(0..SOUP.len())])
+            .collect();
+        let _ = parse_workload(&text.join(" "));
+    }
+}
+
+#[test]
+fn deep_nesting_errors_instead_of_overflowing() {
+    for n in [100, 1_000, 100_000] {
+        let sql = format!("SELECT a FROM t WHERE {}a{}", "(".repeat(n), ")".repeat(n));
+        // Shallow nesting parses; past the guard it must be a clean Err.
+        let result = parse_workload(&sql);
+        if n >= 1_000 {
+            let err = result.expect_err("deep nesting must be rejected");
+            assert!(
+                err.to_string().contains("deeply nested"),
+                "unexpected error: {err}"
+            );
+        } else {
+            assert!(result.is_ok(), "nesting {n} should parse");
+        }
+    }
+}
+
+#[test]
+fn operator_chains_error_cleanly() {
+    for prefix in ["NOT ", "-", "NOT NOT -"] {
+        let sql = format!("SELECT a FROM t WHERE {}a > 1", prefix.repeat(50_000));
+        let _ = parse_workload(&sql); // must return, not abort
+    }
+}
+
+#[test]
+fn truncations_of_valid_statements_never_panic() {
+    for base in CORPUS {
+        for cut in 0..base.len() {
+            let _ = parse_workload(&base[..cut]);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! # pdt-trace — structured search telemetry
+//!
+//! A lightweight event layer for the tuning engine: spans, counters,
+//! and flat key/value events that roll up into per-phase summaries and
+//! export as JSONL. Zero dependencies (std only).
+//!
+//! The design constraint that shapes everything here is the workspace
+//! determinism invariant: `tune()` output must be byte-identical for
+//! any `--threads` value. Consequently:
+//!
+//! * events carry **no wall-clock data** — only a session-scoped
+//!   sequence number, a span depth, a kind, and caller-chosen fields;
+//! * emission happens only at points the engine already serializes
+//!   (the search loop, the entry-ordered assembly of parallel
+//!   evaluations), never from worker threads;
+//! * wall-clock timing lives exclusively in the [`PhaseSummary`]
+//!   roll-up, where report consumers already expect a non-deterministic
+//!   `elapsed`.
+//!
+//! Everything funnels through an internal mutex, so a `&Tracer` can be
+//! shared freely; the engine threads `Option<&Tracer>` through its call
+//! graph and the [`emit`]/[`incr`] free functions make the disabled
+//! path a no-op.
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A field value: the closed set of scalar types events may carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One structured event. `seq` is a session-scoped emission index and
+/// `depth` the span-nesting level at emission time; both are assigned
+/// under the tracer lock, so the event stream has one total order.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub seq: u64,
+    pub depth: u16,
+    pub kind: &'static str,
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Render as one flat JSON object: `seq`/`depth`/`kind` first, then
+    /// the fields in emission order.
+    pub fn to_json(&self) -> json::Json {
+        let mut obj: Vec<(String, json::Json)> = vec![
+            ("seq".to_string(), json::Json::Int(self.seq as i64)),
+            ("depth".to_string(), json::Json::Int(self.depth as i64)),
+            ("kind".to_string(), json::Json::Str(self.kind.to_string())),
+        ];
+        for (k, v) in &self.fields {
+            let jv = match v {
+                Value::U64(x) => json::Json::Int(*x as i64),
+                Value::I64(x) => json::Json::Int(*x),
+                Value::F64(x) => json::Json::Num(*x),
+                Value::Bool(x) => json::Json::Bool(*x),
+                Value::Str(x) => json::Json::Str(x.clone()),
+            };
+            obj.push((k.to_string(), jv));
+        }
+        json::Json::Obj(obj)
+    }
+}
+
+/// Wall-clock and event-count roll-up of one closed span.
+#[derive(Debug, Clone)]
+pub struct PhaseSummary {
+    pub name: &'static str,
+    /// Events emitted while the span was open (its own begin/end
+    /// markers included).
+    pub events: u64,
+    /// Wall-clock time the span was open. The only non-deterministic
+    /// datum the tracer records; consumers comparing traces across
+    /// runs must zero it, exactly like `TuningReport::elapsed`.
+    pub elapsed: Duration,
+}
+
+/// The deterministic roll-up of a whole trace: totals, named counters,
+/// and the closed phases in completion order.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total events emitted.
+    pub events: u64,
+    /// Named counters in name order.
+    pub counters: Vec<(&'static str, u64)>,
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl TraceSummary {
+    /// Value of a named counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: Vec<Event>,
+    depth: u16,
+    counters: BTreeMap<&'static str, u64>,
+    phases: Vec<PhaseSummary>,
+}
+
+/// The event collector. Interior-mutable: share `&Tracer` freely.
+#[derive(Debug)]
+pub struct Tracer {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                depth: 0,
+                counters: BTreeMap::new(),
+                phases: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // The tracer holds no invariants a panicking emitter could
+        // break mid-update; recover instead of poisoning the session.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Emit one event at the current span depth.
+    pub fn emit(&self, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        let mut inner = self.lock();
+        let seq = inner.events.len() as u64;
+        let depth = inner.depth;
+        inner.events.push(Event {
+            seq,
+            depth,
+            kind,
+            fields,
+        });
+    }
+
+    /// Add `n` to a named counter.
+    pub fn incr(&self, counter: &'static str, n: u64) {
+        *self.lock().counters.entry(counter).or_insert(0) += n;
+    }
+
+    /// Current value of a named counter.
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.lock().counters.get(counter).copied().unwrap_or(0)
+    }
+
+    /// Events emitted so far.
+    pub fn len(&self) -> u64 {
+        self.lock().events.len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Open a span: emits `span.begin`, increments the nesting depth,
+    /// and returns a guard whose drop emits `span.end` and records a
+    /// [`PhaseSummary`].
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        let events_at_open = {
+            let mut inner = self.lock();
+            let seq = inner.events.len() as u64;
+            let depth = inner.depth;
+            inner.events.push(Event {
+                seq,
+                depth,
+                kind: "span.begin",
+                fields: vec![("name", Value::Str(name.to_string()))],
+            });
+            inner.depth += 1;
+            seq
+        };
+        Span {
+            tracer: self,
+            name,
+            start: Instant::now(),
+            events_at_open,
+        }
+    }
+
+    /// Snapshot the deterministic roll-up.
+    pub fn summary(&self) -> TraceSummary {
+        let inner = self.lock();
+        TraceSummary {
+            events: inner.events.len() as u64,
+            counters: inner.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+            phases: inner.phases.clone(),
+        }
+    }
+
+    /// Render every event as one compact JSON object per line.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for e in &inner.events {
+            out.push_str(&e.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An open span; dropping it closes the phase.
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    start: Instant,
+    events_at_open: u64,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let mut inner = self.tracer.lock();
+        inner.depth = inner.depth.saturating_sub(1);
+        let seq = inner.events.len() as u64;
+        let depth = inner.depth;
+        inner.events.push(Event {
+            seq,
+            depth,
+            kind: "span.end",
+            fields: vec![("name", Value::Str(self.name.to_string()))],
+        });
+        let events = seq + 1 - self.events_at_open;
+        inner.phases.push(PhaseSummary {
+            name: self.name,
+            events,
+            elapsed,
+        });
+    }
+}
+
+/// Emit through an optional tracer (no-op when tracing is off).
+pub fn emit(tracer: Option<&Tracer>, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+    if let Some(t) = tracer {
+        t.emit(kind, fields);
+    }
+}
+
+/// Increment a counter through an optional tracer.
+pub fn incr(tracer: Option<&Tracer>, counter: &'static str, n: u64) {
+    if let Some(t) = tracer {
+        t.incr(counter, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sequenced_and_nested() {
+        let t = Tracer::new();
+        t.emit("a", vec![("x", 1u64.into())]);
+        {
+            let _s = t.span("phase");
+            t.emit("b", vec![("y", 2.5.into()), ("s", "hi".into())]);
+        }
+        t.emit("c", vec![]);
+        let s = t.summary();
+        // a, span.begin, b, span.end, c
+        assert_eq!(s.events, 5);
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].name, "phase");
+        assert_eq!(s.phases[0].events, 3, "begin + b + end");
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Depth rises inside the span, seq is dense from 0.
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).expect("valid json");
+            assert_eq!(v.get("seq").and_then(json::Json::as_i64), Some(i as i64));
+        }
+        assert_eq!(
+            json::parse(lines[2])
+                .unwrap()
+                .get("depth")
+                .and_then(json::Json::as_i64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Tracer::new();
+        t.incr("calls", 3);
+        t.incr("calls", 4);
+        t.incr("hits", 1);
+        assert_eq!(t.counter("calls"), 7);
+        assert_eq!(t.counter("nope"), 0);
+        let s = t.summary();
+        assert_eq!(s.counter("calls"), 7);
+        assert_eq!(s.counter("hits"), 1);
+        // Counters come back in name order.
+        assert_eq!(s.counters[0].0, "calls");
+        assert_eq!(s.counters[1].0, "hits");
+    }
+
+    #[test]
+    fn optional_tracer_helpers_noop_when_disabled() {
+        emit(None, "ignored", vec![("x", 1u64.into())]);
+        incr(None, "ignored", 5);
+        let t = Tracer::new();
+        emit(Some(&t), "kept", vec![]);
+        incr(Some(&t), "kept", 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.counter("kept"), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips_field_types() {
+        let t = Tracer::new();
+        t.emit(
+            "kinds",
+            vec![
+                ("u", Value::U64(42)),
+                ("i", Value::I64(-7)),
+                ("f", Value::F64(1.5)),
+                ("b", Value::Bool(true)),
+                ("s", Value::Str("a \"quoted\"\nline".to_string())),
+            ],
+        );
+        let line = t.to_jsonl();
+        let v = json::parse(line.trim()).expect("valid json");
+        assert_eq!(v.get("u").and_then(json::Json::as_i64), Some(42));
+        assert_eq!(v.get("i").and_then(json::Json::as_i64), Some(-7));
+        assert_eq!(v.get("f").and_then(json::Json::as_f64), Some(1.5));
+        assert_eq!(v.get("b"), Some(&json::Json::Bool(true)));
+        assert_eq!(
+            v.get("s"),
+            Some(&json::Json::Str("a \"quoted\"\nline".to_string()))
+        );
+    }
+
+    #[test]
+    fn identical_emission_sequences_are_byte_identical() {
+        let run = || {
+            let t = Tracer::new();
+            let s = t.span("search");
+            for i in 0..10u64 {
+                t.emit(
+                    "step",
+                    vec![("i", i.into()), ("cost", (i as f64 * 0.1).into())],
+                );
+            }
+            drop(s);
+            t.to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+}

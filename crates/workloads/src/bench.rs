@@ -189,6 +189,13 @@ fn gen_bench_query(db: &Database, rng: &mut StdRng) -> String {
     let from: Vec<String> = chain.iter().map(|&t| tables[t].name.clone()).collect();
     let (t0, c0) = numeric_cols.first().copied().unwrap_or((chain[0], 0));
     let out_col = format!("{}.{}", tables[t0].name, tables[t0].columns[c0].name);
+    // A single-table chain over a table with no non-key numeric columns
+    // yields zero predicates; omit the WHERE clause entirely then.
+    let where_clause = if preds.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", preds.join(" AND "))
+    };
 
     if rng.gen_bool(0.5) {
         let agg = ["SUM", "COUNT", "MIN", "MAX"][rng.gen_range(0..4)];
@@ -197,9 +204,8 @@ fn gen_bench_query(db: &Database, rng: &mut StdRng) -> String {
         let gc = rng.gen_range(0..tables[gt].columns.len());
         let group_col = format!("{}.{}", tables[gt].name, tables[gt].columns[gc].name);
         format!(
-            "SELECT {group_col}, {agg}({out_col}) FROM {} WHERE {} GROUP BY {group_col}",
+            "SELECT {group_col}, {agg}({out_col}) FROM {}{where_clause} GROUP BY {group_col}",
             from.join(", "),
-            preds.join(" AND "),
         )
     } else {
         let order = if rng.gen_bool(0.3) {
@@ -208,9 +214,8 @@ fn gen_bench_query(db: &Database, rng: &mut StdRng) -> String {
             String::new()
         };
         format!(
-            "SELECT {out_col} FROM {} WHERE {}{order}",
+            "SELECT {out_col} FROM {}{where_clause}{order}",
             from.join(", "),
-            preds.join(" AND "),
         )
     }
 }

@@ -30,6 +30,7 @@ pub use pdt_expr as expr;
 pub use pdt_opt as opt;
 pub use pdt_physical as physical;
 pub use pdt_sql as sql;
+pub use pdt_trace as trace;
 pub use pdt_tuner as tuner;
 pub use pdt_workloads as workloads;
 
@@ -40,5 +41,6 @@ pub mod prelude {
     pub use pdt_opt::{Optimizer, OptimizerOptions};
     pub use pdt_physical::{Configuration, Index, MaterializedView};
     pub use pdt_sql::parse_statement;
-    pub use pdt_tuner::{tune, TunerOptions, TuningReport, Workload};
+    pub use pdt_trace::Tracer;
+    pub use pdt_tuner::{tune, tune_traced, BoundViolation, TunerOptions, TuningReport, Workload};
 }

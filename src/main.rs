@@ -72,6 +72,9 @@ OPTIONS:
   --updates <ratio>             mix in DML statements (e.g. 0.5)
   --threads <n>                 worker threads, 0 = all cores  [default: $PDTUNE_THREADS or 1]
   --no-cache                    disable the shared what-if cost cache
+  --trace <file.jsonl>          write structured search telemetry as JSONL
+  --validate-bounds             re-optimize after each step and check the
+                                \u{a7}3.3.2 cost upper bound (fails on violation)
   --sql <text>                  query text (explain)
   --optimal                     explain under the optimal configuration
 ";
@@ -89,6 +92,8 @@ struct CliOptions {
     updates: Option<f64>,
     threads: usize,
     no_cache: bool,
+    trace: Option<String>,
+    validate_bounds: bool,
     sql: Option<String>,
     optimal: bool,
 }
@@ -145,6 +150,8 @@ impl CliOptions {
                         .map_err(|e| format!("--threads: {e}"))?
                 }
                 "--no-cache" => o.no_cache = true,
+                "--trace" => o.trace = Some(value("--trace")?),
+                "--validate-bounds" => o.validate_bounds = true,
                 "--sql" => o.sql = Some(value("--sql")?),
                 "--optimal" => o.optimal = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -220,7 +227,8 @@ fn cmd_tune(o: &CliOptions) -> Result<(), String> {
         workload.len(),
         spec.update_count()
     );
-    let report = tune(
+    let tracer = (o.trace.is_some() || o.validate_bounds).then(pdtune::trace::Tracer::new);
+    let report = pdtune::tuner::tune_traced(
         &db,
         &workload,
         &TunerOptions {
@@ -229,8 +237,10 @@ fn cmd_tune(o: &CliOptions) -> Result<(), String> {
             with_views: !o.indexes_only,
             threads: o.threads,
             cost_cache: !o.no_cache,
+            validate_bounds: o.validate_bounds,
             ..TunerOptions::default()
         },
+        tracer.as_ref(),
     );
     println!(
         "\ninitial  cost {:>12.0}   ({:.1} MB)",
@@ -293,6 +303,23 @@ fn cmd_tune(o: &CliOptions) -> Result<(), String> {
         "{}",
         cache_line(report.cache_hits, report.cache_misses, o.no_cache)
     );
+    if let (Some(path), Some(tracer)) = (&o.trace, tracer.as_ref()) {
+        std::fs::write(path, tracer.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        println!("trace: {} events -> {path}", tracer.len());
+    }
+    if o.validate_bounds {
+        println!(
+            "bound oracle: {} checks, {} violations",
+            report.bound_checks,
+            report.bound_violations.len()
+        );
+        if let Some(v) = report.bound_violations.first() {
+            return Err(format!(
+                "\u{a7}3.3.2 bound violated at iteration {} ({}): bound {:.1} < actual {:.1}",
+                v.iteration, v.transformation, v.bound, v.actual
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -125,6 +125,57 @@ fn workload_file_round_trip() {
 }
 
 #[test]
+fn trace_flag_writes_parsable_jsonl() {
+    let dir = std::env::temp_dir().join("pdtune_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tune.jsonl");
+    let (ok, stdout, stderr) = pdtune(&[
+        "tune",
+        "--db",
+        "bench",
+        "--seed",
+        "3",
+        "--queries",
+        "5",
+        "--iterations",
+        "30",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("trace:"), "{stdout}");
+    let jsonl = std::fs::read_to_string(&path).expect("trace file written");
+    let mut lines = 0;
+    for line in jsonl.lines() {
+        let v = pdtune::trace::json::parse(line).expect("valid JSONL");
+        assert!(v.get("kind").is_some());
+        lines += 1;
+    }
+    assert!(lines > 5, "only {lines} trace events");
+}
+
+#[test]
+fn validate_bounds_flag_reports_a_clean_oracle() {
+    let (ok, stdout, stderr) = pdtune(&[
+        "tune",
+        "--db",
+        "bench",
+        "--seed",
+        "3",
+        "--queries",
+        "5",
+        "--iterations",
+        "30",
+        "--updates",
+        "0.5",
+        "--validate-bounds",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("bound oracle:"), "{stdout}");
+    assert!(stdout.contains("0 violations"), "{stdout}");
+}
+
+#[test]
 fn bad_flags_fail_cleanly() {
     let (ok, _, stderr) = pdtune(&["tune", "--db", "nosuch"]);
     assert!(!ok);

@@ -186,6 +186,33 @@ fn random_transformation_choice_is_worse_or_equal_on_average() {
 }
 
 #[test]
+fn full_tpch_tuning_validates_every_bound() {
+    // The acceptance bar for the §3.3.2 oracle: a budgeted session over
+    // the full TPC-H workload (plus an update mix) with the
+    // differential validator on re-optimizes after every accepted step
+    // and must find zero upper-bound violations.
+    let db = tpch::tpch_database(0.01);
+    let spec = pdtune::workloads::updates::with_updates(&db, &tpch::tpch_workload(), 0.25, 1);
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    let report = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            space_budget: Some(20.0 * 1024.0 * 1024.0),
+            max_iterations: 50,
+            validate_bounds: true,
+            ..TunerOptions::default()
+        },
+    );
+    assert!(report.bound_checks > 0, "the oracle must actually run");
+    assert!(
+        report.bound_violations.is_empty(),
+        "§3.3.2 violated on TPC-H: {:?}",
+        report.bound_violations
+    );
+}
+
+#[test]
 fn report_counts_are_consistent() {
     let (db, w) = tpch_setup();
     let free = tune(&db, &w, &TunerOptions::default());

@@ -1,0 +1,132 @@
+//! Golden snapshot tests for report serialization.
+//!
+//! Downstream consumers (bench scripts, the CLI renderer, CI artifact
+//! diffing) parse the `Debug` rendering of `TuningReport` and
+//! `BaselineReport`. These tests pin the *shape* of those renderings —
+//! field names, nesting, ordering, including the trace-summary fields —
+//! while masking every number, so cost-model tuning doesn't churn the
+//! snapshot but a renamed/added/removed field fails in review.
+//!
+//! To regenerate after an intentional format change:
+//! `UPDATE_SNAPSHOTS=1 cargo test --test report_snapshot`
+
+use pdtune::physical::Configuration;
+use pdtune::trace::Tracer;
+use pdtune::tuner::{tune_traced, TunerOptions, Workload};
+use pdtune::workloads::bench::{bench_database, bench_workload, BenchParams};
+
+/// Replace every digit run with `#` and collapse repeated lines, so the
+/// snapshot captures structure, not values. Lines are deduplicated
+/// adjacently (vectors of similar entries collapse to one line plus a
+/// marker) to keep the golden file reviewable.
+fn mask(s: &str) -> String {
+    let mut masked = String::with_capacity(s.len());
+    let mut in_num = false;
+    for ch in s.chars() {
+        if ch.is_ascii_digit() {
+            if !in_num {
+                masked.push('#');
+                in_num = true;
+            }
+        } else {
+            in_num = false;
+            masked.push(ch);
+        }
+    }
+    let mut out = String::new();
+    let mut prev: Option<&str> = None;
+    let mut repeats = 0usize;
+    for line in masked.lines() {
+        if Some(line) == prev {
+            repeats += 1;
+            continue;
+        }
+        if repeats > 0 {
+            out.push_str("        <repeated>\n");
+            repeats = 0;
+        }
+        out.push_str(line);
+        out.push('\n');
+        prev = Some(line);
+    }
+    if repeats > 0 {
+        out.push_str("        <repeated>\n");
+    }
+    out
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name);
+    let actual = mask(rendered);
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {}: {e} (run with UPDATE_SNAPSHOTS=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "report format drifted from tests/snapshots/{name}; if intentional, \
+         regenerate with UPDATE_SNAPSHOTS=1 cargo test --test report_snapshot"
+    );
+}
+
+fn snapshot_db() -> (pdtune::catalog::Database, Workload) {
+    let p = BenchParams {
+        name: "snap".into(),
+        tables: 2,
+        max_columns: 5,
+        max_rows: 3e4,
+        seed: 12,
+    };
+    let db = bench_database(&p);
+    let spec = bench_workload(&db, 12, 4);
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    (db, w)
+}
+
+#[test]
+fn tuning_report_debug_format_is_stable() {
+    let (db, w) = snapshot_db();
+    let tracer = Tracer::new();
+    let mut report = tune_traced(
+        &db,
+        &w,
+        &TunerOptions {
+            space_budget: Some(Configuration::base(&db).size_bytes(&db) * 1.2),
+            max_iterations: 6,
+            validate_bounds: true,
+            ..TunerOptions::default()
+        },
+        Some(&tracer),
+    );
+    report.elapsed = std::time::Duration::ZERO;
+    if let Some(t) = &mut report.trace {
+        for p in &mut t.phases {
+            p.elapsed = std::time::Duration::ZERO;
+        }
+    }
+    check("tuning_report.txt", &format!("{report:#?}"));
+}
+
+#[test]
+fn baseline_report_debug_format_is_stable() {
+    let (db, w) = snapshot_db();
+    let tracer = Tracer::new();
+    let mut report = pdtune::baseline::BaselineAdvisor::new(&db, Default::default())
+        .tune_traced(&w, Some(&tracer));
+    report.elapsed = std::time::Duration::ZERO;
+    if let Some(t) = &mut report.trace {
+        for p in &mut t.phases {
+            p.elapsed = std::time::Duration::ZERO;
+        }
+    }
+    check("baseline_report.txt", &format!("{report:#?}"));
+}
