@@ -232,6 +232,7 @@ impl<'a> BaselineAdvisor<'a> {
             threads,
             cache: cache.as_ref(),
             tracer,
+            ..EvalCtx::default()
         };
 
         if let Some(t) = tracer {
@@ -679,6 +680,7 @@ fn reopt_affected(
         per_query,
         total_cost: total,
         optimizer_calls: calls,
+        poison_repairs: Vec::new(),
     }
 }
 

@@ -123,6 +123,30 @@ impl CostCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Overwrite the hit/miss tallies; used when restoring a cache from
+    /// a checkpoint so counters continue from the checkpointed values.
+    pub fn set_counters(&self, hits: u64, misses: u64) {
+        self.hits.store(hits, Ordering::Relaxed);
+        self.misses.store(misses, Ordering::Relaxed);
+    }
+
+    /// Every entry, sorted by key. The deterministic iteration order
+    /// makes checkpoint files reproducible byte-for-byte.
+    pub fn snapshot(&self) -> Vec<((usize, u64), CacheEntry)> {
+        let mut out: Vec<((usize, u64), CacheEntry)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +180,19 @@ mod tests {
         cache.record(3, 2);
         cache.record(1, 0);
         assert_eq!((cache.hits(), cache.misses()), (4, 2));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_counters_restore() {
+        let cache = CostCache::new();
+        cache.insert(3, 9, entry(3.0));
+        cache.insert(0, 7, entry(1.0));
+        cache.insert(0, 2, entry(2.0));
+        let snap = cache.snapshot();
+        let keys: Vec<_> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(0, 2), (0, 7), (3, 9)]);
+        cache.set_counters(11, 4);
+        assert_eq!((cache.hits(), cache.misses()), (11, 4));
     }
 
     #[test]

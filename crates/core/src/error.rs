@@ -1,0 +1,137 @@
+//! Structured errors for the tuning pipeline and CLI.
+//!
+//! Replaces the `Result<_, String>` plumbing so callers (and shell
+//! scripts driving the CLI) can distinguish failure classes. Each
+//! variant maps to a documented process exit code; see `exit_code`.
+
+use std::fmt;
+
+/// Everything that can go wrong running a tuning session end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// Bad command line: unknown flag, missing value, malformed size.
+    Usage(String),
+    /// Filesystem failure reading or writing a user-named path.
+    Io { path: String, msg: String },
+    /// The workload failed to parse or bind against the catalog.
+    Workload(String),
+    /// A checkpoint could not be read, parsed, or validated against
+    /// the current session's options and database.
+    Checkpoint(String),
+    /// More faults were contained than `max_faults` allows.
+    FaultLimit { faults: usize },
+    /// The differential bound oracle observed an estimate above its
+    /// proven upper bound.
+    BoundViolation {
+        iteration: usize,
+        transformation: String,
+        bound: f64,
+        actual: f64,
+    },
+    /// The session was interrupted (SIGINT) before completing.
+    Interrupted,
+}
+
+impl TuneError {
+    /// Process exit code for this error class. `0` is reserved for
+    /// success (a deadline stop is a *successful* anytime run).
+    ///
+    /// | code | meaning |
+    /// |------|--------------------------|
+    /// | 2    | usage error              |
+    /// | 3    | I/O error                |
+    /// | 4    | workload error           |
+    /// | 5    | checkpoint error         |
+    /// | 6    | fault limit exceeded     |
+    /// | 7    | bound oracle violation   |
+    /// | 130  | interrupted (128+SIGINT) |
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            TuneError::Usage(_) => 2,
+            TuneError::Io { .. } => 3,
+            TuneError::Workload(_) => 4,
+            TuneError::Checkpoint(_) => 5,
+            TuneError::FaultLimit { .. } => 6,
+            TuneError::BoundViolation { .. } => 7,
+            TuneError::Interrupted => 130,
+        }
+    }
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Usage(msg) => write!(f, "{msg}"),
+            TuneError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            TuneError::Workload(msg) => write!(f, "workload error: {msg}"),
+            TuneError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            TuneError::FaultLimit { faults } => {
+                write!(f, "aborted after {faults} contained faults")
+            }
+            TuneError::BoundViolation {
+                iteration,
+                transformation,
+                bound,
+                actual,
+            } => write!(
+                f,
+                "bound oracle violation at iteration {iteration} ({transformation}): \
+                 actual {actual} exceeds bound {bound}"
+            ),
+            TuneError::Interrupted => write!(f, "interrupted"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let errors = [
+            TuneError::Usage("x".into()),
+            TuneError::Io {
+                path: "p".into(),
+                msg: "m".into(),
+            },
+            TuneError::Workload("w".into()),
+            TuneError::Checkpoint("c".into()),
+            TuneError::FaultLimit { faults: 17 },
+            TuneError::BoundViolation {
+                iteration: 3,
+                transformation: "merge".into(),
+                bound: 1.0,
+                actual: 2.0,
+            },
+            TuneError::Interrupted,
+        ];
+        let codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 130]);
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TuneError::FaultLimit { faults: 17 };
+        assert_eq!(e.to_string(), "aborted after 17 contained faults");
+        let e = TuneError::Io {
+            path: "out.json".into(),
+            msg: "denied".into(),
+        };
+        assert_eq!(e.to_string(), "out.json: denied");
+        let e = TuneError::BoundViolation {
+            iteration: 3,
+            transformation: "merge".into(),
+            bound: 1.0,
+            actual: 2.0,
+        };
+        assert!(e.to_string().contains("iteration 3"));
+        assert!(e.to_string().contains("merge"));
+    }
+}

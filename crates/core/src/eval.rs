@@ -23,7 +23,9 @@
 //!   evaluation succeeds, so aborted evaluations leave no trace.
 
 use crate::cache::{CacheEntry, CostCache};
+use crate::fault::FaultSite;
 use crate::par::par_map;
+use crate::stop::StopCheck;
 use crate::workload::{UpdateShell, Workload};
 use pdt_catalog::{Database, TableId};
 use pdt_opt::{CostModel, IndexUsage, Optimizer};
@@ -67,6 +69,10 @@ pub struct EvalResult {
     /// Optimizer invocations needed to produce this result (cache hits
     /// excluded — they invoke nothing).
     pub optimizer_calls: usize,
+    /// Entry indexes whose cached cost was found corrupt (non-finite or
+    /// negative) and recomputed. Empty outside fault scenarios; the
+    /// search records each as a contained `CachePoison` fault.
+    pub poison_repairs: Vec<usize>,
 }
 
 /// How an evaluation runs: worker count and the shared what-if cache.
@@ -85,6 +91,14 @@ pub struct EvalCtx<'c> {
     /// the commit point on the calling thread (never from workers), so
     /// the event stream is identical for every `threads` value.
     pub tracer: Option<&'c pdt_trace::Tracer>,
+    /// Cooperative cancellation: checked between entries (sequential)
+    /// and before each worker pulls an entry (parallel). A stopped
+    /// evaluation returns `None` and, like a shortcut abort, commits
+    /// nothing.
+    pub stop: Option<&'c StopCheck<'c>>,
+    /// Deterministic fault injection for this evaluation's pipeline
+    /// site; `None` outside fault-injection runs.
+    pub faults: Option<FaultSite<'c>>,
 }
 
 /// Maintenance cost of one update shell against one index: descend the
@@ -141,8 +155,18 @@ pub fn evaluate_full_ctx(
     workload: &Workload,
     ctx: EvalCtx<'_>,
 ) -> EvalResult {
+    // Full evaluations are all-or-nothing: they establish reference
+    // costs (setup, baselines, resume replay), so a partial answer is
+    // useless. Stripping any stop token here makes the invariant
+    // structural: `evaluate_entries` returns `None` only on a shortcut
+    // abort (requires `shortcut_limit`, passed as `None`) or a
+    // cooperative stop (requires `ctx.stop`, cleared below). Injected
+    // faults cannot reach this expect either — they panic (caught by
+    // the isolation layer upstream) or poison the cache (repaired
+    // in-line as a miss); neither produces a `None`.
+    let ctx = EvalCtx { stop: None, ..ctx };
     evaluate_entries(db, opt, config, workload, None, None, ctx)
-        .expect("no shortcut limit, cannot abort")
+        .expect("no shortcut limit and no stop token, cannot abort")
 }
 
 /// Re-evaluate after a relaxation: only queries whose plans used one of
@@ -205,6 +229,7 @@ struct EntryEval {
     calls: usize,
     hit: bool,
     miss: bool,
+    repaired: bool,
     pending_insert: Option<(u64, CacheEntry)>,
 }
 
@@ -229,16 +254,32 @@ fn evaluate_entries(
             None => true,
         };
         let mut calls = 0;
-        let (mut hit, mut miss) = (false, false);
+        let (mut hit, mut miss, mut repaired) = (false, false, false);
         let mut pending_insert = None;
         let (select_cost, usages): (f64, Arc<[IndexUsage]>) = if needs_reopt {
             match &entry.select {
                 Some(q) => {
+                    // Injected panic: simulates a what-if evaluation
+                    // failing; caught by the isolation layer upstream.
+                    if let Some(f) = ctx.faults {
+                        f.maybe_panic(i);
+                    }
                     let cached = ctx.cache.map(|cache| {
                         let tables: BTreeSet<TableId> = q.tables.iter().copied().collect();
                         (cache, config.signature_for_tables(&tables))
                     });
-                    match cached.as_ref().and_then(|(c, sig)| c.lookup(i, *sig)) {
+                    // Validate before trusting: a poisoned entry (non-
+                    // finite or negative cost) is discarded and the
+                    // entry recomputed as a plain miss, overwriting the
+                    // corrupt value at commit time.
+                    let looked_up = match cached.as_ref().and_then(|(c, sig)| c.lookup(i, *sig)) {
+                        Some(e) if !(e.cost.is_finite() && e.cost >= 0.0) => {
+                            repaired = true;
+                            None
+                        }
+                        other => other,
+                    };
+                    match looked_up {
                         Some(e) => {
                             hit = true;
                             (e.cost, e.usages)
@@ -249,10 +290,17 @@ fn evaluate_entries(
                             let usages: Arc<[IndexUsage]> = plan.index_usages.into();
                             if let Some((_, sig)) = cached {
                                 miss = true;
+                                // Injected poisoning: write a NaN cost
+                                // so a later lookup must repair it.
+                                let cost = if ctx.faults.is_some_and(|f| f.poison_roll(i)) {
+                                    f64::NAN
+                                } else {
+                                    plan.cost
+                                };
                                 pending_insert = Some((
                                     sig,
                                     CacheEntry {
-                                        cost: plan.cost,
+                                        cost,
                                         usages: usages.clone(),
                                     },
                                 ));
@@ -265,6 +313,12 @@ fn evaluate_entries(
             }
         } else {
             // Unaffected plan: a pointer copy of the previous usages.
+            // Invariant: `needs_reopt` is computed above as
+            // `match prev { Some(..) => ..., None => true }`, so
+            // reaching this arm (needs_reopt == false) implies `prev`
+            // is `Some` by construction — the expect is unreachable,
+            // and no injected fault can flip it (faults fire only
+            // inside the needs_reopt branch).
             let pe = &prev
                 .expect("needs_reopt is false only with prev")
                 .0
@@ -285,6 +339,7 @@ fn evaluate_entries(
             calls,
             hit,
             miss,
+            repaired,
             pending_insert,
         }
     };
@@ -295,6 +350,12 @@ fn evaluate_entries(
         let mut evals = Vec::with_capacity(entries.len());
         let mut running = 0.0;
         for (i, entry) in entries.iter().enumerate() {
+            // Cooperative stop between entries: silent (no eval.abort
+            // event) — the stopped session's trace ends at the last
+            // committed evaluation.
+            if ctx.stop.is_some_and(|s| s.is_stopped()) {
+                return None;
+            }
             let e = compute(i);
             running += entry.weight * e.q.total();
             if shortcut_limit.is_some_and(|l| running > l) {
@@ -315,7 +376,7 @@ fn evaluate_entries(
         let margin = shortcut_limit.map(|l| l * (1.0 + 1e-6));
         let indices: Vec<usize> = (0..entries.len()).collect();
         let results = par_map(ctx.threads, &indices, |_, &i| {
-            if aborted.load(Ordering::Relaxed) {
+            if aborted.load(Ordering::Relaxed) || ctx.stop.is_some_and(|s| s.is_stopped()) {
                 return None;
             }
             let e = compute(i);
@@ -343,10 +404,14 @@ fn evaluate_entries(
         match results.into_iter().collect::<Option<Vec<_>>>() {
             Some(evals) => evals,
             None => {
-                // A worker tripped the margin, which guarantees the
-                // ordered total also exceeds the limit — so this emits
-                // in exactly the cases the sequential path does.
-                pdt_trace::emit(ctx.tracer, "eval.abort", vec![]);
+                // A `None` from a stopped worker stays silent, like the
+                // sequential stop path. Otherwise a worker tripped the
+                // margin, which guarantees the ordered total also
+                // exceeds the limit — so eval.abort emits in exactly
+                // the cases the sequential path does.
+                if !ctx.stop.is_some_and(|s| s.is_stopped()) {
+                    pdt_trace::emit(ctx.tracer, "eval.abort", vec![]);
+                }
                 return None;
             }
         }
@@ -359,11 +424,15 @@ fn evaluate_entries(
     let mut calls = 0;
     let (mut hits, mut misses) = (0u64, 0u64);
     let mut inserts: Vec<(usize, u64, CacheEntry)> = Vec::new();
+    let mut poison_repairs: Vec<usize> = Vec::new();
     for (i, e) in evals.into_iter().enumerate() {
         total += entries[i].weight * e.q.total();
         calls += e.calls;
         hits += u64::from(e.hit);
         misses += u64::from(e.miss);
+        if e.repaired {
+            poison_repairs.push(i);
+        }
         if let Some((sig, ce)) = e.pending_insert {
             inserts.push((i, sig, ce));
         }
@@ -381,6 +450,14 @@ fn evaluate_entries(
         }
         cache.record_traced(hits, misses, ctx.tracer);
     }
+    // Repairs are reported in entry order at the commit point, so the
+    // event stream stays deterministic for every thread count.
+    for &i in &poison_repairs {
+        pdt_trace::emit(ctx.tracer, "cache.repair", vec![("query", i.into())]);
+    }
+    if !poison_repairs.is_empty() {
+        pdt_trace::incr(ctx.tracer, "cache.repairs", poison_repairs.len() as u64);
+    }
     pdt_trace::incr(ctx.tracer, "optimizer.calls", calls as u64);
     pdt_trace::emit(
         ctx.tracer,
@@ -397,6 +474,7 @@ fn evaluate_entries(
         per_query,
         total_cost: total,
         optimizer_calls: calls,
+        poison_repairs,
     })
 }
 
@@ -597,8 +675,7 @@ mod tests {
                 &w,
                 EvalCtx {
                     threads,
-                    cache: None,
-                    tracer: None,
+                    ..EvalCtx::default()
                 },
             );
             assert_eq!(par.total_cost, seq.total_cost, "threads = {threads}");
@@ -626,7 +703,7 @@ mod tests {
         let ctx = EvalCtx {
             threads: 1,
             cache: Some(&cache),
-            tracer: None,
+            ..EvalCtx::default()
         };
         let first = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
         assert_eq!(first.total_cost, plain.total_cost);
@@ -657,7 +734,7 @@ mod tests {
             let ctx = EvalCtx {
                 threads,
                 cache: Some(&cache),
-                tracer: None,
+                ..EvalCtx::default()
             };
             let r = evaluate_incremental_ctx(
                 &db,
@@ -674,5 +751,79 @@ mod tests {
             assert!(cache.is_empty(), "aborted eval must not populate the cache");
             assert_eq!((cache.hits(), cache.misses()), (0, 0));
         }
+    }
+
+    #[test]
+    fn poisoned_cache_entries_are_repaired() {
+        let db = test_db();
+        let w = workload(
+            &db,
+            "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10",
+        );
+        let opt = Optimizer::new(&db);
+        let config = Configuration::base(&db);
+        let plain = evaluate_full(&db, &opt, &config, &w);
+
+        let cache = CostCache::new();
+        let ctx = EvalCtx {
+            threads: 1,
+            cache: Some(&cache),
+            ..EvalCtx::default()
+        };
+        let first = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
+        assert!(first.poison_repairs.is_empty());
+
+        // Corrupt one committed entry in place, as the injector would.
+        let ((q, sig), mut entry) = cache.snapshot().into_iter().next().unwrap();
+        entry.cost = f64::NAN;
+        cache.insert(q, sig, entry);
+
+        let second = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
+        assert_eq!(second.poison_repairs, vec![q]);
+        assert_eq!(second.total_cost, plain.total_cost, "repair restores cost");
+        assert_eq!(
+            second.optimizer_calls, 1,
+            "only the poisoned entry recomputes"
+        );
+        // The repaired entry is clean again: a third pass is all hits.
+        let third = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
+        assert!(third.poison_repairs.is_empty());
+        assert_eq!(third.optimizer_calls, 0);
+    }
+
+    #[test]
+    fn stopped_evaluations_return_none_and_commit_nothing() {
+        use crate::stop::{StopCheck, StopReason, StopToken};
+        let db = test_db();
+        let w = workload(
+            &db,
+            "SELECT r.c FROM r WHERE r.a = 5; SELECT r.b FROM r WHERE r.b < 10",
+        );
+        let opt = Optimizer::new(&db);
+        let config = Configuration::base(&db);
+        let e0 = evaluate_full(&db, &opt, &config, &w);
+        let token = StopToken::new();
+        token.trip(StopReason::Interrupted);
+        let check = StopCheck::new(&token, None);
+        let cache = CostCache::new();
+        for threads in [1, 4] {
+            let ctx = EvalCtx {
+                threads,
+                cache: Some(&cache),
+                stop: Some(&check),
+                ..EvalCtx::default()
+            };
+            let r = evaluate_entries(&db, &opt, &config, &w, Some((&e0, &[], &[])), None, ctx);
+            assert!(r.is_none(), "tripped token must abort, threads={threads}");
+            assert!(cache.is_empty());
+        }
+        // Full evaluation ignores the stop token by design.
+        let ctx = EvalCtx {
+            threads: 1,
+            stop: Some(&check),
+            ..EvalCtx::default()
+        };
+        let full = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
+        assert_eq!(full.total_cost, e0.total_cost);
     }
 }

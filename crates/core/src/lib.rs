@@ -36,23 +36,33 @@
 
 pub mod bound;
 pub mod cache;
+pub mod checkpoint;
+pub mod error;
 pub mod eval;
+pub mod fault;
 pub mod instrument;
 pub mod par;
 pub mod report;
 pub mod search;
+pub mod stop;
 pub mod transform;
 pub mod workload;
 
 pub use cache::{CacheEntry, CostCache};
+pub use checkpoint::{Checkpoint, TraceCheckpoint};
+pub use error::TuneError;
 pub use eval::{EvalCtx, EvalResult, QueryEval};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use instrument::{
     gather_optimal_configuration, gather_optimal_configuration_traced, OptimalSink,
 };
 pub use report::{configuration_ddl, index_ddl, summarize};
 pub use search::{
-    tune, tune_traced, BoundViolation, ConfigChoice, FrontierPoint, TransformationChoice,
-    TunerOptions, TuningReport,
+    tune, tune_session, tune_traced, BoundViolation, ConfigChoice, FrontierPoint, SessionCtl,
+    TransformationChoice, TunerOptions, TuningReport,
 };
+#[cfg(unix)]
+pub use stop::install_sigint;
+pub use stop::{StopCheck, StopReason, StopToken};
 pub use transform::{AppliedTransform, Transformation};
 pub use workload::{UpdateShell, Workload, WorkloadEntry};

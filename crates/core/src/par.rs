@@ -8,6 +8,7 @@
 //! returned vector never does (provided `f` is a pure function of the
 //! item).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolve a user-facing thread-count setting: `0` means "one worker
@@ -41,25 +42,54 @@ where
     slots.resize_with(items.len(), || None);
 
     std::thread::scope(|scope| {
+        // Panics are caught per item and the payload of the *smallest
+        // panicking index* is re-thrown after every worker has joined —
+        // the same panic the sequential loop would surface, so callers
+        // (the fault-isolation layer in the search) observe identical
+        // failures for every thread count. `f` borrows its environment
+        // immutably and buffers side effects for commit-on-success, so
+        // a panicked item leaves no partial state behind
+        // (AssertUnwindSafe).
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut caught = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(payload) => {
+                                caught = Some((i, payload));
+                                break;
+                            }
+                        }
                     }
-                    local
+                    (local, caught)
                 })
             })
             .collect();
+        let mut panicked: Option<(usize, _)> = None;
         for h in handles {
-            for (i, r) in h.join().expect("par_map worker panicked") {
+            let (local, caught) = h.join().expect("worker panics are caught in-loop");
+            for (i, r) in local {
                 slots[i] = Some(r);
             }
+            if let Some((i, payload)) = caught {
+                if panicked.as_ref().is_none_or(|(j, _)| i < *j) {
+                    panicked = Some((i, payload));
+                }
+            }
+        }
+        // The cursor hands out indexes in increasing order and every
+        // index below a caught one completed without panicking, so the
+        // minimum caught index is exactly where the sequential loop
+        // would have panicked.
+        if let Some((_, payload)) = panicked {
+            resume_unwind(payload);
         }
     });
 
@@ -100,6 +130,46 @@ mod tests {
         for (i, c) in counters.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
         }
+    }
+
+    #[test]
+    fn worker_panic_resurfaces_with_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // quiet the expected panics
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, &items, |_, &x| {
+                if x == 40 {
+                    panic!("injected fault: item {x}");
+                }
+                x
+            })
+        });
+        std::panic::set_hook(prev);
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "injected fault: item 40");
+    }
+
+    #[test]
+    fn first_panicking_index_wins_for_any_thread_count() {
+        let items: Vec<usize> = (0..128).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 2, 4, 16] {
+            let result = std::panic::catch_unwind(|| {
+                par_map(threads, &items, |_, &x| {
+                    if x == 17 || x == 90 || x == 127 {
+                        panic!("injected fault: item {x}");
+                    }
+                    x
+                })
+            });
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<String>().expect("string payload");
+            assert_eq!(msg, "injected fault: item 17", "threads = {threads}");
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

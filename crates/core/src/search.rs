@@ -15,11 +15,17 @@
 
 use crate::bound::{cost_upper_bound, ViewBuildCosts};
 use crate::cache::CostCache;
+use crate::checkpoint::{Checkpoint, TraceCheckpoint};
+use crate::error::TuneError;
 use crate::eval::{
     evaluate_full_ctx, evaluate_incremental_ctx, unused_structures, EvalCtx, EvalResult,
 };
+use crate::fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultSite, SITE_CANDIDATE, SITE_PREPASS, SITE_SHRINK,
+};
 use crate::instrument::gather_optimal_configuration_traced;
 use crate::par::{par_map, resolve_threads};
+use crate::stop::{StopCheck, StopReason, StopToken};
 use crate::transform::{apply, candidates, AppliedTransform, Transformation};
 use crate::workload::Workload;
 use pdt_catalog::Database;
@@ -28,7 +34,10 @@ use pdt_physical::Configuration;
 use pdt_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Which configuration to relax next (line 5).
@@ -93,6 +102,20 @@ pub struct TunerOptions {
     /// `optimizer_calls` and cache counters grow — this is the oracle's
     /// overhead, not a behavior change.
     pub validate_bounds: bool,
+    /// Soft wall-clock deadline. Once it passes, the session stops at
+    /// the next cooperative check point and returns the best-so-far
+    /// report with [`StopReason::Deadline`]. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// External cancellation token (e.g. tripped by a SIGINT handler).
+    /// `None` gives the session a private token, so deadline and
+    /// fault-limit stops still work without one.
+    pub stop: Option<StopToken>,
+    /// Deterministic fault injection for resilience testing; `None`
+    /// outside injection runs.
+    pub fault_plan: Option<FaultPlan>,
+    /// Contained faults tolerated before the session trips
+    /// [`StopReason::FaultLimit`] and returns the best-so-far report.
+    pub max_faults: usize,
 }
 
 impl Default for TunerOptions {
@@ -110,6 +133,10 @@ impl Default for TunerOptions {
             threads: 1,
             cost_cache: true,
             validate_bounds: false,
+            deadline_ms: None,
+            stop: None,
+            fault_plan: None,
+            max_faults: 16,
         }
     }
 }
@@ -162,6 +189,9 @@ pub struct TuningReport {
     /// of the tuning process we have many alternative configurations").
     pub frontier: Vec<FrontierPoint>,
     pub iterations: usize,
+    /// Why the session ended. Anytime semantics: every reason still
+    /// yields a complete report with the best configuration found.
+    pub stop_reason: StopReason,
     pub optimizer_calls: usize,
     /// What-if cost-cache hits/misses over the whole session (both 0
     /// when the cache is disabled).
@@ -176,6 +206,9 @@ pub struct TuningReport {
     pub bound_checks: u64,
     /// §3.3.2 violations the oracle caught (must stay empty).
     pub bound_violations: Vec<BoundViolation>,
+    /// Contained faults: escaped evaluation panics and repaired cache
+    /// poison. Empty outside fault injection and genuine bugs.
+    pub faults: Vec<FaultEvent>,
     /// Roll-up of the structured trace (`Some` only when the session
     /// ran with a [`Tracer`]); per-phase `elapsed` is wall-clock, all
     /// other contents are deterministic.
@@ -310,20 +343,256 @@ pub fn tune_traced(
     options: &TunerOptions,
     tracer: Option<&Tracer>,
 ) -> TuningReport {
+    tune_session(
+        db,
+        workload,
+        options,
+        SessionCtl {
+            tracer,
+            ..SessionCtl::default()
+        },
+    )
+    // `tune_session` is fallible only on the checkpoint write/resume
+    // paths, and this call configures neither.
+    .expect("no checkpoint to write or resume, cannot fail")
+}
+
+/// Receives `(iterations_completed, serialized_checkpoint)` from a
+/// session; see [`SessionCtl::checkpoint_sink`].
+pub type CheckpointSink<'a> = &'a dyn Fn(usize, &str);
+
+/// Checkpoint/resume and tracing plumbing for [`tune_session`]. The
+/// default (no tracer, no checkpointing, no resume) reproduces
+/// [`tune`] exactly.
+#[derive(Default, Clone, Copy)]
+pub struct SessionCtl<'a> {
+    /// Structured-event sink; see [`tune_traced`].
+    pub tracer: Option<&'a Tracer>,
+    /// Write a checkpoint every N completed iterations (0 = only when
+    /// the session stops early). Meaningful only with a sink.
+    pub checkpoint_every: usize,
+    /// Receives `(iterations_completed, serialized_checkpoint)` on the
+    /// cadence above and once more — with the last clean boundary —
+    /// when the session stops early (deadline / SIGINT / fault limit).
+    pub checkpoint_sink: Option<CheckpointSink<'a>>,
+    /// Resume from this checkpoint: the session silently replays the
+    /// checkpointed prefix (cheap — the restored cache answers every
+    /// committed what-if question), verifies replay fidelity, then
+    /// continues live. The resumed report and trace are byte-identical
+    /// to an uninterrupted run's.
+    pub resume: Option<&'a Checkpoint>,
+}
+
+/// Hash of every decision-relevant option plus the workload and
+/// database identity, used to pair checkpoints with sessions. Excludes
+/// knobs that cannot change the search trajectory: `threads` (the
+/// engine is thread-count-invariant), `deadline_ms`, `stop`, and the
+/// checkpoint cadence. `DefaultHasher` is stable only within one
+/// build, which is exactly the checkpoint contract (same binary on
+/// both sides).
+fn options_signature(options: &TunerOptions, db: &Database, workload: &Workload) -> u64 {
+    let mut h = DefaultHasher::new();
+    "pdtune-options-v1".hash(&mut h);
+    options.space_budget.map(f64::to_bits).hash(&mut h);
+    options.max_iterations.hash(&mut h);
+    options.with_views.hash(&mut h);
+    options.skyline_filter.hash(&mut h);
+    options.shortcut_evaluation.hash(&mut h);
+    options.shrink_unused.hash(&mut h);
+    (options.config_choice as u8).hash(&mut h);
+    (options.transformation_choice as u8).hash(&mut h);
+    options.seed.hash(&mut h);
+    options.cost_cache.hash(&mut h);
+    options.validate_bounds.hash(&mut h);
+    match options.fault_plan {
+        None => 0u8.hash(&mut h),
+        Some(p) => {
+            1u8.hash(&mut h);
+            p.seed.hash(&mut h);
+            p.rate.to_bits().hash(&mut h);
+        }
+    }
+    options.max_faults.hash(&mut h);
+    db.name.hash(&mut h);
+    workload.entries.len().hash(&mut h);
+    for e in &workload.entries {
+        format!("{e:?}").hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Turn a caught panic payload into a printable detail string.
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record one contained fault: trace it, append it to the report, and
+/// trip the fault-limit stop once the tolerance is exhausted.
+fn record_fault(
+    report: &mut TuningReport,
+    tracer: Option<&Tracer>,
+    token: &StopToken,
+    max_faults: usize,
+    iteration: usize,
+    kind: FaultKind,
+    detail: String,
+) {
+    pdt_trace::incr(tracer, "faults", 1);
+    pdt_trace::emit(
+        tracer,
+        "fault",
+        vec![
+            ("iteration", iteration.into()),
+            ("kind", kind.label().into()),
+            ("detail", detail.clone().into()),
+        ],
+    );
+    report.faults.push(FaultEvent {
+        iteration,
+        kind,
+        detail,
+    });
+    if report.faults.len() > max_faults {
+        token.trip(StopReason::FaultLimit);
+    }
+}
+
+/// Capture the resume state at a clean iteration boundary (the top of
+/// the search loop, before any of the next iteration's work).
+#[allow(clippy::too_many_arguments)]
+fn capture_checkpoint(
+    options_sig: u64,
+    base_sig: u64,
+    report: &TuningReport,
+    rng: &StdRng,
+    optimizer_calls: usize,
+    cache: Option<&CostCache>,
+    tracer: Option<&Tracer>,
+    search_span: Option<&pdt_trace::Span<'_>>,
+    iteration_done: usize,
+) -> Checkpoint {
+    Checkpoint {
+        options_sig,
+        base_sig,
+        initial_cost: report.initial_cost,
+        optimal_cost: report.optimal_cost,
+        iteration: iteration_done,
+        rng_state: rng.state(),
+        optimizer_calls,
+        cache_hits: cache.map_or(0, |c| c.hits()),
+        cache_misses: cache.map_or(0, |c| c.misses()),
+        best: report.best.as_ref().map(|b| (b.cost, b.size_bytes)),
+        frontier_len: report.frontier.len(),
+        faults: report.faults.clone(),
+        cache: cache.map(|c| c.snapshot()).unwrap_or_default(),
+        trace: tracer.map(|t| TraceCheckpoint {
+            state: t.export_state(),
+            open_span_seq: search_span.map_or(0, |s| s.events_at_open()),
+        }),
+    }
+}
+
+/// Verify a finished replay against its checkpoint. Everything the
+/// replay regenerates must match bitwise; a mismatch means the
+/// checkpoint does not belong to this session (or this build).
+fn go_live_checks(report: &TuningReport, rng: &StdRng, ck: &Checkpoint) -> Result<(), TuneError> {
+    let best_matches = match (&report.best, ck.best) {
+        (Some(b), Some((cost, size))) => {
+            b.cost.to_bits() == cost.to_bits() && b.size_bytes.to_bits() == size.to_bits()
+        }
+        (None, None) => true,
+        _ => false,
+    };
+    if rng.state() != ck.rng_state
+        || report.iterations != ck.iteration
+        || report.frontier.len() != ck.frontier_len
+        || !best_matches
+    {
+        return Err(TuneError::Checkpoint(format!(
+            "replay diverged from the checkpoint at iteration {}: rng {:016x} vs \
+             {:016x}, frontier {} vs {}, best {:?} vs {:?}",
+            ck.iteration,
+            rng.state(),
+            ck.rng_state,
+            report.frontier.len(),
+            ck.frontier_len,
+            report.best.as_ref().map(|b| b.cost),
+            ck.best.map(|b| b.0),
+        )));
+    }
+    Ok(())
+}
+
+/// [`tune_traced`] plus the resilience layer: anytime stop control,
+/// checkpoint capture on a cadence (and on stop), and resume-by-
+/// replay. Fails only on checkpoint problems — a mismatched or corrupt
+/// checkpoint, or replay divergence; every other abnormal end
+/// (deadline, interrupt, fault limit) still returns `Ok` with a
+/// complete report and the corresponding [`StopReason`].
+pub fn tune_session(
+    db: &Database,
+    workload: &Workload,
+    options: &TunerOptions,
+    ctl: SessionCtl<'_>,
+) -> Result<TuningReport, TuneError> {
     let start = Instant::now();
     let opt = Optimizer::new(db);
     let base = Configuration::base(db);
     let mut optimizer_calls = 0;
 
+    // ---- anytime stop control ---------------------------------------
+    let token = options.stop.clone().unwrap_or_default();
+    let deadline = options
+        .deadline_ms
+        .map(|ms| start + Duration::from_millis(ms));
+    let stop_check = StopCheck::new(&token, deadline);
+
+    // ---- resume validation ------------------------------------------
+    let opts_sig = options_signature(options, db, workload);
+    let base_sig = base.signature();
+    if let Some(ck) = ctl.resume {
+        ck.validate(opts_sig, base_sig)?;
+        if ctl.tracer.is_some() && ck.trace.is_none() {
+            return Err(TuneError::Checkpoint(
+                "checkpoint has no trace but this session traces; resume without \
+                 tracing or from a traced checkpoint"
+                    .to_string(),
+            ));
+        }
+    }
+    let resume_at = ctl.resume.map_or(0, |ck| ck.iteration);
+    // Replay mode: until the session catches up to `resume_at`
+    // completed iterations, it re-executes the checkpointed prefix with
+    // tracing silenced, stop control disabled, and fault/checkpoint
+    // recording suppressed — determinism makes the redo exact, and the
+    // restored cache makes it cheap. `trc` is the tracer the current
+    // mode exposes.
+    let mut live = ctl.resume.is_none();
+    let trc = |live: bool| if live { ctl.tracer } else { None };
+
     let threads = resolve_threads(options.threads);
-    let cache = options.cost_cache.then(CostCache::new);
+    let cache = match ctl.resume {
+        Some(ck) => options.cost_cache.then(|| ck.restore_cache()),
+        None => options.cost_cache.then(CostCache::new),
+    };
+    // Setup never takes a stop or a fault site: the report is only
+    // valid with real initial/optimal costs, and injection coordinates
+    // are keyed to search sites.
     let ctx = EvalCtx {
         threads,
         cache: cache.as_ref(),
-        tracer,
+        tracer: trc(live),
+        stop: None,
+        faults: None,
     };
 
-    if let Some(t) = tracer {
+    if let Some(t) = trc(live) {
         // The thread count is deliberately NOT recorded in the event
         // stream: the trace must be byte-identical for every
         // `--threads` value (it lives in the report/CLI output).
@@ -336,7 +605,7 @@ pub fn tune_traced(
         }
         t.emit("session.begin", fields);
     }
-    let setup_span = tracer.map(|t| t.span("setup"));
+    let setup_span = trc(live).map(|t| t.span("setup"));
 
     // Initial (base) evaluation.
     let base_eval = evaluate_full_ctx(db, &opt, &base, workload, ctx);
@@ -346,16 +615,16 @@ pub fn tune_traced(
 
     // Lines 1–2: the optimal configuration via instrumentation.
     let (optimal_config, sink) =
-        gather_optimal_configuration_traced(db, workload, options.with_views, tracer);
+        gather_optimal_configuration_traced(db, workload, options.with_views, trc(live));
     let select_count = workload
         .entries
         .iter()
         .filter(|e| e.select.is_some())
         .count();
     optimizer_calls += select_count;
-    pdt_trace::incr(tracer, "optimizer.calls", select_count as u64);
+    pdt_trace::incr(trc(live), "optimizer.calls", select_count as u64);
     pdt_trace::emit(
-        tracer,
+        trc(live),
         "instrument.done",
         vec![
             ("index_requests", sink.index_requests.into()),
@@ -388,6 +657,21 @@ pub fn tune_traced(
     };
     drop(setup_span);
 
+    // A resumed session must reproduce the checkpointed setup exactly
+    // (bitwise): anything else means the database or cost model changed
+    // in a way the signatures could not see.
+    if let Some(ck) = ctl.resume {
+        if ck.initial_cost.to_bits() != initial_cost.to_bits()
+            || ck.optimal_cost.to_bits() != optimal_cost.to_bits()
+        {
+            return Err(TuneError::Checkpoint(
+                "replayed setup diverged from the checkpoint (initial/optimal cost \
+                 mismatch)"
+                    .to_string(),
+            ));
+        }
+    }
+
     let has_updates = workload.has_updates();
     let fits = |size: f64| options.space_budget.is_none_or(|b| size <= b);
 
@@ -406,6 +690,7 @@ pub fn tune_traced(
             fits: fits(optimal_size),
         }],
         iterations: 0,
+        stop_reason: StopReason::IterationBudget,
         optimizer_calls,
         cache_hits: 0,
         cache_misses: 0,
@@ -413,6 +698,9 @@ pub fn tune_traced(
         request_counts: (sink.index_requests, sink.view_requests),
         bound_checks: 0,
         bound_violations: Vec::new(),
+        // Faults recorded before the resume boundary are restored, not
+        // re-recorded: replay suppresses fault accounting.
+        faults: ctl.resume.map(|ck| ck.faults.clone()).unwrap_or_default(),
         trace: None,
         elapsed: start.elapsed(),
     };
@@ -421,6 +709,17 @@ pub fn tune_traced(
     // taken by this configuration is below the maximum allowed and the
     // workload contains no updates, we can return [it]").
     if options.space_budget.is_none() && !has_updates {
+        if ctl.resume.is_some() {
+            // No checkpoint is ever written before the first search
+            // iteration, so none can legitimately resume a session that
+            // finishes without entering the loop.
+            return Err(TuneError::Checkpoint(
+                "checkpoint resumes a session that finishes before its first \
+                 search iteration"
+                    .to_string(),
+            ));
+        }
+        report.stop_reason = StopReason::Converged;
         report.best = Some(BestConfig {
             config: optimal_config,
             cost: optimal_cost,
@@ -431,16 +730,17 @@ pub fn tune_traced(
             report.cache_misses = c.misses();
         }
         pdt_trace::emit(
-            tracer,
+            ctl.tracer,
             "session.end",
             vec![
                 ("iterations", report.iterations.into()),
                 ("optimizer_calls", report.optimizer_calls.into()),
+                ("stop_reason", report.stop_reason.label().into()),
             ],
         );
-        report.trace = tracer.map(|t| t.summary());
+        report.trace = ctl.tracer.map(|t| t.summary());
         report.elapsed = start.elapsed();
-        return report;
+        return Ok(report);
     }
 
     // Line 3: the configuration pool.
@@ -453,11 +753,21 @@ pub fn tune_traced(
     // and under update workloads so do structures whose maintenance
     // outweighs their benefit. This collapses the long prefix of
     // trivially-good relaxations into one step.
-    let prepass_span = tracer.map(|t| t.span("prepass"));
+    let prepass_span = trc(live).map(|t| t.span("prepass"));
+    let prepass_faults = options
+        .fault_plan
+        .as_ref()
+        .map(|p| FaultSite::new(p, SITE_PREPASS, 0));
     let (root_config, root_eval) = {
         let mut cfg = optimal_config;
         let mut eval = opt_eval;
         for _ in 0..cfg.structure_count() {
+            if live && stop_check.is_stopped() {
+                // Stopped before the first iteration: the root stays
+                // wherever the pre-pass got to; the loop prologue turns
+                // the trip into the final stop reason.
+                break;
+            }
             let removals: Vec<Transformation> = candidates(&cfg, &base)
                 .into_iter()
                 .filter(|t| {
@@ -493,22 +803,61 @@ pub fn tune_traced(
             let Some((delta_t, transformation, applied)) = best_removal else {
                 break;
             };
-            let Some(new_eval) = evaluate_incremental_ctx(
-                db,
-                &opt,
-                &applied.config,
-                workload,
-                &eval,
-                &applied.removed_indexes,
-                &applied.removed_views,
-                None,
-                ctx,
-            ) else {
-                break;
+            let pre_ctx = EvalCtx {
+                stop: live.then_some(&stop_check),
+                faults: prepass_faults,
+                ..ctx
+            };
+            let new_eval = match catch_unwind(AssertUnwindSafe(|| {
+                evaluate_incremental_ctx(
+                    db,
+                    &opt,
+                    &applied.config,
+                    workload,
+                    &eval,
+                    &applied.removed_indexes,
+                    &applied.removed_views,
+                    None,
+                    pre_ctx,
+                )
+            })) {
+                Ok(Some(e)) => e,
+                // No shortcut limit is set, so `None` means stopped.
+                Ok(None) => break,
+                Err(payload) => {
+                    // Contain the fault and keep the prefix already
+                    // built: the pre-pass is an optimization, not a
+                    // correctness step.
+                    if live {
+                        record_fault(
+                            &mut report,
+                            trc(live),
+                            &token,
+                            options.max_faults,
+                            0,
+                            FaultKind::EvalPanic,
+                            payload_str(payload.as_ref()),
+                        );
+                    }
+                    break;
+                }
             };
             optimizer_calls += new_eval.optimizer_calls;
+            if live {
+                for q in &new_eval.poison_repairs {
+                    record_fault(
+                        &mut report,
+                        trc(live),
+                        &token,
+                        options.max_faults,
+                        0,
+                        FaultKind::CachePoison,
+                        format!("repaired poisoned cache cost for query {q}"),
+                    );
+                }
+            }
             pdt_trace::emit(
-                tracer,
+                trc(live),
                 "prepass.remove",
                 vec![
                     ("transformation", transformation.to_string().into()),
@@ -516,13 +865,13 @@ pub fn tune_traced(
                     ("cost", new_eval.total_cost.into()),
                 ],
             );
-            pdt_trace::incr(tracer, "prepass.removed", 1);
+            pdt_trace::incr(trc(live), "prepass.removed", 1);
             if options.validate_bounds {
                 // The kept (delta_t, applied) pair was scored against
                 // the *current* (cfg, eval), so the bound is fresh.
                 let bound = eval.total_cost + delta_t;
                 let actual = new_eval.total_cost;
-                oracle_check(&mut report, tracer, 0, &transformation, bound, actual);
+                oracle_check(&mut report, trc(live), 0, &transformation, bound, actual);
             }
             cfg = applied.config;
             eval = new_eval;
@@ -553,12 +902,76 @@ pub fn tune_traced(
     let mut last_created = 0usize;
 
     // Line 4: the main loop.
-    let search_span = tracer.map(|t| t.span("search"));
+    let mut search_span = trc(live).map(|t| t.span("search"));
+    let mut pending: Option<(usize, Checkpoint)> = None;
+    let mut last_saved = resume_at;
     for iteration in 1..=options.max_iterations {
+        // ---- resilience prologue (never part of the replayed prefix)
+        if !live && iteration > resume_at {
+            // The replay has caught up: verify fidelity, restore the
+            // state replay cannot regenerate (counters are overwritten
+            // because replay evaluations hit the restored cache instead
+            // of calling the optimizer), and go live.
+            let ck = ctl.resume.expect("replay mode implies a checkpoint");
+            go_live_checks(&report, &rng, ck)?;
+            optimizer_calls = ck.optimizer_calls;
+            if let Some(c) = &cache {
+                c.set_counters(ck.cache_hits, ck.cache_misses);
+            }
+            if let (Some(t), Some(tc)) = (ctl.tracer, &ck.trace) {
+                t.restore_state(tc.state.clone());
+                search_span = Some(t.resume_span("search", tc.open_span_seq));
+            }
+            live = true;
+        }
+        if live {
+            if let Some(reason) = stop_check.stopped() {
+                report.stop_reason = reason;
+                // Save the newest clean boundary. `pending` was
+                // captured before the previous iteration ran, so it is
+                // valid even if that iteration was truncated mid-
+                // evaluation by this very stop.
+                if let (Some(sink), Some((done, ck))) = (ctl.checkpoint_sink, pending.take()) {
+                    if done > last_saved {
+                        sink(done, &ck.to_json_string());
+                    }
+                }
+                break;
+            }
+            if let Some(sink) = ctl.checkpoint_sink {
+                // Reaching this point un-stopped proves iterations
+                // `1..=iteration-1` completed without stop interference
+                // (the token is sticky): capture them as the new resume
+                // boundary.
+                let done = iteration - 1;
+                if done >= 1 {
+                    let ck = capture_checkpoint(
+                        opts_sig,
+                        base_sig,
+                        &report,
+                        &rng,
+                        optimizer_calls,
+                        cache.as_ref(),
+                        ctl.tracer,
+                        search_span.as_ref(),
+                        done,
+                    );
+                    if ctl.checkpoint_every > 0
+                        && done % ctl.checkpoint_every == 0
+                        && done > last_saved
+                    {
+                        sink(done, &ck.to_json_string());
+                        last_saved = done;
+                    }
+                    pending = Some((done, ck));
+                }
+            }
+        }
+
         report.iterations = iteration;
-        pdt_trace::incr(tracer, "search.iterations", 1);
+        pdt_trace::incr(trc(live), "search.iterations", 1);
         pdt_trace::emit(
-            tracer,
+            trc(live),
             "iter.begin",
             vec![
                 ("iteration", iteration.into()),
@@ -567,6 +980,7 @@ pub fn tune_traced(
         );
         // ---- line 5: pick a configuration ---------------------------
         let Some(node_idx) = pick_node(&nodes, last_created, options, has_updates, &fits) else {
+            report.stop_reason = StopReason::Converged;
             break;
         };
 
@@ -604,8 +1018,8 @@ pub fn tune_traced(
             .into_iter()
             .flatten()
             .collect();
-            pdt_trace::incr(tracer, "search.scored", scored.len() as u64);
-            if let Some(t) = tracer {
+            pdt_trace::incr(trc(live), "search.scored", scored.len() as u64);
+            if let Some(t) = trc(live) {
                 for c in &scored {
                     t.emit(
                         "search.candidate",
@@ -643,7 +1057,7 @@ pub fn tune_traced(
                     *ot <= c.delta_t && *os >= c.delta_s && (*ot < c.delta_t || *os > c.delta_s)
                 })
             };
-            if let Some(t) = tracer {
+            if let Some(t) = trc(live) {
                 for c in open.iter().filter(|c| dominated(c)) {
                     t.emit(
                         "skyline.drop",
@@ -658,7 +1072,7 @@ pub fn tune_traced(
             open.retain(|c| !dominated(c));
         }
         report.candidate_counts.push(open.len());
-        pdt_trace::incr(tracer, "search.open", open.len() as u64);
+        pdt_trace::incr(trc(live), "search.open", open.len() as u64);
         if open.is_empty() {
             nodes[node_idx].exhausted = true;
             continue;
@@ -679,7 +1093,7 @@ pub fn tune_traced(
         let penalty_est = chosen.penalty(over_budget);
         let transformation = chosen.transformation.clone();
         pdt_trace::emit(
-            tracer,
+            trc(live),
             "search.choose",
             vec![
                 ("iteration", iteration.into()),
@@ -692,7 +1106,7 @@ pub fn tune_traced(
         nodes[node_idx].tried.insert(transformation.to_string());
         let Some(applied) = apply(&transformation, &nodes[node_idx].config, db, &opt) else {
             pdt_trace::emit(
-                tracer,
+                trc(live),
                 "step.skip",
                 vec![
                     ("transformation", transformation.to_string().into()),
@@ -717,22 +1131,58 @@ pub fn tune_traced(
         } else {
             shortcut_limit
         };
-        let eval = evaluate_incremental_ctx(
-            db,
-            &opt,
-            &applied.config,
-            workload,
-            &nodes[node_idx].eval,
-            &applied.removed_indexes,
-            &applied.removed_views,
-            eval_limit,
-            ctx,
-        );
+        let step_ctx = EvalCtx {
+            stop: live.then_some(&stop_check),
+            faults: options
+                .fault_plan
+                .as_ref()
+                .map(|p| FaultSite::new(p, SITE_CANDIDATE, iteration as u64)),
+            tracer: trc(live),
+            ..ctx
+        };
+        let eval = match catch_unwind(AssertUnwindSafe(|| {
+            evaluate_incremental_ctx(
+                db,
+                &opt,
+                &applied.config,
+                workload,
+                &nodes[node_idx].eval,
+                &applied.removed_indexes,
+                &applied.removed_views,
+                eval_limit,
+                step_ctx,
+            )
+        })) {
+            Ok(e) => e,
+            Err(payload) => {
+                // Fault isolation: the candidate is already in `tried`,
+                // so containing the panic just skips it; the search
+                // carries on with the rest of the pool.
+                if live {
+                    record_fault(
+                        &mut report,
+                        trc(live),
+                        &token,
+                        options.max_faults,
+                        iteration,
+                        FaultKind::EvalPanic,
+                        payload_str(payload.as_ref()),
+                    );
+                }
+                continue;
+            }
+        };
         let Some(eval) = eval else {
+            if live && stop_check.is_stopped() {
+                // Stop-truncated evaluation, not a shortcut skip: the
+                // loop prologue will observe the tripped token and end
+                // the session from the last clean boundary.
+                continue;
+            }
             // §3.5 shortcut: this configuration (and its descendants)
             // cannot beat the best — do not pool it.
             pdt_trace::emit(
-                tracer,
+                trc(live),
                 "step.skip",
                 vec![
                     ("transformation", transformation.to_string().into()),
@@ -742,6 +1192,19 @@ pub fn tune_traced(
             continue;
         };
         optimizer_calls += eval.optimizer_calls;
+        if live {
+            for q in &eval.poison_repairs {
+                record_fault(
+                    &mut report,
+                    trc(live),
+                    &token,
+                    options.max_faults,
+                    iteration,
+                    FaultKind::CachePoison,
+                    format!("repaired poisoned cache cost for query {q}"),
+                );
+            }
+        }
 
         if options.validate_bounds {
             // Inherited candidate scores can be stale with respect to
@@ -758,7 +1221,7 @@ pub fn tune_traced(
             );
             oracle_check(
                 &mut report,
-                tracer,
+                trc(live),
                 iteration,
                 &transformation,
                 bound,
@@ -766,7 +1229,7 @@ pub fn tune_traced(
             );
             if shortcut_limit.is_some_and(|l| eval.total_cost > l) {
                 pdt_trace::emit(
-                    tracer,
+                    trc(live),
                     "step.skip",
                     vec![
                         ("transformation", transformation.to_string().into()),
@@ -782,22 +1245,68 @@ pub fn tune_traced(
         if options.shrink_unused {
             let (unused_ix, _) = unused_structures(&config, &base, &eval);
             if !unused_ix.is_empty() {
+                // Build the shrunk configuration aside and commit only
+                // on a successful re-evaluation: a panic or a stop mid-
+                // shrink keeps the consistent unshrunk pair.
+                let mut shrunk = config.clone();
                 for i in &unused_ix {
-                    config.remove_index(i);
+                    shrunk.remove_index(i);
                 }
+                let shrink_ctx = EvalCtx {
+                    stop: live.then_some(&stop_check),
+                    faults: options
+                        .fault_plan
+                        .as_ref()
+                        .map(|p| FaultSite::new(p, SITE_SHRINK, iteration as u64)),
+                    tracer: trc(live),
+                    ..ctx
+                };
                 // Unused indexes carry no plans, but shells change.
-                if let Some(e2) = evaluate_incremental_ctx(
-                    db,
-                    &opt,
-                    &config,
-                    workload,
-                    &eval,
-                    &[],
-                    &[],
-                    None,
-                    ctx,
-                ) {
-                    eval = e2;
+                match catch_unwind(AssertUnwindSafe(|| {
+                    evaluate_incremental_ctx(
+                        db,
+                        &opt,
+                        &shrunk,
+                        workload,
+                        &eval,
+                        &[],
+                        &[],
+                        None,
+                        shrink_ctx,
+                    )
+                })) {
+                    Ok(Some(e2)) => {
+                        if live {
+                            for q in &e2.poison_repairs {
+                                record_fault(
+                                    &mut report,
+                                    trc(live),
+                                    &token,
+                                    options.max_faults,
+                                    iteration,
+                                    FaultKind::CachePoison,
+                                    format!("repaired poisoned cache cost for query {q}"),
+                                );
+                            }
+                        }
+                        config = shrunk;
+                        eval = e2;
+                    }
+                    // Stopped mid-shrink: keep the unshrunk pair.
+                    Ok(None) => {}
+                    Err(payload) => {
+                        if live {
+                            record_fault(
+                                &mut report,
+                                trc(live),
+                                &token,
+                                options.max_faults,
+                                iteration,
+                                FaultKind::EvalPanic,
+                                payload_str(payload.as_ref()),
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -808,7 +1317,7 @@ pub fn tune_traced(
         nodes[node_idx].last_relax_penalty = nodes[node_idx].last_relax_penalty.max(actual_penalty);
 
         pdt_trace::emit(
-            tracer,
+            trc(live),
             "search.step",
             vec![
                 ("iteration", iteration.into()),
@@ -827,7 +1336,7 @@ pub fn tune_traced(
         });
         if fits(size) && report.best.as_ref().is_none_or(|b| cost < b.cost) {
             pdt_trace::emit(
-                tracer,
+                trc(live),
                 "search.best",
                 vec![
                     ("iteration", iteration.into()),
@@ -854,7 +1363,30 @@ pub fn tune_traced(
         });
         last_created = nodes.len() - 1;
     }
+    // A session resumed at (or past) its iteration budget replays the
+    // whole loop without ever crossing `resume_at`: go live now so the
+    // final report carries the checkpointed counters and trace.
+    if !live {
+        let ck = ctl.resume.expect("replay mode implies a checkpoint");
+        go_live_checks(&report, &rng, ck)?;
+        optimizer_calls = ck.optimizer_calls;
+        if let Some(c) = &cache {
+            c.set_counters(ck.cache_hits, ck.cache_misses);
+        }
+        if let (Some(t), Some(tc)) = (ctl.tracer, &ck.trace) {
+            t.restore_state(tc.state.clone());
+            search_span = Some(t.resume_span("search", tc.open_span_seq));
+        }
+    }
     drop(search_span);
+
+    // The loop can also end with the token tripped mid-final-iteration
+    // (no later loop top observes it): reflect the true reason. A trip
+    // never downgrades a natural end — `token.get()` is `None` unless
+    // something actually tripped.
+    if let Some(reason) = token.get() {
+        report.stop_reason = reason;
+    }
 
     // Recommending nothing (the base configuration) is always an
     // option: never return a configuration worse than the current one.
@@ -873,16 +1405,17 @@ pub fn tune_traced(
         report.cache_misses = c.misses();
     }
     pdt_trace::emit(
-        tracer,
+        ctl.tracer,
         "session.end",
         vec![
             ("iterations", report.iterations.into()),
             ("optimizer_calls", report.optimizer_calls.into()),
+            ("stop_reason", report.stop_reason.label().into()),
         ],
     );
-    report.trace = tracer.map(|t| t.summary());
+    report.trace = ctl.tracer.map(|t| t.summary());
     report.elapsed = start.elapsed();
-    report
+    Ok(report)
 }
 
 /// Record one differential bound-oracle comparison (§3.3.2 as a
@@ -1210,6 +1743,109 @@ mod tests {
         );
         assert!(!report.candidate_counts.is_empty());
         assert!(report.candidate_counts[0] > 0);
+    }
+
+    #[test]
+    fn deadline_zero_stops_with_valid_report() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        let report = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(free.optimal_size * 0.4),
+                max_iterations: 60,
+                deadline_ms: Some(0),
+                ..Default::default()
+            },
+        );
+        // An already-expired deadline still yields a complete report:
+        // setup is never cancelled, only the search loop is.
+        assert_eq!(report.stop_reason, StopReason::Deadline);
+        assert_eq!(report.iterations, 0);
+        assert!(report.initial_cost > 0.0);
+        assert!(!report.frontier.is_empty());
+    }
+
+    #[test]
+    fn pre_tripped_token_reports_interrupted() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        let token = StopToken::new();
+        token.trip(StopReason::Interrupted);
+        let report = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(free.optimal_size * 0.4),
+                max_iterations: 60,
+                stop: Some(token),
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.stop_reason, StopReason::Interrupted);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn natural_ends_have_natural_reasons() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        assert_eq!(free.stop_reason, StopReason::Converged);
+        let budgeted = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(free.optimal_size * 0.4),
+                max_iterations: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(budgeted.stop_reason, StopReason::IterationBudget);
+        assert!(budgeted.faults.is_empty());
+    }
+
+    #[test]
+    fn options_signature_tracks_decisions_only() {
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let a = TunerOptions::default();
+        let sig = |o: &TunerOptions| options_signature(o, &db, &w);
+        let base = sig(&a);
+        assert_eq!(
+            base,
+            sig(&TunerOptions {
+                threads: 8,
+                deadline_ms: Some(5),
+                stop: Some(StopToken::new()),
+                ..a.clone()
+            }),
+            "non-decision knobs must not change the signature"
+        );
+        assert_ne!(
+            base,
+            sig(&TunerOptions {
+                seed: 1,
+                ..a.clone()
+            })
+        );
+        assert_ne!(
+            base,
+            sig(&TunerOptions {
+                max_iterations: 10,
+                ..a.clone()
+            })
+        );
+        assert_ne!(
+            base,
+            sig(&TunerOptions {
+                fault_plan: Some(FaultPlan { seed: 1, rate: 0.1 }),
+                ..a
+            })
+        );
     }
 
     #[test]

@@ -264,6 +264,54 @@ impl Tracer {
         }
         out
     }
+
+    /// Snapshot the complete tracer state (events, depth, counters,
+    /// phases) for checkpointing. Unlike [`summary`](Tracer::summary),
+    /// this captures the raw event stream, so a restored tracer renders
+    /// byte-identical JSONL for the prefix it covers.
+    pub fn export_state(&self) -> TraceState {
+        let inner = self.lock();
+        TraceState {
+            events: inner.events.clone(),
+            depth: inner.depth,
+            counters: inner.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+            phases: inner.phases.clone(),
+        }
+    }
+
+    /// Replace the tracer's state wholesale with a checkpointed one.
+    /// Used on resume: the restored stream continues exactly where the
+    /// checkpointed session left off (same seq, same depth).
+    pub fn restore_state(&self, state: TraceState) {
+        let mut inner = self.lock();
+        inner.events = state.events;
+        inner.depth = state.depth;
+        inner.counters = state.counters.into_iter().collect();
+        inner.phases = state.phases;
+    }
+
+    /// Re-open a span that was already open (its `span.begin` event is
+    /// in the restored stream) without emitting anything or touching
+    /// the depth. Dropping the returned guard closes the span normally,
+    /// counting events from `events_at_open` — the original begin seq —
+    /// so the phase roll-up matches an uninterrupted run.
+    pub fn resume_span(&self, name: &'static str, events_at_open: u64) -> Span<'_> {
+        Span {
+            tracer: self,
+            name,
+            start: Instant::now(),
+            events_at_open,
+        }
+    }
+}
+
+/// A checkpointable snapshot of a [`Tracer`]'s full state.
+#[derive(Debug, Clone)]
+pub struct TraceState {
+    pub events: Vec<Event>,
+    pub depth: u16,
+    pub counters: Vec<(&'static str, u64)>,
+    pub phases: Vec<PhaseSummary>,
 }
 
 /// An open span; dropping it closes the phase.
@@ -272,6 +320,15 @@ pub struct Span<'a> {
     name: &'static str,
     start: Instant,
     events_at_open: u64,
+}
+
+impl Span<'_> {
+    /// Sequence number of this span's `span.begin` event; persisted in
+    /// checkpoints so [`Tracer::resume_span`] can re-open the span with
+    /// the same event-count baseline.
+    pub fn events_at_open(&self) -> u64 {
+        self.events_at_open
+    }
 }
 
 impl Drop for Span<'_> {
@@ -396,6 +453,44 @@ mod tests {
             v.get("s"),
             Some(&json::Json::Str("a \"quoted\"\nline".to_string()))
         );
+    }
+
+    #[test]
+    fn export_restore_resume_is_byte_identical() {
+        // Reference: one uninterrupted session with an open span.
+        let full = {
+            let t = Tracer::new();
+            let s = t.span("search");
+            for i in 0..6u64 {
+                t.emit("step", vec![("i", i.into())]);
+            }
+            drop(s);
+            t.to_jsonl()
+        };
+        // Checkpointed session: snapshot mid-span, restore into a fresh
+        // tracer, resume the span, finish the work.
+        let (state, begin_seq) = {
+            let t = Tracer::new();
+            let s = t.span("search");
+            for i in 0..3u64 {
+                t.emit("step", vec![("i", i.into())]);
+            }
+            let state = t.export_state();
+            let begin_seq = s.events_at_open();
+            std::mem::forget(s); // span stays "open" in the snapshot
+            (state, begin_seq)
+        };
+        let t = Tracer::new();
+        t.restore_state(state);
+        let s = t.resume_span("search", begin_seq);
+        for i in 3..6u64 {
+            t.emit("step", vec![("i", i.into())]);
+        }
+        drop(s);
+        assert_eq!(t.to_jsonl(), full);
+        let summary = t.summary();
+        assert_eq!(summary.phases.len(), 1);
+        assert_eq!(summary.phases[0].events, 8, "begin + 6 steps + end");
     }
 
     #[test]

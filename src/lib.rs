@@ -42,5 +42,8 @@ pub mod prelude {
     pub use pdt_physical::{Configuration, Index, MaterializedView};
     pub use pdt_sql::parse_statement;
     pub use pdt_trace::Tracer;
-    pub use pdt_tuner::{tune, tune_traced, BoundViolation, TunerOptions, TuningReport, Workload};
+    pub use pdt_tuner::{
+        tune, tune_session, tune_traced, BoundViolation, Checkpoint, FaultPlan, SessionCtl,
+        StopReason, StopToken, TuneError, TunerOptions, TuningReport, Workload,
+    };
 }

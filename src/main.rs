@@ -12,6 +12,7 @@ use pdtune::catalog::Database;
 use pdtune::expr::Binder;
 use pdtune::prelude::*;
 use pdtune::tuner::instrument::gather_optimal_configuration;
+use pdtune::tuner::StopReason;
 use pdtune::workloads::bench::{bench_database, bench_workload, BenchParams};
 use pdtune::workloads::star::{star_database, star_workload, StarParams};
 use pdtune::workloads::{tpch, WorkloadSpec};
@@ -19,18 +20,24 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first().map(String::as_str) else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let opts = match CliOptions::parse(&args[1..]) {
-        Ok(o) => o,
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}");
+            if matches!(e, TuneError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), TuneError> {
+    let Some(command) = args.first().map(String::as_str) else {
+        return Err(TuneError::Usage("missing command".to_string()));
     };
-    let result = match command {
+    let opts = CliOptions::parse(&args[1..])?;
+    match command {
         "tune" => cmd_tune(&opts),
         "explain" => cmd_explain(&opts),
         "compare" => cmd_compare(&opts),
@@ -39,14 +46,7 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        other => Err(TuneError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -75,11 +75,33 @@ OPTIONS:
   --trace <file.jsonl>          write structured search telemetry as JSONL
   --validate-bounds             re-optimize after each step and check the
                                 \u{a7}3.3.2 cost upper bound (fails on violation)
+  --deadline <ms>               anytime stop: report best-so-far after this
+                                many milliseconds (exit 0)
+  --checkpoint <file>           write a resumable checkpoint on the cadence
+                                below and when the session stops early
+  --checkpoint-every <n>        checkpoint cadence in completed iterations
+                                [default: 10]
+  --resume <file>               resume a prior session from its checkpoint;
+                                the resumed report/trace are byte-identical
+                                to an uninterrupted run
+  --max-faults <n>              abort (exit 6) after more than n contained
+                                faults                         [default: 16]
   --sql <text>                  query text (explain)
   --optimal                     explain under the optimal configuration
+
+ENVIRONMENT:
+  PDTUNE_THREADS                default worker threads (0 = all cores)
+  PDTUNE_FAULTS=<seed>:<rate>   deterministic fault injection (testing)
+
+EXIT CODES:
+  0  success (including a deadline stop: anytime runs report best-so-far)
+  2  usage error            5  checkpoint error
+  3  I/O error              6  fault limit exceeded
+  4  workload error         7  bound oracle violation
+  130  interrupted (SIGINT; a final checkpoint is written first)
 ";
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct CliOptions {
     db: String,
     sf: f64,
@@ -94,17 +116,23 @@ struct CliOptions {
     no_cache: bool,
     trace: Option<String>,
     validate_bounds: bool,
+    deadline: Option<u64>,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
+    resume: Option<String>,
+    max_faults: Option<usize>,
     sql: Option<String>,
     optimal: bool,
 }
 
 impl CliOptions {
-    fn parse(args: &[String]) -> Result<CliOptions, String> {
+    fn parse(args: &[String]) -> Result<CliOptions, TuneError> {
         let mut o = CliOptions {
             db: "tpch".to_string(),
             sf: 0.1,
             iterations: 300,
             threads: default_threads(),
+            checkpoint_every: 10,
             ..Default::default()
         };
         let mut it = args.iter();
@@ -112,49 +140,75 @@ impl CliOptions {
             let mut value = |name: &str| {
                 it.next()
                     .cloned()
-                    .ok_or_else(|| format!("{name} needs a value"))
+                    .ok_or_else(|| TuneError::Usage(format!("{name} needs a value")))
             };
+            let usage =
+                |name: &str, e: &dyn std::fmt::Display| TuneError::Usage(format!("{name}: {e}"));
             match flag.as_str() {
                 "--db" => o.db = value("--db")?,
-                "--sf" => o.sf = value("--sf")?.parse().map_err(|e| format!("--sf: {e}"))?,
-                "--budget" => o.budget = Some(parse_bytes(&value("--budget")?)?),
+                "--sf" => o.sf = value("--sf")?.parse().map_err(|e| usage("--sf", &e))?,
+                "--budget" => {
+                    o.budget = Some(parse_bytes(&value("--budget")?).map_err(TuneError::Usage)?)
+                }
                 "--workload" => o.workload_file = Some(value("--workload")?),
                 "--queries" => {
                     o.queries = Some(
                         value("--queries")?
                             .parse()
-                            .map_err(|e| format!("--queries: {e}"))?,
+                            .map_err(|e| usage("--queries", &e))?,
                     )
                 }
-                "--seed" => {
-                    o.seed = value("--seed")?
-                        .parse()
-                        .map_err(|e| format!("--seed: {e}"))?
-                }
+                "--seed" => o.seed = value("--seed")?.parse().map_err(|e| usage("--seed", &e))?,
                 "--iterations" => {
                     o.iterations = value("--iterations")?
                         .parse()
-                        .map_err(|e| format!("--iterations: {e}"))?
+                        .map_err(|e| usage("--iterations", &e))?
                 }
                 "--indexes-only" => o.indexes_only = true,
                 "--updates" => {
                     o.updates = Some(
                         value("--updates")?
                             .parse()
-                            .map_err(|e| format!("--updates: {e}"))?,
+                            .map_err(|e| usage("--updates", &e))?,
                     )
                 }
                 "--threads" => {
                     o.threads = value("--threads")?
                         .parse()
-                        .map_err(|e| format!("--threads: {e}"))?
+                        .map_err(|e| usage("--threads", &e))?
                 }
                 "--no-cache" => o.no_cache = true,
                 "--trace" => o.trace = Some(value("--trace")?),
                 "--validate-bounds" => o.validate_bounds = true,
+                "--deadline" => {
+                    o.deadline = Some(
+                        value("--deadline")?
+                            .parse()
+                            .map_err(|e| usage("--deadline", &e))?,
+                    )
+                }
+                "--checkpoint" => o.checkpoint = Some(value("--checkpoint")?),
+                "--checkpoint-every" => {
+                    o.checkpoint_every = value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| usage("--checkpoint-every", &e))?;
+                    if o.checkpoint_every == 0 {
+                        return Err(TuneError::Usage(
+                            "--checkpoint-every must be at least 1".to_string(),
+                        ));
+                    }
+                }
+                "--resume" => o.resume = Some(value("--resume")?),
+                "--max-faults" => {
+                    o.max_faults = Some(
+                        value("--max-faults")?
+                            .parse()
+                            .map_err(|e| usage("--max-faults", &e))?,
+                    )
+                }
                 "--sql" => o.sql = Some(value("--sql")?),
                 "--optimal" => o.optimal = true,
-                other => return Err(format!("unknown flag `{other}`")),
+                other => return Err(TuneError::Usage(format!("unknown flag `{other}`"))),
             }
         }
         Ok(o)
@@ -170,6 +224,10 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Parse a byte size such as `256M` or `1.5G`. A budget must be a
+/// positive, finite number of bytes — `NaN`, infinities, zero, and
+/// negative sizes are rejected (a NaN budget silently disables every
+/// space check, which is never what the user meant).
 fn parse_bytes(s: &str) -> Result<f64, String> {
     let (num, mult) = match s.chars().last() {
         Some('K') | Some('k') => (&s[..s.len() - 1], 1e3),
@@ -177,27 +235,49 @@ fn parse_bytes(s: &str) -> Result<f64, String> {
         Some('G') | Some('g') => (&s[..s.len() - 1], 1e9),
         _ => (s, 1.0),
     };
-    num.parse::<f64>()
-        .map(|v| v * mult)
-        .map_err(|e| format!("bad byte size `{s}`: {e}"))
+    let v = num
+        .parse::<f64>()
+        .map_err(|e| format!("bad byte size `{s}`: {e}"))?
+        * mult;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!(
+            "bad byte size `{s}`: budget must be a positive finite number of bytes"
+        ));
+    }
+    Ok(v)
 }
 
-fn load_database(o: &CliOptions) -> Result<Database, String> {
+fn read_file(path: &str) -> Result<String, TuneError> {
+    std::fs::read_to_string(path).map_err(|e| TuneError::Io {
+        path: path.to_string(),
+        msg: e.to_string(),
+    })
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), TuneError> {
+    std::fs::write(path, contents).map_err(|e| TuneError::Io {
+        path: path.to_string(),
+        msg: e.to_string(),
+    })
+}
+
+fn load_database(o: &CliOptions) -> Result<Database, TuneError> {
     match o.db.as_str() {
         "tpch" => Ok(tpch::tpch_database(o.sf)),
         "ds1" => Ok(star_database(&StarParams::ds1())),
         "ds2" => Ok(star_database(&StarParams::ds2())),
         "bench" => Ok(bench_database(&BenchParams::default())),
-        other => Err(format!(
+        other => Err(TuneError::Usage(format!(
             "unknown database `{other}` (try tpch|ds1|ds2|bench)"
-        )),
+        ))),
     }
 }
 
-fn load_workload(o: &CliOptions, db: &Database) -> Result<WorkloadSpec, String> {
+fn load_workload(o: &CliOptions, db: &Database) -> Result<WorkloadSpec, TuneError> {
     let mut spec = if let Some(path) = &o.workload_file {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let statements = pdtune::sql::parse_workload(&text).map_err(|e| format!("{path}: {e}"))?;
+        let text = read_file(path)?;
+        let statements = pdtune::sql::parse_workload(&text)
+            .map_err(|e| TuneError::Workload(format!("{path}: {e}")))?;
         WorkloadSpec::new(path.clone(), statements)
     } else {
         match o.db.as_str() {
@@ -216,32 +296,103 @@ fn load_workload(o: &CliOptions, db: &Database) -> Result<WorkloadSpec, String> 
     Ok(spec)
 }
 
-fn cmd_tune(o: &CliOptions) -> Result<(), String> {
+fn bind_workload(db: &Database, spec: &WorkloadSpec) -> Result<Workload, TuneError> {
+    Workload::bind(db, &spec.statements)
+        .map_err(|e| TuneError::Workload(format!("binding workload: {e}")))
+}
+
+/// Suppress the default "thread panicked" stderr noise for panics the
+/// fault injector fires on purpose; everything else still reaches the
+/// previous hook.
+fn quiet_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
     let db = load_database(o)?;
     let spec = load_workload(o, &db)?;
-    let workload =
-        Workload::bind(&db, &spec.statements).map_err(|e| format!("binding workload: {e}"))?;
+    let workload = bind_workload(&db, &spec)?;
+
+    let fault_plan = FaultPlan::from_env().map_err(TuneError::Usage)?;
+    if fault_plan.is_some() {
+        quiet_injected_panics();
+    }
+
+    let resumed = match &o.resume {
+        Some(path) => Some(Checkpoint::from_json_str(&read_file(path)?)?),
+        None => None,
+    };
+
+    // Ctrl-C trips the token; the search notices at the next stop
+    // check, writes a final checkpoint, and returns a complete
+    // best-so-far report before the process exits with code 130.
+    let token = StopToken::default();
+    #[cfg(unix)]
+    pdtune::tuner::install_sigint(&token);
+
+    let options = TunerOptions {
+        space_budget: o.budget,
+        max_iterations: o.iterations,
+        with_views: !o.indexes_only,
+        threads: o.threads,
+        cost_cache: !o.no_cache,
+        validate_bounds: o.validate_bounds,
+        deadline_ms: o.deadline,
+        stop: Some(token.clone()),
+        fault_plan,
+        max_faults: o
+            .max_faults
+            .unwrap_or_else(|| TunerOptions::default().max_faults),
+        ..TunerOptions::default()
+    };
+
     println!(
         "tuning `{}` over {} statements ({} updates)...",
         db.name,
         workload.len(),
         spec.update_count()
     );
+    if let (Some(path), Some(ck)) = (&o.resume, &resumed) {
+        println!(
+            "resuming from {path} ({} completed iterations)",
+            ck.iteration
+        );
+    }
+
     let tracer = (o.trace.is_some() || o.validate_bounds).then(pdtune::trace::Tracer::new);
-    let report = pdtune::tuner::tune_traced(
+    // Checkpoints land atomically: write `<path>.tmp`, then rename over
+    // the target, so a crash mid-write never leaves a torn checkpoint.
+    let sink = o.checkpoint.clone().map(|path| {
+        move |done: usize, body: &str| {
+            let tmp = format!("{path}.tmp");
+            let write = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &path));
+            match write {
+                Ok(()) => eprintln!("checkpoint: {done} iterations -> {path}"),
+                Err(e) => eprintln!("warning: checkpoint write to {path} failed: {e}"),
+            }
+        }
+    });
+    let report = pdtune::tuner::tune_session(
         &db,
         &workload,
-        &TunerOptions {
-            space_budget: o.budget,
-            max_iterations: o.iterations,
-            with_views: !o.indexes_only,
-            threads: o.threads,
-            cost_cache: !o.no_cache,
-            validate_bounds: o.validate_bounds,
-            ..TunerOptions::default()
+        &options,
+        SessionCtl {
+            tracer: tracer.as_ref(),
+            checkpoint_every: o.checkpoint_every,
+            checkpoint_sink: sink.as_ref().map(|s| s as &dyn Fn(usize, &str)),
+            resume: resumed.as_ref(),
         },
-        tracer.as_ref(),
-    );
+    )?;
+
     println!(
         "\ninitial  cost {:>12.0}   ({:.1} MB)",
         report.initial_cost,
@@ -296,15 +447,29 @@ fn cmd_tune(o: &CliOptions) -> Result<(), String> {
         None => println!("no configuration fits the budget"),
     }
     println!(
-        "\n{} iterations, {} optimizer calls, {:?}",
-        report.iterations, report.optimizer_calls, report.elapsed
+        "\n{} iterations ({}), {} optimizer calls, {:?}",
+        report.iterations,
+        report.stop_reason.label(),
+        report.optimizer_calls,
+        report.elapsed
     );
     println!(
         "{}",
         cache_line(report.cache_hits, report.cache_misses, o.no_cache)
     );
+    if !report.faults.is_empty() {
+        println!("faults contained: {}", report.faults.len());
+        for f in &report.faults {
+            println!(
+                "  iteration {:>3}  {:<12} {}",
+                f.iteration,
+                f.kind.label(),
+                f.detail
+            );
+        }
+    }
     if let (Some(path), Some(tracer)) = (&o.trace, tracer.as_ref()) {
-        std::fs::write(path, tracer.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        write_file(path, &tracer.to_jsonl())?;
         println!("trace: {} events -> {path}", tracer.len());
     }
     if o.validate_bounds {
@@ -314,13 +479,23 @@ fn cmd_tune(o: &CliOptions) -> Result<(), String> {
             report.bound_violations.len()
         );
         if let Some(v) = report.bound_violations.first() {
-            return Err(format!(
-                "\u{a7}3.3.2 bound violated at iteration {} ({}): bound {:.1} < actual {:.1}",
-                v.iteration, v.transformation, v.bound, v.actual
-            ));
+            return Err(TuneError::BoundViolation {
+                iteration: v.iteration,
+                transformation: v.transformation.clone(),
+                bound: v.bound,
+                actual: v.actual,
+            });
         }
     }
-    Ok(())
+    match report.stop_reason {
+        // A deadline stop is a successful anytime run: best-so-far was
+        // reported above, exit 0.
+        StopReason::Converged | StopReason::IterationBudget | StopReason::Deadline => Ok(()),
+        StopReason::Interrupted => Err(TuneError::Interrupted),
+        StopReason::FaultLimit => Err(TuneError::FaultLimit {
+            faults: report.faults.len(),
+        }),
+    }
 }
 
 /// Render the cost-cache counter line of a report.
@@ -337,16 +512,24 @@ fn cache_line(hits: u64, misses: u64, disabled: bool) -> String {
     format!("cost cache: {hits} hits / {misses} misses ({rate:.1}% hit rate)")
 }
 
-fn cmd_explain(o: &CliOptions) -> Result<(), String> {
+fn cmd_explain(o: &CliOptions) -> Result<(), TuneError> {
     let db = load_database(o)?;
-    let sql = o.sql.as_deref().ok_or("explain needs --sql")?;
-    let stmt = parse_statement(sql).map_err(|e| e.to_string())?;
-    let bound = Binder::new(&db).bind(&stmt).map_err(|e| e.to_string())?;
-    let query = bound.as_select().ok_or("explain supports SELECT only")?;
+    let sql = o
+        .sql
+        .as_deref()
+        .ok_or_else(|| TuneError::Usage("explain needs --sql".to_string()))?;
+    let stmt = parse_statement(sql).map_err(|e| TuneError::Workload(e.to_string()))?;
+    let bound = Binder::new(&db)
+        .bind(&stmt)
+        .map_err(|e| TuneError::Workload(e.to_string()))?;
+    let query = bound
+        .as_select()
+        .ok_or_else(|| TuneError::Workload("explain supports SELECT only".to_string()))?;
     let optimizer = Optimizer::new(&db);
 
     let config = if o.optimal {
-        let w = Workload::bind(&db, std::slice::from_ref(&stmt)).map_err(|e| e.to_string())?;
+        let w = Workload::bind(&db, std::slice::from_ref(&stmt))
+            .map_err(|e| TuneError::Workload(e.to_string()))?;
         let (c, _) = gather_optimal_configuration(&db, &w, !o.indexes_only);
         c
     } else {
@@ -362,11 +545,10 @@ fn cmd_explain(o: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(o: &CliOptions) -> Result<(), String> {
+fn cmd_compare(o: &CliOptions) -> Result<(), TuneError> {
     let db = load_database(o)?;
     let spec = load_workload(o, &db)?;
-    let workload =
-        Workload::bind(&db, &spec.statements).map_err(|e| format!("binding workload: {e}"))?;
+    let workload = bind_workload(&db, &spec)?;
     let ptt = tune(
         &db,
         &workload,
@@ -418,7 +600,7 @@ fn cmd_compare(o: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_corpus() -> Result<(), String> {
+fn cmd_corpus() -> Result<(), TuneError> {
     println!("built-in benchmark databases:\n");
     for (name, db) in [
         ("tpch (SF 0.1)", tpch::tpch_database(0.1)),
@@ -441,4 +623,65 @@ fn cmd_corpus() -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bytes_accepts_positive_sizes() {
+        assert_eq!(parse_bytes("1024"), Ok(1024.0));
+        assert_eq!(parse_bytes("256M"), Ok(256e6));
+        assert_eq!(parse_bytes("64k"), Ok(64e3));
+        assert_eq!(parse_bytes("1.5G"), Ok(1.5e9));
+    }
+
+    #[test]
+    fn parse_bytes_rejects_non_positive_and_non_finite() {
+        for bad in ["NaN", "nan", "inf", "-inf", "infG", "0", "0M", "-5G", "-1"] {
+            assert!(parse_bytes(bad).is_err(), "`{bad}` should be rejected");
+        }
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("twelve").is_err());
+    }
+
+    #[test]
+    fn cli_rejects_bad_budgets_with_usage_errors() {
+        for bad in ["NaN", "-5G", "0"] {
+            let args = vec!["--budget".to_string(), bad.to_string()];
+            match CliOptions::parse(&args) {
+                Err(TuneError::Usage(msg)) => assert!(msg.contains("byte size"), "{msg}"),
+                other => panic!("`--budget {bad}` should be a usage error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cli_parses_anytime_flags() {
+        let args: Vec<String> = [
+            "--deadline",
+            "1500",
+            "--checkpoint",
+            "ck.json",
+            "--checkpoint-every",
+            "5",
+            "--max-faults",
+            "3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = CliOptions::parse(&args).unwrap();
+        assert_eq!(o.deadline, Some(1500));
+        assert_eq!(o.checkpoint.as_deref(), Some("ck.json"));
+        assert_eq!(o.checkpoint_every, 5);
+        assert_eq!(o.max_faults, Some(3));
+    }
+
+    #[test]
+    fn cli_rejects_zero_checkpoint_cadence() {
+        let args = vec!["--checkpoint-every".to_string(), "0".to_string()];
+        assert!(matches!(CliOptions::parse(&args), Err(TuneError::Usage(_))));
+    }
 }

@@ -4,12 +4,21 @@
 use std::process::Command;
 
 fn pdtune(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_pdtune"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let (code, stdout, stderr) = pdtune_env(args, &[]);
+    (code == 0, stdout, stderr)
+}
+
+/// Run the binary with extra environment variables, returning the raw
+/// exit code so tests can check the documented code table.
+fn pdtune_env(args: &[&str], env: &[(&str, &str)]) -> (i32, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pdtune"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
     (
-        out.status.success(),
+        out.status.code().expect("no exit code (killed by signal?)"),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -177,10 +186,186 @@ fn validate_bounds_flag_reports_a_clean_oracle() {
 
 #[test]
 fn bad_flags_fail_cleanly() {
-    let (ok, _, stderr) = pdtune(&["tune", "--db", "nosuch"]);
-    assert!(!ok);
+    let (code, _, stderr) = pdtune_env(&["tune", "--db", "nosuch"], &[]);
+    assert_eq!(code, 2, "usage errors exit 2");
     assert!(stderr.contains("unknown database"), "{stderr}");
-    let (ok2, _, stderr2) = pdtune(&["frobnicate"]);
-    assert!(!ok2);
+    let (code2, _, stderr2) = pdtune_env(&["frobnicate"], &[]);
+    assert_eq!(code2, 2);
     assert!(stderr2.contains("unknown command"), "{stderr2}");
+}
+
+#[test]
+fn degenerate_budgets_are_usage_errors() {
+    for bad in ["NaN", "-5G", "0", "inf"] {
+        let (code, _, stderr) = pdtune_env(&["tune", "--budget", bad], &[]);
+        assert_eq!(code, 2, "--budget {bad} should exit 2: {stderr}");
+        assert!(stderr.contains("byte size"), "{stderr}");
+    }
+}
+
+#[test]
+fn deadline_stop_is_a_successful_anytime_run() {
+    let (code, stdout, stderr) = pdtune_env(
+        &[
+            "tune",
+            "--db",
+            "bench",
+            "--seed",
+            "3",
+            "--queries",
+            "5",
+            "--iterations",
+            "30",
+            "--budget",
+            "4M",
+            "--deadline",
+            "0",
+        ],
+        &[],
+    );
+    assert_eq!(code, 0, "deadline stop must exit 0: {stderr}");
+    assert!(stdout.contains("(deadline)"), "{stdout}");
+    assert!(stdout.contains("initial"), "{stdout}");
+    assert!(stdout.contains("best"), "{stdout}");
+}
+
+#[test]
+fn checkpoint_resume_round_trip_is_byte_identical() {
+    let dir = std::env::temp_dir().join("pdtune_cli_ckpt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("ck.json");
+    let t1 = dir.join("full.jsonl");
+    let t2 = dir.join("resumed.jsonl");
+    let base = [
+        "tune",
+        "--db",
+        "bench",
+        "--seed",
+        "3",
+        "--queries",
+        "5",
+        "--iterations",
+        "30",
+        "--budget",
+        "4M",
+    ];
+    let run = |extra: &[&str]| {
+        let args: Vec<&str> = base.iter().chain(extra).copied().collect();
+        pdtune_env(&args, &[])
+    };
+    let (code, _, stderr) = run(&[
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--checkpoint-every",
+        "4",
+        "--trace",
+        t1.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("checkpoint:"), "{stderr}");
+    assert!(ck.exists(), "checkpoint file written");
+    let (code, stdout, stderr) = run(&[
+        "--resume",
+        ck.to_str().unwrap(),
+        "--trace",
+        t2.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("resuming from"), "{stdout}");
+    let full = std::fs::read_to_string(&t1).unwrap();
+    let resumed = std::fs::read_to_string(&t2).unwrap();
+    assert_eq!(
+        full, resumed,
+        "resumed trace must match the uninterrupted run"
+    );
+}
+
+#[test]
+fn resume_from_garbage_exits_with_checkpoint_error() {
+    let dir = std::env::temp_dir().join("pdtune_cli_badck_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("bad.json");
+    std::fs::write(&ck, "{\"not\": \"a checkpoint\"}").unwrap();
+    let (code, _, stderr) = pdtune_env(
+        &[
+            "tune",
+            "--db",
+            "bench",
+            "--queries",
+            "5",
+            "--resume",
+            ck.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(code, 5, "checkpoint errors exit 5: {stderr}");
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+    let (code, _, _) = pdtune_env(
+        &[
+            "tune",
+            "--db",
+            "bench",
+            "--queries",
+            "5",
+            "--resume",
+            "/nonexistent/ck.json",
+        ],
+        &[],
+    );
+    assert_eq!(code, 3, "unreadable checkpoint paths exit 3 (I/O)");
+}
+
+#[test]
+fn fault_storm_exits_with_fault_limit_code() {
+    let (code, stdout, stderr) = pdtune_env(
+        &[
+            "tune",
+            "--db",
+            "bench",
+            "--seed",
+            "3",
+            "--queries",
+            "5",
+            "--iterations",
+            "30",
+            "--budget",
+            "4M",
+            "--max-faults",
+            "1",
+        ],
+        &[("PDTUNE_FAULTS", "7:1.0")],
+    );
+    assert_eq!(code, 6, "fault limit must exit 6: {stderr}");
+    assert!(stdout.contains("faults contained"), "{stdout}");
+    assert!(stderr.contains("contained faults"), "{stderr}");
+}
+
+#[test]
+fn contained_faults_do_not_fail_the_run() {
+    let (code, _, stderr) = pdtune_env(
+        &[
+            "tune",
+            "--db",
+            "bench",
+            "--seed",
+            "3",
+            "--queries",
+            "5",
+            "--iterations",
+            "30",
+            "--budget",
+            "4M",
+        ],
+        &[("PDTUNE_FAULTS", "7:0.05")],
+    );
+    assert_eq!(code, 0, "contained faults stay under the limit: {stderr}");
+}
+
+#[test]
+fn malformed_fault_plan_is_a_usage_error() {
+    let (code, _, stderr) = pdtune_env(
+        &["tune", "--db", "bench", "--queries", "5"],
+        &[("PDTUNE_FAULTS", "not-a-plan")],
+    );
+    assert_eq!(code, 2, "{stderr}");
 }

@@ -116,6 +116,32 @@ fn tuning_report_debug_format_is_stable() {
     check("tuning_report.txt", &format!("{report:#?}"));
 }
 
+/// A faulted, deadline-free session pins the rendering of the new
+/// resilience fields: `stop_reason` and the `FaultEvent` list. The
+/// injector is a pure function of the seed, so the same faults fire on
+/// every run and the masked snapshot stays stable.
+#[test]
+fn faulted_report_debug_format_is_stable() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // quiet the injected panics
+    let (db, w) = snapshot_db();
+    let mut report = pdtune::tuner::tune(
+        &db,
+        &w,
+        &TunerOptions {
+            space_budget: Some(Configuration::base(&db).size_bytes(&db) * 1.2),
+            max_iterations: 6,
+            fault_plan: Some(pdtune::tuner::FaultPlan { seed: 3, rate: 0.8 }),
+            max_faults: 1000,
+            ..TunerOptions::default()
+        },
+    );
+    std::panic::set_hook(prev);
+    assert!(!report.faults.is_empty(), "seed 3 must inject faults");
+    report.elapsed = std::time::Duration::ZERO;
+    check("faulted_report.txt", &format!("{report:#?}"));
+}
+
 #[test]
 fn baseline_report_debug_format_is_stable() {
     let (db, w) = snapshot_db();

@@ -184,6 +184,15 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The current internal state. SplitMix64's state is its whole
+        /// identity, so `seed_from_u64(rng.state())` clones the stream
+        /// position exactly — used for checkpoint/resume.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
