@@ -1,0 +1,197 @@
+//! Incremental candidate engine on/off comparison: wall-clock,
+//! fresh-vs-reused candidate scoring, and bound-memo hit rate for a
+//! 40-iteration TPC-H tuning session, crossed with the worker-thread
+//! count. The headline number is the **scoring amplification**
+//! `(generated + reused) / generated` — how many candidate scores the
+//! search consumed per candidate it actually priced from scratch.
+//!
+//! The run also enforces the engine's core contract: the JSONL trace
+//! and the recommended configuration are byte-identical whether the
+//! incremental engine is on or off, at every thread count.
+//!
+//! Writes `BENCH_incremental.json` into the current directory (run
+//! from the repo root) in addition to the shared results directory.
+
+use pdt_bench::json::ToJson;
+use pdt_bench::json_struct;
+use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_trace::Tracer;
+use pdt_tuner::{tune, tune_traced, TunerOptions, TuningReport};
+use pdt_workloads::tpch;
+use std::time::Instant;
+
+struct Row {
+    incremental: bool,
+    threads: usize,
+    wall_clock_ms: f64,
+    candidates_generated: u64,
+    candidates_reused: u64,
+    amplification: f64,
+    bound_memo_hits: u64,
+    bound_memo_misses: u64,
+    memo_hit_rate_pct: f64,
+    optimizer_calls: usize,
+    improvement_pct: f64,
+}
+json_struct!(Row {
+    incremental,
+    threads,
+    wall_clock_ms,
+    candidates_generated,
+    candidates_reused,
+    amplification,
+    bound_memo_hits,
+    bound_memo_misses,
+    memo_hit_rate_pct,
+    optimizer_calls,
+    improvement_pct
+});
+
+struct Summary {
+    available_parallelism: usize,
+    amplification: f64,
+    incremental_speedup_1_thread: f64,
+    traces_identical: bool,
+    rows: Vec<Row>,
+}
+json_struct!(Summary {
+    available_parallelism,
+    amplification,
+    incremental_speedup_1_thread,
+    traces_identical,
+    rows
+});
+
+fn main() {
+    let db = tpch::tpch_database(0.05);
+    let spec = tpch::tpch_workload();
+    let w = bind_workload(&db, &spec.statements);
+
+    // Constrained run: a budget barely above the base configuration
+    // forces a long relaxation chain, the regime where delta-driven
+    // enumeration and score inheritance pay off.
+    let free = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
+    let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.1;
+
+    let run = |incremental: bool, threads: usize| -> (Row, TuningReport, String) {
+        let tracer = Tracer::new();
+        let start = Instant::now();
+        let r = tune_traced(
+            &db,
+            &w,
+            &TunerOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                max_iterations: 40,
+                threads,
+                incremental,
+                ..Default::default()
+            },
+            Some(&tracer),
+        );
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let scored = r.candidates_generated + r.candidates_reused;
+        let memo_probes = r.bound_memo_hits + r.bound_memo_misses;
+        let row = Row {
+            incremental,
+            threads,
+            wall_clock_ms: wall,
+            candidates_generated: r.candidates_generated,
+            candidates_reused: r.candidates_reused,
+            amplification: scored as f64 / r.candidates_generated.max(1) as f64,
+            bound_memo_hits: r.bound_memo_hits,
+            bound_memo_misses: r.bound_memo_misses,
+            memo_hit_rate_pct: if memo_probes == 0 {
+                0.0
+            } else {
+                100.0 * r.bound_memo_hits as f64 / memo_probes as f64
+            },
+            optimizer_calls: r.optimizer_calls,
+            improvement_pct: r.best_improvement_pct(),
+        };
+        let jsonl = tracer.to_jsonl();
+        (row, r, jsonl)
+    };
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<(String, String)> = None;
+    let mut traces_identical = true;
+    for (incremental, threads) in [(true, 1), (true, 4), (false, 1), (false, 4)] {
+        let (row, report, trace) = run(incremental, threads);
+        rows.push(row);
+        let fp = format!("{:?}", report.best.as_ref().map(|b| (b.cost, &b.config)));
+        match &baseline {
+            None => baseline = Some((fp, trace)),
+            Some((best_fp, base_trace)) => {
+                assert_eq!(
+                    best_fp, &fp,
+                    "recommendation diverged (incremental={incremental}, threads={threads})"
+                );
+                traces_identical &= *base_trace == trace;
+                assert_eq!(
+                    base_trace, &trace,
+                    "trace diverged (incremental={incremental}, threads={threads})"
+                );
+            }
+        }
+    }
+
+    let wall = |incremental: bool, threads: usize| {
+        rows.iter()
+            .find(|r| r.incremental == incremental && r.threads == threads)
+            .map(|r| r.wall_clock_ms)
+            .unwrap_or(f64::NAN)
+    };
+    let amplification = rows[0].amplification;
+    assert!(
+        amplification >= 5.0,
+        "scoring amplification {amplification:.1}x is below the 5x acceptance floor"
+    );
+    let summary = Summary {
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        amplification,
+        incremental_speedup_1_thread: wall(false, 1) / wall(true, 1),
+        traces_identical,
+        rows,
+    };
+
+    let table: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.incremental { "on" } else { "off" }.to_string(),
+                r.threads.to_string(),
+                format!("{:.0}", r.wall_clock_ms),
+                r.candidates_generated.to_string(),
+                r.candidates_reused.to_string(),
+                format!("{:.1}", r.amplification),
+                format!("{:.1}", r.memo_hit_rate_pct),
+                format!("{:+.1}", r.improvement_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["incr", "threads", "wall ms", "gen", "reused", "amplif", "memo %", "improv %"],
+            &table
+        )
+    );
+    println!(
+        "amplification: {:.1}x   1-thread speedup (incremental vs from-scratch): {:.2}x   traces identical: {}",
+        summary.amplification, summary.incremental_speedup_1_thread, summary.traces_identical
+    );
+
+    write_json("BENCH_incremental", &summary);
+    std::fs::write("BENCH_incremental.json", summary.to_json().pretty())
+        .expect("write BENCH_incremental.json");
+    eprintln!("[saved BENCH_incremental.json]");
+}

@@ -17,6 +17,7 @@
 //! | `exp_fig10`  | Fig. 10 — quality vs storage constraint |
 //! | `exp_ablation` | design-choice ablations (DESIGN.md §5) |
 //! | `exp_parallel` | thread/cache scaling → `BENCH_parallel.json` |
+//! | `exp_incremental` | incremental candidate engine on/off → `BENCH_incremental.json` |
 
 pub mod json;
 

@@ -136,36 +136,92 @@ pub fn cost_upper_bound(
     applied: &AppliedTransform,
     view_costs: &ViewBuildCosts,
 ) -> f64 {
+    bound_impl(
+        db, model, workload, prev, old_config, applied, view_costs, false,
+    )
+}
+
+/// [`cost_upper_bound`] restricted to the affected-query subset: a
+/// query whose plan uses none of the removed structures keeps its
+/// evaluated `select_cost` verbatim (the patch loop would add nothing),
+/// and an update shell untouched by the removed *and* added indexes
+/// keeps its evaluated `shell_cost` (the closed-form sum is a left
+/// fold of non-negative per-index terms, so inserting or removing the
+/// irrelevant indexes' `0.0` terms is a bitwise no-op: `x + 0.0 == x`
+/// for `x >= +0.0`). The result is therefore bit-identical to the full
+/// computation — asserted against it in debug builds by the caller —
+/// while costing O(affected) instead of O(workload).
+#[allow(clippy::too_many_arguments)]
+pub fn cost_upper_bound_restricted(
+    db: &Database,
+    model: &CostModel,
+    workload: &Workload,
+    prev: &EvalResult,
+    old_config: &Configuration,
+    applied: &AppliedTransform,
+    view_costs: &ViewBuildCosts,
+) -> f64 {
+    bound_impl(
+        db, model, workload, prev, old_config, applied, view_costs, true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bound_impl(
+    db: &Database,
+    model: &CostModel,
+    workload: &Workload,
+    prev: &EvalResult,
+    old_config: &Configuration,
+    applied: &AppliedTransform,
+    view_costs: &ViewBuildCosts,
+    restricted: bool,
+) -> f64 {
     let new_schema = PhysicalSchema::new(db, &applied.config);
     let old_schema = PhysicalSchema::new(db, old_config);
     let mut total = 0.0;
 
     for (entry, q) in workload.entries.iter().zip(&prev.per_query) {
         let mut select = q.select_cost;
-        for usage in q.usages.iter() {
-            let removed_index = applied.removed_indexes.contains(&usage.index);
-            let removed_view = applied.removed_views.contains(&usage.index.table);
-            if !removed_index && !removed_view {
-                continue;
+        if !restricted || q.uses_any(&applied.removed_indexes, &applied.removed_views) {
+            for usage in q.usages.iter() {
+                let removed_index = applied.removed_indexes.contains(&usage.index);
+                let removed_view = applied.removed_views.contains(&usage.index.table);
+                if !removed_index && !removed_view {
+                    continue;
+                }
+                let patch = replacement_cost(
+                    db,
+                    model,
+                    &old_schema,
+                    &new_schema,
+                    old_config,
+                    applied,
+                    usage,
+                    view_costs,
+                );
+                select += (patch - usage.access_cost()).max(0.0);
             }
-            let patch = replacement_cost(
-                db,
-                model,
-                &old_schema,
-                &new_schema,
-                old_config,
-                applied,
-                usage,
-                view_costs,
-            );
-            select += (patch - usage.access_cost()).max(0.0);
         }
         // Shells are exact (closed form) under the new configuration.
-        let shell = entry
-            .shell
-            .as_ref()
-            .map(|s| shell_cost(model, &new_schema, s))
-            .unwrap_or(0.0);
+        let shell = match entry.shell.as_ref() {
+            None => 0.0,
+            Some(s) => {
+                if restricted
+                    && !crate::eval::shell_affected(
+                        s,
+                        &applied.removed_indexes,
+                        &applied.added_indexes,
+                        old_config,
+                        &applied.config,
+                    )
+                {
+                    q.shell_cost
+                } else {
+                    shell_cost(model, &new_schema, s)
+                }
+            }
+        };
         total += entry.weight * (select + shell);
     }
     total

@@ -24,6 +24,7 @@
 use crate::cache::{CacheEntry, CostCache};
 use crate::error::TuneError;
 use crate::fault::{FaultEvent, FaultKind};
+use crate::incremental::{BoundMemo, BoundMemoEntry, Interner};
 use pdt_catalog::{ColumnId, TableId};
 use pdt_opt::{IndexUsage, UsageKind};
 use pdt_physical::Index;
@@ -33,7 +34,7 @@ use std::collections::BTreeSet;
 use std::sync::Mutex;
 use std::time::Duration;
 
-const VERSION: i64 = 1;
+const VERSION: i64 = 2;
 const KIND: &str = "pdtune-checkpoint";
 
 /// Serialized mid-session state; see the module docs for the model.
@@ -55,6 +56,12 @@ pub struct Checkpoint {
     pub optimizer_calls: usize,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Bound-memo probe counters at capture time. The memo contents
+    /// replay-invariantly regenerate hit/miss *keys*, but the restored
+    /// memo flips replayed misses into hits, so the live counters must
+    /// be restored (like the cost-cache counters above).
+    pub bound_memo_hits: u64,
+    pub bound_memo_misses: u64,
     /// `(cost, size_bytes)` of the best configuration so far, used to
     /// verify replay fidelity (the configuration itself is regenerated
     /// by the replay).
@@ -63,6 +70,14 @@ pub struct Checkpoint {
     pub faults: Vec<FaultEvent>,
     /// Every cost-cache entry, sorted by `(query, signature)`.
     pub cache: Vec<((usize, u64), CacheEntry)>,
+    /// Every bound-memo entry, sorted by `(transformation signature,
+    /// configuration signature)`. Like the cost cache, persisting the
+    /// memo turns every replayed bound computation into a pure lookup.
+    pub bound_memo: Vec<((u64, u64), BoundMemoEntry)>,
+    /// The structure interner's `index → signature` table, sorted by
+    /// index. Signatures are content-addressed, so replay would
+    /// regenerate the same table; restoring it just skips the hashing.
+    pub interner: Vec<(Index, u64)>,
     pub trace: Option<TraceCheckpoint>,
 }
 
@@ -105,6 +120,23 @@ impl Checkpoint {
         cache
     }
 
+    /// Rebuild the bound memo (counters start at zero; the session
+    /// restores them when it goes live).
+    pub fn restore_memo(&self) -> BoundMemo {
+        let memo = BoundMemo::new();
+        for ((t_sig, cfg_sig), entry) in &self.bound_memo {
+            memo.insert(*t_sig, *cfg_sig, *entry);
+        }
+        memo
+    }
+
+    /// Rebuild the structure interner.
+    pub fn restore_interner(&self) -> Interner {
+        let interner = Interner::new();
+        interner.restore(self.interner.clone());
+        interner
+    }
+
     pub fn to_json_string(&self) -> String {
         let mut obj: Vec<(String, Json)> = vec![
             ("version".into(), Json::Int(VERSION)),
@@ -121,6 +153,8 @@ impl Checkpoint {
             ),
             ("cache_hits".into(), hex(self.cache_hits)),
             ("cache_misses".into(), hex(self.cache_misses)),
+            ("bound_memo_hits".into(), hex(self.bound_memo_hits)),
+            ("bound_memo_misses".into(), hex(self.bound_memo_misses)),
             (
                 "best".into(),
                 match self.best {
@@ -150,6 +184,37 @@ impl Checkpoint {
                                     "usages".into(),
                                     Json::Arr(e.usages.iter().map(usage_json).collect()),
                                 ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "bound_memo".into(),
+                Json::Arr(
+                    self.bound_memo
+                        .iter()
+                        .map(|((t, c), e)| {
+                            Json::Obj(vec![
+                                ("t".into(), hex(*t)),
+                                ("c".into(), hex(*c)),
+                                ("applies".into(), Json::Bool(e.applies)),
+                                ("bound".into(), Json::Num(e.bound)),
+                                ("delta_s".into(), Json::Num(e.delta_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "interner".into(),
+                Json::Arr(
+                    self.interner
+                        .iter()
+                        .map(|(i, sig)| {
+                            Json::Obj(vec![
+                                ("index".into(), index_json(i)),
+                                ("sig".into(), hex(*sig)),
                             ])
                         })
                         .collect(),
@@ -215,6 +280,27 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
             ))
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let bound_memo = get(&doc, "bound_memo")?
+        .as_arr()
+        .ok_or("bound_memo must be an array")?
+        .iter()
+        .map(|e| {
+            Ok((
+                (unhex(get(e, "t")?)?, unhex(get(e, "c")?)?),
+                BoundMemoEntry {
+                    applies: bool_(get(e, "applies")?)?,
+                    bound: f64n(get(e, "bound")?)?,
+                    delta_s: f64n(get(e, "delta_s")?)?,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let interner = get(&doc, "interner")?
+        .as_arr()
+        .ok_or("interner must be an array")?
+        .iter()
+        .map(|e| Ok((index_parse(get(e, "index")?)?, unhex(get(e, "sig")?)?)))
+        .collect::<Result<Vec<_>, String>>()?;
     let trace = match get(&doc, "trace")? {
         Json::Null => None,
         t => Some(trace_parse(t)?),
@@ -229,10 +315,14 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
         optimizer_calls: uint(get(&doc, "optimizer_calls")?)? as usize,
         cache_hits: unhex(get(&doc, "cache_hits")?)?,
         cache_misses: unhex(get(&doc, "cache_misses")?)?,
+        bound_memo_hits: unhex(get(&doc, "bound_memo_hits")?)?,
+        bound_memo_misses: unhex(get(&doc, "bound_memo_misses")?)?,
         best,
         frontier_len: uint(get(&doc, "frontier_len")?)? as usize,
         faults,
         cache,
+        bound_memo,
+        interner,
         trace,
     })
 }
@@ -665,6 +755,8 @@ mod tests {
             optimizer_calls: 42,
             cache_hits: 10,
             cache_misses: 5,
+            bound_memo_hits: 6,
+            bound_memo_misses: 11,
             best: Some((80.25, 4096.0)),
             frontier_len: 8,
             faults: vec![FaultEvent {
@@ -688,6 +780,18 @@ mod tests {
                     },
                 ),
             ],
+            bound_memo: vec![
+                (
+                    (0x11, 0x22),
+                    BoundMemoEntry {
+                        applies: true,
+                        bound: 45.5,
+                        delta_s: -128.0,
+                    },
+                ),
+                ((0x33, 0x22), BoundMemoEntry::inapplicable()),
+            ],
+            interner: vec![(sample_usage().index, 0xFEED_FACE_CAFE_F00D)],
             trace: Some(TraceCheckpoint {
                 state,
                 open_span_seq,
@@ -710,6 +814,16 @@ mod tests {
         assert_eq!(back.faults[0].kind, FaultKind::EvalPanic);
         assert!(back.cache[1].1.cost.is_nan(), "NaN cost survives via null");
         assert_eq!(back.cache[0].1.usages[0], sample_usage());
+        assert_eq!((back.bound_memo_hits, back.bound_memo_misses), (6, 11));
+        assert_eq!(back.bound_memo[0].1.bound, 45.5);
+        assert!(
+            back.bound_memo[1].1.bound.is_nan(),
+            "inapplicable entry survives via null"
+        );
+        assert_eq!(
+            back.interner[0],
+            (sample_usage().index, 0xFEED_FACE_CAFE_F00D)
+        );
     }
 
     #[test]
@@ -734,6 +848,20 @@ mod tests {
         assert_eq!(cache.lookup(0, 17).unwrap().cost, 9.75);
         assert!(cache.lookup(1, 99).unwrap().cost.is_nan());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn restore_memo_and_interner_rebuild_entries() {
+        let ck = sample_checkpoint();
+        let memo = ck.restore_memo();
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.lookup(0x11, 0x22).unwrap().bound, 45.5);
+        let na = memo.lookup(0x33, 0x22).unwrap();
+        assert!(!na.applies && na.bound.is_nan());
+        assert_eq!((memo.hits(), memo.misses()), (0, 0));
+        let interner = ck.restore_interner();
+        assert_eq!(interner.len(), 1);
+        assert_eq!(interner.snapshot(), ck.interner);
     }
 
     #[test]

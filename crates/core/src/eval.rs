@@ -137,6 +137,30 @@ pub fn shell_cost(model: &CostModel, schema: &PhysicalSchema<'_>, shell: &Update
         .sum()
 }
 
+/// Does swapping `removed` for `added` change [`shell_cost`] for this
+/// shell at all? Mirrors [`shell_index_cost`]'s relevance test exactly:
+/// an irrelevant index contributes a `0.0` term, and inserting or
+/// removing `0.0` terms in the non-negative left-fold sum is a bitwise
+/// no-op — so `false` here means the old `shell_cost` can be reused
+/// bit-for-bit. Removed indexes are tested under the old configuration
+/// (where their backing views still exist), added ones under the new.
+pub fn shell_affected(
+    shell: &UpdateShell,
+    removed: &[Index],
+    added: &[Index],
+    old_config: &Configuration,
+    new_config: &Configuration,
+) -> bool {
+    let relevant = |index: &Index, config: &Configuration| -> bool {
+        if index.table.is_view() {
+            matches!(config.view(index.table), Some(v) if v.def.tables.contains(&shell.table))
+        } else {
+            shell.affects(index)
+        }
+    };
+    removed.iter().any(|i| relevant(i, old_config)) || added.iter().any(|i| relevant(i, new_config))
+}
+
 /// Evaluate the full workload from scratch.
 pub fn evaluate_full(
     db: &Database,

@@ -1,0 +1,374 @@
+//! Incremental candidate engine support: structure interning and the
+//! §3.3.2 bound memo.
+//!
+//! Both pieces exist to make per-node candidate scoring cheap without
+//! changing a single output bit:
+//!
+//! - [`Interner`] hash-conses [`Index`] descriptors into precomputed
+//!   64-bit signatures so candidate keys, `tried`-set membership, and
+//!   memo keys are O(1) integer operations instead of re-hashing column
+//!   vectors at every node.
+//! - [`BoundMemo`] caches [`crate::bound::cost_upper_bound`] results
+//!   keyed by `(transformation signature, configuration signature)` —
+//!   the same sharded-`RwLock` pattern as [`crate::cache::CostCache`].
+//!   The bound is a pure function of `(transformation, configuration)`
+//!   (the workload, database, and cost model are fixed for a session),
+//!   so equal keys imply bit-equal results and a hit can skip the
+//!   apply + bound computation entirely.
+//!
+//! Determinism contract: workers may insert into the memo directly
+//! because every scoring batch prices *distinct* transformations
+//! against one fixed configuration — no two workers ever race on the
+//! same key with different values. Hit/miss counters are accumulated
+//! by the driver thread in input order via [`BoundMemo::record_traced`]
+//! (commit-on-success, like the cost cache), so traces and reports are
+//! byte-identical for every `--threads` value.
+
+use crate::transform::Transformation;
+use parking_lot::RwLock;
+use pdt_physical::Index;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hash-consed signatures for physical structures and transformations.
+///
+/// Lives on the driver thread only (`RefCell`); workers receive
+/// precomputed signatures. Signatures are *content-addressed* (a stable
+/// hash of the descriptor itself, never an insertion counter), so a
+/// resumed session regenerates the identical mapping by replaying the
+/// same enumeration — the checkpointed snapshot is belt and braces.
+#[derive(Default)]
+pub struct Interner {
+    indexes: RefCell<HashMap<Index, u64>>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signature of an index descriptor, computed once per distinct value.
+    pub fn index_sig(&self, index: &Index) -> u64 {
+        if let Some(&sig) = self.indexes.borrow().get(index) {
+            return sig;
+        }
+        let mut h = DefaultHasher::new();
+        index.hash(&mut h);
+        let sig = h.finish();
+        self.indexes.borrow_mut().insert(index.clone(), sig);
+        sig
+    }
+
+    /// Signature of a transformation: a variant tag plus the interned
+    /// signatures of its components. Collisions would affect the
+    /// incremental and from-scratch engines identically (both key the
+    /// same caches by the same value), so byte-identity is preserved
+    /// even in that astronomically unlikely case.
+    pub fn transform_sig(&self, t: &Transformation) -> u64 {
+        let mut h = DefaultHasher::new();
+        match t {
+            Transformation::MergeIndexes { i1, i2 } => {
+                1u8.hash(&mut h);
+                self.index_sig(i1).hash(&mut h);
+                self.index_sig(i2).hash(&mut h);
+            }
+            Transformation::SplitIndexes { i1, i2 } => {
+                2u8.hash(&mut h);
+                self.index_sig(i1).hash(&mut h);
+                self.index_sig(i2).hash(&mut h);
+            }
+            Transformation::PrefixIndex { index, len } => {
+                3u8.hash(&mut h);
+                self.index_sig(index).hash(&mut h);
+                len.hash(&mut h);
+            }
+            Transformation::PromoteToClustered { index } => {
+                4u8.hash(&mut h);
+                self.index_sig(index).hash(&mut h);
+            }
+            Transformation::RemoveIndex { index } => {
+                5u8.hash(&mut h);
+                self.index_sig(index).hash(&mut h);
+            }
+            Transformation::MergeViews { v1, v2 } => {
+                6u8.hash(&mut h);
+                v1.hash(&mut h);
+                v2.hash(&mut h);
+            }
+            Transformation::RemoveView { view } => {
+                7u8.hash(&mut h);
+                view.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    pub fn len(&self) -> usize {
+        self.indexes.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.indexes.borrow().is_empty()
+    }
+
+    /// Deterministic dump sorted by index descriptor (its `Ord`).
+    pub fn snapshot(&self) -> Vec<(Index, u64)> {
+        let mut out: Vec<(Index, u64)> = self
+            .indexes
+            .borrow()
+            .iter()
+            .map(|(i, &s)| (i.clone(), s))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Rebuild from a checkpoint dump.
+    pub fn restore(&self, entries: Vec<(Index, u64)>) {
+        let mut map = self.indexes.borrow_mut();
+        for (index, sig) in entries {
+            map.insert(index, sig);
+        }
+    }
+}
+
+/// One memoized §3.3.2 bound computation.
+///
+/// `applies == false` records that `apply()` returned `None` for this
+/// `(transformation, configuration)` pair; `bound`/`delta_s` are NaN
+/// in that case (serialized as `null` in checkpoints).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundMemoEntry {
+    pub applies: bool,
+    pub bound: f64,
+    pub delta_s: f64,
+}
+
+impl BoundMemoEntry {
+    pub fn inapplicable() -> Self {
+        Self {
+            applies: false,
+            bound: f64::NAN,
+            delta_s: f64::NAN,
+        }
+    }
+
+    /// Bitwise equality (NaN-safe) — the invariant the reference engine
+    /// revalidates on every hit in debug builds.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        self.applies == other.applies
+            && self.bound.to_bits() == other.bound.to_bits()
+            && self.delta_s.to_bits() == other.delta_s.to_bits()
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// Sharded memo of §3.3.2 bound computations, keyed by
+/// `(transformation signature, configuration signature)`.
+pub struct BoundMemo {
+    shards: Vec<RwLock<HashMap<(u64, u64), BoundMemoEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for BoundMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoundMemo {
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, t_sig: u64, cfg_sig: u64) -> &RwLock<HashMap<(u64, u64), BoundMemoEntry>> {
+        let h = t_sig ^ cfg_sig.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 59) as usize % SHARDS]
+    }
+
+    pub fn lookup(&self, t_sig: u64, cfg_sig: u64) -> Option<BoundMemoEntry> {
+        self.shard(t_sig, cfg_sig)
+            .read()
+            .get(&(t_sig, cfg_sig))
+            .copied()
+    }
+
+    pub fn insert(&self, t_sig: u64, cfg_sig: u64, entry: BoundMemoEntry) {
+        self.shard(t_sig, cfg_sig)
+            .write()
+            .insert((t_sig, cfg_sig), entry);
+    }
+
+    /// Accumulate hit/miss counts. Counters move **only** through this
+    /// method (driver thread, input order) so they are thread-count
+    /// invariant; no trace *event* is emitted — the memo contributes
+    /// counters to the trace summary only, keeping the JSONL event
+    /// stream untouched.
+    pub fn record(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// [`Self::record`] plus trace counter increments.
+    pub fn record_traced(&self, hits: u64, misses: u64, tracer: Option<&pdt_trace::Tracer>) {
+        self.record(hits, misses);
+        pdt_trace::incr(tracer, "bound.memo.hits", hits);
+        pdt_trace::incr(tracer, "bound.memo.misses", misses);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the counters (checkpoint go-live: replay inflates the
+    /// hit count because originally-missed entries are pre-warmed, so
+    /// the restored values are authoritative).
+    pub fn set_counters(&self, hits: u64, misses: u64) {
+        self.hits.store(hits, Ordering::Relaxed);
+        self.misses.store(misses, Ordering::Relaxed);
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deterministic dump sorted by key.
+    pub fn snapshot(&self) -> Vec<((u64, u64), BoundMemoEntry)> {
+        let mut out: Vec<((u64, u64), BoundMemoEntry)> = Vec::new();
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                out.push((*k, *v));
+            }
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_catalog::{ColumnId, TableId};
+
+    fn ix(table: u32, col: u16) -> Index {
+        let t = TableId(table);
+        Index::new(t, [ColumnId::new(t, col)], [])
+    }
+
+    #[test]
+    fn interner_is_content_addressed_and_stable() {
+        let a = Interner::new();
+        let b = Interner::new();
+        let i = ix(1, 0);
+        let s1 = a.index_sig(&i);
+        let s2 = a.index_sig(&i.clone());
+        assert_eq!(s1, s2);
+        assert_eq!(a.len(), 1);
+        // A fresh interner assigns the same signature: content, not order.
+        b.index_sig(&ix(2, 3));
+        assert_eq!(b.index_sig(&i), s1);
+    }
+
+    #[test]
+    fn transform_sigs_distinguish_variants() {
+        let it = Interner::new();
+        let i1 = ix(1, 0);
+        let i2 = ix(1, 1);
+        let merge = it.transform_sig(&Transformation::MergeIndexes {
+            i1: i1.clone(),
+            i2: i2.clone(),
+        });
+        let split = it.transform_sig(&Transformation::SplitIndexes {
+            i1: i1.clone(),
+            i2: i2.clone(),
+        });
+        let remove = it.transform_sig(&Transformation::RemoveIndex { index: i1.clone() });
+        let promote = it.transform_sig(&Transformation::PromoteToClustered { index: i1 });
+        assert_ne!(merge, split);
+        assert_ne!(remove, promote);
+    }
+
+    #[test]
+    fn interner_snapshot_round_trips() {
+        let it = Interner::new();
+        let sigs: Vec<u64> = (0..5).map(|c| it.index_sig(&ix(1, c))).collect();
+        let snap = it.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+        let restored = Interner::new();
+        restored.restore(snap.clone());
+        assert_eq!(restored.snapshot(), snap);
+        for (c, sig) in sigs.iter().enumerate() {
+            assert_eq!(restored.index_sig(&ix(1, c as u16)), *sig);
+        }
+    }
+
+    #[test]
+    fn memo_round_trips_entries() {
+        let m = BoundMemo::new();
+        assert!(m.lookup(1, 2).is_none());
+        let e = BoundMemoEntry {
+            applies: true,
+            bound: 123.5,
+            delta_s: -4.0,
+        };
+        m.insert(1, 2, e);
+        assert_eq!(m.lookup(1, 2), Some(e));
+        assert!(m.lookup(2, 1).is_none());
+        let na = BoundMemoEntry::inapplicable();
+        m.insert(3, 4, na);
+        let got = m.lookup(3, 4).unwrap();
+        assert!(!got.applies && got.bound.is_nan() && got.delta_s.is_nan());
+        assert!(got.bits_eq(&na));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn memo_counters_move_only_via_record() {
+        let m = BoundMemo::new();
+        m.insert(1, 1, BoundMemoEntry::inapplicable());
+        m.lookup(1, 1);
+        m.lookup(9, 9);
+        assert_eq!((m.hits(), m.misses()), (0, 0));
+        m.record(2, 3);
+        assert_eq!((m.hits(), m.misses()), (2, 3));
+        m.set_counters(7, 1);
+        assert_eq!((m.hits(), m.misses()), (7, 1));
+    }
+
+    #[test]
+    fn memo_snapshot_is_sorted() {
+        let m = BoundMemo::new();
+        for k in [(9u64, 1u64), (1, 2), (1, 1), (4, 0)] {
+            m.insert(
+                k.0,
+                k.1,
+                BoundMemoEntry {
+                    applies: true,
+                    bound: k.0 as f64,
+                    delta_s: 0.0,
+                },
+            );
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

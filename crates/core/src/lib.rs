@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod eval;
 pub mod fault;
+pub mod incremental;
 pub mod instrument;
 pub mod par;
 pub mod report;
@@ -53,6 +54,7 @@ pub use checkpoint::{Checkpoint, TraceCheckpoint};
 pub use error::TuneError;
 pub use eval::{EvalCtx, EvalResult, QueryEval};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use incremental::{BoundMemo, BoundMemoEntry, Interner};
 pub use instrument::{
     gather_optimal_configuration, gather_optimal_configuration_traced, OptimalSink,
 };

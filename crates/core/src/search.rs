@@ -13,7 +13,7 @@
 //! 10 return c_best
 //! ```
 
-use crate::bound::{cost_upper_bound, ViewBuildCosts};
+use crate::bound::{cost_upper_bound, cost_upper_bound_restricted, ViewBuildCosts};
 use crate::cache::CostCache;
 use crate::checkpoint::{Checkpoint, TraceCheckpoint};
 use crate::error::TuneError;
@@ -23,10 +23,13 @@ use crate::eval::{
 use crate::fault::{
     FaultEvent, FaultKind, FaultPlan, FaultSite, SITE_CANDIDATE, SITE_PREPASS, SITE_SHRINK,
 };
+use crate::incremental::{BoundMemo, BoundMemoEntry, Interner};
 use crate::instrument::gather_optimal_configuration_traced;
 use crate::par::{par_map, resolve_threads};
 use crate::stop::{StopCheck, StopReason, StopToken};
-use crate::transform::{apply, candidates, AppliedTransform, Transformation};
+use crate::transform::{
+    apply, candidates, candidates_delta, AppliedTransform, StepDelta, Transformation,
+};
 use crate::workload::Workload;
 use pdt_catalog::Database;
 use pdt_opt::Optimizer;
@@ -116,6 +119,14 @@ pub struct TunerOptions {
     /// Contained faults tolerated before the session trips
     /// [`StopReason::FaultLimit`] and returns the best-so-far report.
     pub max_faults: usize,
+    /// Incremental candidate engine: derive each node's candidate list
+    /// from its parent's by delta enumeration, serve repeated §3.3.2
+    /// bound computations from the bound memo, and restrict fresh bound
+    /// computations to the affected-query subset. A pure perf knob:
+    /// reports, traces, and checkpoints are byte-identical to the
+    /// from-scratch reference engine (`false`), which recomputes
+    /// everything and revalidates the memo against it in debug builds.
+    pub incremental: bool,
 }
 
 impl Default for TunerOptions {
@@ -137,6 +148,7 @@ impl Default for TunerOptions {
             stop: None,
             fault_plan: None,
             max_faults: 16,
+            incremental: true,
         }
     }
 }
@@ -197,6 +209,18 @@ pub struct TuningReport {
     /// when the cache is disabled).
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Candidate scores computed fresh at a node (a §3.3.2 bound memo
+    /// probe, hit or miss). Mode-invariant: the reference engine counts
+    /// the same probes it recomputes from scratch.
+    pub candidates_generated: u64,
+    /// Candidate scores inherited from the parent node's scored list
+    /// without touching the memo.
+    pub candidates_reused: u64,
+    /// §3.3.2 bound memo hits/misses over the whole session (the
+    /// reference engine maintains — and in debug builds revalidates —
+    /// the identical memo, so these match across modes).
+    pub bound_memo_hits: u64,
+    pub bound_memo_misses: u64,
     /// Candidate transformations available at each iteration (Fig. 6).
     pub candidate_counts: Vec<usize>,
     /// (index requests, view requests) intercepted (Table 1).
@@ -243,8 +267,18 @@ struct Node {
     parent: Option<usize>,
     /// Actual penalty of the last relaxation applied *from* this node.
     last_relax_penalty: f64,
-    /// Transformation signatures already tried from this node.
-    tried: HashSet<String>,
+    /// Cached `config.signature()` (bound memo key component).
+    sig: u64,
+    /// Interned signatures of transformations already tried from this
+    /// node.
+    tried: HashSet<u64>,
+    /// Full candidate list in enumeration order with interned
+    /// signatures; kept only in incremental mode, where children derive
+    /// theirs from it by delta enumeration.
+    cands: Option<std::sync::Arc<Vec<(Transformation, u64)>>>,
+    /// Net structural change from the parent (incremental mode only;
+    /// `None` for the root, which enumerates from scratch).
+    delta: Option<StepDelta>,
     /// Candidate transformations with their §3.3 estimates, computed
     /// once per node ("we can also cache results from one iteration to
     /// the next", §3.4).
@@ -255,11 +289,12 @@ struct Node {
 
 /// A candidate transformation with its §3.3 ΔT / ΔS estimates (the
 /// penalty is derived at selection time from the owning node's
-/// remaining over-budget space).
+/// remaining over-budget space) and interned signature.
 #[derive(Debug, Clone)]
 struct ScoredCandidate {
     delta_t: f64,
     delta_s: f64,
+    sig: u64,
     transformation: Transformation,
 }
 
@@ -295,37 +330,127 @@ impl ScoredCandidate {
     }
 }
 
-/// Score one transformation against a node's configuration/eval.
+/// Derive a candidate score from a memoized bound entry.
+fn score_from_entry(
+    entry: &BoundMemoEntry,
+    eval: &EvalResult,
+    t: &Transformation,
+    sig: u64,
+) -> Option<ScoredCandidate> {
+    if !entry.applies {
+        return None;
+    }
+    let delta_t = entry.bound - eval.total_cost;
+    if entry.delta_s <= 0.0 && delta_t >= 0.0 {
+        return None; // not a relaxation in any useful sense
+    }
+    Some(ScoredCandidate {
+        delta_t,
+        delta_s: entry.delta_s,
+        sig,
+        transformation: t.clone(),
+    })
+}
+
+/// Score one transformation against a node's configuration/eval,
+/// routed through the §3.3.2 bound memo. Returns the score and whether
+/// the memo already held the entry.
+///
+/// Both engines maintain the identical memo: on a hit the incremental
+/// engine serves the entry (skipping apply + bound entirely; in debug
+/// builds it still recomputes and asserts bitwise agreement), while the
+/// reference engine recomputes from scratch, asserts the entry matches,
+/// and uses the fresh value — so a memo bug cannot change reference
+/// output, and any divergence trips an assertion. Fresh computations in
+/// incremental mode use the affected-query-restricted bound, which is
+/// bit-identical to the full one (see `cost_upper_bound_restricted`).
 #[allow(clippy::too_many_arguments)]
-fn score_one(
+fn score_one_memo(
     db: &Database,
     opt: &Optimizer<'_>,
     workload: &Workload,
     eval: &EvalResult,
     config: &Configuration,
+    cfg_sig: u64,
     t: &Transformation,
+    sig: u64,
     view_costs: &ViewBuildCosts,
-) -> Option<ScoredCandidate> {
-    let applied = apply(t, config, db, opt)?;
-    let delta_s = applied.delta_bytes;
-    let bound = cost_upper_bound(
-        db,
-        &opt.opts.cost,
-        workload,
-        eval,
-        config,
-        &applied,
-        view_costs,
-    );
-    let delta_t = bound - eval.total_cost;
-    if delta_s <= 0.0 && delta_t >= 0.0 {
-        return None; // not a relaxation in any useful sense
+    memo: &BoundMemo,
+    incremental: bool,
+) -> (Option<ScoredCandidate>, bool) {
+    let cached = memo.lookup(sig, cfg_sig);
+    let computed: Option<(BoundMemoEntry, Option<ScoredCandidate>)> =
+        if cached.is_none() || !incremental || cfg!(debug_assertions) {
+            let pair = match apply(t, config, db, opt) {
+                None => (BoundMemoEntry::inapplicable(), None),
+                Some(applied) => {
+                    let bound = if incremental {
+                        let b = cost_upper_bound_restricted(
+                            db,
+                            &opt.opts.cost,
+                            workload,
+                            eval,
+                            config,
+                            &applied,
+                            view_costs,
+                        );
+                        debug_assert_eq!(
+                            b.to_bits(),
+                            cost_upper_bound(
+                                db,
+                                &opt.opts.cost,
+                                workload,
+                                eval,
+                                config,
+                                &applied,
+                                view_costs,
+                            )
+                            .to_bits(),
+                            "restricted bound diverged from the full bound for {t}"
+                        );
+                        b
+                    } else {
+                        cost_upper_bound(
+                            db,
+                            &opt.opts.cost,
+                            workload,
+                            eval,
+                            config,
+                            &applied,
+                            view_costs,
+                        )
+                    };
+                    let entry = BoundMemoEntry {
+                        applies: true,
+                        bound,
+                        delta_s: applied.delta_bytes,
+                    };
+                    (entry, score_from_entry(&entry, eval, t, sig))
+                }
+            };
+            Some(pair)
+        } else {
+            None
+        };
+    match (cached, computed) {
+        (Some(entry), Some((fresh, sc))) => {
+            debug_assert!(
+                fresh.bits_eq(&entry),
+                "bound memo entry diverged from recomputation for {t}"
+            );
+            if incremental {
+                (score_from_entry(&entry, eval, t, sig), true)
+            } else {
+                (sc, true)
+            }
+        }
+        (Some(entry), None) => (score_from_entry(&entry, eval, t, sig), true),
+        (None, Some((fresh, sc))) => {
+            memo.insert(sig, cfg_sig, fresh);
+            (sc, false)
+        }
+        (None, None) => unreachable!("missed entries are always computed"),
     }
-    Some(ScoredCandidate {
-        delta_t,
-        delta_s,
-        transformation: t.clone(),
-    })
 }
 
 /// Run a tuning session (the paper's PTT).
@@ -404,6 +529,8 @@ fn options_signature(options: &TunerOptions, db: &Database, workload: &Workload)
     options.seed.hash(&mut h);
     options.cost_cache.hash(&mut h);
     options.validate_bounds.hash(&mut h);
+    // `incremental` is deliberately excluded: both engines produce
+    // byte-identical output, so checkpoints are portable across modes.
     match options.fault_plan {
         None => 0u8.hash(&mut h),
         Some(p) => {
@@ -473,6 +600,8 @@ fn capture_checkpoint(
     rng: &StdRng,
     optimizer_calls: usize,
     cache: Option<&CostCache>,
+    memo: &BoundMemo,
+    interner: &Interner,
     tracer: Option<&Tracer>,
     search_span: Option<&pdt_trace::Span<'_>>,
     iteration_done: usize,
@@ -487,10 +616,14 @@ fn capture_checkpoint(
         optimizer_calls,
         cache_hits: cache.map_or(0, |c| c.hits()),
         cache_misses: cache.map_or(0, |c| c.misses()),
+        bound_memo_hits: memo.hits(),
+        bound_memo_misses: memo.misses(),
         best: report.best.as_ref().map(|b| (b.cost, b.size_bytes)),
         frontier_len: report.frontier.len(),
         faults: report.faults.clone(),
         cache: cache.map(|c| c.snapshot()).unwrap_or_default(),
+        bound_memo: memo.snapshot(),
+        interner: interner.snapshot(),
         trace: tracer.map(|t| TraceCheckpoint {
             state: t.export_state(),
             open_span_seq: search_span.map_or(0, |s| s.events_at_open()),
@@ -580,6 +713,19 @@ pub fn tune_session(
     let cache = match ctl.resume {
         Some(ck) => options.cost_cache.then(|| ck.restore_cache()),
         None => options.cost_cache.then(CostCache::new),
+    };
+    // Bound memo + interner exist in both engines (the reference engine
+    // maintains and revalidates them without depending on them), so
+    // checkpoints stay portable across `incremental` settings. Replay
+    // against a restored memo flips original misses into hits; the
+    // counters are overwritten with the authoritative values at go-live.
+    let memo = match ctl.resume {
+        Some(ck) => ck.restore_memo(),
+        None => BoundMemo::new(),
+    };
+    let interner = match ctl.resume {
+        Some(ck) => ck.restore_interner(),
+        None => Interner::new(),
     };
     // Setup never takes a stop or a fault site: the report is only
     // valid with real initial/optimal costs, and injection coordinates
@@ -694,6 +840,10 @@ pub fn tune_session(
         optimizer_calls,
         cache_hits: 0,
         cache_misses: 0,
+        candidates_generated: 0,
+        candidates_reused: 0,
+        bound_memo_hits: 0,
+        bound_memo_misses: 0,
         candidate_counts: Vec::new(),
         request_counts: (sink.index_requests, sink.view_requests),
         bound_checks: 0,
@@ -768,7 +918,7 @@ pub fn tune_session(
                 // the trip into the final stop reason.
                 break;
             }
-            let removals: Vec<Transformation> = candidates(&cfg, &base)
+            let removals: Vec<(Transformation, u64)> = candidates(&cfg, &base)
                 .into_iter()
                 .filter(|t| {
                     matches!(
@@ -776,31 +926,55 @@ pub fn tune_session(
                         Transformation::RemoveIndex { .. } | Transformation::RemoveView { .. }
                     )
                 })
+                .map(|t| {
+                    let sig = interner.transform_sig(&t);
+                    (t, sig)
+                })
                 .collect();
-            // Score every removal on the worker pool, then fold the
-            // results in candidate order: the fold keeps the sequential
-            // tie-break (first strict minimum wins), so the pre-pass is
-            // identical for any thread count.
-            let scored = par_map(threads, &removals, |_, t| {
-                let applied = apply(t, &cfg, db, &opt)?;
-                let bound = cost_upper_bound(
+            // Score every removal on the worker pool (through the bound
+            // memo), then fold the results in candidate order: the fold
+            // keeps the sequential tie-break (first strict minimum
+            // wins) and accumulates memo hit/miss counts in input
+            // order, so the pre-pass is identical for any thread count.
+            let cfg_sig = cfg.signature();
+            let scored = par_map(threads, &removals, |_, (t, sig)| {
+                score_one_memo(
                     db,
-                    &opt.opts.cost,
+                    &opt,
                     workload,
                     &eval,
                     &cfg,
-                    &applied,
+                    cfg_sig,
+                    t,
+                    *sig,
                     &view_costs,
-                );
-                Some((bound - eval.total_cost, t.clone(), applied))
+                    &memo,
+                    options.incremental,
+                )
             });
-            let mut best_removal: Option<(f64, Transformation, AppliedTransform)> = None;
-            for (delta_t, t, applied) in scored.into_iter().flatten() {
-                if delta_t <= 1e-9 && best_removal.as_ref().is_none_or(|(d, _, _)| delta_t < *d) {
-                    best_removal = Some((delta_t, t, applied));
+            let (mut memo_hits, mut memo_misses) = (0u64, 0u64);
+            let mut best_removal: Option<(f64, Transformation)> = None;
+            for (sc, hit) in scored {
+                if hit {
+                    memo_hits += 1;
+                } else {
+                    memo_misses += 1;
+                }
+                if let Some(c) = sc {
+                    if c.delta_t <= 1e-9
+                        && best_removal.as_ref().is_none_or(|(d, _)| c.delta_t < *d)
+                    {
+                        best_removal = Some((c.delta_t, c.transformation));
+                    }
                 }
             }
-            let Some((delta_t, transformation, applied)) = best_removal else {
+            memo.record_traced(memo_hits, memo_misses, trc(live));
+            let Some((delta_t, transformation)) = best_removal else {
+                break;
+            };
+            // Re-apply only the winner (the workers no longer carry
+            // every applied configuration back).
+            let Some(applied) = apply(&transformation, &cfg, db, &opt) else {
                 break;
             };
             let pre_ctx = EvalCtx {
@@ -881,13 +1055,17 @@ pub fn tune_session(
     drop(prepass_span);
     let root_size = root_config.size_bytes(db);
 
+    let root_sig = root_config.signature();
     let mut nodes: Vec<Node> = vec![Node {
         size: root_size,
         config: root_config,
         eval: root_eval,
         parent: None,
         last_relax_penalty: 0.0,
+        sig: root_sig,
         tried: HashSet::new(),
+        cands: None,
+        delta: None,
         scored: None,
         exhausted: false,
         pruned: false,
@@ -900,6 +1078,12 @@ pub fn tune_session(
         });
     }
     let mut last_created = 0usize;
+    // Search-phase scoring counters. Replay regenerates them exactly:
+    // `generated` counts memo probes regardless of hit/miss outcome
+    // (which a restored memo flips), and `reused` never touches the
+    // memo, so neither needs a checkpoint field.
+    let mut candidates_generated = 0u64;
+    let mut candidates_reused = 0u64;
 
     // Line 4: the main loop.
     let mut search_span = trc(live).map(|t| t.span("search"));
@@ -918,6 +1102,11 @@ pub fn tune_session(
             if let Some(c) = &cache {
                 c.set_counters(ck.cache_hits, ck.cache_misses);
             }
+            // Replay against the restored memo turns original misses
+            // into hits (candidate generated/reused locals replay
+            // exactly — `generated` counts probes regardless of
+            // outcome — so only the memo counters need restoring).
+            memo.set_counters(ck.bound_memo_hits, ck.bound_memo_misses);
             if let (Some(t), Some(tc)) = (ctl.tracer, &ck.trace) {
                 t.restore_state(tc.state.clone());
                 search_span = Some(t.resume_span("search", tc.open_span_seq));
@@ -952,6 +1141,8 @@ pub fn tune_session(
                         &rng,
                         optimizer_calls,
                         cache.as_ref(),
+                        &memo,
+                        &interner,
                         ctl.tracer,
                         search_span.as_ref(),
                         done,
@@ -992,32 +1183,90 @@ pub fn tune_session(
         // amortized number of transformations that we evaluate per
         // iteration is rather small", §3.4).
         if nodes[node_idx].scored.is_none() {
-            let cands = candidates(&nodes[node_idx].config, &base);
-            let inherited: std::collections::HashMap<String, ScoredCandidate> =
+            // Candidate enumeration: the incremental engine derives the
+            // list from the parent's by delta enumeration (identical to
+            // a from-scratch run — asserted in debug builds); the
+            // reference engine, and the root in both, enumerate from
+            // scratch.
+            let parent_cands = nodes[node_idx].parent.and_then(|p| nodes[p].cands.clone());
+            let cands: std::sync::Arc<Vec<(Transformation, u64)>> =
+                match (options.incremental, parent_cands, &nodes[node_idx].delta) {
+                    (true, Some(pc), Some(d)) => std::sync::Arc::new(candidates_delta(
+                        &nodes[node_idx].config,
+                        &base,
+                        &pc,
+                        d,
+                        &interner,
+                    )),
+                    _ => std::sync::Arc::new(
+                        candidates(&nodes[node_idx].config, &base)
+                            .into_iter()
+                            .map(|t| {
+                                let sig = interner.transform_sig(&t);
+                                (t, sig)
+                            })
+                            .collect(),
+                    ),
+                };
+            let inherited: std::collections::HashMap<u64, ScoredCandidate> =
                 match nodes[node_idx].parent {
                     Some(p) => nodes[p]
                         .scored
                         .iter()
                         .flatten()
                         .filter(|c| c.still_valid(&nodes[node_idx].config))
-                        .map(|c| (c.transformation.to_string(), c.clone()))
+                        .map(|c| (c.sig, c.clone()))
                         .collect(),
                     None => std::collections::HashMap::new(),
                 };
-            // Fresh candidates are scored on the worker pool; results
-            // come back in candidate order, so the scored list (and
-            // everything downstream) is thread-count-invariant.
+            // Fresh candidates are scored on the worker pool (through
+            // the bound memo); results come back in candidate order and
+            // the reuse/hit/miss tallies are folded in that order, so
+            // the scored list (and everything downstream) is
+            // thread-count-invariant.
+            const REUSED: u8 = 0;
+            const MEMO_HIT: u8 = 1;
+            const MEMO_MISS: u8 = 2;
             let node = &nodes[node_idx];
-            let scored: Vec<ScoredCandidate> = par_map(threads, &cands, |_, t| {
-                if let Some(c) = inherited.get(&t.to_string()) {
-                    Some(c.clone())
-                } else {
-                    score_one(db, &opt, workload, &node.eval, &node.config, t, &view_costs)
+            let node_sig = node.sig;
+            let results: Vec<(Option<ScoredCandidate>, u8)> =
+                par_map(threads, &cands, |_, (t, sig)| {
+                    if let Some(c) = inherited.get(sig) {
+                        (Some(c.clone()), REUSED)
+                    } else {
+                        let (sc, hit) = score_one_memo(
+                            db,
+                            &opt,
+                            workload,
+                            &node.eval,
+                            &node.config,
+                            node_sig,
+                            t,
+                            *sig,
+                            &view_costs,
+                            &memo,
+                            options.incremental,
+                        );
+                        (sc, if hit { MEMO_HIT } else { MEMO_MISS })
+                    }
+                });
+            let (mut reused, mut memo_hits, mut memo_misses) = (0u64, 0u64, 0u64);
+            let mut scored: Vec<ScoredCandidate> = Vec::new();
+            for (sc, kind) in results {
+                match kind {
+                    REUSED => reused += 1,
+                    MEMO_HIT => memo_hits += 1,
+                    _ => memo_misses += 1,
                 }
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+                if let Some(c) = sc {
+                    scored.push(c);
+                }
+            }
+            candidates_reused += reused;
+            candidates_generated += memo_hits + memo_misses;
+            pdt_trace::incr(trc(live), "candidates.reused", reused);
+            pdt_trace::incr(trc(live), "candidates.generated", memo_hits + memo_misses);
+            memo.record_traced(memo_hits, memo_misses, trc(live));
             pdt_trace::incr(trc(live), "search.scored", scored.len() as u64);
             if let Some(t) = trc(live) {
                 for c in &scored {
@@ -1031,6 +1280,9 @@ pub fn tune_session(
                     );
                 }
             }
+            if options.incremental {
+                nodes[node_idx].cands = Some(cands);
+            }
             nodes[node_idx].scored = Some(scored);
         }
 
@@ -1042,11 +1294,7 @@ pub fn tune_session(
             .as_ref()
             .expect("scored above")
             .iter()
-            .filter(|c| {
-                !nodes[node_idx]
-                    .tried
-                    .contains(&c.transformation.to_string())
-            })
+            .filter(|c| !nodes[node_idx].tried.contains(&c.sig))
             .collect();
         // §3.6 skyline: with updates, drop dominated candidates (worse
         // ΔT and worse ΔS than another candidate).
@@ -1091,6 +1339,7 @@ pub fn tune_session(
         let delta_s = chosen.delta_s;
         let delta_t_est = chosen.delta_t;
         let penalty_est = chosen.penalty(over_budget);
+        let chosen_sig = chosen.sig;
         let transformation = chosen.transformation.clone();
         pdt_trace::emit(
             trc(live),
@@ -1103,7 +1352,7 @@ pub fn tune_session(
                 ("penalty", penalty_est.into()),
             ],
         );
-        nodes[node_idx].tried.insert(transformation.to_string());
+        nodes[node_idx].tried.insert(chosen_sig);
         let Some(applied) = apply(&transformation, &nodes[node_idx].config, db, &opt) else {
             pdt_trace::emit(
                 trc(live),
@@ -1209,16 +1458,102 @@ pub fn tune_session(
         if options.validate_bounds {
             // Inherited candidate scores can be stale with respect to
             // the node they are applied from, so the oracle recomputes
-            // the bound fresh against this node's plans.
-            let bound = cost_upper_bound(
-                db,
-                &opt.opts.cost,
-                workload,
-                &nodes[node_idx].eval,
-                &nodes[node_idx].config,
-                &applied,
-                &view_costs,
-            );
+            // the bound fresh against this node's plans — through the
+            // bound memo: a candidate freshly scored at this node was
+            // already priced against this exact (transformation,
+            // configuration) context, so the rescore is a guaranteed
+            // hit and the same context is never priced twice.
+            let cached = memo.lookup(chosen_sig, nodes[node_idx].sig);
+            let hit = cached.is_some();
+            let bound = match cached {
+                Some(entry) => {
+                    debug_assert!(
+                        entry.applies,
+                        "chosen transformation applied but the memo says inapplicable"
+                    );
+                    #[cfg(debug_assertions)]
+                    {
+                        let fresh = cost_upper_bound(
+                            db,
+                            &opt.opts.cost,
+                            workload,
+                            &nodes[node_idx].eval,
+                            &nodes[node_idx].config,
+                            &applied,
+                            &view_costs,
+                        );
+                        debug_assert_eq!(
+                            fresh.to_bits(),
+                            entry.bound.to_bits(),
+                            "memoized bound diverged from recomputation at rescore"
+                        );
+                    }
+                    if options.incremental {
+                        entry.bound
+                    } else {
+                        // The reference engine never depends on the
+                        // memo: recompute and use the fresh value.
+                        cost_upper_bound(
+                            db,
+                            &opt.opts.cost,
+                            workload,
+                            &nodes[node_idx].eval,
+                            &nodes[node_idx].config,
+                            &applied,
+                            &view_costs,
+                        )
+                    }
+                }
+                None => {
+                    let b = if options.incremental {
+                        let b = cost_upper_bound_restricted(
+                            db,
+                            &opt.opts.cost,
+                            workload,
+                            &nodes[node_idx].eval,
+                            &nodes[node_idx].config,
+                            &applied,
+                            &view_costs,
+                        );
+                        debug_assert_eq!(
+                            b.to_bits(),
+                            cost_upper_bound(
+                                db,
+                                &opt.opts.cost,
+                                workload,
+                                &nodes[node_idx].eval,
+                                &nodes[node_idx].config,
+                                &applied,
+                                &view_costs,
+                            )
+                            .to_bits(),
+                            "restricted bound diverged from the full bound at rescore"
+                        );
+                        b
+                    } else {
+                        cost_upper_bound(
+                            db,
+                            &opt.opts.cost,
+                            workload,
+                            &nodes[node_idx].eval,
+                            &nodes[node_idx].config,
+                            &applied,
+                            &view_costs,
+                        )
+                    };
+                    memo.insert(
+                        chosen_sig,
+                        nodes[node_idx].sig,
+                        BoundMemoEntry {
+                            applies: true,
+                            bound: b,
+                            delta_s: applied.delta_bytes,
+                        },
+                    );
+                    b
+                }
+            };
+            memo.record_traced(u64::from(hit), u64::from(!hit), trc(live));
             oracle_check(
                 &mut report,
                 trc(live),
@@ -1240,7 +1575,18 @@ pub fn tune_session(
             }
         }
 
-        let mut config = applied.config;
+        // Pull the step delta out of `applied` before consuming its
+        // configuration; shrink removals below fold into it so the
+        // child's delta describes the *net* structural change.
+        let AppliedTransform {
+            config: applied_config,
+            removed_indexes: mut step_removed_ix,
+            removed_views: step_removed_vw,
+            added_indexes: mut step_added_ix,
+            added_views: step_added_vw,
+            ..
+        } = applied;
+        let mut config = applied_config;
         let mut eval = eval;
         if options.shrink_unused {
             let (unused_ix, _) = unused_structures(&config, &base, &eval);
@@ -1291,6 +1637,18 @@ pub fn tune_session(
                         }
                         config = shrunk;
                         eval = e2;
+                        if options.incremental {
+                            // A shrunk-away addition cancels out; a
+                            // shrunk pre-existing structure counts as
+                            // removed.
+                            for i in &unused_ix {
+                                if let Some(pos) = step_added_ix.iter().position(|a| a == i) {
+                                    step_added_ix.remove(pos);
+                                } else {
+                                    step_removed_ix.push(i.clone());
+                                }
+                            }
+                        }
                     }
                     // Stopped mid-shrink: keep the unshrunk pair.
                     Ok(None) => {}
@@ -1350,13 +1708,22 @@ pub fn tune_session(
                 size_bytes: size,
             });
         }
+        let child_sig = config.signature();
         nodes.push(Node {
             config,
             eval,
             size,
             parent: Some(node_idx),
             last_relax_penalty: 0.0,
+            sig: child_sig,
             tried: HashSet::new(),
+            cands: None,
+            delta: options.incremental.then_some(StepDelta {
+                removed_indexes: step_removed_ix,
+                removed_views: step_removed_vw,
+                added_indexes: step_added_ix,
+                added_views: step_added_vw,
+            }),
             scored: None,
             exhausted: false,
             pruned: false,
@@ -1373,6 +1740,7 @@ pub fn tune_session(
         if let Some(c) = &cache {
             c.set_counters(ck.cache_hits, ck.cache_misses);
         }
+        memo.set_counters(ck.bound_memo_hits, ck.bound_memo_misses);
         if let (Some(t), Some(tc)) = (ctl.tracer, &ck.trace) {
             t.restore_state(tc.state.clone());
             search_span = Some(t.resume_span("search", tc.open_span_seq));
@@ -1404,6 +1772,10 @@ pub fn tune_session(
         report.cache_hits = c.hits();
         report.cache_misses = c.misses();
     }
+    report.candidates_generated = candidates_generated;
+    report.candidates_reused = candidates_reused;
+    report.bound_memo_hits = memo.hits();
+    report.bound_memo_misses = memo.misses();
     pdt_trace::emit(
         ctl.tracer,
         "session.end",
@@ -1821,6 +2193,7 @@ mod tests {
                 threads: 8,
                 deadline_ms: Some(5),
                 stop: Some(StopToken::new()),
+                incremental: false,
                 ..a.clone()
             }),
             "non-decision knobs must not change the signature"
@@ -1845,6 +2218,87 @@ mod tests {
                 fault_plan: Some(FaultPlan { seed: 1, rate: 0.1 }),
                 ..a
             })
+        );
+    }
+
+    #[test]
+    fn incremental_engine_matches_reference_byte_for_byte() {
+        // The tentpole invariant in unit form: the incremental engine
+        // (delta enumeration + bound memo) must produce the same report
+        // and the same JSONL trace as the from-scratch reference, and
+        // the counters must be mode-invariant too.
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        // A reachable budget (shallow search) and an unreachable one
+        // (deepest chain, maximal delta enumeration and score reuse).
+        for budget in [free.optimal_size * 0.4, 1.0] {
+            let run = |incremental: bool| {
+                let tracer = Tracer::new();
+                let mut r = tune_traced(
+                    &db,
+                    &w,
+                    &TunerOptions {
+                        space_budget: Some(budget),
+                        max_iterations: 60,
+                        validate_bounds: true,
+                        incremental,
+                        ..Default::default()
+                    },
+                    Some(&tracer),
+                );
+                r.elapsed = std::time::Duration::ZERO;
+                if let Some(t) = &mut r.trace {
+                    for p in &mut t.phases {
+                        p.elapsed = std::time::Duration::ZERO;
+                    }
+                }
+                (format!("{r:#?}"), tracer.to_jsonl())
+            };
+            let (ra, ta) = run(true);
+            let (rb, tb) = run(false);
+            assert_eq!(ta, tb, "traces must be byte-identical across modes");
+            assert_eq!(ra, rb, "reports must be identical across modes");
+        }
+    }
+
+    #[test]
+    fn bound_memo_eliminates_duplicate_pricing() {
+        // The validate_bounds rescore prices the chosen transformation
+        // against a configuration the scoring pass already priced, so
+        // with the memo in the loop every accepted step is a hit: the
+        // same (transformation, configuration) pair is never priced
+        // twice.
+        let db = test_db();
+        // An unreachable budget forces the deepest possible relaxation
+        // chain ("keep relaxing the last configuration while it does
+        // not fit"), so child nodes are scored every step and inherit
+        // their parents' still-valid candidate scores.
+        let w = workload(&db, SELECTS);
+        let report = tune(
+            &db,
+            &w,
+            &TunerOptions {
+                space_budget: Some(1.0),
+                max_iterations: 80,
+                validate_bounds: true,
+                ..Default::default()
+            },
+        );
+        assert!(report.iterations > 0, "search must take steps");
+        // Every memo hit is a (transformation, configuration) pair that
+        // would have been priced a second time without the memo — the
+        // rescore of a candidate freshly scored at its own node is the
+        // guaranteed source of such hits.
+        assert!(
+            report.bound_memo_hits > 0,
+            "the validate_bounds rescore must hit the memo for freshly scored candidates"
+        );
+        assert!(report.bound_memo_misses > 0);
+        assert!(report.candidates_generated > 0);
+        assert!(
+            report.candidates_reused > 0,
+            "child nodes must inherit scored candidates from their parents"
         );
     }
 

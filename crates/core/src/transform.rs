@@ -61,6 +61,8 @@ pub struct AppliedTransform {
     pub removed_views: Vec<TableId>,
     /// Indexes added by the transformation.
     pub added_indexes: Vec<Index>,
+    /// Views added (by id; view merges only).
+    pub added_views: Vec<TableId>,
     /// Old-view-column -> merged-view-column map (view merges only).
     pub col_map: HashMap<ColumnId, ColumnId>,
     /// True if replacing a merged-away grouped view requires a
@@ -156,6 +158,230 @@ pub fn candidates(config: &Configuration, base: &Configuration) -> Vec<Transform
     out
 }
 
+/// The net structural difference between a parent node's configuration
+/// and a child's: the applied transformation's removals/additions with
+/// any same-step `shrink_unused` removals folded in (a shrunk-away
+/// addition cancels out; a shrunk pre-existing structure counts as
+/// removed).
+#[derive(Debug, Clone, Default)]
+pub struct StepDelta {
+    pub removed_indexes: Vec<Index>,
+    pub removed_views: Vec<TableId>,
+    pub added_indexes: Vec<Index>,
+    pub added_views: Vec<TableId>,
+}
+
+/// Incrementally derive a child node's candidate list from its
+/// parent's instead of re-running [`candidates`] from scratch.
+///
+/// Invalidation rule (see DESIGN.md): a candidate is *inherited* iff it
+/// references no removed structure (and, for promotions, the child
+/// still has no clustered index on the table); *fresh* candidates are
+/// exactly those involving an added structure, plus promotions
+/// re-enabled when a clustered index was removed without replacement.
+/// The combined list is sorted by the canonical enumeration key so the
+/// result is element-for-element identical to `candidates(config,
+/// base)` — asserted in debug builds.
+///
+/// `parent` is the parent's full candidate list paired with interned
+/// transformation signatures (in parent enumeration order); the result
+/// keeps inherited signatures and interns fresh ones.
+pub fn candidates_delta(
+    config: &Configuration,
+    base: &Configuration,
+    parent: &[(Transformation, u64)],
+    delta: &StepDelta,
+    interner: &crate::incremental::Interner,
+) -> Vec<(Transformation, u64)> {
+    use std::collections::HashSet;
+    let removed_ix: HashSet<&Index> = delta.removed_indexes.iter().collect();
+    let removed_vw: HashSet<TableId> = delta.removed_views.iter().copied().collect();
+    let added_ix: HashSet<&Index> = delta.added_indexes.iter().collect();
+    let added_vw: HashSet<TableId> = delta.added_views.iter().copied().collect();
+
+    // 1. Inherit every parent candidate untouched by the delta.
+    let mut out: Vec<(Transformation, u64)> = Vec::with_capacity(parent.len());
+    for (t, sig) in parent {
+        let keep = match t {
+            Transformation::MergeIndexes { i1, i2 } | Transformation::SplitIndexes { i1, i2 } => {
+                !removed_ix.contains(i1) && !removed_ix.contains(i2)
+            }
+            Transformation::PrefixIndex { index, .. } | Transformation::RemoveIndex { index } => {
+                !removed_ix.contains(index)
+            }
+            Transformation::PromoteToClustered { index } => {
+                !removed_ix.contains(index) && config.clustered_index_on(index.table).is_none()
+            }
+            Transformation::MergeViews { v1, v2 } => {
+                !removed_vw.contains(v1) && !removed_vw.contains(v2)
+            }
+            Transformation::RemoveView { view } => !removed_vw.contains(view),
+        };
+        if keep {
+            out.push((t.clone(), *sig));
+        }
+    }
+
+    // 2. Generate fresh candidates: only those involving an added
+    // structure, plus promotions unlocked by a clustered removal.
+    // The per-table grouping mirrors `candidates` exactly so positions
+    // (and hence the canonical sort below) match its emission order.
+    let tunable: Vec<&Index> = config
+        .indexes()
+        .filter(|i| !base.contains_index(i))
+        .collect();
+    let mut by_table: BTreeMap<TableId, Vec<&Index>> = BTreeMap::new();
+    for i in &tunable {
+        by_table.entry(i.table).or_default().push(i);
+    }
+
+    let mut fresh: Vec<Transformation> = Vec::new();
+    for (table, indexes) in &by_table {
+        let any_added = indexes.iter().any(|i| added_ix.contains(*i));
+        // A clustered index vanished with no replacement: promotions on
+        // this table were invalid at the parent and are now legal.
+        let lost_clustered = config.clustered_index_on(*table).is_none()
+            && delta
+                .removed_indexes
+                .iter()
+                .any(|r| r.clustered && r.table == *table);
+        if !any_added && !lost_clustered {
+            continue;
+        }
+        if any_added {
+            for (a_pos, a) in indexes.iter().enumerate() {
+                for (b_pos, b) in indexes.iter().enumerate() {
+                    if a_pos == b_pos || !(added_ix.contains(*a) || added_ix.contains(*b)) {
+                        continue;
+                    }
+                    if !a.clustered && !b.clustered {
+                        let a_cols = a.all_columns();
+                        if b.all_columns().iter().any(|c| a_cols.contains(c)) {
+                            fresh.push(Transformation::MergeIndexes {
+                                i1: (*a).clone(),
+                                i2: (*b).clone(),
+                            });
+                        }
+                        if a_pos < b_pos && a.split(b).is_some() {
+                            fresh.push(Transformation::SplitIndexes {
+                                i1: (*a).clone(),
+                                i2: (*b).clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for i in indexes {
+            if i.clustered {
+                continue;
+            }
+            if added_ix.contains(*i) {
+                for len in 1..=i.key.len() {
+                    if i.prefix(len).is_some() {
+                        fresh.push(Transformation::PrefixIndex {
+                            index: (*i).clone(),
+                            len,
+                        });
+                    }
+                }
+                if config.clustered_index_on(i.table).is_none() {
+                    fresh.push(Transformation::PromoteToClustered {
+                        index: (*i).clone(),
+                    });
+                }
+                fresh.push(Transformation::RemoveIndex {
+                    index: (*i).clone(),
+                });
+            } else if lost_clustered {
+                fresh.push(Transformation::PromoteToClustered {
+                    index: (*i).clone(),
+                });
+            }
+        }
+    }
+
+    // View candidates involving an added view (each unordered pair
+    // visited once, mirroring the i < j loop in `candidates`).
+    let views: Vec<&MaterializedView> = config.views().collect();
+    for (i, v1) in views.iter().enumerate() {
+        let v1_added = added_vw.contains(&v1.id);
+        for v2 in views.iter().skip(i + 1) {
+            if (v1_added || added_vw.contains(&v2.id)) && v1.def.tables == v2.def.tables {
+                fresh.push(Transformation::MergeViews {
+                    v1: v1.id,
+                    v2: v2.id,
+                });
+            }
+        }
+        if v1_added {
+            fresh.push(Transformation::RemoveView { view: v1.id });
+        }
+    }
+
+    // 3. Combine (deduplicating by signature — inherited and fresh are
+    // disjoint by construction, this is insurance) and restore the
+    // canonical enumeration order.
+    let mut seen: HashSet<u64> = out.iter().map(|(_, s)| *s).collect();
+    for t in fresh {
+        let sig = interner.transform_sig(&t);
+        if seen.insert(sig) {
+            out.push((t, sig));
+        }
+    }
+
+    // Canonical key reproducing `candidates`' emission order:
+    // (section, table rank, pairs-before-unary phase, positions, kind).
+    let mut table_rank: HashMap<TableId, usize> = HashMap::new();
+    let mut index_pos: HashMap<&Index, usize> = HashMap::new();
+    for (r, (tid, list)) in by_table.iter().enumerate() {
+        table_rank.insert(*tid, r);
+        for (p, i) in list.iter().enumerate() {
+            index_pos.insert(*i, p);
+        }
+    }
+    let view_pos: HashMap<TableId, usize> =
+        views.iter().enumerate().map(|(p, v)| (v.id, p)).collect();
+    let ipos = |i: &Index| -> usize {
+        *index_pos
+            .get(i)
+            .expect("candidate references an index missing from the child configuration")
+    };
+    let trank = |i: &Index| -> usize {
+        *table_rank
+            .get(&i.table)
+            .expect("candidate references a table with no tunable indexes")
+    };
+    let vpos = |v: &TableId| -> usize {
+        *view_pos
+            .get(v)
+            .expect("candidate references a view missing from the child configuration")
+    };
+    out.sort_by_key(|(t, _)| match t {
+        Transformation::MergeIndexes { i1, i2 } => (0u8, trank(i1), 0u8, ipos(i1), ipos(i2), 0u8),
+        Transformation::SplitIndexes { i1, i2 } => (0, trank(i1), 0, ipos(i1), ipos(i2), 1),
+        Transformation::PrefixIndex { index, len } => (0, trank(index), 1, ipos(index), *len, 0),
+        Transformation::PromoteToClustered { index } => {
+            (0, trank(index), 1, ipos(index), usize::MAX - 1, 0)
+        }
+        Transformation::RemoveIndex { index } => (0, trank(index), 1, ipos(index), usize::MAX, 0),
+        Transformation::MergeViews { v1, v2 } => (1, 0, 0, vpos(v1), vpos(v2), 0),
+        Transformation::RemoveView { view } => (1, 0, 0, vpos(view), usize::MAX, 0),
+    });
+
+    #[cfg(debug_assertions)]
+    {
+        let full = candidates(config, base);
+        let got: Vec<&Transformation> = out.iter().map(|(t, _)| t).collect();
+        debug_assert_eq!(
+            got,
+            full.iter().collect::<Vec<_>>(),
+            "delta enumeration diverged from from-scratch enumeration"
+        );
+    }
+    out
+}
+
 /// Apply a transformation to `config`. Returns `None` when the
 /// transformation no longer applies (structures disappeared) or would
 /// be a no-op.
@@ -170,6 +396,7 @@ pub fn apply(
     let mut removed_indexes = Vec::new();
     let mut removed_views = Vec::new();
     let mut added_indexes = Vec::new();
+    let mut added_views = Vec::new();
     let mut col_map = HashMap::new();
     let mut regroup_compensation = false;
 
@@ -325,6 +552,7 @@ pub fn apply(
             removed_views.push(*v1);
             removed_views.push(*v2);
             new.add_view(merged);
+            added_views.push(merged_id);
             if !have_clustered {
                 promoted.push(Index::clustered(merged_id, [ColumnId::new(merged_id, 0)]));
             }
@@ -367,6 +595,7 @@ pub fn apply(
         removed_indexes,
         removed_views,
         added_indexes,
+        added_views,
         col_map,
         regroup_compensation,
         delta_bytes: removed_bytes - added_bytes,
@@ -576,5 +805,201 @@ mod tests {
         assert_eq!(applied.removed_indexes.len(), 1);
         assert_eq!(applied.config.view_count(), 0);
         assert!(applied.delta_bytes > 0.0);
+    }
+
+    fn with_sigs(
+        cands: Vec<Transformation>,
+        interner: &crate::incremental::Interner,
+    ) -> Vec<(Transformation, u64)> {
+        cands
+            .into_iter()
+            .map(|t| {
+                let sig = interner.transform_sig(&t);
+                (t, sig)
+            })
+            .collect()
+    }
+
+    fn delta_of(applied: &AppliedTransform) -> StepDelta {
+        StepDelta {
+            removed_indexes: applied.removed_indexes.clone(),
+            removed_views: applied.removed_views.clone(),
+            added_indexes: applied.added_indexes.clone(),
+            added_views: applied.added_views.clone(),
+        }
+    }
+
+    fn assert_delta_matches(
+        config: &Configuration,
+        base: &Configuration,
+        parent: &[(Transformation, u64)],
+        delta: &StepDelta,
+        interner: &crate::incremental::Interner,
+        ctx: &str,
+    ) -> Vec<(Transformation, u64)> {
+        let got = candidates_delta(config, base, parent, delta, interner);
+        let want = candidates(config, base);
+        assert_eq!(
+            got.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>(),
+            want,
+            "delta list diverged after {ctx}"
+        );
+        for (t, sig) in &got {
+            assert_eq!(
+                *sig,
+                interner.transform_sig(t),
+                "stale signature after {ctx}"
+            );
+        }
+        got
+    }
+
+    #[test]
+    fn delta_enumeration_matches_from_scratch_for_every_candidate() {
+        let db = test_db();
+        let base = Configuration::base(&db);
+        let mut config = base.clone();
+        let r = db.table_by_name("r").unwrap().id;
+        let heap = db.table_by_name("heap").unwrap().id;
+        config.add_index(Index::new(r, [rcol(&db, 1)], [rcol(&db, 3)]));
+        config.add_index(Index::new(r, [rcol(&db, 1), rcol(&db, 2)], []));
+        config.add_index(Index::new(r, [rcol(&db, 2)], [rcol(&db, 3)]));
+        config.add_index(Index::new(heap, [ColumnId::new(heap, 0)], []));
+        let opt = Optimizer::new(&db);
+        let interner = crate::incremental::Interner::new();
+        let parent = with_sigs(candidates(&config, &base), &interner);
+        let mut checked = 0;
+        for (t, _) in &parent {
+            let Some(applied) = apply(t, &config, &db, &opt) else {
+                continue;
+            };
+            assert_delta_matches(
+                &applied.config,
+                &base,
+                &parent,
+                &delta_of(&applied),
+                &interner,
+                &t.to_string(),
+            );
+            checked += 1;
+        }
+        assert!(checked >= 10, "only {checked} applicable candidates");
+    }
+
+    #[test]
+    fn delta_enumeration_handles_view_merges_and_removals() {
+        let db = test_db();
+        let r = db.table_by_name("r").unwrap().id;
+        let a = rcol(&db, 1);
+        let b = rcol(&db, 2);
+        let opt = Optimizer::new(&db);
+        let base = Configuration::base(&db);
+        let mut config = base.clone();
+        let d1 = SpjgExpr {
+            tables: [r].into(),
+            group_by: [a].into(),
+            output_cols: [a].into(),
+            ..Default::default()
+        };
+        let d2 = SpjgExpr {
+            tables: [r].into(),
+            group_by: [b].into(),
+            output_cols: [b].into(),
+            ..Default::default()
+        };
+        let v1 = config.allocate_view_id();
+        config.add_view(MaterializedView::create(v1, d1, 500.0, &db));
+        config.add_index(Index::clustered(v1, [ColumnId::new(v1, 0)]));
+        let v2 = config.allocate_view_id();
+        config.add_view(MaterializedView::create(v2, d2, 100.0, &db));
+        config.add_index(Index::clustered(v2, [ColumnId::new(v2, 0)]));
+        config.add_index(Index::new(r, [a], []));
+
+        let interner = crate::incremental::Interner::new();
+        let parent = with_sigs(candidates(&config, &base), &interner);
+        assert!(parent
+            .iter()
+            .any(|(t, _)| matches!(t, Transformation::MergeViews { .. })));
+        let mut checked = 0;
+        for (t, _) in &parent {
+            let Some(applied) = apply(t, &config, &db, &opt) else {
+                continue;
+            };
+            assert_delta_matches(
+                &applied.config,
+                &base,
+                &parent,
+                &delta_of(&applied),
+                &interner,
+                &t.to_string(),
+            );
+            checked += 1;
+        }
+        assert!(checked >= 3, "only {checked} applicable candidates");
+    }
+
+    #[test]
+    fn delta_enumeration_composes_across_steps() {
+        let db = test_db();
+        let base = Configuration::base(&db);
+        let mut config = base.clone();
+        let r = db.table_by_name("r").unwrap().id;
+        config.add_index(Index::new(r, [rcol(&db, 1)], [rcol(&db, 3)]));
+        config.add_index(Index::new(r, [rcol(&db, 1), rcol(&db, 2)], []));
+        config.add_index(Index::new(r, [rcol(&db, 2)], []));
+        let opt = Optimizer::new(&db);
+        let interner = crate::incremental::Interner::new();
+        let mut parent = with_sigs(candidates(&config, &base), &interner);
+        let mut steps = 0;
+        while steps < 4 {
+            let Some((t, applied)) = parent
+                .iter()
+                .find_map(|(t, _)| apply(t, &config, &db, &opt).map(|a| (t.clone(), a)))
+            else {
+                break;
+            };
+            parent = assert_delta_matches(
+                &applied.config,
+                &base,
+                &parent,
+                &delta_of(&applied),
+                &interner,
+                &format!("step {steps}: {t}"),
+            );
+            config = applied.config;
+            steps += 1;
+        }
+        assert!(steps >= 2, "chain too short ({steps} steps)");
+    }
+
+    #[test]
+    fn clustered_removal_reenables_promotions() {
+        let db = test_db();
+        let base = Configuration::base(&db);
+        let heap = db.table_by_name("heap").unwrap().id;
+        let ci = Index::clustered(heap, [ColumnId::new(heap, 0)]);
+        let j = Index::new(heap, [ColumnId::new(heap, 1)], []);
+        let mut config = base.clone();
+        config.add_index(ci.clone());
+        config.add_index(j.clone());
+        let interner = crate::incremental::Interner::new();
+        let parent = with_sigs(candidates(&config, &base), &interner);
+        assert!(!parent
+            .iter()
+            .any(|(t, _)| matches!(t, Transformation::PromoteToClustered { .. })));
+        // Simulate a shrink_unused step that drops the clustered index.
+        let mut child = config.clone();
+        assert!(child.remove_index(&ci));
+        let delta = StepDelta {
+            removed_indexes: vec![ci],
+            ..Default::default()
+        };
+        let got = assert_delta_matches(&child, &base, &parent, &delta, &interner, "shrink");
+        assert!(
+            got.iter().any(
+                |(t, _)| matches!(t, Transformation::PromoteToClustered { index } if *index == j)
+            ),
+            "promotion not regenerated after clustered removal"
+        );
     }
 }

@@ -72,6 +72,9 @@ OPTIONS:
   --updates <ratio>             mix in DML statements (e.g. 0.5)
   --threads <n>                 worker threads, 0 = all cores  [default: $PDTUNE_THREADS or 1]
   --no-cache                    disable the shared what-if cost cache
+  --no-incremental              disable the incremental candidate engine
+                                (delta enumeration + bound memo); output
+                                is byte-identical either way
   --trace <file.jsonl>          write structured search telemetry as JSONL
   --validate-bounds             re-optimize after each step and check the
                                 \u{a7}3.3.2 cost upper bound (fails on violation)
@@ -114,6 +117,7 @@ struct CliOptions {
     updates: Option<f64>,
     threads: usize,
     no_cache: bool,
+    no_incremental: bool,
     trace: Option<String>,
     validate_bounds: bool,
     deadline: Option<u64>,
@@ -178,6 +182,7 @@ impl CliOptions {
                         .map_err(|e| usage("--threads", &e))?
                 }
                 "--no-cache" => o.no_cache = true,
+                "--no-incremental" => o.no_incremental = true,
                 "--trace" => o.trace = Some(value("--trace")?),
                 "--validate-bounds" => o.validate_bounds = true,
                 "--deadline" => {
@@ -345,6 +350,7 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
         with_views: !o.indexes_only,
         threads: o.threads,
         cost_cache: !o.no_cache,
+        incremental: !o.no_incremental,
         validate_bounds: o.validate_bounds,
         deadline_ms: o.deadline,
         stop: Some(token.clone()),
@@ -457,6 +463,24 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
         "{}",
         cache_line(report.cache_hits, report.cache_misses, o.no_cache)
     );
+    let scored = report.candidates_generated + report.candidates_reused;
+    if scored > 0 {
+        println!(
+            "scoring: {} candidates generated, {} reused ({:.1}x amplification)",
+            report.candidates_generated,
+            report.candidates_reused,
+            scored as f64 / report.candidates_generated.max(1) as f64
+        );
+    }
+    let memo_probes = report.bound_memo_hits + report.bound_memo_misses;
+    if memo_probes > 0 {
+        println!(
+            "bound memo: {} hits / {} misses ({:.1}% hit rate)",
+            report.bound_memo_hits,
+            report.bound_memo_misses,
+            100.0 * report.bound_memo_hits as f64 / memo_probes as f64
+        );
+    }
     if !report.faults.is_empty() {
         println!("faults contained: {}", report.faults.len());
         for f in &report.faults {
@@ -677,6 +701,15 @@ mod tests {
         assert_eq!(o.checkpoint.as_deref(), Some("ck.json"));
         assert_eq!(o.checkpoint_every, 5);
         assert_eq!(o.max_faults, Some(3));
+    }
+
+    #[test]
+    fn cli_parses_incremental_flag() {
+        let o = CliOptions::parse(&[]).unwrap();
+        assert!(!o.no_incremental, "incremental engine is the default");
+        let args = vec!["--no-incremental".to_string()];
+        let o = CliOptions::parse(&args).unwrap();
+        assert!(o.no_incremental);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Property tests for the incremental candidate engine: across hundreds
+//! of seeded random schemas, workloads, budgets, and thread counts, the
+//! incremental engine (delta-driven candidate enumeration + memoized
+//! §3.3.2 bounds + interned signatures) must be **byte-identical** to
+//! the from-scratch reference engine (`TunerOptions::incremental =
+//! false`) — same report, same JSONL trace, same counters.
+//!
+//! A golden counter-regression test pins `optimizer_calls` and
+//! `candidates_generated` for a fixed TPC-H session, so an accidental
+//! loss of incrementality (or a behavior change dressed up as one)
+//! fails loudly instead of silently costing performance.
+
+use pdtune::physical::Configuration;
+use pdtune::trace::Tracer;
+use pdtune::tuner::{tune_traced, TunerOptions, TuningReport, Workload};
+use pdtune::workloads::bench::{bench_database, bench_workload, BenchParams};
+use pdtune::workloads::{tpch, updates};
+
+struct Case {
+    seed: u64,
+    update_ratio: f64,
+    /// Budget as a multiple of the base configuration size; `None` is
+    /// a one-byte (unreachable) budget that forces the deepest
+    /// relaxation chain — maximal delta enumeration and score reuse.
+    budget_factor: Option<f64>,
+    with_views: bool,
+    threads: usize,
+    validate_bounds: bool,
+}
+
+/// Debug-format a traced report with the wall-clock fields zeroed
+/// (total `elapsed` plus the per-phase roll-ups), so two runs compare
+/// byte-for-byte.
+fn fingerprint(report: &TuningReport) -> String {
+    let mut r = report.clone();
+    r.elapsed = std::time::Duration::ZERO;
+    if let Some(t) = &mut r.trace {
+        for p in &mut t.phases {
+            p.elapsed = std::time::Duration::ZERO;
+        }
+    }
+    format!("{r:#?}")
+}
+
+fn run_case(case: &Case, incremental: bool) -> (TuningReport, String) {
+    let p = BenchParams {
+        name: format!("incr-{}", case.seed),
+        tables: 2 + (case.seed % 2) as usize,
+        max_columns: 4 + (case.seed % 4) as usize,
+        max_rows: 2e4 + 1e4 * (case.seed % 7) as f64,
+        seed: case.seed,
+    };
+    let db = bench_database(&p);
+    let mut spec = bench_workload(&db, case.seed ^ 0xD17A, 3 + (case.seed % 3) as usize);
+    if case.update_ratio > 0.0 {
+        spec = updates::with_updates(&db, &spec, case.update_ratio, case.seed);
+    }
+    let workload = Workload::bind(&db, &spec.statements).expect("bench workload binds");
+    let budget = match case.budget_factor {
+        Some(f) => Configuration::base(&db).size_bytes(&db) * f,
+        None => 1.0,
+    };
+    let tracer = Tracer::new();
+    let report = tune_traced(
+        &db,
+        &workload,
+        &TunerOptions {
+            space_budget: Some(budget),
+            max_iterations: 12,
+            with_views: case.with_views,
+            threads: case.threads,
+            validate_bounds: case.validate_bounds,
+            incremental,
+            ..TunerOptions::default()
+        },
+        Some(&tracer),
+    );
+    (report, tracer.to_jsonl())
+}
+
+fn cases() -> Vec<Case> {
+    // 200 seeded cases: select-only and update mixes, reachable and
+    // unreachable budgets, with and without views, serial and parallel
+    // scoring, with and without the bound oracle.
+    (0..200u64)
+        .map(|seed| Case {
+            seed,
+            update_ratio: match seed % 3 {
+                0 => 0.0,
+                1 => 0.25,
+                _ => 0.5,
+            },
+            budget_factor: if seed % 5 == 4 {
+                None // unreachable: deepest chains
+            } else {
+                Some(1.05 + 0.1 * (seed % 6) as f64)
+            },
+            with_views: seed % 2 == 0,
+            threads: if seed % 7 == 0 { 2 } else { 1 },
+            validate_bounds: seed % 8 == 3,
+        })
+        .collect()
+}
+
+#[test]
+fn incremental_is_byte_identical_to_reference_across_random_cases() {
+    let (mut reused_total, mut generated_total) = (0u64, 0u64);
+    for case in cases() {
+        let (ri, ti) = run_case(&case, true);
+        let (rr, tr) = run_case(&case, false);
+        assert_eq!(
+            ti,
+            tr,
+            "seed {} (updates {}, budget {:?}, views {}, threads {}, oracle {}): \
+             trace diverged between incremental and reference",
+            case.seed,
+            case.update_ratio,
+            case.budget_factor,
+            case.with_views,
+            case.threads,
+            case.validate_bounds,
+        );
+        assert_eq!(
+            fingerprint(&ri),
+            fingerprint(&rr),
+            "seed {}: report diverged between incremental and reference",
+            case.seed,
+        );
+        reused_total += ri.candidates_reused;
+        generated_total += ri.candidates_generated;
+    }
+    // The sweep must actually exercise the incremental machinery, not
+    // vacuously pass on searches that never score a child node.
+    assert!(
+        reused_total > 100,
+        "only {reused_total} candidates reused across the sweep"
+    );
+    assert!(generated_total > 0);
+}
+
+fn tpch_session(incremental: bool, threads: usize) -> (TuningReport, String) {
+    let db = tpch::tpch_database(0.01);
+    let spec = tpch::tpch_workload_variant(5, 6);
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    let budget = Configuration::base(&db).size_bytes(&db) * 1.15;
+    let tracer = Tracer::new();
+    let report = tune_traced(
+        &db,
+        &w,
+        &TunerOptions {
+            space_budget: Some(budget),
+            max_iterations: 30,
+            threads,
+            incremental,
+            ..TunerOptions::default()
+        },
+        Some(&tracer),
+    );
+    (report, tracer.to_jsonl())
+}
+
+#[test]
+fn tpch_traces_are_identical_across_modes_and_threads() {
+    let (baseline_report, baseline_trace) = tpch_session(true, 1);
+    for (incremental, threads) in [(true, 4), (false, 1), (false, 4)] {
+        let (r, t) = tpch_session(incremental, threads);
+        assert_eq!(
+            baseline_trace, t,
+            "trace diverged (incremental={incremental}, threads={threads})"
+        );
+        assert_eq!(
+            fingerprint(&baseline_report),
+            fingerprint(&r),
+            "report diverged (incremental={incremental}, threads={threads})"
+        );
+    }
+}
+
+/// Golden counter regression: these exact values were produced by the
+/// session above at the time the incremental engine landed. A rising
+/// `candidates_generated` means incrementality regressed (children
+/// re-scoring inherited work); a change in `optimizer_calls` means the
+/// search itself changed. Update deliberately, never casually.
+#[test]
+fn tpch_golden_counters() {
+    let (report, _) = tpch_session(true, 1);
+    let golden_optimizer_calls = GOLDEN_OPTIMIZER_CALLS;
+    let golden_generated = GOLDEN_CANDIDATES_GENERATED;
+    assert_eq!(
+        report.optimizer_calls, golden_optimizer_calls,
+        "optimizer_calls drifted from the golden value"
+    );
+    assert_eq!(
+        report.candidates_generated, golden_generated,
+        "candidates_generated drifted from the golden value"
+    );
+    // The engine must do strictly less fresh scoring than a from-
+    // scratch engine would: reuse is the point.
+    assert!(
+        report.candidates_reused > 0,
+        "no candidate scores were reused"
+    );
+    assert!(
+        report.bound_memo_hits > 0,
+        "no bound computation was served from the memo"
+    );
+}
+
+const GOLDEN_OPTIMIZER_CALLS: usize = 20;
+const GOLDEN_CANDIDATES_GENERATED: u64 = 6;

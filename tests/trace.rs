@@ -51,7 +51,24 @@ fn counters_reconcile_with_the_report() {
         tracer.counter("oracle.violations"),
         report.bound_violations.len() as u64
     );
+    assert_eq!(
+        tracer.counter("candidates.generated"),
+        report.candidates_generated
+    );
+    assert_eq!(
+        tracer.counter("candidates.reused"),
+        report.candidates_reused
+    );
+    assert_eq!(tracer.counter("bound.memo.hits"), report.bound_memo_hits);
+    assert_eq!(
+        tracer.counter("bound.memo.misses"),
+        report.bound_memo_misses
+    );
     assert!(report.bound_checks > 0, "the oracle must have run");
+    assert!(
+        report.candidates_generated > 0,
+        "the search must have scored candidates"
+    );
     // The report embeds the same roll-up the tracer reports.
     let summary = report.trace.as_ref().expect("traced run records summary");
     assert_eq!(
