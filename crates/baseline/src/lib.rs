@@ -588,7 +588,7 @@ fn reopt_affected(
         usize,
         bool,
         bool,
-        Option<(u64, CacheEntry)>,
+        Option<(u128, CacheEntry)>,
     );
     let evals: Vec<Entry> = par_map(ctx.threads, &indices, |_, &i| {
         let entry = &workload.entries[i];
@@ -605,7 +605,7 @@ fn reopt_affected(
             let q = entry.select.as_ref().expect("touches");
             let cached = ctx.cache.map(|cache| {
                 let tables: BTreeSet<TableId> = q.tables.iter().copied().collect();
-                (cache, config.signature_for_tables(&tables))
+                (cache, config.signature_for_tables128(&tables))
             });
             match cached.as_ref().and_then(|(c, sig)| c.lookup(i, *sig)) {
                 Some(e) => {
@@ -618,13 +618,7 @@ fn reopt_affected(
                     let usages: std::sync::Arc<[pdt_opt::IndexUsage]> = plan.index_usages.into();
                     if let Some((_, sig)) = cached {
                         miss = true;
-                        pending = Some((
-                            sig,
-                            CacheEntry {
-                                cost: plan.cost,
-                                usages: usages.clone(),
-                            },
-                        ));
+                        pending = Some((sig, CacheEntry::plain(plan.cost, usages.clone(), sig)));
                     }
                     (plan.cost, usages)
                 }

@@ -1,0 +1,263 @@
+//! Derived what-if costing on/off comparison: real optimizer
+//! invocations, calls avoided beyond coarse keying, and plan-cache
+//! reuse for a 40-iteration TPC-H tuning session, crossed with the
+//! worker-thread count. The headline number is the **relaxation-loop
+//! invocation reduction** — how many times fewer real optimizer
+//! invocations the derived engine needs *per relaxation step* than the
+//! reference engine for the exact same answer (the reference backs
+//! every derived serve with a real call).
+//!
+//! The setup phase (base evaluation, instrumentation, optimal-config
+//! evaluation, budget prepass) prices every query for the first time
+//! in both engines — no costing layer can derive a cost it has never
+//! seen — so it is measured separately via a `max_iterations: 0`
+//! prefix run, which is bitwise the same setup the full session
+//! replays. Total-session numbers are reported alongside.
+//!
+//! The run also enforces the layer's core contract: the JSONL trace
+//! and the recommended configuration are byte-identical whether
+//! derived costing is on or off, at every thread count.
+//!
+//! Writes `BENCH_derived.json` into the current directory (run from
+//! the repo root) in addition to the shared results directory.
+
+use pdt_bench::json::ToJson;
+use pdt_bench::json_struct;
+use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_opt::invocation_count;
+use pdt_trace::Tracer;
+use pdt_tuner::{tune, tune_traced, TunerOptions, TuningReport};
+use pdt_workloads::tpch;
+use std::time::Instant;
+
+struct Row {
+    budget_frac: f64,
+    derived: bool,
+    threads: usize,
+    wall_clock_ms: f64,
+    real_invocations: u64,
+    setup_invocations: u64,
+    loop_invocations: u64,
+    optimizer_calls: usize,
+    calls_avoided: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_cache_repriced: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    improvement_pct: f64,
+}
+json_struct!(Row {
+    budget_frac,
+    derived,
+    threads,
+    wall_clock_ms,
+    real_invocations,
+    setup_invocations,
+    loop_invocations,
+    optimizer_calls,
+    calls_avoided,
+    plan_cache_hits,
+    plan_cache_misses,
+    plan_cache_repriced,
+    cache_hits,
+    cache_misses,
+    improvement_pct
+});
+
+struct Summary {
+    available_parallelism: usize,
+    loop_invocation_reduction: f64,
+    total_invocation_reduction: f64,
+    calls_avoided: u64,
+    traces_identical: bool,
+    rows: Vec<Row>,
+}
+json_struct!(Summary {
+    available_parallelism,
+    loop_invocation_reduction,
+    total_invocation_reduction,
+    calls_avoided,
+    traces_identical,
+    rows
+});
+
+fn main() {
+    let db = tpch::tpch_database(0.05);
+    let spec = tpch::tpch_workload();
+    let w = bind_workload(&db, &spec.statements);
+
+    // The free (unbudgeted) run anchors the budget scale.
+    let free = tune(
+        &db,
+        &w,
+        &TunerOptions {
+            with_views: false,
+            ..Default::default()
+        },
+    );
+
+    let run = |budget_frac: f64,
+               derived: bool,
+               threads: usize,
+               iterations: usize|
+     -> (Row, TuningReport, String) {
+        let budget = free.initial_size + (free.optimal_size - free.initial_size) * budget_frac;
+        let tracer = Tracer::new();
+        let invocations_before = invocation_count();
+        let start = Instant::now();
+        let r = tune_traced(
+            &db,
+            &w,
+            &TunerOptions {
+                with_views: false,
+                space_budget: Some(budget),
+                max_iterations: iterations,
+                threads,
+                derived_costs: derived,
+                ..Default::default()
+            },
+            Some(&tracer),
+        );
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let row = Row {
+            budget_frac,
+            derived,
+            threads,
+            wall_clock_ms: wall,
+            real_invocations: invocation_count() - invocations_before,
+            setup_invocations: 0,
+            loop_invocations: 0,
+            optimizer_calls: r.optimizer_calls,
+            calls_avoided: r.optimizer_calls_avoided,
+            plan_cache_hits: r.plan_cache_hits,
+            plan_cache_misses: r.plan_cache_misses,
+            plan_cache_repriced: r.plan_cache_repriced,
+            cache_hits: r.cache_hits,
+            cache_misses: r.cache_misses,
+            improvement_pct: r.best_improvement_pct(),
+        };
+        let jsonl = tracer.to_jsonl();
+        (row, r, jsonl)
+    };
+
+    // Two budgets: the mid-size regime (0.5 — halfway between base and
+    // optimal size) carries the acceptance floor; the tighter 0.3
+    // regime drives deeper relaxation chains, where the beyond-coarse
+    // and plan-reuse counters fire.
+    let mut rows = Vec::new();
+    let mut traces_identical = true;
+    for budget_frac in [0.5, 0.3] {
+        // Setup prefix: everything before the first relaxation
+        // iteration. Both engines price every query for the first time
+        // here, so the counts must agree — anything else means the
+        // prefix is not a prefix.
+        let (setup_on, _, _) = run(budget_frac, true, 1, 0);
+        let (setup_off, _, _) = run(budget_frac, false, 1, 0);
+        assert_eq!(
+            setup_on.real_invocations, setup_off.real_invocations,
+            "setup-phase invocations diverged between modes (budget {budget_frac})"
+        );
+        let setup = setup_on.real_invocations;
+
+        let mut baseline: Option<(String, String)> = None;
+        for (derived, threads) in [(true, 1), (true, 4), (false, 1), (false, 4)] {
+            let (mut row, report, trace) = run(budget_frac, derived, threads, 40);
+            row.setup_invocations = setup;
+            row.loop_invocations = row.real_invocations.saturating_sub(setup);
+            rows.push(row);
+            let fp = format!("{:?}", report.best.as_ref().map(|b| (b.cost, &b.config)));
+            match &baseline {
+                None => baseline = Some((fp, trace)),
+                Some((best_fp, base_trace)) => {
+                    assert_eq!(
+                        best_fp, &fp,
+                        "recommendation diverged \
+                         (budget {budget_frac}, derived={derived}, threads={threads})"
+                    );
+                    traces_identical &= *base_trace == trace;
+                    assert_eq!(
+                        base_trace, &trace,
+                        "trace diverged \
+                         (budget {budget_frac}, derived={derived}, threads={threads})"
+                    );
+                }
+            }
+        }
+    }
+
+    let row_of = |frac: f64, derived: bool, threads: usize| {
+        rows.iter()
+            .find(|r| r.budget_frac == frac && r.derived == derived && r.threads == threads)
+            .expect("row exists")
+    };
+    let loop_invocation_reduction = row_of(0.5, false, 1).loop_invocations as f64
+        / row_of(0.5, true, 1).loop_invocations.max(1) as f64;
+    let total_invocation_reduction = row_of(0.5, false, 1).real_invocations as f64
+        / row_of(0.5, true, 1).real_invocations.max(1) as f64;
+    assert!(
+        loop_invocation_reduction >= 2.0,
+        "derived costing reduced relaxation-loop optimizer invocations only \
+         {loop_invocation_reduction:.2}x ({} -> {}), below the 2x acceptance floor",
+        row_of(0.5, false, 1).loop_invocations,
+        row_of(0.5, true, 1).loop_invocations,
+    );
+    let summary = Summary {
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        loop_invocation_reduction,
+        total_invocation_reduction,
+        calls_avoided: rows.iter().map(|r| r.calls_avoided).max().unwrap_or(0),
+        traces_identical,
+        rows,
+    };
+
+    let table: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.budget_frac),
+                if r.derived { "on" } else { "off" }.to_string(),
+                r.threads.to_string(),
+                format!("{:.0}", r.wall_clock_ms),
+                r.real_invocations.to_string(),
+                r.setup_invocations.to_string(),
+                r.loop_invocations.to_string(),
+                r.calls_avoided.to_string(),
+                r.plan_cache_hits.to_string(),
+                format!("{:+.1}", r.improvement_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "budget",
+                "derived",
+                "threads",
+                "wall ms",
+                "real calls",
+                "setup",
+                "loop",
+                "avoided",
+                "plan hits",
+                "improv %"
+            ],
+            &table
+        )
+    );
+    println!(
+        "loop invocation reduction: {:.2}x   total: {:.2}x   calls avoided: {}   \
+         traces identical: {}",
+        summary.loop_invocation_reduction,
+        summary.total_invocation_reduction,
+        summary.calls_avoided,
+        summary.traces_identical
+    );
+
+    write_json("BENCH_derived", &summary);
+    std::fs::write("BENCH_derived.json", summary.to_json().pretty())
+        .expect("write BENCH_derived.json");
+    eprintln!("[saved BENCH_derived.json]");
+}

@@ -45,7 +45,7 @@ use std::collections::HashMap;
 /// races.
 #[derive(Debug, Default)]
 pub struct ViewBuildCosts {
-    costs: RwLock<HashMap<(TableId, u64), f64>>,
+    costs: RwLock<HashMap<(TableId, u128), f64>>,
 }
 
 impl ViewBuildCosts {
@@ -70,7 +70,7 @@ impl ViewBuildCosts {
             view,
             config
                 .view(view)
-                .map_or(0, |v| config.signature_for_tables(&v.def.tables)),
+                .map_or(0, |v| config.signature_for_tables128(&v.def.tables)),
         );
         if let Some(c) = self.costs.read().get(&key) {
             return *c;

@@ -21,7 +21,8 @@
 //! which is only stable within one build — checkpoints are same-binary
 //! artifacts, and `validate` rejects anything else.
 
-use crate::cache::{CacheEntry, CostCache};
+use crate::cache::{CacheEntry, CostCache, DerivedTally};
+use crate::derived::QueryRelevance;
 use crate::error::TuneError;
 use crate::fault::{FaultEvent, FaultKind};
 use crate::incremental::{BoundMemo, BoundMemoEntry, Interner};
@@ -30,11 +31,11 @@ use pdt_opt::{IndexUsage, UsageKind};
 use pdt_physical::Index;
 use pdt_trace::json::Json;
 use pdt_trace::{Event, PhaseSummary, TraceState, Value};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 use std::time::Duration;
 
-const VERSION: i64 = 2;
+const VERSION: i64 = 3;
 const KIND: &str = "pdtune-checkpoint";
 
 /// Serialized mid-session state; see the module docs for the model.
@@ -62,6 +63,11 @@ pub struct Checkpoint {
     /// be restored (like the cost-cache counters above).
     pub bound_memo_hits: u64,
     pub bound_memo_misses: u64,
+    /// Derived-costing counters at capture time (avoided calls, plan
+    /// cache hits/misses/repricings). Restored at go-live like the
+    /// cache counters: the silent replay serves everything from the
+    /// pre-warmed cache and would otherwise under-count.
+    pub derived: DerivedTally,
     /// `(cost, size_bytes)` of the best configuration so far, used to
     /// verify replay fidelity (the configuration itself is regenerated
     /// by the replay).
@@ -69,15 +75,20 @@ pub struct Checkpoint {
     pub frontier_len: usize,
     pub faults: Vec<FaultEvent>,
     /// Every cost-cache entry, sorted by `(query, signature)`.
-    pub cache: Vec<((usize, u64), CacheEntry)>,
+    pub cache: Vec<((usize, u128), CacheEntry)>,
     /// Every bound-memo entry, sorted by `(transformation signature,
     /// configuration signature)`. Like the cost cache, persisting the
     /// memo turns every replayed bound computation into a pure lookup.
-    pub bound_memo: Vec<((u64, u64), BoundMemoEntry)>,
+    pub bound_memo: Vec<((u64, u128), BoundMemoEntry)>,
     /// The structure interner's `index → signature` table, sorted by
     /// index. Signatures are content-addressed, so replay would
     /// regenerate the same table; restoring it just skips the hashing.
     pub interner: Vec<(Index, u64)>,
+    /// Per-query relevance rows ([`crate::derived::RelevanceTable`]).
+    /// Pure function of the (already-validated) workload and database —
+    /// persisted so resume can verify the rebuilt table matches instead
+    /// of trusting it blindly.
+    pub relevance: Vec<Option<QueryRelevance>>,
     pub trace: Option<TraceCheckpoint>,
 }
 
@@ -156,6 +167,15 @@ impl Checkpoint {
             ("bound_memo_hits".into(), hex(self.bound_memo_hits)),
             ("bound_memo_misses".into(), hex(self.bound_memo_misses)),
             (
+                "derived".into(),
+                Json::Obj(vec![
+                    ("avoided".into(), hex(self.derived.avoided)),
+                    ("plan_hits".into(), hex(self.derived.plan_hits)),
+                    ("plan_misses".into(), hex(self.derived.plan_misses)),
+                    ("repriced".into(), hex(self.derived.repriced)),
+                ]),
+            ),
+            (
                 "best".into(),
                 match self.best {
                     Some((cost, size)) => Json::Obj(vec![
@@ -178,12 +198,16 @@ impl Checkpoint {
                         .map(|((q, sig), e)| {
                             Json::Obj(vec![
                                 ("q".into(), Json::Int(*q as i64)),
-                                ("sig".into(), hex(*sig)),
+                                ("sig".into(), hex128(*sig)),
                                 ("cost".into(), Json::Num(e.cost)),
                                 (
                                     "usages".into(),
                                     Json::Arr(e.usages.iter().map(usage_json).collect()),
                                 ),
+                                ("coarse".into(), hex128(e.coarse)),
+                                ("relevant".into(), sigs128_json(&e.relevant)),
+                                ("footprint".into(), sigs128_json(&e.footprint)),
+                                ("pinned".into(), sigs128_json(&e.pinned)),
                             ])
                         })
                         .collect(),
@@ -197,7 +221,7 @@ impl Checkpoint {
                         .map(|((t, c), e)| {
                             Json::Obj(vec![
                                 ("t".into(), hex(*t)),
-                                ("c".into(), hex(*c)),
+                                ("c".into(), hex128(*c)),
                                 ("applies".into(), Json::Bool(e.applies)),
                                 ("bound".into(), Json::Num(e.bound)),
                                 ("delta_s".into(), Json::Num(e.delta_s)),
@@ -216,6 +240,18 @@ impl Checkpoint {
                                 ("index".into(), index_json(i)),
                                 ("sig".into(), hex(*sig)),
                             ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "relevance".into(),
+                Json::Arr(
+                    self.relevance
+                        .iter()
+                        .map(|r| match r {
+                            Some(qr) => relevance_json(qr),
+                            None => Json::Null,
                         })
                         .collect(),
                 ),
@@ -263,7 +299,7 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
         .iter()
         .map(|e| {
             let q = uint(get(e, "q")?)? as usize;
-            let sig = unhex(get(e, "sig")?)?;
+            let sig = unhex128(get(e, "sig")?)?;
             let cost = f64n(get(e, "cost")?)?;
             let usages = get(e, "usages")?
                 .as_arr()
@@ -276,6 +312,10 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
                 CacheEntry {
                     cost,
                     usages: usages.into(),
+                    coarse: unhex128(get(e, "coarse")?)?,
+                    relevant: sigs128_parse(get(e, "relevant")?)?,
+                    footprint: sigs128_parse(get(e, "footprint")?)?,
+                    pinned: sigs128_parse(get(e, "pinned")?)?,
                 },
             ))
         })
@@ -286,7 +326,7 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
         .iter()
         .map(|e| {
             Ok((
-                (unhex(get(e, "t")?)?, unhex(get(e, "c")?)?),
+                (unhex(get(e, "t")?)?, unhex128(get(e, "c")?)?),
                 BoundMemoEntry {
                     applies: bool_(get(e, "applies")?)?,
                     bound: f64n(get(e, "bound")?)?,
@@ -301,6 +341,22 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
         .iter()
         .map(|e| Ok((index_parse(get(e, "index")?)?, unhex(get(e, "sig")?)?)))
         .collect::<Result<Vec<_>, String>>()?;
+    let relevance = get(&doc, "relevance")?
+        .as_arr()
+        .ok_or("relevance must be an array")?
+        .iter()
+        .map(|r| match r {
+            Json::Null => Ok(None),
+            q => relevance_parse(q).map(Some),
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let dj = get(&doc, "derived")?;
+    let derived = DerivedTally {
+        avoided: unhex(get(dj, "avoided")?)?,
+        plan_hits: unhex(get(dj, "plan_hits")?)?,
+        plan_misses: unhex(get(dj, "plan_misses")?)?,
+        repriced: unhex(get(dj, "repriced")?)?,
+    };
     let trace = match get(&doc, "trace")? {
         Json::Null => None,
         t => Some(trace_parse(t)?),
@@ -317,12 +373,14 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
         cache_misses: unhex(get(&doc, "cache_misses")?)?,
         bound_memo_hits: unhex(get(&doc, "bound_memo_hits")?)?,
         bound_memo_misses: unhex(get(&doc, "bound_memo_misses")?)?,
+        derived,
         best,
         frontier_len: uint(get(&doc, "frontier_len")?)? as usize,
         faults,
         cache,
         bound_memo,
         interner,
+        relevance,
         trace,
     })
 }
@@ -338,6 +396,28 @@ fn hex(v: u64) -> Json {
 fn unhex(j: &Json) -> Result<u64, String> {
     let s = j.as_str().ok_or("expected hex string")?;
     u64::from_str_radix(s, 16).map_err(|_| format!("bad hex value '{s}'"))
+}
+
+/// 128-bit signatures render as 32-hex-digit strings.
+fn hex128(v: u128) -> Json {
+    Json::Str(format!("{v:032x}"))
+}
+
+fn unhex128(j: &Json) -> Result<u128, String> {
+    let s = j.as_str().ok_or("expected hex string")?;
+    u128::from_str_radix(s, 16).map_err(|_| format!("bad hex value '{s}'"))
+}
+
+fn sigs128_json(sigs: &[u128]) -> Json {
+    Json::Arr(sigs.iter().map(|s| hex128(*s)).collect())
+}
+
+fn sigs128_parse(j: &Json) -> Result<std::sync::Arc<[u128]>, String> {
+    Ok(arr(j)?
+        .iter()
+        .map(unhex128)
+        .collect::<Result<Vec<_>, _>>()?
+        .into())
 }
 
 fn uint(j: &Json) -> Result<u64, String> {
@@ -574,6 +654,61 @@ fn usage_parse(j: &Json) -> Result<IndexUsage, String> {
     })
 }
 
+// ---- relevance ------------------------------------------------------
+
+fn relevance_json(qr: &QueryRelevance) -> Json {
+    Json::Obj(vec![
+        (
+            "tables".into(),
+            Json::Arr(qr.tables.iter().map(|t| Json::Int(t.0 as i64)).collect()),
+        ),
+        (
+            "sarg_cols".into(),
+            Json::Arr(qr.sarg_cols.iter().map(|c| cid_json(*c)).collect()),
+        ),
+        (
+            "required".into(),
+            Json::Arr(
+                qr.required
+                    .iter()
+                    .map(|(t, cols)| {
+                        Json::Arr(vec![
+                            Json::Int(t.0 as i64),
+                            Json::Arr(cols.iter().map(|c| cid_json(*c)).collect()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn relevance_parse(j: &Json) -> Result<QueryRelevance, String> {
+    let tables: BTreeSet<TableId> = arr(get(j, "tables")?)?
+        .iter()
+        .map(|t| Ok(TableId(uint(t)? as u32)))
+        .collect::<Result<_, String>>()?;
+    let sarg_cols: BTreeSet<ColumnId> = arr(get(j, "sarg_cols")?)?
+        .iter()
+        .map(cid_parse)
+        .collect::<Result<_, _>>()?;
+    let required: BTreeMap<TableId, BTreeSet<ColumnId>> = arr(get(j, "required")?)?
+        .iter()
+        .map(|p| match p.as_arr() {
+            Some([t, cols]) => Ok((
+                TableId(uint(t)? as u32),
+                arr(cols)?.iter().map(cid_parse).collect::<Result<_, _>>()?,
+            )),
+            _ => Err("required entry must be [table, [columns]]".to_string()),
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(QueryRelevance {
+        tables,
+        sarg_cols,
+        required,
+    })
+}
+
 // ---- trace ----------------------------------------------------------
 
 fn trace_json(t: &TraceCheckpoint) -> Json {
@@ -757,6 +892,12 @@ mod tests {
             cache_misses: 5,
             bound_memo_hits: 6,
             bound_memo_misses: 11,
+            derived: DerivedTally {
+                avoided: 9,
+                plan_hits: 4,
+                plan_misses: 2,
+                repriced: 3,
+            },
             best: Some((80.25, 4096.0)),
             frontier_len: 8,
             faults: vec![FaultEvent {
@@ -766,23 +907,28 @@ mod tests {
             }],
             cache: vec![
                 (
-                    (0, 17),
+                    (0, 17 << 70),
                     CacheEntry {
                         cost: 9.75,
                         usages: vec![sample_usage()].into(),
+                        coarse: u128::MAX,
+                        relevant: vec![1u128 << 90, u128::MAX - 1].into(),
+                        footprint: vec![1u128 << 90].into(),
+                        pinned: vec![u128::MAX - 1].into(),
                     },
                 ),
                 (
                     (1, 99),
-                    CacheEntry {
-                        cost: f64::NAN, // a poisoned entry mid-repair
-                        usages: Vec::new().into(),
-                    },
+                    CacheEntry::plain(
+                        f64::NAN, // a poisoned entry mid-repair
+                        Vec::new().into(),
+                        0x42,
+                    ),
                 ),
             ],
             bound_memo: vec![
                 (
-                    (0x11, 0x22),
+                    (0x11, 0x22 << 80),
                     BoundMemoEntry {
                         applies: true,
                         bound: 45.5,
@@ -792,6 +938,29 @@ mod tests {
                 ((0x33, 0x22), BoundMemoEntry::inapplicable()),
             ],
             interner: vec![(sample_usage().index, 0xFEED_FACE_CAFE_F00D)],
+            relevance: vec![
+                None,
+                Some(QueryRelevance {
+                    tables: [TableId(3)].into_iter().collect(),
+                    sarg_cols: [ColumnId {
+                        table: TableId(3),
+                        ordinal: 1,
+                    }]
+                    .into_iter()
+                    .collect(),
+                    required: [(
+                        TableId(3),
+                        [ColumnId {
+                            table: TableId(3),
+                            ordinal: 0,
+                        }]
+                        .into_iter()
+                        .collect(),
+                    )]
+                    .into_iter()
+                    .collect(),
+                }),
+            ],
             trace: Some(TraceCheckpoint {
                 state,
                 open_span_seq,
@@ -814,6 +983,17 @@ mod tests {
         assert_eq!(back.faults[0].kind, FaultKind::EvalPanic);
         assert!(back.cache[1].1.cost.is_nan(), "NaN cost survives via null");
         assert_eq!(back.cache[0].1.usages[0], sample_usage());
+        assert_eq!(back.cache[0].0 .1, 17 << 70, "u128 keys survive");
+        assert_eq!(back.cache[0].1.coarse, u128::MAX);
+        assert_eq!(
+            back.cache[0].1.relevant.as_ref(),
+            &[1u128 << 90, u128::MAX - 1]
+        );
+        assert_eq!(back.cache[0].1.footprint.as_ref(), &[1u128 << 90]);
+        assert_eq!(back.cache[0].1.pinned.as_ref(), &[u128::MAX - 1]);
+        assert!(back.cache[1].1.relevant.is_empty());
+        assert_eq!(back.derived, ck.derived);
+        assert_eq!(back.relevance, ck.relevance);
         assert_eq!((back.bound_memo_hits, back.bound_memo_misses), (6, 11));
         assert_eq!(back.bound_memo[0].1.bound, 45.5);
         assert!(
@@ -845,7 +1025,7 @@ mod tests {
         let ck = sample_checkpoint();
         let cache = ck.restore_cache();
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.lookup(0, 17).unwrap().cost, 9.75);
+        assert_eq!(cache.lookup(0, 17 << 70).unwrap().cost, 9.75);
         assert!(cache.lookup(1, 99).unwrap().cost.is_nan());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
     }
@@ -855,7 +1035,7 @@ mod tests {
         let ck = sample_checkpoint();
         let memo = ck.restore_memo();
         assert_eq!(memo.len(), 2);
-        assert_eq!(memo.lookup(0x11, 0x22).unwrap().bound, 45.5);
+        assert_eq!(memo.lookup(0x11, 0x22 << 80).unwrap().bound, 45.5);
         let na = memo.lookup(0x33, 0x22).unwrap();
         assert!(!na.applies && na.bound.is_nan());
         assert_eq!((memo.hits(), memo.misses()), (0, 0));

@@ -22,7 +22,8 @@
 //! * cache inserts and hit/miss tallies commit only after the whole
 //!   evaluation succeeds, so aborted evaluations leave no trace.
 
-use crate::cache::{CacheEntry, CostCache};
+use crate::cache::{CacheEntry, CostCache, DerivedTally};
+use crate::derived::{sorted_subset, RelevanceTable};
 use crate::fault::FaultSite;
 use crate::par::par_map;
 use crate::stop::StopCheck;
@@ -99,6 +100,22 @@ pub struct EvalCtx<'c> {
     /// Deterministic fault injection for this evaluation's pipeline
     /// site; `None` outside fault-injection runs.
     pub faults: Option<FaultSite<'c>>,
+    /// Per-query relevant-structure sets. When present, cache keys are
+    /// relevant-subset signatures and keyed misses may be served by
+    /// plan reuse ([`CostCache::plan_probe`]); when absent, keys fall
+    /// back to the coarse per-table projection and no derived serving
+    /// happens.
+    pub relevance: Option<&'c RelevanceTable>,
+    /// Whether derived serves (beyond-coarse keyed hits and plan-reuse
+    /// answers) may skip the real optimizer invocation. With `false`
+    /// (the `--no-derived-costs` reference mode) every derived serve is
+    /// still *accounted* identically — same keys, probes, counters,
+    /// cache contents — but is backed by a fresh optimizer call whose
+    /// answer is used, so any unsoundness in the relevance derivation
+    /// would surface as a byte-level divergence between the two modes.
+    /// Debug builds additionally cross-validate every derived serve in
+    /// both modes.
+    pub derived: bool,
 }
 
 /// Maintenance cost of one update shell against one index: descend the
@@ -254,7 +271,17 @@ struct EntryEval {
     hit: bool,
     miss: bool,
     repaired: bool,
-    pending_insert: Option<(u64, CacheEntry)>,
+    /// This entry was a derived serve: a keyed hit beyond the coarse
+    /// projection, or a plan-reuse answer. The exact engine would have
+    /// paid an optimizer call here.
+    avoided: bool,
+    /// Served by plan reuse after a keyed miss.
+    plan_hit: bool,
+    /// Keyed miss whose plan probe found nothing servable.
+    plan_miss: bool,
+    /// Plan-reuse serve that re-priced a non-empty footprint.
+    repriced: bool,
+    pending_insert: Option<(u128, CacheEntry)>,
 }
 
 /// The common core of full and incremental evaluation.
@@ -279,6 +306,7 @@ fn evaluate_entries(
         };
         let mut calls = 0;
         let (mut hit, mut miss, mut repaired) = (false, false, false);
+        let (mut avoided, mut plan_hit, mut plan_miss, mut repriced) = (false, false, false, false);
         let mut pending_insert = None;
         let (select_cost, usages): (f64, Arc<[IndexUsage]>) = if needs_reopt {
             match &entry.select {
@@ -288,9 +316,18 @@ fn evaluate_entries(
                     if let Some(f) = ctx.faults {
                         f.maybe_panic(i);
                     }
+                    // With a relevance table, key by the relevant-subset
+                    // signature; otherwise by the coarse per-table one.
+                    let proj = ctx.relevance.and_then(|rt| rt.projection(i, config));
                     let cached = ctx.cache.map(|cache| {
-                        let tables: BTreeSet<TableId> = q.tables.iter().copied().collect();
-                        (cache, config.signature_for_tables(&tables))
+                        let sig = match &proj {
+                            Some(p) => p.sig,
+                            None => {
+                                let tables: BTreeSet<TableId> = q.tables.iter().copied().collect();
+                                config.signature_for_tables128(&tables)
+                            }
+                        };
+                        (cache, sig)
                     });
                     // Validate before trusting: a poisoned entry (non-
                     // finite or negative cost) is discarded and the
@@ -303,33 +340,192 @@ fn evaluate_entries(
                         }
                         other => other,
                     };
-                    match looked_up {
-                        Some(e) => {
-                            hit = true;
-                            (e.cost, e.usages)
+                    // Serve from the keyed entry, or — on a keyed miss
+                    // with relevance — from a surviving cached plan.
+                    // Classification is identical in both derived
+                    // modes; only the backing invocation differs.
+                    let mut serving: Option<CacheEntry> = None;
+                    if let Some(e) = looked_up {
+                        hit = true;
+                        // A stored coarse projection different from the
+                        // probe's marks a hit the coarse-keyed engine
+                        // would have missed: an optimizer call avoided.
+                        if proj.as_ref().is_some_and(|p| e.coarse != p.coarse) {
+                            avoided = true;
                         }
-                        None => {
-                            let plan = opt.optimize(config, q);
-                            calls = 1;
-                            let usages: Arc<[IndexUsage]> = plan.index_usages.into();
-                            if let Some((_, sig)) = cached {
-                                miss = true;
-                                // Injected poisoning: write a NaN cost
-                                // so a later lookup must repair it.
-                                let cost = if ctx.faults.is_some_and(|f| f.poison_roll(i)) {
-                                    f64::NAN
-                                } else {
-                                    plan.cost
-                                };
+                        serving = Some(e);
+                    } else if !repaired {
+                        if let (Some((cache, _)), Some(p)) = (cached.as_ref(), proj.as_ref()) {
+                            match cache.plan_probe(i, p) {
+                                Some(e) => {
+                                    match pdt_opt::reprice_plan(e.cost, &e.usages, config) {
+                                        Some(cost) => {
+                                            hit = true;
+                                            avoided = true;
+                                            plan_hit = true;
+                                            repriced = !e.footprint.is_empty();
+                                            serving = Some(CacheEntry { cost, ..e });
+                                        }
+                                        // Unreachable if the signature-
+                                        // level survival checks are
+                                        // right; a failed probe for
+                                        // safety.
+                                        None => plan_miss = true,
+                                    }
+                                }
+                                None => plan_miss = true,
+                            }
+                        }
+                    }
+                    match serving {
+                        Some(e) => {
+                            let mut cost = e.cost;
+                            let mut usages = e.usages.clone();
+                            // Cross-validate derived serves: reference
+                            // mode (and every debug build) re-asks the
+                            // optimizer. The invocation is validation
+                            // overhead, not a logical call — `calls`
+                            // stays 0 so counters agree across modes.
+                            // Reference mode then *uses* the fresh
+                            // answer, so an unsound relevance
+                            // derivation would surface as byte-level
+                            // divergence between the two modes.
+                            if avoided && (!ctx.derived || cfg!(debug_assertions)) {
+                                let plan = opt.optimize(config, q);
+                                debug_assert_eq!(
+                                    plan.cost.to_bits(),
+                                    cost.to_bits(),
+                                    "derived cost diverged from the optimizer for query {i}"
+                                );
+                                debug_assert_eq!(
+                                    plan.index_usages.as_slice(),
+                                    usages.as_ref(),
+                                    "derived plan diverged from the optimizer for query {i}"
+                                );
+                                if !ctx.derived {
+                                    cost = plan.cost;
+                                    usages = plan.index_usages.into();
+                                }
+                            }
+                            // A plan-reuse serve memoizes itself at the
+                            // probe's key, turning the next identical
+                            // probe into a keyed hit.
+                            if plan_hit {
+                                let p = proj.as_ref().expect("plan_hit requires a projection");
+                                let footprint: Arc<[u128]> =
+                                    pdt_opt::plan_footprint(&usages, config).into();
+                                debug_assert!(
+                                    sorted_subset(&footprint, &p.relevant),
+                                    "plan for query {i} uses a structure outside its relevant set"
+                                );
                                 pending_insert = Some((
-                                    sig,
+                                    p.sig,
                                     CacheEntry {
                                         cost,
                                         usages: usages.clone(),
+                                        coarse: p.coarse,
+                                        relevant: p.relevant.clone(),
+                                        footprint,
+                                        pinned: p.pinned.clone(),
                                     },
                                 ));
                             }
-                            (plan.cost, usages)
+                            (cost, usages)
+                        }
+                        None => {
+                            // Derived mode consults the invocation
+                            // store before paying a real plan search: a
+                            // prior invocation for this exact key —
+                            // possibly from a shortcut-aborted
+                            // evaluation whose cache inserts were never
+                            // committed — already holds the bitwise-
+                            // identical answer, and failing that, a
+                            // stored plan that provably survives under
+                            // this projection serves re-priced. Both
+                            // are invisible to every counter (this stays
+                            // a plain logical miss); debug builds re-
+                            // invoke and check, and the reference
+                            // engine always re-invokes.
+                            let stored = if ctx.derived {
+                                cached.as_ref().and_then(|(c, sig)| {
+                                    c.invocation_lookup(i, *sig).or_else(|| {
+                                        let p = proj.as_ref()?;
+                                        let e = c.invocation_plan_probe(i, p)?;
+                                        let cost =
+                                            pdt_opt::reprice_plan(e.cost, &e.usages, config)?;
+                                        Some(CacheEntry { cost, ..e })
+                                    })
+                                })
+                            } else {
+                                None
+                            };
+                            let (plan_cost, usages): (f64, Arc<[IndexUsage]>) = match stored {
+                                Some(e) => {
+                                    #[cfg(debug_assertions)]
+                                    {
+                                        let fresh = opt.optimize(config, q);
+                                        debug_assert_eq!(
+                                            fresh.cost.to_bits(),
+                                            e.cost.to_bits(),
+                                            "stored invocation diverged for query {i}"
+                                        );
+                                        debug_assert_eq!(
+                                            fresh.index_usages.as_slice(),
+                                            e.usages.as_ref(),
+                                            "stored plan diverged for query {i}"
+                                        );
+                                    }
+                                    (e.cost, e.usages)
+                                }
+                                None => {
+                                    let plan = opt.optimize(config, q);
+                                    (plan.cost, plan.index_usages.into())
+                                }
+                            };
+                            calls = 1;
+                            if let Some((_, sig)) = cached {
+                                miss = true;
+                                let true_entry = match proj.as_ref() {
+                                    Some(p) => {
+                                        let footprint: Arc<[u128]> =
+                                            pdt_opt::plan_footprint(&usages, config).into();
+                                        debug_assert!(
+                                            sorted_subset(&footprint, &p.relevant),
+                                            "plan for query {i} uses a structure outside \
+                                             its relevant set"
+                                        );
+                                        CacheEntry {
+                                            cost: plan_cost,
+                                            usages: usages.clone(),
+                                            coarse: p.coarse,
+                                            relevant: p.relevant.clone(),
+                                            footprint,
+                                            pinned: p.pinned.clone(),
+                                        }
+                                    }
+                                    None => CacheEntry::plain(plan_cost, usages.clone(), sig),
+                                };
+                                if ctx.derived {
+                                    if let Some((c, _)) = cached.as_ref() {
+                                        c.invocation_insert(i, sig, true_entry.clone());
+                                    }
+                                }
+                                // Injected poisoning: write a NaN cost
+                                // so a later lookup must repair it (the
+                                // invocation store keeps the true
+                                // answer — poison is a cache fault, not
+                                // an optimizer fault).
+                                let ce = if ctx.faults.is_some_and(|f| f.poison_roll(i)) {
+                                    CacheEntry {
+                                        cost: f64::NAN,
+                                        ..true_entry
+                                    }
+                                } else {
+                                    true_entry
+                                };
+                                pending_insert = Some((sig, ce));
+                            }
+                            (plan_cost, usages)
                         }
                     }
                 }
@@ -364,6 +560,10 @@ fn evaluate_entries(
             hit,
             miss,
             repaired,
+            avoided,
+            plan_hit,
+            plan_miss,
+            repriced,
             pending_insert,
         }
     };
@@ -447,13 +647,18 @@ fn evaluate_entries(
     let mut total = 0.0;
     let mut calls = 0;
     let (mut hits, mut misses) = (0u64, 0u64);
-    let mut inserts: Vec<(usize, u64, CacheEntry)> = Vec::new();
+    let mut tally = DerivedTally::default();
+    let mut inserts: Vec<(usize, u128, CacheEntry)> = Vec::new();
     let mut poison_repairs: Vec<usize> = Vec::new();
     for (i, e) in evals.into_iter().enumerate() {
         total += entries[i].weight * e.q.total();
         calls += e.calls;
         hits += u64::from(e.hit);
         misses += u64::from(e.miss);
+        tally.avoided += u64::from(e.avoided);
+        tally.plan_hits += u64::from(e.plan_hit);
+        tally.plan_misses += u64::from(e.plan_miss);
+        tally.repriced += u64::from(e.repriced);
         if e.repaired {
             poison_repairs.push(i);
         }
@@ -473,6 +678,13 @@ fn evaluate_entries(
             cache.insert(i, sig, ce);
         }
         cache.record_traced(hits, misses, ctx.tracer);
+        if ctx.relevance.is_some() {
+            cache.record_derived(tally);
+            pdt_trace::incr(ctx.tracer, "optimizer.calls_avoided", tally.avoided);
+            pdt_trace::incr(ctx.tracer, "plan_cache.hits", tally.plan_hits);
+            pdt_trace::incr(ctx.tracer, "plan_cache.misses", tally.plan_misses);
+            pdt_trace::incr(ctx.tracer, "plan_cache.repriced", tally.repriced);
+        }
     }
     // Repairs are reported in entry order at the commit point, so the
     // event stream stays deterministic for every thread count.
@@ -491,6 +703,9 @@ fn evaluate_entries(
             ("calls", calls.into()),
             ("hits", hits.into()),
             ("misses", misses.into()),
+            ("avoided", tally.avoided.into()),
+            ("plan_hits", tally.plan_hits.into()),
+            ("plan_misses", tally.plan_misses.into()),
             ("cost", total.into()),
         ],
     );
@@ -766,7 +981,7 @@ mod tests {
                 &smaller,
                 &w,
                 &e0,
-                &[ix.clone()],
+                std::slice::from_ref(&ix),
                 &[],
                 Some(e0.total_cost),
                 ctx,
@@ -813,6 +1028,89 @@ mod tests {
         let third = evaluate_full_ctx(&db, &opt, &config, &w, ctx);
         assert!(third.poison_repairs.is_empty());
         assert_eq!(third.optimizer_calls, 0);
+    }
+
+    #[test]
+    fn derived_relevance_avoids_reoptimization() {
+        let db = test_db();
+        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5");
+        let opt = Optimizer::new(&db);
+        let t = db.table_by_name("r").unwrap();
+        let rt = crate::derived::RelevanceTable::build(&db, &w);
+        let base = Configuration::base(&db);
+        // Key [b]: not sargable for this query and covers nothing it
+        // needs — irrelevant, though it lives on the query's table.
+        let mut with_irrelevant = base.clone();
+        with_irrelevant.add_index(Index::new(t.id, [t.column_id(2)], []));
+
+        for derived in [true, false] {
+            let cache = CostCache::new();
+            let ctx = EvalCtx {
+                threads: 1,
+                cache: Some(&cache),
+                relevance: Some(&rt),
+                derived,
+                ..EvalCtx::default()
+            };
+            let e0 = evaluate_full_ctx(&db, &opt, &base, &w, ctx);
+            assert_eq!(e0.optimizer_calls, 1);
+            // Adding the irrelevant index leaves the relevant subset —
+            // and the cache key — unchanged: a hit the coarse-keyed
+            // engine would have missed, in both modes.
+            let e1 = evaluate_full_ctx(&db, &opt, &with_irrelevant, &w, ctx);
+            assert_eq!(e1.optimizer_calls, 0, "derived={derived}");
+            assert_eq!(e1.total_cost.to_bits(), e0.total_cost.to_bits());
+            assert_eq!((cache.hits(), cache.misses()), (1, 1));
+            assert_eq!(cache.avoided(), 1);
+        }
+    }
+
+    #[test]
+    fn plan_reuse_reprices_surviving_plans() {
+        let db = test_db();
+        let w = workload(&db, "SELECT r.c FROM r WHERE r.a = 5");
+        let opt = Optimizer::new(&db);
+        let t = db.table_by_name("r").unwrap();
+        let rt = crate::derived::RelevanceTable::build(&db, &w);
+        // Both indexes are relevant (seekable on `a`), but the covering
+        // one wins the plan; the other is dead weight the search might
+        // relax away.
+        let covering = Index::new(t.id, [t.column_id(1)], [t.column_id(3)]);
+        let extra = Index::new(t.id, [t.column_id(1)], [t.column_id(2)]);
+        let mut small = Configuration::base(&db);
+        small.add_index(covering);
+        let mut big = small.clone();
+        big.add_index(extra);
+
+        for derived in [true, false] {
+            let cache = CostCache::new();
+            let ctx = EvalCtx {
+                threads: 1,
+                cache: Some(&cache),
+                relevance: Some(&rt),
+                derived,
+                ..EvalCtx::default()
+            };
+            let e_big = evaluate_full_ctx(&db, &opt, &big, &w, ctx);
+            assert_eq!(e_big.optimizer_calls, 1);
+            // `small` shrinks the relevant subset without touching the
+            // cached plan's footprint: served by plan reuse, no call.
+            let e_small = evaluate_full_ctx(&db, &opt, &small, &w, ctx);
+            assert_eq!(e_small.optimizer_calls, 0, "derived={derived}");
+            assert_eq!(cache.plan_hits(), 1);
+            assert_eq!(cache.repriced(), 1);
+            assert_eq!(cache.avoided(), 1);
+            // The reused answer is bit-identical to a fresh one.
+            let fresh = evaluate_full(&db, &opt, &small, &w);
+            assert_eq!(e_small.total_cost.to_bits(), fresh.total_cost.to_bits());
+            // The serve memoized itself at the probe's key: probing
+            // again is a keyed (non-derived) hit, not another reuse.
+            let e_again = evaluate_full_ctx(&db, &opt, &small, &w, ctx);
+            assert_eq!(e_again.optimizer_calls, 0);
+            assert_eq!(cache.plan_hits(), 1);
+            assert_eq!(cache.avoided(), 1);
+            assert_eq!(e_again.total_cost.to_bits(), e_small.total_cost.to_bits());
+        }
     }
 
     #[test]

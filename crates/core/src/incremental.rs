@@ -168,9 +168,11 @@ impl BoundMemoEntry {
 const SHARDS: usize = 16;
 
 /// Sharded memo of §3.3.2 bound computations, keyed by
-/// `(transformation signature, configuration signature)`.
+/// `(transformation signature, configuration signature)`. The
+/// configuration side is the 128-bit [`Configuration::signature128`]
+/// (`pdt_physical`), matching the widened what-if cache keys.
 pub struct BoundMemo {
-    shards: Vec<RwLock<HashMap<(u64, u64), BoundMemoEntry>>>,
+    shards: Vec<RwLock<HashMap<(u64, u128), BoundMemoEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -190,19 +192,20 @@ impl BoundMemo {
         }
     }
 
-    fn shard(&self, t_sig: u64, cfg_sig: u64) -> &RwLock<HashMap<(u64, u64), BoundMemoEntry>> {
-        let h = t_sig ^ cfg_sig.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fn shard(&self, t_sig: u64, cfg_sig: u128) -> &RwLock<HashMap<(u64, u128), BoundMemoEntry>> {
+        let folded = (cfg_sig as u64) ^ ((cfg_sig >> 64) as u64).rotate_left(32);
+        let h = t_sig ^ folded.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(h >> 59) as usize % SHARDS]
     }
 
-    pub fn lookup(&self, t_sig: u64, cfg_sig: u64) -> Option<BoundMemoEntry> {
+    pub fn lookup(&self, t_sig: u64, cfg_sig: u128) -> Option<BoundMemoEntry> {
         self.shard(t_sig, cfg_sig)
             .read()
             .get(&(t_sig, cfg_sig))
             .copied()
     }
 
-    pub fn insert(&self, t_sig: u64, cfg_sig: u64, entry: BoundMemoEntry) {
+    pub fn insert(&self, t_sig: u64, cfg_sig: u128, entry: BoundMemoEntry) {
         self.shard(t_sig, cfg_sig)
             .write()
             .insert((t_sig, cfg_sig), entry);
@@ -250,8 +253,8 @@ impl BoundMemo {
     }
 
     /// Deterministic dump sorted by key.
-    pub fn snapshot(&self) -> Vec<((u64, u64), BoundMemoEntry)> {
-        let mut out: Vec<((u64, u64), BoundMemoEntry)> = Vec::new();
+    pub fn snapshot(&self) -> Vec<((u64, u128), BoundMemoEntry)> {
+        let mut out: Vec<((u64, u128), BoundMemoEntry)> = Vec::new();
         for shard in &self.shards {
             for (k, v) in shard.read().iter() {
                 out.push((*k, *v));
@@ -356,7 +359,7 @@ mod tests {
     #[test]
     fn memo_snapshot_is_sorted() {
         let m = BoundMemo::new();
-        for k in [(9u64, 1u64), (1, 2), (1, 1), (4, 0)] {
+        for k in [(9u64, 1u128), (1, 2), (1, 1 << 80), (4, 0)] {
             m.insert(
                 k.0,
                 k.1,

@@ -16,6 +16,12 @@
 //! For a view request, "the input sub-query itself is the most
 //! efficient view": simulate it with a clustered index so a plain scan
 //! answers the request.
+//!
+//! The same per-query information the requests are built from — sarg
+//! columns, required output columns, visible tables — also bounds what
+//! the optimizer can ever *use* for a query; [`crate::derived`]
+//! re-derives it (without running the optimizer) to compute the
+//! relevant-structure sets behind derived what-if costing.
 
 use crate::workload::Workload;
 use pdt_catalog::{ColumnId, Database};

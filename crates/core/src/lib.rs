@@ -37,6 +37,7 @@
 pub mod bound;
 pub mod cache;
 pub mod checkpoint;
+pub mod derived;
 pub mod error;
 pub mod eval;
 pub mod fault;
@@ -49,8 +50,9 @@ pub mod stop;
 pub mod transform;
 pub mod workload;
 
-pub use cache::{CacheEntry, CostCache};
+pub use cache::{CacheEntry, CostCache, DerivedTally};
 pub use checkpoint::{Checkpoint, TraceCheckpoint};
+pub use derived::{Projection, QueryRelevance, RelevanceTable};
 pub use error::TuneError;
 pub use eval::{EvalCtx, EvalResult, QueryEval};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};

@@ -108,6 +108,13 @@ pub fn summarize(db: &Database, report: &TuningReport) -> String {
         report.request_counts.0 + report.request_counts.1,
         report.elapsed
     );
+    if report.workload_deduped > 0 {
+        let _ = writeln!(
+            out,
+            "workload: {} duplicate statements folded into weighted entries",
+            report.workload_deduped
+        );
+    }
     let probes = report.cache_hits + report.cache_misses;
     if probes > 0 {
         let _ = writeln!(
@@ -116,6 +123,21 @@ pub fn summarize(db: &Database, report: &TuningReport) -> String {
             report.cache_hits,
             report.cache_misses,
             100.0 * report.cache_hits as f64 / probes as f64
+        );
+    }
+    if report.optimizer_calls_avoided > 0 {
+        let _ = writeln!(
+            out,
+            "derived:  {} optimizer calls avoided beyond coarse keying",
+            report.optimizer_calls_avoided
+        );
+    }
+    let plan_probes = report.plan_cache_hits + report.plan_cache_misses;
+    if plan_probes > 0 {
+        let _ = writeln!(
+            out,
+            "plans:    {} reused / {} probes missed, {} repriced against new catalogs",
+            report.plan_cache_hits, report.plan_cache_misses, report.plan_cache_repriced
         );
     }
     let scored = report.candidates_generated + report.candidates_reused;

@@ -16,6 +16,7 @@
 use crate::bound::{cost_upper_bound, cost_upper_bound_restricted, ViewBuildCosts};
 use crate::cache::CostCache;
 use crate::checkpoint::{Checkpoint, TraceCheckpoint};
+use crate::derived::RelevanceTable;
 use crate::error::TuneError;
 use crate::eval::{
     evaluate_full_ctx, evaluate_incremental_ctx, unused_structures, EvalCtx, EvalResult,
@@ -127,6 +128,16 @@ pub struct TunerOptions {
     /// from-scratch reference engine (`false`), which recomputes
     /// everything and revalidates the memo against it in debug builds.
     pub incremental: bool,
+    /// Derived what-if costing: key the cost cache by each query's
+    /// *relevant* structure subset (so relaxations of structures a
+    /// query cannot use are guaranteed hits), and serve keyed misses by
+    /// re-pricing a cached plan whose access paths survive. A pure perf
+    /// knob with the same contract as `incremental`: reports, traces,
+    /// and checkpoints are byte-identical to the reference mode
+    /// (`false`), which performs a real optimizer call behind every
+    /// derived serve and uses its answer; debug builds additionally
+    /// assert bitwise agreement on every serve in both modes.
+    pub derived_costs: bool,
 }
 
 impl Default for TunerOptions {
@@ -149,6 +160,7 @@ impl Default for TunerOptions {
             fault_plan: None,
             max_faults: 16,
             incremental: true,
+            derived_costs: true,
         }
     }
 }
@@ -221,6 +233,21 @@ pub struct TuningReport {
     /// the identical memo, so these match across modes).
     pub bound_memo_hits: u64,
     pub bound_memo_misses: u64,
+    /// Optimizer calls the derived-costing layer made unnecessary:
+    /// relevant-subset cache hits beyond the coarse per-table
+    /// projection, plus plan-reuse serves. Mode-invariant: with
+    /// `--no-derived-costs` every such serve is still classified (and
+    /// counted) identically, just backed by a real validation call.
+    pub optimizer_calls_avoided: u64,
+    /// Keyed cache misses served by re-pricing a surviving cached plan.
+    pub plan_cache_hits: u64,
+    /// Keyed cache misses where no cached plan survived.
+    pub plan_cache_misses: u64,
+    /// Plan-reuse serves that re-priced a non-empty plan footprint.
+    pub plan_cache_repriced: u64,
+    /// Textually duplicate workload statements merged at load time
+    /// (each shares one evaluation, scaled by its combined weight).
+    pub workload_deduped: u64,
     /// Candidate transformations available at each iteration (Fig. 6).
     pub candidate_counts: Vec<usize>,
     /// (index requests, view requests) intercepted (Table 1).
@@ -267,8 +294,10 @@ struct Node {
     parent: Option<usize>,
     /// Actual penalty of the last relaxation applied *from* this node.
     last_relax_penalty: f64,
-    /// Cached `config.signature()` (bound memo key component).
-    sig: u64,
+    /// Cached `config.signature128()` (bound memo key component; wide
+    /// so signature collisions cannot alias two configurations' memo
+    /// rows).
+    sig: u128,
     /// Interned signatures of transformations already tried from this
     /// node.
     tried: HashSet<u64>,
@@ -371,7 +400,7 @@ fn score_one_memo(
     workload: &Workload,
     eval: &EvalResult,
     config: &Configuration,
-    cfg_sig: u64,
+    cfg_sig: u128,
     t: &Transformation,
     sig: u64,
     view_costs: &ViewBuildCosts,
@@ -529,8 +558,9 @@ fn options_signature(options: &TunerOptions, db: &Database, workload: &Workload)
     options.seed.hash(&mut h);
     options.cost_cache.hash(&mut h);
     options.validate_bounds.hash(&mut h);
-    // `incremental` is deliberately excluded: both engines produce
-    // byte-identical output, so checkpoints are portable across modes.
+    // `incremental` and `derived_costs` are deliberately excluded: both
+    // engines (and both costing modes) produce byte-identical output,
+    // so checkpoints are portable across them.
     match options.fault_plan {
         None => 0u8.hash(&mut h),
         Some(p) => {
@@ -602,6 +632,7 @@ fn capture_checkpoint(
     cache: Option<&CostCache>,
     memo: &BoundMemo,
     interner: &Interner,
+    relevance: &RelevanceTable,
     tracer: Option<&Tracer>,
     search_span: Option<&pdt_trace::Span<'_>>,
     iteration_done: usize,
@@ -618,12 +649,14 @@ fn capture_checkpoint(
         cache_misses: cache.map_or(0, |c| c.misses()),
         bound_memo_hits: memo.hits(),
         bound_memo_misses: memo.misses(),
+        derived: cache.map(|c| c.derived_counters()).unwrap_or_default(),
         best: report.best.as_ref().map(|b| (b.cost, b.size_bytes)),
         frontier_len: report.frontier.len(),
         faults: report.faults.clone(),
         cache: cache.map(|c| c.snapshot()).unwrap_or_default(),
         bound_memo: memo.snapshot(),
         interner: interner.snapshot(),
+        relevance: relevance.rows().to_vec(),
         trace: tracer.map(|t| TraceCheckpoint {
             state: t.export_state(),
             open_span_seq: search_span.map_or(0, |s| s.events_at_open()),
@@ -727,6 +760,18 @@ pub fn tune_session(
         Some(ck) => ck.restore_interner(),
         None => Interner::new(),
     };
+    // Per-query relevant-structure sets, derived once from the
+    // workload text (see [`crate::derived`]); every evaluation in the
+    // session keys the cost cache through them. A resumed session
+    // validates the checkpointed table against this rebuilt one.
+    let relevance = RelevanceTable::build(db, workload);
+    if let Some(ck) = ctl.resume {
+        if ck.relevance != *relevance.rows() {
+            return Err(TuneError::Checkpoint(
+                "checkpointed relevance table does not match the workload's".to_string(),
+            ));
+        }
+    }
     // Setup never takes a stop or a fault site: the report is only
     // valid with real initial/optimal costs, and injection coordinates
     // are keyed to search sites.
@@ -736,6 +781,8 @@ pub fn tune_session(
         tracer: trc(live),
         stop: None,
         faults: None,
+        relevance: Some(&relevance),
+        derived: options.derived_costs,
     };
 
     if let Some(t) = trc(live) {
@@ -751,6 +798,7 @@ pub fn tune_session(
         }
         t.emit("session.begin", fields);
     }
+    pdt_trace::incr(trc(live), "workload.deduped", workload.deduped as u64);
     let setup_span = trc(live).map(|t| t.span("setup"));
 
     // Initial (base) evaluation.
@@ -844,6 +892,11 @@ pub fn tune_session(
         candidates_reused: 0,
         bound_memo_hits: 0,
         bound_memo_misses: 0,
+        optimizer_calls_avoided: 0,
+        plan_cache_hits: 0,
+        plan_cache_misses: 0,
+        plan_cache_repriced: 0,
+        workload_deduped: workload.deduped as u64,
         candidate_counts: Vec::new(),
         request_counts: (sink.index_requests, sink.view_requests),
         bound_checks: 0,
@@ -878,6 +931,11 @@ pub fn tune_session(
         if let Some(c) = &cache {
             report.cache_hits = c.hits();
             report.cache_misses = c.misses();
+            let d = c.derived_counters();
+            report.optimizer_calls_avoided = d.avoided;
+            report.plan_cache_hits = d.plan_hits;
+            report.plan_cache_misses = d.plan_misses;
+            report.plan_cache_repriced = d.repriced;
         }
         pdt_trace::emit(
             ctl.tracer,
@@ -936,7 +994,7 @@ pub fn tune_session(
             // keeps the sequential tie-break (first strict minimum
             // wins) and accumulates memo hit/miss counts in input
             // order, so the pre-pass is identical for any thread count.
-            let cfg_sig = cfg.signature();
+            let cfg_sig = cfg.signature128();
             let scored = par_map(threads, &removals, |_, (t, sig)| {
                 score_one_memo(
                     db,
@@ -1055,7 +1113,7 @@ pub fn tune_session(
     drop(prepass_span);
     let root_size = root_config.size_bytes(db);
 
-    let root_sig = root_config.signature();
+    let root_sig = root_config.signature128();
     let mut nodes: Vec<Node> = vec![Node {
         size: root_size,
         config: root_config,
@@ -1101,6 +1159,7 @@ pub fn tune_session(
             optimizer_calls = ck.optimizer_calls;
             if let Some(c) = &cache {
                 c.set_counters(ck.cache_hits, ck.cache_misses);
+                c.set_derived_counters(ck.derived);
             }
             // Replay against the restored memo turns original misses
             // into hits (candidate generated/reused locals replay
@@ -1143,6 +1202,7 @@ pub fn tune_session(
                         cache.as_ref(),
                         &memo,
                         &interner,
+                        &relevance,
                         ctl.tracer,
                         search_span.as_ref(),
                         done,
@@ -1708,7 +1768,7 @@ pub fn tune_session(
                 size_bytes: size,
             });
         }
-        let child_sig = config.signature();
+        let child_sig = config.signature128();
         nodes.push(Node {
             config,
             eval,
@@ -1739,6 +1799,7 @@ pub fn tune_session(
         optimizer_calls = ck.optimizer_calls;
         if let Some(c) = &cache {
             c.set_counters(ck.cache_hits, ck.cache_misses);
+            c.set_derived_counters(ck.derived);
         }
         memo.set_counters(ck.bound_memo_hits, ck.bound_memo_misses);
         if let (Some(t), Some(tc)) = (ctl.tracer, &ck.trace) {
@@ -1771,6 +1832,11 @@ pub fn tune_session(
     if let Some(c) = &cache {
         report.cache_hits = c.hits();
         report.cache_misses = c.misses();
+        let d = c.derived_counters();
+        report.optimizer_calls_avoided = d.avoided;
+        report.plan_cache_hits = d.plan_hits;
+        report.plan_cache_misses = d.plan_misses;
+        report.plan_cache_repriced = d.repriced;
     }
     report.candidates_generated = candidates_generated;
     report.candidates_reused = candidates_reused;
@@ -2194,6 +2260,7 @@ mod tests {
                 deadline_ms: Some(5),
                 stop: Some(StopToken::new()),
                 incremental: false,
+                derived_costs: false,
                 ..a.clone()
             }),
             "non-decision knobs must not change the signature"
@@ -2243,6 +2310,44 @@ mod tests {
                         max_iterations: 60,
                         validate_bounds: true,
                         incremental,
+                        ..Default::default()
+                    },
+                    Some(&tracer),
+                );
+                r.elapsed = std::time::Duration::ZERO;
+                if let Some(t) = &mut r.trace {
+                    for p in &mut t.phases {
+                        p.elapsed = std::time::Duration::ZERO;
+                    }
+                }
+                (format!("{r:#?}"), tracer.to_jsonl())
+            };
+            let (ra, ta) = run(true);
+            let (rb, tb) = run(false);
+            assert_eq!(ta, tb, "traces must be byte-identical across modes");
+            assert_eq!(ra, rb, "reports must be identical across modes");
+        }
+    }
+
+    #[test]
+    fn derived_costing_matches_reference_byte_for_byte() {
+        // Same contract as the incremental engine: flipping
+        // `derived_costs` may change which serves are backed by real
+        // optimizer invocations, but never the report, counters, or
+        // trace bytes.
+        let db = test_db();
+        let w = workload(&db, SELECTS);
+        let free = tune(&db, &w, &TunerOptions::default());
+        for budget in [free.optimal_size * 0.4, 1.0] {
+            let run = |derived_costs: bool| {
+                let tracer = Tracer::new();
+                let mut r = tune_traced(
+                    &db,
+                    &w,
+                    &TunerOptions {
+                        space_budget: Some(budget),
+                        max_iterations: 60,
+                        derived_costs,
                         ..Default::default()
                     },
                     Some(&tracer),

@@ -64,6 +64,9 @@ impl WorkloadEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Workload {
     pub entries: Vec<WorkloadEntry>,
+    /// Statements folded into an earlier identical entry at bind time
+    /// (their weights were merged into the surviving entry).
+    pub deduped: usize,
 }
 
 impl Workload {
@@ -73,15 +76,31 @@ impl Workload {
     }
 
     /// Bind `(statement, weight)` pairs.
+    ///
+    /// Textually identical statements are deduplicated: the workload
+    /// keeps one entry at the first occurrence's position with the
+    /// weights summed. Every evaluation of the workload is linear in
+    /// the weight, so the folded workload has bitwise-identical totals
+    /// to evaluating each copy and summing — one optimizer call now
+    /// prices every repetition.
     pub fn bind_weighted(
         db: &Database,
         statements: impl IntoIterator<Item = (Statement, f64)>,
     ) -> Result<Workload, BindError> {
         let binder = Binder::new(db);
-        let mut entries = Vec::new();
+        let mut entries: Vec<WorkloadEntry> = Vec::new();
+        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut deduped = 0;
         for (statement, weight) in statements {
+            let text = statement.to_string();
+            if let Some(&at) = seen.get(&text) {
+                entries[at].weight += weight;
+                deduped += 1;
+                continue;
+            }
             let bound = binder.bind(&statement)?;
             let (select, shell) = split(db, &bound)?;
+            seen.insert(text, entries.len());
             entries.push(WorkloadEntry {
                 statement,
                 weight,
@@ -89,7 +108,7 @@ impl Workload {
                 shell,
             });
         }
-        Ok(Workload { entries })
+        Ok(Workload { entries, deduped })
     }
 
     pub fn len(&self) -> usize {
@@ -267,6 +286,34 @@ mod tests {
         assert!(del.touched.is_none());
         assert!(w.entries[1].select.is_some(), "delete needs row location");
         assert!((del.rows - 100.0).abs() < 5.0, "1% of 10k: {}", del.rows);
+    }
+
+    #[test]
+    fn identical_statements_fold_into_one_weighted_entry() {
+        let db = test_db();
+        let stmts = parse_workload(
+            "SELECT r.a FROM r WHERE r.b < 3;\
+             SELECT r.c FROM r;\
+             SELECT r.a FROM r WHERE r.b < 3;\
+             SELECT r.a FROM r WHERE r.b < 3",
+        )
+        .unwrap();
+        let w = Workload::bind(&db, &stmts).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.deduped, 2);
+        assert_eq!(w.entries[0].weight, 3.0, "weights merged");
+        assert_eq!(w.entries[1].weight, 1.0);
+        // Order preserved: the survivor sits at the first occurrence.
+        assert_eq!(w.entries[0].statement.to_string(), stmts[0].to_string());
+
+        // Distinct statements are untouched.
+        let w2 = Workload::bind(
+            &db,
+            &parse_workload("SELECT r.a FROM r; SELECT r.b FROM r").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(w2.len(), 2);
+        assert_eq!(w2.deduped, 0);
     }
 
     #[test]

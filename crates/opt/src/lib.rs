@@ -34,6 +34,6 @@ pub mod request;
 
 pub use block::QueryBlock;
 pub use cost::CostModel;
-pub use optimizer::{Optimizer, OptimizerOptions};
+pub use optimizer::{invocation_count, plan_footprint, reprice_plan, Optimizer, OptimizerOptions};
 pub use plan::{IndexUsage, Op, PhysPlan, PlanNode, UsageKind};
 pub use request::{CountingSink, IndexRequest, NullSink, RequestSink, TracingSink, ViewRequest};

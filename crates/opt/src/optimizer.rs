@@ -13,6 +13,20 @@ use pdt_catalog::{ColumnId, Database, TableId};
 use pdt_expr::{BoundSelect, ClassifiedPredicates, Sarg, SargablePred};
 use pdt_physical::{Configuration, MaterializedView, PhysicalSchema, SpjgExpr, ViewMatch};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global count of *real* plan searches ([`Optimizer::optimize`]
+/// invocations). The derived-costing layer keeps its logical counters
+/// mode-invariant (so reports stay byte-identical with derivation on or
+/// off); this counter is the ground truth beneath them — benches diff
+/// it across runs to measure how many plan searches derivation actually
+/// skipped. Monotonic; meaningful only as a delta within one process.
+static INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-global invocation counter.
+pub fn invocation_count() -> u64 {
+    INVOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Optimizer tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +82,7 @@ impl<'a> Optimizer<'a> {
 
     /// Optimize under a fixed configuration (no instrumentation).
     pub fn optimize(&self, config: &Configuration, q: &BoundSelect) -> PhysPlan {
+        INVOCATIONS.fetch_add(1, Ordering::Relaxed);
         let mut working = config.clone();
         self.optimize_with_sink(&mut working, q, &mut NullSink)
     }
@@ -717,6 +732,55 @@ impl<'a> Optimizer<'a> {
         }
         current
     }
+}
+
+/// The structure footprint of a plan: 128-bit content signatures of
+/// every physical structure its access paths touch — the used indexes,
+/// plus (for indexes over views) the views those indexes serve. Matches
+/// the per-structure encoding of [`Configuration::signature128`], so a
+/// footprint can be tested for survival against any configuration's
+/// relevant-structure set. Sorted and deduplicated.
+pub fn plan_footprint(usages: &[IndexUsage], config: &Configuration) -> Vec<u128> {
+    let mut out: Vec<u128> = Vec::with_capacity(usages.len());
+    for u in usages {
+        out.push(pdt_physical::index_sig128(&u.index));
+        if u.index.table.is_view() {
+            if let Some(v) = config.view(u.index.table) {
+                out.push(pdt_physical::view_sig128(v.id, v));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// INUM/CoPhy-style plan re-pricing: re-validate a cached plan's access
+/// paths against a new configuration and carry its cost over without a
+/// plan search. Each used index must still exist, and indexes over
+/// views need their view present and usable (clustered index in
+/// place). When every access path survives, the §3.3.2-style local
+/// patch is empty — no structure the plan reads changed under this
+/// catalog model — so the cached cost is returned unchanged. `None`
+/// means an access path was invalidated and the caller must fall back
+/// to a real optimizer invocation.
+pub fn reprice_plan(
+    cached_cost: f64,
+    usages: &[IndexUsage],
+    config: &Configuration,
+) -> Option<f64> {
+    for u in usages {
+        if !config.contains_index(&u.index) {
+            return None;
+        }
+        if u.index.table.is_view()
+            && (config.view(u.index.table).is_none()
+                || config.clustered_index_on(u.index.table).is_none())
+        {
+            return None;
+        }
+    }
+    Some(cached_cost)
 }
 
 /// Create a materialized view for a definition: estimate its rows with

@@ -220,6 +220,52 @@ impl Configuration {
         h.finish()
     }
 
+    /// 128-bit content signature for cache and memo keys: two
+    /// independently-tagged 64-bit hashes over the same structure
+    /// stream. Collision probability is negligible at any realistic
+    /// search-pool size, so plan-cache correctness never rides on a
+    /// 64-bit hash.
+    pub fn signature128(&self) -> u128 {
+        let mut h = Tagged128::new();
+        for i in &self.indexes {
+            h.hash(i);
+        }
+        for (id, v) in &self.views {
+            h.hash(id);
+            h.hash(&format!("{:?}", v.def));
+        }
+        h.finish()
+    }
+
+    /// Signature of the configuration *as seen by a query over
+    /// `tables`*: the indexes on those tables, the views whose
+    /// definitions join a subset of them (the only views that can
+    /// match, per [`MaterializedView::try_match`]), and the indexes on
+    /// those views. Two configurations with equal projected signatures
+    /// yield identical plans for the query, so this is the coarse cache
+    /// key for memoized what-if optimizer calls. 128-bit variant of
+    /// [`Configuration::signature_for_tables`].
+    pub fn signature_for_tables128(&self, tables: &BTreeSet<TableId>) -> u128 {
+        let visible_view = |id: TableId| {
+            self.views
+                .get(&id)
+                .is_some_and(|v| v.def.tables.is_subset(tables))
+        };
+        let mut h = Tagged128::new();
+        for i in &self.indexes {
+            if tables.contains(&i.table) || (i.table.is_view() && visible_view(i.table)) {
+                h.hash(i);
+            }
+        }
+        for (id, v) in &self.views {
+            if v.def.tables.is_subset(tables) {
+                h.hash(id);
+                h.hash(&format!("{:?}", v.def));
+            }
+        }
+        h.finish()
+    }
+
     /// Signature of the configuration *as seen by a query over
     /// `tables`*: the indexes on those tables, the views whose
     /// definitions join a subset of them (the only views that can
@@ -249,6 +295,60 @@ impl Configuration {
         }
         h.finish()
     }
+}
+
+/// A 128-bit content hasher: two `DefaultHasher`s seeded with distinct
+/// tag prefixes, combined as `(hi << 64) | lo`. Like the 64-bit
+/// signatures it widens, it is only stable within one build (`std`'s
+/// `DefaultHasher`), which is already the checkpoint contract.
+#[derive(Clone)]
+pub struct Tagged128 {
+    lo: std::collections::hash_map::DefaultHasher,
+    hi: std::collections::hash_map::DefaultHasher,
+}
+
+impl Default for Tagged128 {
+    fn default() -> Tagged128 {
+        Tagged128::new()
+    }
+}
+
+impl Tagged128 {
+    pub fn new() -> Tagged128 {
+        use std::hash::Hasher;
+        let mut lo = std::collections::hash_map::DefaultHasher::new();
+        let mut hi = std::collections::hash_map::DefaultHasher::new();
+        lo.write(b"pdt-sig128-lo");
+        hi.write(b"pdt-sig128-hi");
+        Tagged128 { lo, hi }
+    }
+
+    pub fn hash<T: std::hash::Hash + ?Sized>(&mut self, value: &T) {
+        value.hash(&mut self.lo);
+        value.hash(&mut self.hi);
+    }
+
+    pub fn finish(&self) -> u128 {
+        use std::hash::Hasher;
+        ((self.hi.finish() as u128) << 64) | self.lo.finish() as u128
+    }
+}
+
+/// 128-bit content signature of a single physical structure, matching
+/// the per-element encoding of [`Configuration::signature128`]: indexes
+/// hash directly, views hash as `(id, debug-formatted definition)`.
+pub fn index_sig128(index: &Index) -> u128 {
+    let mut h = Tagged128::new();
+    h.hash(index);
+    h.finish()
+}
+
+/// See [`index_sig128`].
+pub fn view_sig128(id: TableId, view: &MaterializedView) -> u128 {
+    let mut h = Tagged128::new();
+    h.hash(&id);
+    h.hash(&format!("{:?}", view.def));
+    h.finish()
 }
 
 fn remap_index(index: &Index, new_table: TableId) -> Index {

@@ -19,6 +19,6 @@ pub mod index;
 pub mod size;
 pub mod view;
 
-pub use config::{Configuration, PhysicalSchema};
+pub use config::{index_sig128, view_sig128, Configuration, PhysicalSchema, Tagged128};
 pub use index::Index;
 pub use view::{MaterializedView, SpjgExpr, ViewColumn, ViewColumnSource, ViewMatch};

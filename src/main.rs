@@ -75,6 +75,9 @@ OPTIONS:
   --no-incremental              disable the incremental candidate engine
                                 (delta enumeration + bound memo); output
                                 is byte-identical either way
+  --no-derived-costs            disable derived what-if costing (relevant-
+                                structure cache keys + plan reuse); output
+                                is byte-identical either way
   --trace <file.jsonl>          write structured search telemetry as JSONL
   --validate-bounds             re-optimize after each step and check the
                                 \u{a7}3.3.2 cost upper bound (fails on violation)
@@ -118,6 +121,7 @@ struct CliOptions {
     threads: usize,
     no_cache: bool,
     no_incremental: bool,
+    no_derived_costs: bool,
     trace: Option<String>,
     validate_bounds: bool,
     deadline: Option<u64>,
@@ -183,6 +187,7 @@ impl CliOptions {
                 }
                 "--no-cache" => o.no_cache = true,
                 "--no-incremental" => o.no_incremental = true,
+                "--no-derived-costs" => o.no_derived_costs = true,
                 "--trace" => o.trace = Some(value("--trace")?),
                 "--validate-bounds" => o.validate_bounds = true,
                 "--deadline" => {
@@ -351,6 +356,7 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
         threads: o.threads,
         cost_cache: !o.no_cache,
         incremental: !o.no_incremental,
+        derived_costs: !o.no_derived_costs,
         validate_bounds: o.validate_bounds,
         deadline_ms: o.deadline,
         stop: Some(token.clone()),
@@ -463,6 +469,25 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
         "{}",
         cache_line(report.cache_hits, report.cache_misses, o.no_cache)
     );
+    if report.workload_deduped > 0 {
+        println!(
+            "workload: {} duplicate statements folded into weighted entries",
+            report.workload_deduped
+        );
+    }
+    if report.optimizer_calls_avoided > 0 {
+        println!(
+            "derived costing: {} optimizer calls avoided beyond coarse keying",
+            report.optimizer_calls_avoided
+        );
+    }
+    let plan_probes = report.plan_cache_hits + report.plan_cache_misses;
+    if plan_probes > 0 {
+        println!(
+            "plan cache: {} reused / {} probes missed, {} repriced",
+            report.plan_cache_hits, report.plan_cache_misses, report.plan_cache_repriced
+        );
+    }
     let scored = report.candidates_generated + report.candidates_reused;
     if scored > 0 {
         println!(
@@ -710,6 +735,15 @@ mod tests {
         let args = vec!["--no-incremental".to_string()];
         let o = CliOptions::parse(&args).unwrap();
         assert!(o.no_incremental);
+    }
+
+    #[test]
+    fn cli_parses_derived_costs_flag() {
+        let o = CliOptions::parse(&[]).unwrap();
+        assert!(!o.no_derived_costs, "derived costing is the default");
+        let args = vec!["--no-derived-costs".to_string()];
+        let o = CliOptions::parse(&args).unwrap();
+        assert!(o.no_derived_costs);
     }
 
     #[test]

@@ -206,5 +206,8 @@ fn tpch_golden_counters() {
     );
 }
 
-const GOLDEN_OPTIMIZER_CALLS: usize = 20;
+// 20 -> 18 when the what-if cache moved to relevant-subset keys
+// (derived costing): two re-evaluations in this session probe with an
+// unchanged relevant subset and are now logical cache hits.
+const GOLDEN_OPTIMIZER_CALLS: usize = 18;
 const GOLDEN_CANDIDATES_GENERATED: u64 = 6;

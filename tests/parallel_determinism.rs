@@ -143,6 +143,10 @@ fn cache_changes_counters_but_not_the_recommendation() {
         r.cache_hits = 0;
         r.cache_misses = 0;
         r.optimizer_calls = 0; // hits replace optimizer invocations
+        r.optimizer_calls_avoided = 0; // derived serves need a cache too
+        r.plan_cache_hits = 0;
+        r.plan_cache_misses = 0;
+        r.plan_cache_repriced = 0;
         format!("{r:#?}")
     };
     assert_eq!(strip(&cached), strip(&uncached));

@@ -64,6 +64,20 @@ fn counters_reconcile_with_the_report() {
         tracer.counter("bound.memo.misses"),
         report.bound_memo_misses
     );
+    assert_eq!(
+        tracer.counter("optimizer.calls_avoided"),
+        report.optimizer_calls_avoided
+    );
+    assert_eq!(tracer.counter("plan_cache.hits"), report.plan_cache_hits);
+    assert_eq!(
+        tracer.counter("plan_cache.misses"),
+        report.plan_cache_misses
+    );
+    assert_eq!(
+        tracer.counter("plan_cache.repriced"),
+        report.plan_cache_repriced
+    );
+    assert_eq!(tracer.counter("workload.deduped"), report.workload_deduped);
     assert!(report.bound_checks > 0, "the oracle must have run");
     assert!(
         report.candidates_generated > 0,
@@ -197,8 +211,10 @@ fn session_begin_records_the_options() {
     );
     assert_eq!(v.get("entries").and_then(json::Json::as_i64), Some(4));
     assert_eq!(v.get("validate_bounds"), Some(&json::Json::Bool(true)));
-    // Run-environment knobs (thread count) must NOT be in the stream,
-    // or traces could never be compared across machines.
+    // Run-environment knobs (thread count, pure-perf mode flags) must
+    // NOT be in the stream, or traces could never be compared across
+    // machines and modes.
     assert_eq!(v.get("threads"), None);
+    assert_eq!(v.get("derived_costs"), None);
     assert_eq!(v.get("budget").and_then(json::Json::as_f64), Some(budget));
 }
