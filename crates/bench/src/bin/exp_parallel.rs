@@ -17,6 +17,9 @@ use std::time::Instant;
 struct Row {
     threads: usize,
     cost_cache: bool,
+    /// More workers than cores: the wall clock measures scheduling
+    /// overhead, not scaling, so the row must not be read as a speedup.
+    degraded: bool,
     wall_clock_ms: f64,
     optimizer_calls: usize,
     cache_hits: u64,
@@ -27,6 +30,7 @@ struct Row {
 json_struct!(Row {
     threads,
     cost_cache,
+    degraded,
     wall_clock_ms,
     optimizer_calls,
     cache_hits,
@@ -36,14 +40,18 @@ json_struct!(Row {
 });
 
 struct Summary {
-    available_parallelism: usize,
+    nproc: usize,
     speedup_vs_1_thread: f64,
+    /// True when every multi-thread row is degraded — the speedup
+    /// figure above is then a 1-core artifact, not a scaling result.
+    speedup_degraded: bool,
     cache_speedup_1_thread: f64,
     rows: Vec<Row>,
 }
 json_struct!(Summary {
-    available_parallelism,
+    nproc,
     speedup_vs_1_thread,
+    speedup_degraded,
     cache_speedup_1_thread,
     rows
 });
@@ -65,6 +73,7 @@ fn main() {
     );
     let budget = free.initial_size + (free.optimal_size - free.initial_size) * 0.2;
 
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
     let run = |threads: usize, cost_cache: bool| -> (Row, TuningReport) {
         let start = Instant::now();
         let r = tune(
@@ -84,6 +93,7 @@ fn main() {
         let row = Row {
             threads,
             cost_cache,
+            degraded: threads > nproc,
             wall_clock_ms: wall,
             optimizer_calls: r.optimizer_calls,
             cache_hits: r.cache_hits,
@@ -124,8 +134,9 @@ fn main() {
         .map(|&t| wall(t, true))
         .fold(f64::INFINITY, f64::min);
     let summary = Summary {
-        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        nproc,
         speedup_vs_1_thread: wall(1, true) / best_parallel,
+        speedup_degraded: nproc < 2,
         cache_speedup_1_thread: wall(1, false) / wall(1, true),
         rows,
     };
@@ -137,6 +148,7 @@ fn main() {
             vec![
                 r.threads.to_string(),
                 if r.cost_cache { "on" } else { "off" }.to_string(),
+                if r.degraded { "yes" } else { "" }.to_string(),
                 format!("{:.0}", r.wall_clock_ms),
                 r.optimizer_calls.to_string(),
                 format!("{:.1}", r.cache_hit_rate_pct),
@@ -150,6 +162,7 @@ fn main() {
             &[
                 "threads",
                 "cache",
+                "degr",
                 "wall ms",
                 "opt calls",
                 "hit %",
@@ -159,8 +172,15 @@ fn main() {
         )
     );
     println!(
-        "available parallelism: {}   speedup vs 1 thread: {:.2}x   cache speedup: {:.2}x",
-        summary.available_parallelism, summary.speedup_vs_1_thread, summary.cache_speedup_1_thread
+        "nproc: {}   speedup vs 1 thread: {:.2}x{}   cache speedup: {:.2}x",
+        summary.nproc,
+        summary.speedup_vs_1_thread,
+        if summary.speedup_degraded {
+            " (degraded: fewer cores than workers)"
+        } else {
+            ""
+        },
+        summary.cache_speedup_1_thread
     );
 
     write_json("BENCH_parallel", &summary);

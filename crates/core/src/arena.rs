@@ -1,0 +1,278 @@
+//! Flat-memory primitives for the id-addressed hot path: cache-line
+//! padding, worker-derived shard counts, an open-addressed probe table
+//! keyed by pre-hashed integers, and reusable SoA scratch for the §3.6
+//! skyline dominance scan.
+//!
+//! Everything here is allocation *placement*, never logic: the flat
+//! engine (`TunerOptions::flat_hot_path`) stores exactly the same
+//! key/value pairs the hash-keyed reference engine stores, probed by
+//! the bits of signatures that are already high-quality hashes instead
+//! of re-hashing them through SipHash. Contents, counters, and
+//! iteration-order-independent reductions are byte-identical across
+//! both layouts, which the 200-seed sweep in `tests/flat_hot_path.rs`
+//! asserts end to end.
+//!
+//! Lifetime argument (DESIGN.md §13): every structure in this module is
+//! scratch or session-local cache. `SkylineScratch` buffers live on the
+//! driver's stack frame for the whole session and are overwritten at
+//! each use; `ProbeTable`s live inside the memo/cost caches and die
+//! with the session. Nothing here is serialized: checkpoints keep
+//! writing portable 128-bit signatures, and id tables are rebuilt from
+//! those on resume.
+
+/// Pad a shard to its own cache line so concurrent workers touching
+/// adjacent shards do not false-share lock words or map headers.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub struct CachePadded<T>(pub T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Shard count for the flat memo/cost caches, derived from the actual
+/// worker count instead of a fixed constant: enough shards that workers
+/// rarely collide (4x oversubscription smooths hash skew), rounded to a
+/// power of two so selection is a mask, clamped to keep the table walk
+/// in `snapshot()` cheap on huge machines.
+pub fn shard_count(workers: usize) -> usize {
+    (workers.max(1) * 4).next_power_of_two().clamp(8, 64)
+}
+
+/// A key whose probe hash is derivable from its own bits — the keys the
+/// flat engine stores are built from signatures that are already
+/// uniformly distributed hashes, so no hasher runs on the hot path.
+pub trait ProbeKey: Copy + Eq {
+    fn probe_hash(&self) -> u64;
+}
+
+/// Bound-memo key: (transformation signature, dense configuration id).
+impl ProbeKey for (u64, u32) {
+    fn probe_hash(&self) -> u64 {
+        self.0 ^ u64::from(self.1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Cost-cache fine key: (query index, 128-bit projection signature).
+impl ProbeKey for (u32, u128) {
+    fn probe_hash(&self) -> u64 {
+        (self.1 as u64)
+            ^ ((self.1 >> 64) as u64).rotate_left(32)
+            ^ u64::from(self.0).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Open-addressed hash table probed by [`ProbeKey::probe_hash`]:
+/// linear probing, power-of-two capacity, growth at 50% load.
+#[derive(Debug)]
+pub struct ProbeTable<K, V> {
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+}
+
+impl<K: ProbeKey, V> Default for ProbeTable<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: ProbeKey, V> ProbeTable<K, V> {
+    pub fn new() -> Self {
+        ProbeTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, key: K) -> Option<&V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key.probe_hash() as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, v)) if *k == key => return Some(v),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Insert or overwrite. The flat engine only ever overwrites with a
+    /// bitwise-identical value (both engines compute pure functions of
+    /// the key), so insertion order cannot leak into lookups.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.slots.len() < 2 * (self.len + 1) {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key.probe_hash() as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k != key => i = (i + 1) & mask,
+                slot => {
+                    if slot.is_none() {
+                        self.len += 1;
+                    }
+                    self.slots[i] = Some((key, value));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, {
+            let mut v = Vec::new();
+            v.resize_with(new_cap, || None);
+            v
+        });
+        let mask = new_cap - 1;
+        for (k, v) in old.into_iter().flatten() {
+            let mut i = (k.probe_hash() as usize) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some((k, v));
+        }
+    }
+
+    /// Every entry, in slot order. Callers that need determinism sort
+    /// by the full key afterwards (contents are set-equal to the
+    /// reference engine's, so the sorted dump is byte-identical).
+    pub fn iter(&self) -> impl Iterator<Item = &(K, V)> {
+        self.slots.iter().flatten()
+    }
+}
+
+/// Reusable SoA buffers for the §3.6 skyline dominance scan: the flat
+/// engine loads the open candidates' (ΔT, ΔS) pairs into two dense
+/// columns and computes one dominated-flag per position, instead of
+/// building a fresh `Vec<(f64, f64)>` snapshot per iteration and
+/// re-scanning it per candidate through a closure. Same double loop,
+/// same comparisons, same flags — only the memory shape changes.
+#[derive(Default)]
+pub struct SkylineScratch {
+    delta_t: Vec<f64>,
+    delta_s: Vec<f64>,
+    dominated: Vec<bool>,
+}
+
+impl SkylineScratch {
+    /// Compute dominated flags for `pairs` (in input order): position
+    /// `i` is dominated iff some position has `ΔT <= ΔT_i && ΔS >= ΔS_i`
+    /// with at least one strict — exactly the reference predicate.
+    pub fn dominated_flags(&mut self, pairs: impl Iterator<Item = (f64, f64)>) -> &[bool] {
+        self.delta_t.clear();
+        self.delta_s.clear();
+        for (t, s) in pairs {
+            self.delta_t.push(t);
+            self.delta_s.push(s);
+        }
+        let n = self.delta_t.len();
+        self.dominated.clear();
+        self.dominated.resize(n, false);
+        for i in 0..n {
+            let (ct, cs) = (self.delta_t[i], self.delta_s[i]);
+            self.dominated[i] = self
+                .delta_t
+                .iter()
+                .zip(&self.delta_s)
+                .any(|(&ot, &os)| ot <= ct && os >= cs && (ot < ct || os > cs));
+        }
+        &self.dominated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_tracks_workers() {
+        assert_eq!(shard_count(0), 8);
+        assert_eq!(shard_count(1), 8);
+        assert_eq!(shard_count(2), 8);
+        assert_eq!(shard_count(4), 16);
+        assert_eq!(shard_count(8), 32);
+        assert_eq!(shard_count(16), 64);
+        assert_eq!(shard_count(1024), 64);
+        for w in 0..100 {
+            assert!(shard_count(w).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn probe_table_round_trips_and_grows() {
+        let mut t: ProbeTable<(u64, u32), f64> = ProbeTable::new();
+        assert!(t.get((1, 2)).is_none());
+        for i in 0..1000u64 {
+            t.insert((i.wrapping_mul(0xABCDEF), i as u32), i as f64);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(
+                t.get((i.wrapping_mul(0xABCDEF), i as u32)),
+                Some(&(i as f64))
+            );
+        }
+        assert!(t.get((1, 999)).is_none());
+        // Overwrite does not change the length.
+        t.insert((0, 0), 42.0);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.get((0, 0)), Some(&42.0));
+        assert_eq!(t.iter().count(), 1000);
+    }
+
+    #[test]
+    fn probe_table_handles_clustered_keys() {
+        // Keys that collide heavily on the folded probe hash exercise
+        // linear probing and rehash-on-grow.
+        let mut t: ProbeTable<(u32, u128), u32> = ProbeTable::new();
+        for i in 0..64u32 {
+            t.insert((7, u128::from(i) << 120), i);
+        }
+        for i in 0..64u32 {
+            assert_eq!(t.get((7, u128::from(i) << 120)), Some(&i));
+        }
+        assert_eq!(t.len(), 64);
+        // Same signature under a different query index is a miss.
+        assert!(t.get((8, 0u128)).is_none());
+    }
+
+    #[test]
+    fn skyline_scratch_matches_reference_predicate() {
+        let pairs = [(1.0, 5.0), (2.0, 5.0), (0.5, 1.0), (3.0, 9.0), (1.0, 5.0)];
+        let mut scratch = SkylineScratch::default();
+        let flags = scratch.dominated_flags(pairs.iter().copied()).to_vec();
+        let reference: Vec<bool> = pairs
+            .iter()
+            .map(|&(ct, cs)| {
+                pairs
+                    .iter()
+                    .any(|&(ot, os)| ot <= ct && os >= cs && (ot < ct || os > cs))
+            })
+            .collect();
+        assert_eq!(flags, reference);
+        // (1,5) dominates (2,5); everything else — including the two
+        // equal (1,5) points, which are not strictly better than each
+        // other — stays on the frontier.
+        assert_eq!(flags, vec![false, true, false, false, false]);
+        // Reuse with a different size.
+        let flags = scratch.dominated_flags([(1.0, 1.0)].into_iter());
+        assert_eq!(flags, &[false]);
+    }
+}

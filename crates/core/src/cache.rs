@@ -40,6 +40,7 @@
 //!
 //! [`Configuration::signature_for_tables128`]: pdt_physical::Configuration::signature_for_tables128
 
+use crate::arena::{shard_count, CachePadded, ProbeKey, ProbeTable};
 use crate::derived::{sorted_subset, Projection};
 use parking_lot::RwLock;
 use pdt_opt::IndexUsage;
@@ -104,12 +105,70 @@ pub struct CostCache {
     /// (even inside evaluations that later abort). Purely a
     /// real-invocation saver — see the module docs.
     invocations: Vec<RwLock<HashMap<(usize, u128), CacheEntry>>>,
+    /// Flat id-addressed backend ([`CostCache::flat`]); when present,
+    /// `shards` and `invocations` stay empty and every probe goes to
+    /// open-addressed tables keyed by the signature's own bits.
+    flat: Option<FlatCost>,
     hits: AtomicU64,
     misses: AtomicU64,
     avoided: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     repriced: AtomicU64,
+}
+
+/// Flat backend: per-shard open-addressed [`ProbeTable`]s keyed by
+/// `(query as u32, projection signature)` and probed by the signature's
+/// own bits (it is already a hash). Shard selection uses the high probe
+/// bits so shard-mates spread inside their table, and the shard count
+/// follows the actual worker count ([`shard_count`]).
+#[derive(Debug)]
+struct FlatCost {
+    shards: Vec<CostShard>,
+    invocations: Vec<CostShard>,
+}
+
+/// One cache-line-padded shard of the flat cost store.
+type CostShard = CachePadded<RwLock<ProbeTable<(u32, u128), CacheEntry>>>;
+
+impl FlatCost {
+    fn with_shards(n: usize) -> FlatCost {
+        FlatCost {
+            shards: (0..n)
+                .map(|_| CachePadded(RwLock::new(ProbeTable::new())))
+                .collect(),
+            invocations: (0..n)
+                .map(|_| CachePadded(RwLock::new(ProbeTable::new())))
+                .collect(),
+        }
+    }
+
+    fn shard_of(
+        shards: &[CostShard],
+        key: (u32, u128),
+    ) -> &RwLock<ProbeTable<(u32, u128), CacheEntry>> {
+        let h = key.probe_hash();
+        &shards[(h >> 58) as usize & (shards.len() - 1)]
+    }
+
+    /// [`CostCache::plan_probe_in`] over flat tables: the identical
+    /// servability predicate, and the min-by-signature winner makes the
+    /// result independent of slot order, so both backends serve the
+    /// same entry.
+    fn plan_probe_in(shards: &[CostShard], query: usize, proj: &Projection) -> Option<CacheEntry> {
+        let mut best: Option<(u128, CacheEntry)> = None;
+        for shard in shards {
+            for ((q, sig), e) in shard.read().iter() {
+                if !CostCache::servable(*q as usize, query, e, proj) {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(bs, _)| sig < bs) {
+                    best = Some((*sig, e.clone()));
+                }
+            }
+        }
+        best.map(|(_, e)| e)
+    }
 }
 
 /// One evaluation's derived-costing tallies, committed alongside the
@@ -138,6 +197,7 @@ impl CostCache {
         CostCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             invocations: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            flat: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             avoided: AtomicU64::new(0),
@@ -145,6 +205,41 @@ impl CostCache {
             plan_misses: AtomicU64::new(0),
             repriced: AtomicU64::new(0),
         }
+    }
+
+    /// A cache backed by the flat id-addressed store, sharded for
+    /// `workers` concurrent scorers.
+    pub fn flat(workers: usize) -> Self {
+        CostCache {
+            shards: Vec::new(),
+            invocations: Vec::new(),
+            flat: Some(FlatCost::with_shards(shard_count(workers))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            avoided: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            repriced: AtomicU64::new(0),
+        }
+    }
+
+    pub fn is_flat(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// The plan-reuse servability predicate, shared verbatim by both
+    /// backends (see [`CostCache::plan_probe`] for the derivation).
+    fn servable(entry_query: usize, query: usize, e: &CacheEntry, proj: &Projection) -> bool {
+        entry_query == query
+            && e.cost.is_finite()
+            && e.cost >= 0.0
+            && sorted_subset(&proj.relevant, &e.relevant)
+            && sorted_subset(&e.footprint, &proj.relevant)
+            && !e
+                .relevant
+                .iter()
+                .filter(|s| proj.relevant.binary_search(s).is_err())
+                .any(|s| e.pinned.binary_search(s).is_ok())
     }
 
     fn shard_index(query: usize, signature: u128) -> usize {
@@ -162,6 +257,10 @@ impl CostCache {
     }
 
     pub fn lookup(&self, query: usize, signature: u128) -> Option<CacheEntry> {
+        if let Some(f) = &self.flat {
+            let key = (query as u32, signature);
+            return FlatCost::shard_of(&f.shards, key).read().get(key).cloned();
+        }
         self.shard(query, signature)
             .read()
             .get(&(query, signature))
@@ -169,6 +268,13 @@ impl CostCache {
     }
 
     pub fn insert(&self, query: usize, signature: u128, entry: CacheEntry) {
+        if let Some(f) = &self.flat {
+            let key = (query as u32, signature);
+            FlatCost::shard_of(&f.shards, key)
+                .write()
+                .insert(key, entry);
+            return;
+        }
         self.shard(query, signature)
             .write()
             .insert((query, signature), entry);
@@ -177,6 +283,13 @@ impl CostCache {
     /// A previously recorded real optimizer answer for this exact key,
     /// if any invocation (committed or aborted) already priced it.
     pub fn invocation_lookup(&self, query: usize, signature: u128) -> Option<CacheEntry> {
+        if let Some(f) = &self.flat {
+            let key = (query as u32, signature);
+            return FlatCost::shard_of(&f.invocations, key)
+                .read()
+                .get(key)
+                .cloned();
+        }
         self.invocations[Self::shard_index(query, signature)]
             .read()
             .get(&(query, signature))
@@ -188,6 +301,13 @@ impl CostCache {
     /// is a pure function of the key, so racing writers are idempotent
     /// and early visibility cannot perturb any deterministic state.
     pub fn invocation_insert(&self, query: usize, signature: u128, entry: CacheEntry) {
+        if let Some(f) = &self.flat {
+            let key = (query as u32, signature);
+            FlatCost::shard_of(&f.invocations, key)
+                .write()
+                .insert(key, entry);
+            return;
+        }
         self.invocations[Self::shard_index(query, signature)]
             .write()
             .insert((query, signature), entry);
@@ -200,6 +320,9 @@ impl CostCache {
     /// store contents decide only *whether* a real call is saved, never
     /// what any deterministic state observes.
     pub fn invocation_plan_probe(&self, query: usize, proj: &Projection) -> Option<CacheEntry> {
+        if let Some(f) = &self.flat {
+            return FlatCost::plan_probe_in(&f.invocations, query, proj);
+        }
         Self::plan_probe_in(&self.invocations, query, proj)
     }
 
@@ -222,6 +345,9 @@ impl CostCache {
     /// signature wins, making the result independent of shard iteration
     /// order — though all servable entries carry bitwise-equal answers.
     pub fn plan_probe(&self, query: usize, proj: &Projection) -> Option<CacheEntry> {
+        if let Some(f) = &self.flat {
+            return FlatCost::plan_probe_in(&f.shards, query, proj);
+        }
         Self::plan_probe_in(&self.shards, query, proj)
     }
 
@@ -233,20 +359,7 @@ impl CostCache {
         let mut best: Option<(u128, CacheEntry)> = None;
         for shard in shards {
             for ((q, sig), e) in shard.read().iter() {
-                let servable = *q == query
-                    && e.cost.is_finite()
-                    && e.cost >= 0.0
-                    && sorted_subset(&proj.relevant, &e.relevant)
-                    && sorted_subset(&e.footprint, &proj.relevant);
-                if !servable {
-                    continue;
-                }
-                let lost_pinned = e
-                    .relevant
-                    .iter()
-                    .filter(|s| proj.relevant.binary_search(s).is_err())
-                    .any(|s| e.pinned.binary_search(s).is_ok());
-                if lost_pinned {
+                if !Self::servable(*q, query, e, proj) {
                     continue;
                 }
                 if best.as_ref().is_none_or(|(bs, _)| sig < bs) {
@@ -318,6 +431,9 @@ impl CostCache {
     }
 
     pub fn len(&self) -> usize {
+        if let Some(f) = &self.flat {
+            return f.shards.iter().map(|s| s.read().len()).sum();
+        }
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
@@ -353,16 +469,27 @@ impl CostCache {
     /// Every entry, sorted by key. The deterministic iteration order
     /// makes checkpoint files reproducible byte-for-byte.
     pub fn snapshot(&self) -> Vec<((usize, u128), CacheEntry)> {
-        let mut out: Vec<((usize, u128), CacheEntry)> = self
-            .shards
-            .iter()
-            .flat_map(|s| {
-                s.read()
-                    .iter()
-                    .map(|(k, v)| (*k, v.clone()))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let mut out: Vec<((usize, u128), CacheEntry)> = if let Some(f) = &self.flat {
+            f.shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .iter()
+                        .map(|((q, sig), v)| ((*q as usize, *sig), v.clone()))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        } else {
+            self.shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .iter()
+                        .map(|(k, v)| (*k, v.clone()))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
         out.sort_by_key(|(k, _)| *k);
         out
     }
@@ -534,6 +661,75 @@ mod tests {
         // Never part of snapshots (checkpoints must not carry it).
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn flat_backend_is_a_drop_in() {
+        let cache = CostCache::flat(4);
+        assert!(cache.is_flat());
+        assert!(!CostCache::new().is_flat());
+
+        // Round trips and wide keys.
+        assert!(cache.lookup(0, 42).is_none());
+        cache.insert(0, 42, entry(7.5));
+        assert_eq!(cache.lookup(0, 42).unwrap().cost, 7.5);
+        assert!(cache.lookup(1, 42).is_none());
+        let lo = 0xDEAD_BEEFu128;
+        let hi = lo | (1u128 << 100);
+        cache.insert(2, lo, entry(1.0));
+        cache.insert(2, hi, entry(2.0));
+        assert_eq!(cache.lookup(2, lo).unwrap().cost, 1.0);
+        assert_eq!(cache.lookup(2, hi).unwrap().cost, 2.0);
+
+        // Snapshot is sorted by the portable (usize, u128) key.
+        let keys: Vec<_> = cache.snapshot().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(0, 42), (2, lo), (2, hi)]);
+        assert_eq!(cache.len(), 3);
+
+        // Invocation store stays separate, as in the reference.
+        cache.invocation_insert(3, 55, derived_entry(9.0, &[1, 2], &[2], &[]));
+        assert_eq!(cache.invocation_lookup(3, 55).unwrap().cost, 9.0);
+        assert!(cache.lookup(3, 55).is_none());
+        assert_eq!(cache.snapshot().len(), 3);
+        assert_eq!(
+            cache.invocation_plan_probe(3, &proj(&[1, 2])).unwrap().cost,
+            9.0
+        );
+        assert!(cache.invocation_plan_probe(3, &proj(&[1])).is_none());
+    }
+
+    #[test]
+    fn flat_plan_probe_matches_reference_decisions() {
+        for cache in [CostCache::new(), CostCache::flat(2)] {
+            cache.insert(7, 100, derived_entry(5.0, &[1, 2, 3], &[2], &[1]));
+            assert_eq!(cache.plan_probe(7, &proj(&[1, 2])).unwrap().cost, 5.0);
+            assert!(cache.plan_probe(7, &proj(&[2, 3])).is_none());
+            assert!(cache.plan_probe(7, &proj(&[1, 3])).is_none());
+            assert!(cache.plan_probe(7, &proj(&[1, 2, 4])).is_none());
+            assert!(cache.plan_probe(8, &proj(&[1, 2])).is_none());
+            // Deterministic winner: smallest key signature.
+            cache.insert(7, 150, derived_entry(4.0, &[1, 2], &[], &[]));
+            cache.insert(7, 90, derived_entry(4.0, &[1, 3], &[], &[]));
+            let served = cache.plan_probe(7, &proj(&[1])).unwrap();
+            assert_eq!(served.relevant.as_ref(), &[1, 3]);
+        }
+    }
+
+    #[test]
+    fn flat_concurrent_use_is_safe() {
+        let cache = CostCache::flat(4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..250usize {
+                        cache.insert(i, t as u128, entry(i as f64));
+                        assert_eq!(cache.lookup(i, t as u128).unwrap().cost, i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1000);
     }
 
     #[test]

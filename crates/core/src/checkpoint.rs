@@ -122,9 +122,17 @@ impl Checkpoint {
     }
 
     /// Rebuild the what-if cost cache (counters start at zero; the
-    /// session restores them when it goes live).
-    pub fn restore_cache(&self) -> CostCache {
-        let cache = CostCache::new();
+    /// session restores them when it goes live). Checkpoints carry only
+    /// portable `(query, signature)` keys, so the same dump restores
+    /// into either backend: `flat` selects the id-addressed store sized
+    /// for `workers` ([`CostCache::flat`]), which re-interns the keys
+    /// on insert.
+    pub fn restore_cache(&self, flat: bool, workers: usize) -> CostCache {
+        let cache = if flat {
+            CostCache::flat(workers)
+        } else {
+            CostCache::new()
+        };
         for ((q, sig), entry) in &self.cache {
             cache.insert(*q, *sig, entry.clone());
         }
@@ -132,9 +140,16 @@ impl Checkpoint {
     }
 
     /// Rebuild the bound memo (counters start at zero; the session
-    /// restores them when it goes live).
-    pub fn restore_memo(&self) -> BoundMemo {
-        let memo = BoundMemo::new();
+    /// restores them when it goes live). Like [`Checkpoint::restore_cache`],
+    /// the portable signature keys restore into either backend; the
+    /// flat store assigns fresh session-local configuration ids in dump
+    /// order.
+    pub fn restore_memo(&self, flat: bool, workers: usize) -> BoundMemo {
+        let memo = if flat {
+            BoundMemo::flat(workers)
+        } else {
+            BoundMemo::new()
+        };
         for ((t_sig, cfg_sig), entry) in &self.bound_memo {
             memo.insert(*t_sig, *cfg_sig, *entry);
         }
@@ -1023,22 +1038,39 @@ mod tests {
     #[test]
     fn restore_cache_rebuilds_entries() {
         let ck = sample_checkpoint();
-        let cache = ck.restore_cache();
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.lookup(0, 17 << 70).unwrap().cost, 9.75);
-        assert!(cache.lookup(1, 99).unwrap().cost.is_nan());
-        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        for flat in [false, true] {
+            let cache = ck.restore_cache(flat, 2);
+            assert_eq!(cache.is_flat(), flat);
+            assert_eq!(cache.len(), 2);
+            assert_eq!(cache.lookup(0, 17 << 70).unwrap().cost, 9.75);
+            assert!(cache.lookup(1, 99).unwrap().cost.is_nan());
+            assert_eq!((cache.hits(), cache.misses()), (0, 0));
+            // The restored store snapshots back to the identical dump,
+            // whichever backend holds it.
+            let snap = cache.snapshot();
+            assert_eq!(
+                snap.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+                ck.cache.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]
     fn restore_memo_and_interner_rebuild_entries() {
         let ck = sample_checkpoint();
-        let memo = ck.restore_memo();
-        assert_eq!(memo.len(), 2);
-        assert_eq!(memo.lookup(0x11, 0x22 << 80).unwrap().bound, 45.5);
-        let na = memo.lookup(0x33, 0x22).unwrap();
-        assert!(!na.applies && na.bound.is_nan());
-        assert_eq!((memo.hits(), memo.misses()), (0, 0));
+        for flat in [false, true] {
+            let memo = ck.restore_memo(flat, 2);
+            assert_eq!(memo.is_flat(), flat);
+            assert_eq!(memo.len(), 2);
+            assert_eq!(memo.lookup(0x11, 0x22 << 80).unwrap().bound, 45.5);
+            let na = memo.lookup(0x33, 0x22).unwrap();
+            assert!(!na.applies && na.bound.is_nan());
+            assert_eq!((memo.hits(), memo.misses()), (0, 0));
+            assert_eq!(
+                memo.snapshot().iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+                ck.bound_memo.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+            );
+        }
         let interner = ck.restore_interner();
         assert_eq!(interner.len(), 1);
         assert_eq!(interner.snapshot(), ck.interner);

@@ -36,10 +36,10 @@ use crate::workload::Workload;
 use pdt_catalog::{ColumnId, Database, TableId};
 use pdt_opt::QueryBlock;
 use pdt_physical::{
-    index_sig128, view_sig128, Configuration, MaterializedView, SpjgExpr, Tagged128,
+    index_sig128, view_sig128, Configuration, Index, MaterializedView, SpjgExpr, Tagged128,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// What a single query can see: its tables, the columns that can carry
 /// sargs on them, and the columns its plans must produce per table.
@@ -89,6 +89,13 @@ pub struct RelevanceTable {
     /// `(query, view signature)`. Shared across clones; purely a
     /// cache of the deterministic [`MaterializedView::try_match`].
     view_memo: Arc<RwLock<HashMap<(usize, u128), bool>>>,
+    /// Dense id of each query's FROM table set: queries with equal
+    /// table sets share an id, so the flat projector computes the
+    /// coarse per-table signature once per *set* per configuration
+    /// instead of once per query.
+    set_ids: Vec<Option<u32>>,
+    /// Number of distinct table sets (the id range).
+    num_sets: usize,
 }
 
 impl RelevanceTable {
@@ -122,11 +129,35 @@ impl RelevanceTable {
                 required,
             }));
         }
+        let mut sets: HashMap<&BTreeSet<TableId>, u32> = HashMap::new();
+        let set_ids: Vec<Option<u32>> = per_query
+            .iter()
+            .map(|q| {
+                q.as_ref().map(|qr| {
+                    let next = sets.len() as u32;
+                    *sets.entry(&qr.tables).or_insert(next)
+                })
+            })
+            .collect();
+        let num_sets = sets.len();
         RelevanceTable {
             per_query,
             blocks,
             view_memo: Arc::default(),
+            set_ids,
+            num_sets,
         }
+    }
+
+    /// Dense table-set id of query `query` (queries sharing a FROM
+    /// table set share an id); `None` for non-SELECT entries.
+    pub fn set_id(&self, query: usize) -> Option<u32> {
+        self.set_ids.get(query).copied().flatten()
+    }
+
+    /// The table-set id range for sizing per-set scratch.
+    pub fn num_table_sets(&self) -> usize {
+        self.num_sets
     }
 
     pub fn len(&self) -> usize {
@@ -232,6 +263,110 @@ impl RelevanceTable {
             relevant: relevant.into(),
             pinned: pinned.into(),
         })
+    }
+}
+
+/// One configuration's projection context, built once per evaluation on
+/// the driver thread and shared (by reference) with scoring workers.
+///
+/// [`RelevanceTable::projection`] re-derives per-structure work for
+/// every query: it walks the configuration's `BTreeSet`, re-hashes each
+/// relevant index/view to its 128-bit signature, and re-folds the
+/// coarse per-table signature. Under the flat engine all of that is
+/// hoisted here — signatures are computed once per structure per
+/// evaluation, and the coarse signature once per distinct FROM table
+/// set ([`RelevanceTable::set_id`]) — while the per-query relevance
+/// tests, the sort, and the `Tagged128` fold stay verbatim, so
+/// [`FlatProjector::project`] returns a bitwise-identical
+/// [`Projection`] (debug builds assert it).
+pub struct FlatProjector<'a> {
+    rt: &'a RelevanceTable,
+    config: &'a Configuration,
+    /// Every configuration index with its precomputed signature, in
+    /// `config.indexes()` order.
+    indexes: Vec<(&'a Index, u128)>,
+    /// Every configuration view with its precomputed signature, in
+    /// `config.views()` order.
+    views: Vec<(&'a MaterializedView, u128)>,
+    /// Coarse per-table signature per dense table-set id, computed on
+    /// first use (any thread; the value is a pure function of the
+    /// configuration and the set).
+    coarse: Vec<OnceLock<u128>>,
+}
+
+impl<'a> FlatProjector<'a> {
+    pub fn new(rt: &'a RelevanceTable, config: &'a Configuration) -> FlatProjector<'a> {
+        FlatProjector {
+            rt,
+            config,
+            indexes: config.indexes().map(|i| (i, index_sig128(i))).collect(),
+            views: config.views().map(|v| (v, view_sig128(v.id, v))).collect(),
+            coarse: (0..rt.num_table_sets()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// [`RelevanceTable::projection`] of the held configuration onto
+    /// query `query`, from precomputed signatures.
+    pub fn project(&self, query: usize) -> Option<Projection> {
+        let qr = self.rt.query(query)?;
+        let mut relevant: Vec<u128> = Vec::new();
+        let mut pinned: Vec<u128> = Vec::new();
+        let usable_view = |id: TableId| {
+            self.config.view(id).is_some_and(|v| {
+                v.def.tables.is_subset(&qr.tables) && self.rt.view_matchable(query, v)
+            })
+        };
+        for &(i, s) in &self.indexes {
+            let rel = if i.table.is_view() {
+                usable_view(i.table)
+            } else {
+                qr.tables.contains(&i.table)
+                    && (i.clustered
+                        || i.key.first().is_some_and(|k| qr.sarg_cols.contains(k))
+                        || qr.required.get(&i.table).is_some_and(|req| i.covers(req)))
+            };
+            if rel {
+                relevant.push(s);
+                if i.clustered {
+                    pinned.push(s);
+                }
+            }
+        }
+        for &(v, s) in &self.views {
+            if v.def.tables.is_subset(&qr.tables) && self.rt.view_matchable(query, v) {
+                relevant.push(s);
+                pinned.push(s);
+            }
+        }
+        relevant.sort_unstable();
+        pinned.sort_unstable();
+        let mut h = Tagged128::new();
+        for s in &relevant {
+            h.hash(s);
+        }
+        let coarse = match self.rt.set_id(query) {
+            Some(id) => *self.coarse[id as usize]
+                .get_or_init(|| self.config.signature_for_tables128(&qr.tables)),
+            None => self.config.signature_for_tables128(&qr.tables),
+        };
+        let flat = Projection {
+            sig: h.finish(),
+            coarse,
+            relevant: relevant.into(),
+            pinned: pinned.into(),
+        };
+        #[cfg(debug_assertions)]
+        {
+            let reference = self
+                .rt
+                .projection(query, self.config)
+                .expect("reference projection exists when flat does");
+            debug_assert_eq!(flat.sig, reference.sig);
+            debug_assert_eq!(flat.coarse, reference.coarse);
+            debug_assert_eq!(flat.relevant, reference.relevant);
+            debug_assert_eq!(flat.pinned, reference.pinned);
+        }
+        Some(flat)
     }
 }
 
@@ -342,6 +477,41 @@ mod tests {
         with_seek.add_index(Index::new(r, [col(&db, "r", "a")], []));
         let p2 = rt.projection(0, &with_seek).unwrap();
         assert_ne!(p0.sig, p2.sig);
+    }
+
+    #[test]
+    fn flat_projector_matches_reference_projection() {
+        let db = test_db();
+        let w = Workload::bind(
+            &db,
+            &parse_workload(
+                "SELECT r.b FROM r WHERE r.a = 3;\n\
+                 SELECT r.id FROM r WHERE r.b = 1;\n\
+                 SELECT s.c FROM s WHERE s.y = 2",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let rt = RelevanceTable::build(&db, &w);
+        // Queries 0 and 1 share the {r} table set; query 2 is {s}.
+        assert_eq!(rt.set_id(0), rt.set_id(1));
+        assert_ne!(rt.set_id(0), rt.set_id(2));
+        assert_eq!(rt.num_table_sets(), 2);
+
+        let r = db.table_by_name("r").unwrap().id;
+        let mut config = Configuration::base(&db);
+        config.add_index(Index::new(r, [col(&db, "r", "a")], []));
+        config.add_index(Index::new(r, [col(&db, "r", "b")], [col(&db, "r", "id")]));
+
+        let fp = FlatProjector::new(&rt, &config);
+        for q in 0..3 {
+            let reference = rt.projection(q, &config).unwrap();
+            let flat = fp.project(q).unwrap();
+            assert_eq!(flat.sig, reference.sig);
+            assert_eq!(flat.coarse, reference.coarse);
+            assert_eq!(flat.relevant, reference.relevant);
+            assert_eq!(flat.pinned, reference.pinned);
+        }
     }
 
     #[test]

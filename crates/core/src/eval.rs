@@ -23,7 +23,7 @@
 //!   evaluation succeeds, so aborted evaluations leave no trace.
 
 use crate::cache::{CacheEntry, CostCache, DerivedTally};
-use crate::derived::{sorted_subset, RelevanceTable};
+use crate::derived::{sorted_subset, FlatProjector, RelevanceTable};
 use crate::fault::FaultSite;
 use crate::par::par_map;
 use crate::stop::StopCheck;
@@ -116,6 +116,11 @@ pub struct EvalCtx<'c> {
     /// Debug builds additionally cross-validate every derived serve in
     /// both modes.
     pub derived: bool,
+    /// Flat hot path: build one [`FlatProjector`] per evaluation
+    /// (per-structure signatures hoisted out of the per-query loop)
+    /// instead of re-deriving the projection from the configuration for
+    /// every entry. Projections are bitwise-identical either way.
+    pub flat: bool,
 }
 
 /// Maintenance cost of one update shell against one index: descend the
@@ -297,6 +302,12 @@ fn evaluate_entries(
     let schema = PhysicalSchema::new(db, config);
     let model = opt.opts.cost;
     let entries = &workload.entries;
+    // Flat hot path: hoist per-structure signature work out of the
+    // per-entry loop; workers share the projector by reference.
+    let projector = ctx
+        .flat
+        .then(|| ctx.relevance.map(|rt| FlatProjector::new(rt, config)))
+        .flatten();
 
     let compute = |i: usize| -> EntryEval {
         let entry = &entries[i];
@@ -318,7 +329,10 @@ fn evaluate_entries(
                     }
                     // With a relevance table, key by the relevant-subset
                     // signature; otherwise by the coarse per-table one.
-                    let proj = ctx.relevance.and_then(|rt| rt.projection(i, config));
+                    let proj = match &projector {
+                        Some(fp) => fp.project(i),
+                        None => ctx.relevance.and_then(|rt| rt.projection(i, config)),
+                    };
                     let cached = ctx.cache.map(|cache| {
                         let sig = match &proj {
                             Some(p) => p.sig,

@@ -34,6 +34,7 @@
 //! println!("best improvement: {:.1}%", report.best_improvement_pct());
 //! ```
 
+pub mod arena;
 pub mod bound;
 pub mod cache;
 pub mod checkpoint;
@@ -52,11 +53,11 @@ pub mod workload;
 
 pub use cache::{CacheEntry, CostCache, DerivedTally};
 pub use checkpoint::{Checkpoint, TraceCheckpoint};
-pub use derived::{Projection, QueryRelevance, RelevanceTable};
+pub use derived::{FlatProjector, Projection, QueryRelevance, RelevanceTable};
 pub use error::TuneError;
 pub use eval::{EvalCtx, EvalResult, QueryEval};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use incremental::{BoundMemo, BoundMemoEntry, Interner};
+pub use incremental::{BoundMemo, BoundMemoEntry, Interner, MemoCfg};
 pub use instrument::{
     gather_optimal_configuration, gather_optimal_configuration_traced, OptimalSink,
 };

@@ -13,6 +13,7 @@
 //! 10 return c_best
 //! ```
 
+use crate::arena::SkylineScratch;
 use crate::bound::{cost_upper_bound, cost_upper_bound_restricted, ViewBuildCosts};
 use crate::cache::CostCache;
 use crate::checkpoint::{Checkpoint, TraceCheckpoint};
@@ -24,12 +25,13 @@ use crate::eval::{
 use crate::fault::{
     FaultEvent, FaultKind, FaultPlan, FaultSite, SITE_CANDIDATE, SITE_PREPASS, SITE_SHRINK,
 };
-use crate::incremental::{BoundMemo, BoundMemoEntry, Interner};
+use crate::incremental::{BoundMemo, BoundMemoEntry, Interner, MemoCfg};
 use crate::instrument::gather_optimal_configuration_traced;
 use crate::par::{par_map, resolve_threads};
 use crate::stop::{StopCheck, StopReason, StopToken};
 use crate::transform::{
-    apply, candidates, candidates_delta, AppliedTransform, StepDelta, Transformation,
+    apply_ctx, candidates, candidates_delta, removal_candidates, AppliedTransform, StepDelta,
+    Transformation,
 };
 use crate::workload::Workload;
 use pdt_catalog::Database;
@@ -138,6 +140,16 @@ pub struct TunerOptions {
     /// derived serve and uses its answer; debug builds additionally
     /// assert bitwise agreement on every serve in both modes.
     pub derived_costs: bool,
+    /// Flat id-addressed hot path: intern per-index 128-bit signatures
+    /// once per session, probe the bound memo through dense-id tables
+    /// instead of hashing `(sig, sig)` tuples, build relevance
+    /// projections from a per-evaluation flat index table, reuse arena
+    /// scratch for the skyline scan, and size cache shards from the
+    /// actual worker count. A pure perf knob with the same contract as
+    /// `incremental`/`derived_costs`: reports, traces, and checkpoints
+    /// are byte-identical to the hash-keyed reference mode (`false`).
+    /// Ids are session-local — they never enter checkpoints or traces.
+    pub flat_hot_path: bool,
 }
 
 impl Default for TunerOptions {
@@ -161,6 +173,7 @@ impl Default for TunerOptions {
             max_faults: 16,
             incremental: true,
             derived_costs: true,
+            flat_hot_path: true,
         }
     }
 }
@@ -327,6 +340,25 @@ struct ScoredCandidate {
     transformation: Transformation,
 }
 
+/// A node's still-valid inherited scores, keyed by transformation
+/// signature. The reference engine clones the parent's candidates into
+/// an owned map up front; the flat engine borrows them and clones only
+/// the ones actually reused. Either way [`Inherited::get_cloned`] hands
+/// back identical values.
+enum Inherited<'a> {
+    Owned(std::collections::HashMap<u64, ScoredCandidate>),
+    Borrowed(std::collections::HashMap<u64, &'a ScoredCandidate>),
+}
+
+impl Inherited<'_> {
+    fn get_cloned(&self, sig: u64) -> Option<ScoredCandidate> {
+        match self {
+            Inherited::Owned(m) => m.get(&sig).cloned(),
+            Inherited::Borrowed(m) => m.get(&sig).map(|c| (*c).clone()),
+        }
+    }
+}
+
 impl ScoredCandidate {
     fn penalty(&self, over_budget: f64) -> f64 {
         if over_budget <= 0.0 {
@@ -400,17 +432,18 @@ fn score_one_memo(
     workload: &Workload,
     eval: &EvalResult,
     config: &Configuration,
-    cfg_sig: u128,
+    cfg_key: MemoCfg,
     t: &Transformation,
     sig: u64,
     view_costs: &ViewBuildCosts,
     memo: &BoundMemo,
     incremental: bool,
+    flat: bool,
 ) -> (Option<ScoredCandidate>, bool) {
-    let cached = memo.lookup(sig, cfg_sig);
+    let cached = memo.lookup_keyed(sig, cfg_key);
     let computed: Option<(BoundMemoEntry, Option<ScoredCandidate>)> =
         if cached.is_none() || !incremental || cfg!(debug_assertions) {
-            let pair = match apply(t, config, db, opt) {
+            let pair = match apply_ctx(t, config, db, opt, flat) {
                 None => (BoundMemoEntry::inapplicable(), None),
                 Some(applied) => {
                     let bound = if incremental {
@@ -475,7 +508,7 @@ fn score_one_memo(
         }
         (Some(entry), None) => (score_from_entry(&entry, eval, t, sig), true),
         (None, Some((fresh, sc))) => {
-            memo.insert(sig, cfg_sig, fresh);
+            memo.insert_keyed(sig, cfg_key, fresh);
             (sc, false)
         }
         (None, None) => unreachable!("missed entries are always computed"),
@@ -558,9 +591,10 @@ fn options_signature(options: &TunerOptions, db: &Database, workload: &Workload)
     options.seed.hash(&mut h);
     options.cost_cache.hash(&mut h);
     options.validate_bounds.hash(&mut h);
-    // `incremental` and `derived_costs` are deliberately excluded: both
-    // engines (and both costing modes) produce byte-identical output,
-    // so checkpoints are portable across them.
+    // `incremental`, `derived_costs`, and `flat_hot_path` are
+    // deliberately excluded: every engine and costing/addressing mode
+    // produces byte-identical output, so checkpoints are portable
+    // across all of them.
     match options.fault_plan {
         None => 0u8.hash(&mut h),
         Some(p) => {
@@ -743,9 +777,19 @@ pub fn tune_session(
     let trc = |live: bool| if live { ctl.tracer } else { None };
 
     let threads = resolve_threads(options.threads);
+    // Flat hot path: the same stores behind id-addressed flat tables,
+    // sharded for the actual worker count. Ids are session-local;
+    // checkpoints serialize portable signatures either way.
+    let flat = options.flat_hot_path;
     let cache = match ctl.resume {
-        Some(ck) => options.cost_cache.then(|| ck.restore_cache()),
-        None => options.cost_cache.then(CostCache::new),
+        Some(ck) => options.cost_cache.then(|| ck.restore_cache(flat, threads)),
+        None => options.cost_cache.then(|| {
+            if flat {
+                CostCache::flat(threads)
+            } else {
+                CostCache::new()
+            }
+        }),
     };
     // Bound memo + interner exist in both engines (the reference engine
     // maintains and revalidates them without depending on them), so
@@ -753,8 +797,14 @@ pub fn tune_session(
     // against a restored memo flips original misses into hits; the
     // counters are overwritten with the authoritative values at go-live.
     let memo = match ctl.resume {
-        Some(ck) => ck.restore_memo(),
-        None => BoundMemo::new(),
+        Some(ck) => ck.restore_memo(flat, threads),
+        None => {
+            if flat {
+                BoundMemo::flat(threads)
+            } else {
+                BoundMemo::new()
+            }
+        }
     };
     let interner = match ctl.resume {
         Some(ck) => ck.restore_interner(),
@@ -783,6 +833,7 @@ pub fn tune_session(
         faults: None,
         relevance: Some(&relevance),
         derived: options.derived_costs,
+        flat,
     };
 
     if let Some(t) = trc(live) {
@@ -976,25 +1027,42 @@ pub fn tune_session(
                 // the trip into the final stop reason.
                 break;
             }
-            let removals: Vec<(Transformation, u64)> = candidates(&cfg, &base)
-                .into_iter()
-                .filter(|t| {
-                    matches!(
-                        t,
-                        Transformation::RemoveIndex { .. } | Transformation::RemoveView { .. }
-                    )
-                })
-                .map(|t| {
-                    let sig = interner.transform_sig(&t);
-                    (t, sig)
-                })
-                .collect();
+            let removals: Vec<(Transformation, u64)> = {
+                let _hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Candidates);
+                // The pre-pass only ever scores removals; the flat
+                // engine enumerates them directly instead of building
+                // (and discarding) the full merge/split/prefix list.
+                // `removal_candidates` emits the identical filtered
+                // sequence (debug builds assert it).
+                let removals = if flat {
+                    removal_candidates(&cfg, &base)
+                } else {
+                    candidates(&cfg, &base)
+                        .into_iter()
+                        .filter(|t| {
+                            matches!(
+                                t,
+                                Transformation::RemoveIndex { .. }
+                                    | Transformation::RemoveView { .. }
+                            )
+                        })
+                        .collect()
+                };
+                removals
+                    .into_iter()
+                    .map(|t| {
+                        let sig = interner.transform_sig(&t);
+                        (t, sig)
+                    })
+                    .collect()
+            };
             // Score every removal on the worker pool (through the bound
             // memo), then fold the results in candidate order: the fold
             // keeps the sequential tie-break (first strict minimum
             // wins) and accumulates memo hit/miss counts in input
             // order, so the pre-pass is identical for any thread count.
-            let cfg_sig = cfg.signature128();
+            let cfg_key = memo.cfg_key(cfg.signature128());
+            let pricing_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Pricing);
             let scored = par_map(threads, &removals, |_, (t, sig)| {
                 score_one_memo(
                     db,
@@ -1002,14 +1070,16 @@ pub fn tune_session(
                     workload,
                     &eval,
                     &cfg,
-                    cfg_sig,
+                    cfg_key,
                     t,
                     *sig,
                     &view_costs,
                     &memo,
                     options.incremental,
+                    flat,
                 )
             });
+            drop(pricing_hot);
             let (mut memo_hits, mut memo_misses) = (0u64, 0u64);
             let mut best_removal: Option<(f64, Transformation)> = None;
             for (sc, hit) in scored {
@@ -1032,7 +1102,7 @@ pub fn tune_session(
             };
             // Re-apply only the winner (the workers no longer carry
             // every applied configuration back).
-            let Some(applied) = apply(&transformation, &cfg, db, &opt) else {
+            let Some(applied) = apply_ctx(&transformation, &cfg, db, &opt, flat) else {
                 break;
             };
             let pre_ctx = EvalCtx {
@@ -1040,6 +1110,7 @@ pub fn tune_session(
                 faults: prepass_faults,
                 ..ctx
             };
+            let eval_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Eval);
             let new_eval = match catch_unwind(AssertUnwindSafe(|| {
                 evaluate_incremental_ctx(
                     db,
@@ -1074,6 +1145,7 @@ pub fn tune_session(
                     break;
                 }
             };
+            drop(eval_hot);
             optimizer_calls += new_eval.optimizer_calls;
             if live {
                 for q in &new_eval.poison_repairs {
@@ -1147,6 +1219,9 @@ pub fn tune_session(
     let mut search_span = trc(live).map(|t| t.span("search"));
     let mut pending: Option<(usize, Checkpoint)> = None;
     let mut last_saved = resume_at;
+    // Flat hot path: SoA scratch for the §3.6 skyline scan, reused
+    // across iterations instead of reallocating a snapshot per pass.
+    let mut skyline_scratch = SkylineScratch::default();
     for iteration in 1..=options.max_iterations {
         // ---- resilience prologue (never part of the replayed prefix)
         if !live && iteration > resume_at {
@@ -1249,6 +1324,7 @@ pub fn tune_session(
             // reference engine, and the root in both, enumerate from
             // scratch.
             let parent_cands = nodes[node_idx].parent.and_then(|p| nodes[p].cands.clone());
+            let cands_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Candidates);
             let cands: std::sync::Arc<Vec<(Transformation, u64)>> =
                 match (options.incremental, parent_cands, &nodes[node_idx].delta) {
                     (true, Some(pc), Some(d)) => std::sync::Arc::new(candidates_delta(
@@ -1268,17 +1344,32 @@ pub fn tune_session(
                             .collect(),
                     ),
                 };
-            let inherited: std::collections::HashMap<u64, ScoredCandidate> =
-                match nodes[node_idx].parent {
-                    Some(p) => nodes[p]
+            drop(cands_hot);
+            // The flat engine borrows the parent's scored candidates
+            // (one clone per reused candidate, at reuse time) instead
+            // of cloning the whole still-valid set up front; the values
+            // handed back are identical.
+            let inherited: Inherited<'_> = match nodes[node_idx].parent {
+                Some(p) if flat => Inherited::Borrowed(
+                    nodes[p]
+                        .scored
+                        .iter()
+                        .flatten()
+                        .filter(|c| c.still_valid(&nodes[node_idx].config))
+                        .map(|c| (c.sig, c))
+                        .collect(),
+                ),
+                Some(p) => Inherited::Owned(
+                    nodes[p]
                         .scored
                         .iter()
                         .flatten()
                         .filter(|c| c.still_valid(&nodes[node_idx].config))
                         .map(|c| (c.sig, c.clone()))
                         .collect(),
-                    None => std::collections::HashMap::new(),
-                };
+                ),
+                None => Inherited::Owned(std::collections::HashMap::new()),
+            };
             // Fresh candidates are scored on the worker pool (through
             // the bound memo); results come back in candidate order and
             // the reuse/hit/miss tallies are folded in that order, so
@@ -1288,11 +1379,12 @@ pub fn tune_session(
             const MEMO_HIT: u8 = 1;
             const MEMO_MISS: u8 = 2;
             let node = &nodes[node_idx];
-            let node_sig = node.sig;
+            let node_key = memo.cfg_key(node.sig);
+            let pricing_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Pricing);
             let results: Vec<(Option<ScoredCandidate>, u8)> =
                 par_map(threads, &cands, |_, (t, sig)| {
-                    if let Some(c) = inherited.get(sig) {
-                        (Some(c.clone()), REUSED)
+                    if let Some(c) = inherited.get_cloned(*sig) {
+                        (Some(c), REUSED)
                     } else {
                         let (sc, hit) = score_one_memo(
                             db,
@@ -1300,16 +1392,18 @@ pub fn tune_session(
                             workload,
                             &node.eval,
                             &node.config,
-                            node_sig,
+                            node_key,
                             t,
                             *sig,
                             &view_costs,
                             &memo,
                             options.incremental,
+                            flat,
                         );
                         (sc, if hit { MEMO_HIT } else { MEMO_MISS })
                     }
                 });
+            drop(pricing_hot);
             let (mut reused, mut memo_hits, mut memo_misses) = (0u64, 0u64, 0u64);
             let mut scored: Vec<ScoredCandidate> = Vec::new();
             for (sc, kind) in results {
@@ -1359,25 +1453,54 @@ pub fn tune_session(
         // §3.6 skyline: with updates, drop dominated candidates (worse
         // ΔT and worse ΔS than another candidate).
         if has_updates && options.skyline_filter && open.len() > 1 {
-            let snapshot: Vec<(f64, f64)> = open.iter().map(|c| (c.delta_t, c.delta_s)).collect();
-            let dominated = |c: &ScoredCandidate| {
-                snapshot.iter().any(|(ot, os)| {
-                    *ot <= c.delta_t && *os >= c.delta_s && (*ot < c.delta_t || *os > c.delta_s)
-                })
-            };
-            if let Some(t) = trc(live) {
-                for c in open.iter().filter(|c| dominated(c)) {
-                    t.emit(
-                        "skyline.drop",
-                        vec![
-                            ("transformation", c.transformation.to_string().into()),
-                            ("delta_t", c.delta_t.into()),
-                            ("delta_s", c.delta_s.into()),
-                        ],
-                    );
+            let _hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Skyline);
+            if flat {
+                // SoA scan over reused scratch: same predicate, same
+                // input order, same flags — only the memory shape (and
+                // the per-candidate re-scan) changes.
+                let flags = skyline_scratch
+                    .dominated_flags(open.iter().map(|c| (c.delta_t, c.delta_s)))
+                    .to_vec();
+                if let Some(t) = trc(live) {
+                    for (c, _) in open.iter().zip(&flags).filter(|(_, &d)| d) {
+                        t.emit(
+                            "skyline.drop",
+                            vec![
+                                ("transformation", c.transformation.to_string().into()),
+                                ("delta_t", c.delta_t.into()),
+                                ("delta_s", c.delta_s.into()),
+                            ],
+                        );
+                    }
                 }
+                let mut i = 0;
+                open.retain(|_| {
+                    let keep = !flags[i];
+                    i += 1;
+                    keep
+                });
+            } else {
+                let snapshot: Vec<(f64, f64)> =
+                    open.iter().map(|c| (c.delta_t, c.delta_s)).collect();
+                let dominated = |c: &ScoredCandidate| {
+                    snapshot.iter().any(|(ot, os)| {
+                        *ot <= c.delta_t && *os >= c.delta_s && (*ot < c.delta_t || *os > c.delta_s)
+                    })
+                };
+                if let Some(t) = trc(live) {
+                    for c in open.iter().filter(|c| dominated(c)) {
+                        t.emit(
+                            "skyline.drop",
+                            vec![
+                                ("transformation", c.transformation.to_string().into()),
+                                ("delta_t", c.delta_t.into()),
+                                ("delta_s", c.delta_s.into()),
+                            ],
+                        );
+                    }
+                }
+                open.retain(|c| !dominated(c));
             }
-            open.retain(|c| !dominated(c));
         }
         report.candidate_counts.push(open.len());
         pdt_trace::incr(trc(live), "search.open", open.len() as u64);
@@ -1413,7 +1536,8 @@ pub fn tune_session(
             ],
         );
         nodes[node_idx].tried.insert(chosen_sig);
-        let Some(applied) = apply(&transformation, &nodes[node_idx].config, db, &opt) else {
+        let Some(applied) = apply_ctx(&transformation, &nodes[node_idx].config, db, &opt, flat)
+        else {
             pdt_trace::emit(
                 trc(live),
                 "step.skip",
@@ -1449,6 +1573,7 @@ pub fn tune_session(
             tracer: trc(live),
             ..ctx
         };
+        let eval_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Eval);
         let eval = match catch_unwind(AssertUnwindSafe(|| {
             evaluate_incremental_ctx(
                 db,
@@ -1481,6 +1606,7 @@ pub fn tune_session(
                 continue;
             }
         };
+        drop(eval_hot);
         let Some(eval) = eval else {
             if live && stop_check.is_stopped() {
                 // Stop-truncated evaluation, not a shortcut skip: the
@@ -1668,7 +1794,8 @@ pub fn tune_session(
                     ..ctx
                 };
                 // Unused indexes carry no plans, but shells change.
-                match catch_unwind(AssertUnwindSafe(|| {
+                let shrink_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Eval);
+                let shrink_result = catch_unwind(AssertUnwindSafe(|| {
                     evaluate_incremental_ctx(
                         db,
                         &opt,
@@ -1680,7 +1807,9 @@ pub fn tune_session(
                         None,
                         shrink_ctx,
                     )
-                })) {
+                }));
+                drop(shrink_hot);
+                match shrink_result {
                     Ok(Some(e2)) => {
                         if live {
                             for q in &e2.poison_repairs {
@@ -2319,6 +2448,7 @@ mod tests {
                     for p in &mut t.phases {
                         p.elapsed = std::time::Duration::ZERO;
                     }
+                    t.hot_phases.clear();
                 }
                 (format!("{r:#?}"), tracer.to_jsonl())
             };
@@ -2357,6 +2487,7 @@ mod tests {
                     for p in &mut t.phases {
                         p.elapsed = std::time::Duration::ZERO;
                     }
+                    t.hot_phases.clear();
                 }
                 (format!("{r:#?}"), tracer.to_jsonl())
             };

@@ -158,6 +158,53 @@ pub fn candidates(config: &Configuration, base: &Configuration) -> Vec<Transform
     out
 }
 
+/// The removal subset of [`candidates`], enumerated directly in
+/// `O(structures)` instead of generating all `O(n²)` pairwise
+/// transformations and filtering. The pruning pre-pass (§3.5) only
+/// scores removals, so the flat engine calls this once per pass where
+/// the reference engine pays the full enumeration; the emission order
+/// is element-for-element identical to the filtered full list —
+/// removals appear per table in `BTreeMap` order after that table's
+/// pairwise/unary candidates (which the filter drops), then views in
+/// declaration order — asserted against the filtered enumeration in
+/// debug builds.
+pub fn removal_candidates(config: &Configuration, base: &Configuration) -> Vec<Transformation> {
+    let mut by_table: BTreeMap<TableId, Vec<&Index>> = BTreeMap::new();
+    for i in config.indexes().filter(|i| !base.contains_index(i)) {
+        by_table.entry(i.table).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for indexes in by_table.values() {
+        for i in indexes {
+            if !i.clustered {
+                out.push(Transformation::RemoveIndex {
+                    index: (*i).clone(),
+                });
+            }
+        }
+    }
+    for v in config.views() {
+        out.push(Transformation::RemoveView { view: v.id });
+    }
+    #[cfg(debug_assertions)]
+    {
+        let filtered: Vec<Transformation> = candidates(config, base)
+            .into_iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    Transformation::RemoveIndex { .. } | Transformation::RemoveView { .. }
+                )
+            })
+            .collect();
+        debug_assert_eq!(
+            out, filtered,
+            "direct removal enumeration diverged from the filtered full enumeration"
+        );
+    }
+    out
+}
+
 /// The net structural difference between a parent node's configuration
 /// and a child's: the applied transformation's removals/additions with
 /// any same-step `shrink_unused` removals folded in (a shrunk-away
@@ -391,6 +438,27 @@ pub fn apply(
     db: &Database,
     opt: &Optimizer<'_>,
 ) -> Option<AppliedTransform> {
+    apply_ctx(t, config, db, opt, false)
+}
+
+/// [`apply`] with an explicit no-op guard strategy. The reference
+/// engine detects no-op transformations by comparing 64-bit
+/// configuration signatures (two full hashing passes over the
+/// configuration); the flat engine (`flat_noop_guard = true`) compares
+/// the configurations structurally, which short-circuits on the first
+/// difference — `O(1)` for any transformation that changes the
+/// structure count. The two guards agree on every input except a
+/// 64-bit signature collision between a *changed* configuration and
+/// its parent (probability ~2⁻⁶⁴ per apply, and such a collision would
+/// already corrupt the reference engine's `tried`-set and memo keys);
+/// the 200-seed contract sweep compares the modes end to end.
+pub fn apply_ctx(
+    t: &Transformation,
+    config: &Configuration,
+    db: &Database,
+    opt: &Optimizer<'_>,
+    flat_noop_guard: bool,
+) -> Option<AppliedTransform> {
     let model = SizeModel::default();
     let mut new = config.clone();
     let mut removed_indexes = Vec::new();
@@ -572,7 +640,12 @@ pub fn apply(
         }
     }
 
-    if new.signature() == config.signature() {
+    let noop = if flat_noop_guard {
+        new == *config
+    } else {
+        new.signature() == config.signature()
+    };
+    if noop {
         return None;
     }
 

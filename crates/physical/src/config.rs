@@ -14,12 +14,30 @@ use std::sync::Arc;
 /// clustered index has been implemented": a view in a configuration is
 /// only *usable* once it has at least a clustered index; its size is
 /// the sum of the sizes of its indexes.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Configuration {
     indexes: BTreeSet<Index>,
     // Arc makes configuration clones cheap during the relaxation
     // search, which clones candidate configurations in bulk.
     views: BTreeMap<TableId, Arc<MaterializedView>>,
+}
+
+/// Structural equality, used by the flat engine's no-op guard on the
+/// apply hot path (`pdt_tuner::transform::apply_ctx`): short-circuits
+/// on set/map length first, and compares views by `Arc` pointer before
+/// falling back to contents — a relaxed configuration shares its
+/// unchanged views' allocations with its parent, so the common case is
+/// one pointer comparison per view.
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        self.indexes == other.indexes
+            && self.views.len() == other.views.len()
+            && self
+                .views
+                .iter()
+                .zip(&other.views)
+                .all(|((ka, va), (kb, vb))| ka == kb && (Arc::ptr_eq(va, vb) || va == vb))
+    }
 }
 
 impl Configuration {

@@ -25,8 +25,55 @@
 pub mod json;
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// A counting wrapper over the system allocator: every allocation on
+/// any thread bumps two relaxed atomics. Installed as the process-wide
+/// `#[global_allocator]` here (every workspace crate links `pdt-trace`),
+/// so the hot-phase roll-ups can attribute allocation traffic as well
+/// as wall-clock time. Deallocation is uncounted — the interesting
+/// signal for the hot path is churn created, not freed.
+pub struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counters are plain
+// relaxed atomics with no allocation of their own.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Process-wide (allocation count, bytes requested) since start.
+/// Monotonic; subtract two snapshots to attribute a section.
+pub fn allocation_counters() -> (u64, u64) {
+    (ALLOC_CALLS.load(Relaxed), ALLOC_BYTES.load(Relaxed))
+}
 
 /// A field value: the closed set of scalar types events may carry.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +174,57 @@ pub struct PhaseSummary {
     pub elapsed: Duration,
 }
 
+/// The four hot-path sections of the relaxation loop, measured by
+/// [`Tracer::hot_span`]. The variants index [`TraceSummary::hot_phases`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotPhase {
+    /// Transformation enumeration (from scratch or by delta).
+    Candidates,
+    /// §3.3.2 bound pricing of fresh candidates (memo + apply).
+    Pricing,
+    /// Workload cost evaluation (what-if optimizer calls + shells).
+    Eval,
+    /// §3.6 skyline dominance filtering of the open candidate pool.
+    Skyline,
+}
+
+impl HotPhase {
+    pub const ALL: [HotPhase; 4] = [
+        HotPhase::Candidates,
+        HotPhase::Pricing,
+        HotPhase::Eval,
+        HotPhase::Skyline,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            HotPhase::Candidates => "candidates",
+            HotPhase::Pricing => "pricing",
+            HotPhase::Eval => "eval",
+            HotPhase::Skyline => "skyline",
+        }
+    }
+}
+
+/// Wall-clock + allocation roll-up of one hot-path section, summed
+/// over every visit. Like [`PhaseSummary::elapsed`], every field here
+/// is non-deterministic measurement data: it never enters the event
+/// stream, checkpoints, or [`TraceState`], and consumers comparing
+/// summaries across runs must clear it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotPhaseStat {
+    pub name: &'static str,
+    /// Times the section was entered.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds inside the section.
+    pub nanos: u64,
+    /// Heap allocations performed while inside (process-wide, so
+    /// worker-thread allocations during a section count toward it).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
 /// The deterministic roll-up of a whole trace: totals, named counters,
 /// and the closed phases in completion order.
 #[derive(Debug, Clone, Default)]
@@ -136,6 +234,10 @@ pub struct TraceSummary {
     /// Named counters in name order.
     pub counters: Vec<(&'static str, u64)>,
     pub phases: Vec<PhaseSummary>,
+    /// Hot-path measurement roll-up, one entry per [`HotPhase`] in
+    /// `HotPhase::ALL` order. Wall-clock + allocation data only —
+    /// non-deterministic, excluded from traces and checkpoints.
+    pub hot_phases: Vec<HotPhaseStat>,
 }
 
 impl TraceSummary {
@@ -155,6 +257,20 @@ struct Inner {
     depth: u16,
     counters: BTreeMap<&'static str, u64>,
     phases: Vec<PhaseSummary>,
+    /// Indexed by `HotPhase as usize`; purely measurement data, not
+    /// part of [`TraceState`] (a resumed session keeps accumulating
+    /// into its own live counters).
+    hot: Vec<HotPhaseStat>,
+}
+
+fn fresh_hot_stats() -> Vec<HotPhaseStat> {
+    HotPhase::ALL
+        .iter()
+        .map(|p| HotPhaseStat {
+            name: p.name(),
+            ..HotPhaseStat::default()
+        })
+        .collect()
 }
 
 /// The event collector. Interior-mutable: share `&Tracer` freely.
@@ -177,6 +293,7 @@ impl Tracer {
                 depth: 0,
                 counters: BTreeMap::new(),
                 phases: Vec::new(),
+                hot: fresh_hot_stats(),
             }),
         }
     }
@@ -244,6 +361,22 @@ impl Tracer {
         }
     }
 
+    /// Open a hot-path measurement section. Unlike [`span`](Tracer::span)
+    /// this emits nothing and touches no deterministic state — the
+    /// guard's drop folds wall-clock time and allocation deltas into
+    /// the [`HotPhaseStat`] for `phase`. Reentrant use would double-
+    /// count allocations; the engine's sections never nest.
+    pub fn hot_span(&self, phase: HotPhase) -> HotSpan<'_> {
+        let (allocs, bytes) = allocation_counters();
+        HotSpan {
+            tracer: self,
+            phase,
+            start: Instant::now(),
+            allocs_at_open: allocs,
+            bytes_at_open: bytes,
+        }
+    }
+
     /// Snapshot the deterministic roll-up.
     pub fn summary(&self) -> TraceSummary {
         let inner = self.lock();
@@ -251,6 +384,7 @@ impl Tracer {
             events: inner.events.len() as u64,
             counters: inner.counters.iter().map(|(k, v)| (*k, *v)).collect(),
             phases: inner.phases.clone(),
+            hot_phases: inner.hot.clone(),
         }
     }
 
@@ -351,6 +485,35 @@ impl Drop for Span<'_> {
             elapsed,
         });
     }
+}
+
+/// An open hot-path measurement section; dropping it folds the
+/// elapsed time and allocation delta into the phase's roll-up.
+pub struct HotSpan<'a> {
+    tracer: &'a Tracer,
+    phase: HotPhase,
+    start: Instant,
+    allocs_at_open: u64,
+    bytes_at_open: u64,
+}
+
+impl Drop for HotSpan<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        let (allocs, bytes) = allocation_counters();
+        let mut inner = self.tracer.lock();
+        let stat = &mut inner.hot[self.phase as usize];
+        stat.calls += 1;
+        stat.nanos += nanos;
+        stat.allocs += allocs.saturating_sub(self.allocs_at_open);
+        stat.alloc_bytes += bytes.saturating_sub(self.bytes_at_open);
+    }
+}
+
+/// Open a hot-path section through an optional tracer (no-op when
+/// tracing is off).
+pub fn hot_span<'a>(tracer: Option<&'a Tracer>, phase: HotPhase) -> Option<HotSpan<'a>> {
+    tracer.map(|t| t.hot_span(phase))
 }
 
 /// Emit through an optional tracer (no-op when tracing is off).
@@ -491,6 +654,30 @@ mod tests {
         let summary = t.summary();
         assert_eq!(summary.phases.len(), 1);
         assert_eq!(summary.phases[0].events, 8, "begin + 6 steps + end");
+    }
+
+    #[test]
+    fn hot_spans_measure_without_emitting() {
+        let t = Tracer::new();
+        {
+            let _h = t.hot_span(HotPhase::Eval);
+            let v: Vec<u64> = Vec::with_capacity(64);
+            std::hint::black_box(&v);
+        }
+        {
+            let _h = t.hot_span(HotPhase::Eval);
+        }
+        assert_eq!(t.len(), 0, "hot spans must not enter the event stream");
+        let s = t.summary();
+        assert_eq!(s.hot_phases.len(), HotPhase::ALL.len());
+        let eval = &s.hot_phases[HotPhase::Eval as usize];
+        assert_eq!(eval.name, "eval");
+        assert_eq!(eval.calls, 2);
+        assert!(eval.allocs >= 1, "the Vec allocation must be attributed");
+        assert!(eval.alloc_bytes >= 64 * 8);
+        // Checkpoint state excludes measurement data entirely.
+        let state = t.export_state();
+        assert!(state.events.is_empty());
     }
 
     #[test]

@@ -78,6 +78,9 @@ OPTIONS:
   --no-derived-costs            disable derived what-if costing (relevant-
                                 structure cache keys + plan reuse); output
                                 is byte-identical either way
+  --no-flat-hot-path            disable the flat id-addressed hot path
+                                (interned sigs + dense-id memo/cache
+                                probes); output is byte-identical either way
   --trace <file.jsonl>          write structured search telemetry as JSONL
   --validate-bounds             re-optimize after each step and check the
                                 \u{a7}3.3.2 cost upper bound (fails on violation)
@@ -122,6 +125,7 @@ struct CliOptions {
     no_cache: bool,
     no_incremental: bool,
     no_derived_costs: bool,
+    no_flat_hot_path: bool,
     trace: Option<String>,
     validate_bounds: bool,
     deadline: Option<u64>,
@@ -188,6 +192,7 @@ impl CliOptions {
                 "--no-cache" => o.no_cache = true,
                 "--no-incremental" => o.no_incremental = true,
                 "--no-derived-costs" => o.no_derived_costs = true,
+                "--no-flat-hot-path" => o.no_flat_hot_path = true,
                 "--trace" => o.trace = Some(value("--trace")?),
                 "--validate-bounds" => o.validate_bounds = true,
                 "--deadline" => {
@@ -357,6 +362,7 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
         cost_cache: !o.no_cache,
         incremental: !o.no_incremental,
         derived_costs: !o.no_derived_costs,
+        flat_hot_path: !o.no_flat_hot_path,
         validate_bounds: o.validate_bounds,
         deadline_ms: o.deadline,
         stop: Some(token.clone()),
@@ -744,6 +750,15 @@ mod tests {
         let args = vec!["--no-derived-costs".to_string()];
         let o = CliOptions::parse(&args).unwrap();
         assert!(o.no_derived_costs);
+    }
+
+    #[test]
+    fn cli_parses_flat_hot_path_flag() {
+        let o = CliOptions::parse(&[]).unwrap();
+        assert!(!o.no_flat_hot_path, "the flat hot path is the default");
+        let args = vec!["--no-flat-hot-path".to_string()];
+        let o = CliOptions::parse(&args).unwrap();
+        assert!(o.no_flat_hot_path);
     }
 
     #[test]

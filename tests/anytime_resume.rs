@@ -35,6 +35,7 @@ fn fingerprint(report: &TuningReport) -> String {
         for p in &mut t.phases {
             p.elapsed = std::time::Duration::ZERO;
         }
+        t.hot_phases.clear();
     }
     format!("{r:#?}")
 }

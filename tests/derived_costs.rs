@@ -40,6 +40,7 @@ fn fingerprint(report: &TuningReport) -> String {
         for p in &mut t.phases {
             p.elapsed = std::time::Duration::ZERO;
         }
+        t.hot_phases.clear();
     }
     format!("{r:#?}")
 }

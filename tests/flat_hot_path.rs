@@ -1,0 +1,315 @@
+//! Property tests for the flat id-addressed hot path: across hundreds
+//! of seeded random schemas, workloads, budgets, and thread counts,
+//! the flat engine (dense interner ids, `Vec`-backed probe tables for
+//! the bound memo and cost cache, hoisted per-evaluation projection,
+//! borrowed parent score maps, O(1) structural no-op guard) must be
+//! **byte-identical** to the hash-keyed reference engine
+//! (`TunerOptions::flat_hot_path = false`) — same report, same JSONL
+//! trace, same counters.
+//!
+//! A second group of properties pins the id/portability contract: ids
+//! are session-local, so checkpoints carry portable 128-bit signatures
+//! only, interner dumps rebuild dense ids in dump order on resume, and
+//! a checkpoint written by a flat session resumes byte-identically
+//! into a reference session (and vice versa).
+
+use std::cell::RefCell;
+
+use pdtune::physical::Configuration;
+use pdtune::prelude::*;
+use pdtune::tuner::{BoundMemo, Interner};
+use pdtune::workloads::bench::{bench_database, bench_workload, BenchParams};
+use pdtune::workloads::{tpch, updates};
+
+struct Case {
+    seed: u64,
+    update_ratio: f64,
+    /// Budget as a multiple of the base configuration size; `None` is
+    /// a one-byte (unreachable) budget that forces the deepest
+    /// relaxation chain — maximal prepass and memo pressure.
+    budget_factor: Option<f64>,
+    with_views: bool,
+    threads: usize,
+    validate_bounds: bool,
+}
+
+/// Debug-format a traced report with the wall-clock fields zeroed
+/// (total `elapsed`, per-phase roll-ups, and the non-deterministic
+/// hot-phase counters), so two runs compare byte-for-byte.
+fn fingerprint(report: &TuningReport) -> String {
+    let mut r = report.clone();
+    r.elapsed = std::time::Duration::ZERO;
+    if let Some(t) = &mut r.trace {
+        for p in &mut t.phases {
+            p.elapsed = std::time::Duration::ZERO;
+        }
+        t.hot_phases.clear();
+    }
+    format!("{r:#?}")
+}
+
+fn run_case(case: &Case, flat_hot_path: bool) -> (TuningReport, String) {
+    let p = BenchParams {
+        name: format!("flat-{}", case.seed),
+        tables: 2 + (case.seed % 2) as usize,
+        max_columns: 4 + (case.seed % 4) as usize,
+        max_rows: 2e4 + 1e4 * (case.seed % 7) as f64,
+        seed: case.seed,
+    };
+    let db = bench_database(&p);
+    let mut spec = bench_workload(&db, case.seed ^ 0xF1A7, 3 + (case.seed % 3) as usize);
+    if case.update_ratio > 0.0 {
+        spec = updates::with_updates(&db, &spec, case.update_ratio, case.seed);
+    }
+    let workload = Workload::bind(&db, &spec.statements).expect("bench workload binds");
+    let budget = match case.budget_factor {
+        Some(f) => Configuration::base(&db).size_bytes(&db) * f,
+        None => 1.0,
+    };
+    let tracer = Tracer::new();
+    let report = tune_traced(
+        &db,
+        &workload,
+        &TunerOptions {
+            space_budget: Some(budget),
+            max_iterations: 12,
+            with_views: case.with_views,
+            threads: case.threads,
+            validate_bounds: case.validate_bounds,
+            flat_hot_path,
+            ..TunerOptions::default()
+        },
+        Some(&tracer),
+    );
+    (report, tracer.to_jsonl())
+}
+
+fn cases() -> Vec<Case> {
+    // 200 seeded cases: select-only and update mixes, reachable and
+    // unreachable budgets, with and without views, serial and parallel
+    // scoring, with and without the bound oracle.
+    (0..200u64)
+        .map(|seed| Case {
+            seed,
+            update_ratio: match seed % 3 {
+                0 => 0.0,
+                1 => 0.25,
+                _ => 0.5,
+            },
+            budget_factor: if seed % 5 == 4 {
+                None // unreachable: deepest chains
+            } else {
+                Some(1.05 + 0.1 * (seed % 6) as f64)
+            },
+            with_views: seed % 2 == 0,
+            threads: if seed % 7 == 0 { 2 } else { 1 },
+            validate_bounds: seed % 8 == 3,
+        })
+        .collect()
+}
+
+#[test]
+fn flat_is_byte_identical_to_reference_across_random_cases() {
+    let mut optimizer_calls_total = 0usize;
+    for case in cases() {
+        let (rf, tf) = run_case(&case, true);
+        let (rr, tr) = run_case(&case, false);
+        assert_eq!(
+            tf,
+            tr,
+            "seed {} (updates {}, budget {:?}, views {}, threads {}, oracle {}): \
+             trace diverged between flat and reference",
+            case.seed,
+            case.update_ratio,
+            case.budget_factor,
+            case.with_views,
+            case.threads,
+            case.validate_bounds,
+        );
+        assert_eq!(
+            fingerprint(&rf),
+            fingerprint(&rr),
+            "seed {}: report diverged between flat and reference",
+            case.seed,
+        );
+        optimizer_calls_total += rf.optimizer_calls;
+    }
+    // The sweep must actually relax configurations, not vacuously pass
+    // on searches that never leave the optimal node.
+    assert!(
+        optimizer_calls_total > 1000,
+        "only {optimizer_calls_total} optimizer calls across the sweep"
+    );
+}
+
+#[test]
+fn interner_ids_rebuild_densely_in_dump_order() {
+    use pdtune::catalog::{ColumnId, TableId};
+    // Intern a batch of indexes in one order, dump, restore, and
+    // verify (a) signatures are preserved, (b) dense ids are
+    // reassigned in dump order, (c) the round trip is idempotent.
+    let it = Interner::new();
+    let indexes: Vec<Index> = (0..16u16)
+        .map(|c| {
+            let t = TableId(u32::from(c % 3));
+            Index::new(t, [ColumnId::new(t, c)], [])
+        })
+        .collect();
+    for i in &indexes {
+        it.index_sig(i);
+    }
+    let dump = it.snapshot();
+    assert_eq!(dump.len(), indexes.len());
+
+    let restored = Interner::new();
+    restored.restore(dump.clone());
+    for (pos, (index, sig)) in dump.iter().enumerate() {
+        assert_eq!(
+            restored.index_entry(index),
+            (*sig, pos as u32),
+            "dump position {pos} did not get the dense id {pos}"
+        );
+    }
+    // Round trip is stable: dumping the restored interner reproduces
+    // the original portable bytes exactly.
+    assert_eq!(restored.snapshot(), dump);
+    // A never-seen index gets the next dense id, after the dump.
+    let fresh = Index::new(TableId(9), [ColumnId::new(TableId(9), 0)], []);
+    assert_eq!(restored.index_entry(&fresh).1, dump.len() as u32);
+}
+
+fn session_inputs() -> (pdtune::catalog::Database, Workload) {
+    let db = tpch::tpch_database(0.01);
+    let spec = updates::with_updates(&db, &tpch::tpch_workload_variant(7, 6), 0.5, 7);
+    let w = Workload::bind(&db, &spec.statements).unwrap();
+    (db, w)
+}
+
+fn options(threads: usize, flat_hot_path: bool) -> TunerOptions {
+    TunerOptions {
+        space_budget: Some(24.0 * 1024.0 * 1024.0),
+        max_iterations: 40,
+        threads,
+        flat_hot_path,
+        ..TunerOptions::default()
+    }
+}
+
+/// Run a full traced session, collecting every checkpoint the sink
+/// receives as `(completed_iterations, serialized_body)`.
+fn run_collecting(flat: bool) -> (TuningReport, String, Vec<(usize, String)>) {
+    let (db, w) = session_inputs();
+    let tracer = Tracer::new();
+    let collected: RefCell<Vec<(usize, String)>> = RefCell::new(Vec::new());
+    let sink = |done: usize, body: &str| {
+        collected.borrow_mut().push((done, body.to_string()));
+    };
+    let report = tune_session(
+        &db,
+        &w,
+        &options(1, flat),
+        SessionCtl {
+            tracer: Some(&tracer),
+            checkpoint_every: 9,
+            checkpoint_sink: Some(&sink),
+            resume: None,
+        },
+    )
+    .expect("uninterrupted session succeeds");
+    (report, tracer.to_jsonl(), collected.into_inner())
+}
+
+#[test]
+fn checkpoints_are_mode_portable_and_rebuild_flat_tables() {
+    // Checkpoints serialize portable 128-bit signatures only — never
+    // session-local dense ids — so a checkpoint written under either
+    // backend must (a) parse into identical portable bytes, (b)
+    // rebuild either backend with byte-identical snapshots, and (c)
+    // resume into the *other* mode with byte-identical results.
+    let (baseline, baseline_trace, flat_cks) = run_collecting(true);
+    let (_, reference_trace, reference_cks) = run_collecting(false);
+    assert_eq!(baseline_trace, reference_trace, "modes diverged live");
+    assert!(flat_cks.len() >= 2, "expected several cadence checkpoints");
+
+    // (a) the serialized bodies are identical mode-to-mode, once the
+    // per-phase wall-clock roll-ups nested in the trace section — the
+    // only nondeterministic bytes — are zeroed.
+    fn zero_phase_clocks(j: &mut pdtune::trace::json::Json) {
+        use pdtune::trace::json::Json;
+        if let Json::Obj(fields) = j {
+            for (k, v) in fields.iter_mut() {
+                if k == "trace" {
+                    zero_phase_clocks(v);
+                } else if k == "phases" {
+                    if let Json::Arr(phases) = v {
+                        for p in phases {
+                            if let Json::Arr(cols) = p {
+                                if let Some(last) = cols.last_mut() {
+                                    *last = Json::Int(0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let normalize = |body: &str| {
+        let mut doc = pdtune::trace::json::parse(body).expect("checkpoint is valid JSON");
+        zero_phase_clocks(&mut doc);
+        doc
+    };
+    assert_eq!(flat_cks.len(), reference_cks.len());
+    for ((df, bf), (dr, br)) in flat_cks.iter().zip(&reference_cks) {
+        assert_eq!(df, dr);
+        assert_eq!(
+            normalize(bf),
+            normalize(br),
+            "checkpoint bytes diverged at iteration {df}"
+        );
+    }
+
+    let baseline_fp = fingerprint(&baseline);
+    for (done, body) in &flat_cks {
+        let ck = Checkpoint::from_json_str(body).expect("checkpoint parses");
+        // (b) both backends rebuild to the same portable snapshots.
+        let flat_memo: BoundMemo = ck.restore_memo(true, 2);
+        let ref_memo: BoundMemo = ck.restore_memo(false, 2);
+        assert!(flat_memo.is_flat() && !ref_memo.is_flat());
+        assert_eq!(flat_memo.snapshot(), ref_memo.snapshot());
+        let flat_cache = ck.restore_cache(true, 2);
+        let ref_cache = ck.restore_cache(false, 2);
+        assert_eq!(
+            format!("{:?}", flat_cache.snapshot()),
+            format!("{:?}", ref_cache.snapshot())
+        );
+
+        // (c) cross-mode resume: flat-written checkpoint, reference
+        // resume (and the flat resume for parity).
+        for flat in [false, true] {
+            let (db, w) = session_inputs();
+            let tracer = Tracer::new();
+            let report = tune_session(
+                &db,
+                &w,
+                &options(1, flat),
+                SessionCtl {
+                    tracer: Some(&tracer),
+                    resume: Some(&ck),
+                    ..SessionCtl::default()
+                },
+            )
+            .expect("resume succeeds");
+            assert_eq!(
+                baseline_fp,
+                fingerprint(&report),
+                "report diverged resuming from iteration {done} with flat={flat}"
+            );
+            assert_eq!(
+                baseline_trace,
+                tracer.to_jsonl(),
+                "trace diverged resuming from iteration {done} with flat={flat}"
+            );
+        }
+    }
+}

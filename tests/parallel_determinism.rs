@@ -83,6 +83,7 @@ fn fingerprint_traced(report: &TuningReport) -> String {
         for p in &mut t.phases {
             p.elapsed = std::time::Duration::ZERO;
         }
+        t.hot_phases.clear();
     }
     format!("{r:#?}")
 }
