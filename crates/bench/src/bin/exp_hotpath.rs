@@ -16,7 +16,7 @@
 
 use pdt_bench::json::ToJson;
 use pdt_bench::json_struct;
-use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_bench::{bind_workload, median_wall_ms, render_table, write_json};
 use pdt_trace::Tracer;
 use pdt_tuner::{tune, tune_traced, TunerOptions, TuningReport};
 use pdt_workloads::tpch;
@@ -71,10 +71,6 @@ json_struct!(Summary {
     rows
 });
 
-/// Median-of-N wall clock for one configuration of the session; the
-/// report/trace from the first repeat is used for the identity checks.
-const REPEATS: usize = 3;
-
 fn main() {
     let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
     let db = tpch::tpch_database(0.05);
@@ -116,13 +112,10 @@ fn main() {
     };
 
     let run = |flat: bool, threads: usize| -> (Row, TuningReport, String) {
-        let mut walls = Vec::with_capacity(REPEATS);
+        // One untimed run supplies the report/trace for the identity
+        // checks; the shared scaffold medians the timed repeats.
         let (_, report, trace) = run_once(flat, threads);
-        for _ in 0..REPEATS {
-            walls.push(run_once(flat, threads).0);
-        }
-        walls.sort_by(f64::total_cmp);
-        let wall = walls[walls.len() / 2];
+        let wall = median_wall_ms(|| run_once(flat, threads));
         let phases = report
             .trace
             .as_ref()

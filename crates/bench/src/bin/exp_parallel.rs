@@ -9,10 +9,9 @@
 
 use pdt_bench::json::ToJson;
 use pdt_bench::json_struct;
-use pdt_bench::{bind_workload, render_table, write_json};
+use pdt_bench::{bind_workload, median_wall_ms, render_table, write_json};
 use pdt_tuner::{tune, TunerOptions, TuningReport};
 use pdt_workloads::tpch;
-use std::time::Instant;
 
 struct Row {
     threads: usize,
@@ -75,20 +74,19 @@ fn main() {
 
     let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
     let run = |threads: usize, cost_cache: bool| -> (Row, TuningReport) {
-        let start = Instant::now();
-        let r = tune(
-            &db,
-            &w,
-            &TunerOptions {
-                with_views: false,
-                space_budget: Some(budget),
-                max_iterations: 150,
-                threads,
-                cost_cache,
-                ..Default::default()
-            },
-        );
-        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let opts = TunerOptions {
+            with_views: false,
+            space_budget: Some(budget),
+            max_iterations: 150,
+            threads,
+            cost_cache,
+            ..Default::default()
+        };
+        // The determinism cross-check below reads the last repeat's
+        // report; identical inputs make every repeat's report equal.
+        let mut last: Option<TuningReport> = None;
+        let wall = median_wall_ms(|| last = Some(tune(&db, &w, &opts)));
+        let r = last.expect("median_wall_ms runs the closure");
         let probes = r.cache_hits + r.cache_misses;
         let row = Row {
             threads,

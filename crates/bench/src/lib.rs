@@ -18,6 +18,9 @@
 //! | `exp_ablation` | design-choice ablations (DESIGN.md §5) |
 //! | `exp_parallel` | thread/cache scaling → `BENCH_parallel.json` |
 //! | `exp_incremental` | incremental candidate engine on/off → `BENCH_incremental.json` |
+//! | `exp_derived` | derived what-if costing on/off → `BENCH_derived.json` |
+//! | `exp_hotpath` | flat hot-path on/off + phase attribution → `BENCH_hotpath.json` |
+//! | `exp_budget` | what-if call-budget frontier → `BENCH_budget.json` |
 
 pub mod json;
 
@@ -41,6 +44,24 @@ pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
     std::fs::write(&path, value.to_json().pretty()).expect("write results");
     eprintln!("[saved {}]", path.display());
+}
+
+/// Timed repeats for every wall-clock row an experiment reports; the
+/// reported value is the median.
+pub const TIMING_REPEATS: usize = 3;
+
+/// Median-of-[`TIMING_REPEATS`] wall-clock milliseconds of `f`. The
+/// closure's result is discarded — run the workload once beforehand if
+/// its output (report, trace) is needed for anything besides timing.
+pub fn median_wall_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut walls = Vec::with_capacity(TIMING_REPEATS);
+    for _ in 0..TIMING_REPEATS {
+        let start = std::time::Instant::now();
+        let _ = f();
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    walls.sort_by(f64::total_cmp);
+    walls[walls.len() / 2]
 }
 
 /// Render a fixed-width ASCII table.

@@ -24,8 +24,9 @@ use parking_lot::RwLock;
 use pdt_catalog::{ColumnId, Database, TableId};
 use pdt_opt::{CostModel, IndexUsage, UsageKind};
 use pdt_physical::size::SizeModel;
-use pdt_physical::{Configuration, PhysicalSchema};
-use std::collections::HashMap;
+use pdt_physical::{Configuration, Index, PhysicalSchema};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Cache of `CBV` values: the cost to (re)compute a view from the base
 /// configuration (§3.3.2: "each time we consider a new view V, we
@@ -43,9 +44,14 @@ use std::collections::HashMap;
 /// Whichever worker computes a `(view, signature)` pair first inserts
 /// the same value any other would — the memo stays deterministic under
 /// races.
+/// `(cost, index usages of the rebuild plan)` — the usages name the
+/// structures the refined CBV leaned on, so a *served* evaluation can
+/// record them and stay honest when one is later removed.
+type BuildCostEntry = (f64, Arc<[IndexUsage]>);
+
 #[derive(Debug, Default)]
 pub struct ViewBuildCosts {
-    costs: RwLock<HashMap<(TableId, u128), f64>>,
+    costs: RwLock<HashMap<(TableId, u128), BuildCostEntry>>,
 }
 
 impl ViewBuildCosts {
@@ -66,6 +72,20 @@ impl ViewBuildCosts {
         config: &Configuration,
         view: TableId,
     ) -> f64 {
+        self.get_with_usages(db, model, config, view).0
+    }
+
+    /// [`get`](Self::get) plus the rebuild plan's index usages: which
+    /// structures each base-table access leaned on, with their real
+    /// per-access costs. Empty when every table is answered by its
+    /// heap.
+    pub fn get_with_usages(
+        &self,
+        db: &Database,
+        model: &CostModel,
+        config: &Configuration,
+        view: TableId,
+    ) -> (f64, Arc<[IndexUsage]>) {
         let key = (
             view,
             config
@@ -73,13 +93,14 @@ impl ViewBuildCosts {
                 .map_or(0, |v| config.signature_for_tables128(&v.def.tables)),
         );
         if let Some(c) = self.costs.read().get(&key) {
-            return *c;
+            return c.clone();
         }
-        let cost = match config.view(view) {
+        let entry = match config.view(view) {
             Some(v) => {
                 let schema = PhysicalSchema::new(db, config);
                 let mut total = 0.0;
                 let mut rows_acc = 1.0f64;
+                let mut usages: Vec<IndexUsage> = Vec::new();
                 for (i, t) in v.def.tables.iter().enumerate() {
                     let req = pdt_opt::IndexRequest {
                         table: *t,
@@ -103,6 +124,7 @@ impl ViewBuildCosts {
                     };
                     let path = pdt_opt::access::best_access_path(model, &schema, &req);
                     total += path.cost.total();
+                    usages.extend(path.usages);
                     let rows = path.rows.max(1.0);
                     if i > 0 {
                         total += model
@@ -114,12 +136,12 @@ impl ViewBuildCosts {
                 if v.def.is_grouped() {
                     total += model.hash_aggregate(rows_acc.min(1e9), v.rows).total();
                 }
-                total
+                (total, usages.into())
             }
-            None => 0.0,
+            None => (0.0, Vec::new().into()),
         };
-        self.costs.write().insert(key, cost);
-        cost
+        self.costs.write().insert(key, entry.clone());
+        entry
     }
 }
 
@@ -166,6 +188,108 @@ pub fn cost_upper_bound_restricted(
     )
 }
 
+/// Synthesize a full [`EvalResult`] for `applied.config` from the
+/// §3.3.2 bound machinery alone — the *estimate-serving* path of the
+/// approximate tier (`TunerOptions::optimizer_call_budget`). No
+/// optimizer calls are made.
+///
+/// Per query, the select cost is the parent's evaluated cost plus the
+/// same non-negative replacement patches [`cost_upper_bound`] charges.
+/// A usage on a removed structure is *replaced*, not dropped: the
+/// synthesized plan records a witness usage on the access path the
+/// winning patch scanned (carrying the whole patch as its access
+/// cost), so a later transformation that removes the replacement
+/// structure still sees the dependency and re-patches it — dropping
+/// the usage instead silently turns such removals into "free" steps
+/// and breaks the upper-bound guarantee along served chains. A CBV
+/// patch (the structure's table vanished and the view is rebuilt)
+/// records the rebuild plan's own index usages for the same reason;
+/// patches answered by the irremovable table heap record nothing.
+/// Update shells are exact (closed form) under the new configuration.
+/// The result's `total_cost` is bit-identical to [`cost_upper_bound`]
+/// on the same arguments: both fold `weight * (select + shell)` over
+/// the workload in entry order.
+///
+/// The second return value is the **gap** of the sound cost interval
+/// the estimate sits in: the weighted sum of the select-side
+/// replacement patches. Shells are exact and a relaxation never makes
+/// an affected query's re-optimized plan cheaper than its current one
+/// (the configuration only gets weaker for it), so the true cost lies
+/// in `[total_cost - gap, total_cost]`. A zero gap means the estimate
+/// *is* the evaluation; the budget policy serves estimates only while
+/// the gap is too small to change a relaxation decision.
+#[allow(clippy::too_many_arguments)]
+pub fn bound_served_eval(
+    db: &Database,
+    model: &CostModel,
+    workload: &Workload,
+    prev: &EvalResult,
+    old_config: &Configuration,
+    applied: &AppliedTransform,
+    view_costs: &ViewBuildCosts,
+) -> (EvalResult, f64) {
+    let new_schema = PhysicalSchema::new(db, &applied.config);
+    let old_schema = PhysicalSchema::new(db, old_config);
+    let mut per_query = Vec::with_capacity(prev.per_query.len());
+    let mut total = 0.0;
+    let mut gap = 0.0;
+
+    for (entry, q) in workload.entries.iter().zip(&prev.per_query) {
+        let mut select = q.select_cost;
+        let affected = q.uses_any(&applied.removed_indexes, &applied.removed_views);
+        let usages = if affected {
+            let mut kept: Vec<IndexUsage> = Vec::with_capacity(q.usages.len());
+            for usage in q.usages.iter() {
+                let removed_index = applied.removed_indexes.contains(&usage.index);
+                let removed_view = applied.removed_views.contains(&usage.index.table);
+                if !removed_index && !removed_view {
+                    kept.push(usage.clone());
+                    continue;
+                }
+                let (patch, source) = replacement_cost(
+                    db,
+                    model,
+                    &old_schema,
+                    &new_schema,
+                    old_config,
+                    applied,
+                    usage,
+                    view_costs,
+                );
+                select += (patch - usage.access_cost()).max(0.0);
+                match source {
+                    PatchSource::Structure(w) => kept.push(w),
+                    PatchSource::Heap => {}
+                    PatchSource::Rebuild(ws) => kept.extend(ws.iter().cloned()),
+                }
+            }
+            kept.into()
+        } else {
+            q.usages.clone()
+        };
+        let shell = match entry.shell.as_ref() {
+            None => 0.0,
+            Some(s) => shell_cost(model, &new_schema, s),
+        };
+        per_query.push(crate::eval::QueryEval {
+            select_cost: select,
+            shell_cost: shell,
+            usages,
+        });
+        total += entry.weight * (select + shell);
+        gap += entry.weight * (select - q.select_cost);
+    }
+    (
+        EvalResult {
+            per_query,
+            total_cost: total,
+            optimizer_calls: 0,
+            poison_repairs: Vec::new(),
+        },
+        gap,
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn bound_impl(
     db: &Database,
@@ -190,7 +314,7 @@ fn bound_impl(
                 if !removed_index && !removed_view {
                     continue;
                 }
-                let patch = replacement_cost(
+                let (patch, _) = replacement_cost(
                     db,
                     model,
                     &old_schema,
@@ -227,8 +351,36 @@ fn bound_impl(
     total
 }
 
+/// What the winning patch plan depends on — the part of the answer a
+/// served evaluation must remember so *later* transformations still
+/// see the dependency.
+//
+// The variant sizes are lopsided (a full inline `IndexUsage` vs two
+// pointers), but the value is a transient return on the bound-pricing
+// hot path — boxing the common variant would trade a stack move for a
+// heap allocation per priced usage.
+#[allow(clippy::large_enum_variant)]
+enum PatchSource {
+    /// The patch scans or seeks a removable structure: a witness usage
+    /// carrying the whole patch as its access cost, so a subsequent
+    /// removal of that structure re-patches at least the increment.
+    Structure(IndexUsage),
+    /// The patch runs on the table heap — irremovable, nothing to
+    /// remember.
+    Heap,
+    /// The structure's table vanished and the patch rebuilds the view
+    /// with the *current* configuration's access paths (the paper's
+    /// refined CBV). The rebuild plan's own index usages — real
+    /// accesses with real per-access costs — are the dependency: a
+    /// served evaluation records them all, and a later removal of any
+    /// one re-patches that access through the ordinary §3.3.2
+    /// machinery. Empty when the rebuild scans heaps only.
+    Rebuild(Arc<[IndexUsage]>),
+}
+
 /// Cost of answering one former index usage with the relaxed
-/// configuration's structures (the patch plan of Fig. 7).
+/// configuration's structures (the patch plan of Fig. 7), plus the
+/// [`PatchSource`] the winning plan depends on.
 #[allow(clippy::too_many_arguments)]
 fn replacement_cost(
     db: &Database,
@@ -239,7 +391,7 @@ fn replacement_cost(
     applied: &AppliedTransform,
     usage: &IndexUsage,
     view_costs: &ViewBuildCosts,
-) -> f64 {
+) -> (f64, PatchSource) {
     let size_model = SizeModel::default();
     // Map the usage into the merged view's column space if applicable.
     let mapped_table = if usage.index.table.is_view() {
@@ -261,7 +413,8 @@ fn replacement_cost(
         true
     };
     if !table_alive {
-        let cbv = view_costs.get(db, model, old_config, usage.index.table);
+        let (cbv, rebuild_usages) =
+            view_costs.get_with_usages(db, model, old_config, usage.index.table);
         let rows = old_schema.rows(usage.index.table);
         let pages = (rows * old_schema.row_width(usage.index.table) / model.size.page_size)
             .ceil()
@@ -272,7 +425,7 @@ fn replacement_cost(
         if usage.provided_order.is_some() {
             cost += model.sort(usage.rows, 64.0).total();
         }
-        return cost;
+        return (cost, PatchSource::Rebuild(rebuild_usages));
     }
 
     let map_col = |c: &ColumnId| -> ColumnId { applied.col_map.get(c).copied().unwrap_or(*c) };
@@ -346,13 +499,17 @@ fn replacement_cost(
     // old plan relied on the index's order. Mirrors the scan branch of
     // `best_access_path`, so the patch never undercuts a plan the
     // optimizer will actually enumerate.
+    let mut best_src: Option<Index> = None;
     let mut best = {
         let scan = match applied
             .config
             .indexes_on(target_table)
             .find(|i| i.clustered)
         {
-            Some(ci) => model.full_scan(model.index_pages(new_schema, ci), table_rows),
+            Some(ci) => {
+                best_src = Some(ci.clone());
+                model.full_scan(model.index_pages(new_schema, ci), table_rows)
+            }
             None => model.full_scan(table_pages, table_rows),
         };
         let mut cost =
@@ -467,9 +624,36 @@ fn replacement_cost(
         compensation(&mut cost);
         if cost < best {
             best = cost;
+            best_src = Some(candidate.clone());
         }
     }
-    best
+    // The witness is deliberately coarse: a scan-shaped usage whose
+    // access I/O is the *entire* patch. A future removal of the source
+    // structure then charges `(next_patch - patch)⁺` on top — never
+    // less than the true increment, so the §3.3.2 upper-bound
+    // guarantee survives chained servings.
+    let source = match best_src {
+        None => PatchSource::Heap,
+        Some(index) => PatchSource::Structure(IndexUsage {
+            index,
+            kind: UsageKind::Scan,
+            access_io: best.max(0.0),
+            access_cpu: 0.0,
+            rows: usage.rows,
+            provided_order: usage
+                .provided_order
+                .as_ref()
+                .map(|o| o.iter().map(|(c, d)| (map_col(c), *d)).collect()),
+            provided_columns: full_needed.iter().copied().collect(),
+            followed_by_lookup: false,
+            seek_col_sels: Vec::new(),
+            total_preds: usage.total_preds,
+            resid_pred_cols: BTreeSet::new(),
+            resid_filter_cpu: 0.0,
+            executions: usage.executions,
+        }),
+    };
+    (best, source)
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 use std::time::Duration;
 
-const VERSION: i64 = 3;
+const VERSION: i64 = 4;
 const KIND: &str = "pdtune-checkpoint";
 
 /// Serialized mid-session state; see the module docs for the model.
@@ -55,6 +55,13 @@ pub struct Checkpoint {
     pub iteration: usize,
     pub rng_state: u64,
     pub optimizer_calls: usize,
+    /// Call-budget ledger at capture time (worst-case charges spent /
+    /// estimates served; see `TunerOptions::optimizer_call_budget`).
+    /// Charging is a pure function of the replayed trajectory, so replay
+    /// regenerates both; persisting them lets go-live verify the replay
+    /// made the same spend/skip decisions.
+    pub budget_spent: u64,
+    pub budget_skipped: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Bound-memo probe counters at capture time. The memo contents
@@ -177,6 +184,8 @@ impl Checkpoint {
                 "optimizer_calls".into(),
                 Json::Int(self.optimizer_calls as i64),
             ),
+            ("budget_spent".into(), hex(self.budget_spent)),
+            ("budget_skipped".into(), hex(self.budget_skipped)),
             ("cache_hits".into(), hex(self.cache_hits)),
             ("cache_misses".into(), hex(self.cache_misses)),
             ("bound_memo_hits".into(), hex(self.bound_memo_hits)),
@@ -384,6 +393,8 @@ fn parse_checkpoint(s: &str) -> Result<Checkpoint, String> {
         iteration: uint(get(&doc, "iteration")?)? as usize,
         rng_state: unhex(get(&doc, "rng_state")?)?,
         optimizer_calls: uint(get(&doc, "optimizer_calls")?)? as usize,
+        budget_spent: unhex(get(&doc, "budget_spent")?)?,
+        budget_skipped: unhex(get(&doc, "budget_skipped")?)?,
         cache_hits: unhex(get(&doc, "cache_hits")?)?,
         cache_misses: unhex(get(&doc, "cache_misses")?)?,
         bound_memo_hits: unhex(get(&doc, "bound_memo_hits")?)?,
@@ -903,6 +914,8 @@ mod tests {
             iteration: 7,
             rng_state: 0x0123_4567_89AB_CDEF,
             optimizer_calls: 42,
+            budget_spent: 13,
+            budget_skipped: 27,
             cache_hits: 10,
             cache_misses: 5,
             bound_memo_hits: 6,
@@ -993,6 +1006,7 @@ mod tests {
         // Spot-check deep contents.
         assert_eq!(back.iteration, 7);
         assert_eq!(back.rng_state, 0x0123_4567_89AB_CDEF);
+        assert_eq!((back.budget_spent, back.budget_skipped), (13, 27));
         assert_eq!(back.best, Some((80.25, 4096.0)));
         assert_eq!(back.faults.len(), 1);
         assert_eq!(back.faults[0].kind, FaultKind::EvalPanic);

@@ -14,7 +14,9 @@
 //! ```
 
 use crate::arena::SkylineScratch;
-use crate::bound::{cost_upper_bound, cost_upper_bound_restricted, ViewBuildCosts};
+use crate::bound::{
+    bound_served_eval, cost_upper_bound, cost_upper_bound_restricted, ViewBuildCosts,
+};
 use crate::cache::CostCache;
 use crate::checkpoint::{Checkpoint, TraceCheckpoint};
 use crate::derived::RelevanceTable;
@@ -150,6 +152,20 @@ pub struct TunerOptions {
     /// are byte-identical to the hash-keyed reference mode (`false`).
     /// Ids are session-local — they never enter checkpoints or traces.
     pub flat_hot_path: bool,
+    /// Wii-style what-if call budget — the *approximate tier*. Caps the
+    /// worst-case real optimizer invocations the relaxation loop
+    /// (pre-pass included) may spend; candidates whose exact cost
+    /// cannot change the recommendation this step (their configuration
+    /// does not fit the space budget) are served a §3.3.2 bound-derived
+    /// estimate instead, and the session trips
+    /// [`StopReason::CallBudget`] — anytime, like a deadline — once a
+    /// decision-relevant evaluation no longer fits the remaining
+    /// budget. The recommended configuration is re-priced exactly
+    /// (budget-exempt) before it is returned. `None` (the default) is
+    /// the exact tier: byte-identical to an engine without this knob.
+    /// Unlike the perf knobs above, the budget changes logical
+    /// decisions, so it is part of the options signature.
+    pub optimizer_call_budget: Option<usize>,
 }
 
 impl Default for TunerOptions {
@@ -174,6 +190,7 @@ impl Default for TunerOptions {
             incremental: true,
             derived_costs: true,
             flat_hot_path: true,
+            optimizer_call_budget: None,
         }
     }
 }
@@ -258,6 +275,13 @@ pub struct TuningReport {
     pub plan_cache_misses: u64,
     /// Plan-reuse serves that re-priced a non-empty plan footprint.
     pub plan_cache_repriced: u64,
+    /// Evaluations the approximate tier served from the §3.3.2 bound
+    /// instead of re-optimizing, counted in worst-case real invocations
+    /// (affected queries). 0 in the exact tier.
+    pub optimizer_calls_skipped: u64,
+    /// Call budget left when the session ended; `None` in the exact
+    /// (unlimited) tier.
+    pub budget_remaining: Option<u64>,
     /// Textually duplicate workload statements merged at load time
     /// (each shares one evaluation, scaled by its combined weight).
     pub workload_deduped: u64,
@@ -327,6 +351,18 @@ struct Node {
     scored: Option<Vec<ScoredCandidate>>,
     exhausted: bool,
     pruned: bool,
+    /// Approximate tier only: midpoint of the node's [lower, upper]
+    /// cost bounds when its evaluation was bound-served instead of
+    /// re-optimized. [`pick_node`] ranks by it, so freed budget flows
+    /// to the most uncertain (widest-gap) regions of the pool. `None`
+    /// for exactly evaluated nodes and always in the exact tier.
+    est_cost: Option<f64>,
+}
+
+/// The cost [`pick_node`] ranks a node by: the bound midpoint for an
+/// estimated node, the evaluated cost otherwise.
+fn node_cost(n: &Node) -> f64 {
+    n.est_cost.unwrap_or(n.eval.total_cost)
 }
 
 /// A candidate transformation with its §3.3 ΔT / ΔS estimates (the
@@ -425,6 +461,13 @@ fn score_from_entry(
 /// output, and any divergence trips an assertion. Fresh computations in
 /// incremental mode use the affected-query-restricted bound, which is
 /// bit-identical to the full one (see `cost_upper_bound_restricted`).
+///
+/// `memoize: false` bypasses the memo entirely (no lookup, no insert):
+/// the memo key assumes one canonical evaluation per configuration,
+/// which the approximate tier breaks — a served evaluation is a
+/// trajectory-dependent upper bound, so the same configuration can
+/// legitimately carry different per-query costs. Bounds are pure CPU
+/// (no optimizer calls), so the budgeted tier just recomputes.
 #[allow(clippy::too_many_arguments)]
 fn score_one_memo(
     db: &Database,
@@ -439,8 +482,13 @@ fn score_one_memo(
     memo: &BoundMemo,
     incremental: bool,
     flat: bool,
+    memoize: bool,
 ) -> (Option<ScoredCandidate>, bool) {
-    let cached = memo.lookup_keyed(sig, cfg_key);
+    let cached = if memoize {
+        memo.lookup_keyed(sig, cfg_key)
+    } else {
+        None
+    };
     let computed: Option<(BoundMemoEntry, Option<ScoredCandidate>)> =
         if cached.is_none() || !incremental || cfg!(debug_assertions) {
             let pair = match apply_ctx(t, config, db, opt, flat) {
@@ -508,7 +556,9 @@ fn score_one_memo(
         }
         (Some(entry), None) => (score_from_entry(&entry, eval, t, sig), true),
         (None, Some((fresh, sc))) => {
-            memo.insert_keyed(sig, cfg_key, fresh);
+            if memoize {
+                memo.insert_keyed(sig, cfg_key, fresh);
+            }
             (sc, false)
         }
         (None, None) => unreachable!("missed entries are always computed"),
@@ -591,6 +641,12 @@ fn options_signature(options: &TunerOptions, db: &Database, workload: &Workload)
     options.seed.hash(&mut h);
     options.cost_cache.hash(&mut h);
     options.validate_bounds.hash(&mut h);
+    // `optimizer_call_budget` is hashed — the asymmetry is deliberate:
+    // the budget changes which evaluations really run and therefore
+    // the search trajectory itself (the approximate tier), so a
+    // budgeted checkpoint must never resume an unbudgeted session or
+    // vice versa.
+    options.optimizer_call_budget.hash(&mut h);
     // `incremental`, `derived_costs`, and `flat_hot_path` are
     // deliberately excluded: every engine and costing/addressing mode
     // produces byte-identical output, so checkpoints are portable
@@ -611,6 +667,36 @@ fn options_signature(options: &TunerOptions, db: &Database, workload: &Workload)
     }
     h.finish()
 }
+
+/// Worst-case real optimizer invocations an incremental re-evaluation
+/// after `applied` can make: one per query whose previous plan used a
+/// removed structure (the `needs_reopt` rule in `eval.rs`). The
+/// approximate tier charges its call budget by this count rather than
+/// by actual calls — actual calls depend on cache state, which differs
+/// between a live run and a checkpoint replay (the restored cache
+/// answers replayed questions for free), while the affected count is a
+/// pure function of the search trajectory. `real calls <= charged`
+/// always holds.
+fn affected_queries(prev: &EvalResult, applied: &AppliedTransform) -> u64 {
+    prev.per_query
+        .iter()
+        .filter(|q| q.uses_any(&applied.removed_indexes, &applied.removed_views))
+        .count() as u64
+}
+
+/// Serve-vs-spend threshold for the approximate tier: a bound-served
+/// estimate replaces a real evaluation only when its interval gap
+/// (`bound_served_eval`'s second return) is at most this fraction of
+/// the parent's evaluated cost. Below the threshold no point of the
+/// interval can move a relaxation decision by more than the tolerance,
+/// so the estimate steers identically to the evaluation it replaces
+/// (an unaffected child has gap 0 and is served bit-exactly); above it
+/// the candidate is decision-relevant and charges the call budget.
+/// Witness usages keep served chains sound at any tolerance — the
+/// setting trades steering fidelity against real calls, and the final
+/// exact validation re-prices whatever the steering picked. 2% keeps
+/// every seed of the 200-seed contract sweep within ε = 5%.
+const GAP_TOL: f64 = 0.02;
 
 /// Turn a caught panic payload into a printable detail string.
 fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
@@ -663,6 +749,8 @@ fn capture_checkpoint(
     report: &TuningReport,
     rng: &StdRng,
     optimizer_calls: usize,
+    budget_spent: u64,
+    budget_skipped: u64,
     cache: Option<&CostCache>,
     memo: &BoundMemo,
     interner: &Interner,
@@ -679,6 +767,8 @@ fn capture_checkpoint(
         iteration: iteration_done,
         rng_state: rng.state(),
         optimizer_calls,
+        budget_spent,
+        budget_skipped,
         cache_hits: cache.map_or(0, |c| c.hits()),
         cache_misses: cache.map_or(0, |c| c.misses()),
         bound_memo_hits: memo.hits(),
@@ -701,7 +791,13 @@ fn capture_checkpoint(
 /// Verify a finished replay against its checkpoint. Everything the
 /// replay regenerates must match bitwise; a mismatch means the
 /// checkpoint does not belong to this session (or this build).
-fn go_live_checks(report: &TuningReport, rng: &StdRng, ck: &Checkpoint) -> Result<(), TuneError> {
+fn go_live_checks(
+    report: &TuningReport,
+    rng: &StdRng,
+    budget_spent: u64,
+    budget_skipped: u64,
+    ck: &Checkpoint,
+) -> Result<(), TuneError> {
     let best_matches = match (&report.best, ck.best) {
         (Some(b), Some((cost, size))) => {
             b.cost.to_bits() == cost.to_bits() && b.size_bytes.to_bits() == size.to_bits()
@@ -712,6 +808,8 @@ fn go_live_checks(report: &TuningReport, rng: &StdRng, ck: &Checkpoint) -> Resul
     if rng.state() != ck.rng_state
         || report.iterations != ck.iteration
         || report.frontier.len() != ck.frontier_len
+        || budget_spent != ck.budget_spent
+        || budget_skipped != ck.budget_skipped
         || !best_matches
     {
         return Err(TuneError::Checkpoint(format!(
@@ -745,6 +843,17 @@ pub fn tune_session(
     let opt = Optimizer::new(db);
     let base = Configuration::base(db);
     let mut optimizer_calls = 0;
+
+    // ---- approximate tier: what-if call budget ledger ---------------
+    // Charged by worst-case affected-query counts (see
+    // `affected_queries`), never by actual calls, so the ledger is a
+    // pure function of the search trajectory: replay regenerates it
+    // exactly and `go_live_checks` verifies it against the checkpoint.
+    // Setup (base/optimal evaluation, instrumentation) and the final
+    // validation re-pricing are budget-exempt.
+    let budget = options.optimizer_call_budget;
+    let mut budget_spent: u64 = 0;
+    let mut budget_skipped: u64 = 0;
 
     // ---- anytime stop control ---------------------------------------
     let token = options.stop.clone().unwrap_or_default();
@@ -947,6 +1056,8 @@ pub fn tune_session(
         plan_cache_hits: 0,
         plan_cache_misses: 0,
         plan_cache_repriced: 0,
+        optimizer_calls_skipped: 0,
+        budget_remaining: budget.map(|b| b as u64),
         workload_deduped: workload.deduped as u64,
         candidate_counts: Vec::new(),
         request_counts: (sink.index_requests, sink.view_requests),
@@ -979,6 +1090,10 @@ pub fn tune_session(
             cost: optimal_cost,
             size_bytes: optimal_size,
         });
+        // No search loop ran: the whole budget is left over.
+        if let Some(remaining) = report.budget_remaining {
+            pdt_trace::incr(ctl.tracer, "budget.remaining", remaining);
+        }
         if let Some(c) = &cache {
             report.cache_hits = c.hits();
             report.cache_misses = c.misses();
@@ -1017,6 +1132,10 @@ pub fn tune_session(
         .fault_plan
         .as_ref()
         .map(|p| FaultSite::new(p, SITE_PREPASS, 0));
+    // Accumulated interval gap of every bound-served pre-pass step: the
+    // root's true cost lies in `[total - gap, total]`, so the root is
+    // ranked by that interval's midpoint below.
+    let mut prepass_served_gap = 0.0f64;
     let (root_config, root_eval) = {
         let mut cfg = optimal_config;
         let mut eval = opt_eval;
@@ -1077,6 +1196,7 @@ pub fn tune_session(
                     &memo,
                     options.incremental,
                     flat,
+                    budget.is_none(),
                 )
             });
             drop(pricing_hot);
@@ -1105,47 +1225,115 @@ pub fn tune_session(
             let Some(applied) = apply_ctx(&transformation, &cfg, db, &opt, flat) else {
                 break;
             };
-            let pre_ctx = EvalCtx {
-                stop: live.then_some(&stop_check),
-                faults: prepass_faults,
-                ..ctx
-            };
-            let eval_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Eval);
-            let new_eval = match catch_unwind(AssertUnwindSafe(|| {
-                evaluate_incremental_ctx(
+            // Approximate tier: a pre-pass winner's §3.3.2 bound proved
+            // the removal does not increase cost (`delta_t <= 1e-9`),
+            // but the bound's *select* side can still be pessimistic
+            // (its net non-positivity may lean on shell savings). Serve
+            // the bound estimate only while its interval gap is too
+            // small to change any downstream relaxation decision;
+            // otherwise this removal is decision-relevant and spends
+            // real budget like a main-loop step.
+            let served = if budget.is_some() {
+                let (est_eval, gap) = bound_served_eval(
                     db,
-                    &opt,
-                    &applied.config,
+                    &opt.opts.cost,
                     workload,
                     &eval,
-                    &applied.removed_indexes,
-                    &applied.removed_views,
-                    None,
-                    pre_ctx,
-                )
-            })) {
-                Ok(Some(e)) => e,
-                // No shortcut limit is set, so `None` means stopped.
-                Ok(None) => break,
-                Err(payload) => {
-                    // Contain the fault and keep the prefix already
-                    // built: the pre-pass is an optimization, not a
-                    // correctness step.
-                    if live {
-                        record_fault(
-                            &mut report,
+                    &cfg,
+                    &applied,
+                    &view_costs,
+                );
+                if gap <= GAP_TOL * eval.total_cost {
+                    let affected = affected_queries(&eval, &applied);
+                    budget_skipped += affected;
+                    prepass_served_gap += gap;
+                    pdt_trace::incr(trc(live), "optimizer.calls_skipped", affected);
+                    pdt_trace::emit(
+                        trc(live),
+                        "budget.skip",
+                        vec![
+                            ("phase", "prepass".into()),
+                            ("transformation", transformation.to_string().into()),
+                            ("affected", affected.into()),
+                            ("gap", gap.into()),
+                            ("upper", est_eval.total_cost.into()),
+                        ],
+                    );
+                    Some(est_eval)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let new_eval = if let Some(est_eval) = served {
+                est_eval
+            } else {
+                if let Some(b) = budget {
+                    // Decision-relevant removal: charge the worst case
+                    // up front; an unaffordable spend ends the pre-pass
+                    // anytime-style (the loop prologue turns the trip
+                    // into the final stop reason).
+                    let affected = affected_queries(&eval, &applied);
+                    if budget_spent + affected > b as u64 {
+                        pdt_trace::emit(
                             trc(live),
-                            &token,
-                            options.max_faults,
-                            0,
-                            FaultKind::EvalPanic,
-                            payload_str(payload.as_ref()),
+                            "budget.exhausted",
+                            vec![
+                                ("phase", "prepass".into()),
+                                ("transformation", transformation.to_string().into()),
+                                ("affected", affected.into()),
+                                ("remaining", (b as u64 - budget_spent).into()),
+                            ],
                         );
+                        token.trip(StopReason::CallBudget);
+                        break;
                     }
-                    break;
+                    budget_spent += affected;
+                }
+                let pre_ctx = EvalCtx {
+                    stop: live.then_some(&stop_check),
+                    faults: prepass_faults,
+                    ..ctx
+                };
+                let eval_hot = pdt_trace::hot_span(trc(live), pdt_trace::HotPhase::Eval);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    evaluate_incremental_ctx(
+                        db,
+                        &opt,
+                        &applied.config,
+                        workload,
+                        &eval,
+                        &applied.removed_indexes,
+                        &applied.removed_views,
+                        None,
+                        pre_ctx,
+                    )
+                }));
+                drop(eval_hot);
+                match result {
+                    Ok(Some(e)) => e,
+                    // No shortcut limit is set, so `None` means stopped.
+                    Ok(None) => break,
+                    Err(payload) => {
+                        // Contain the fault and keep the prefix already
+                        // built: the pre-pass is an optimization, not a
+                        // correctness step.
+                        if live {
+                            record_fault(
+                                &mut report,
+                                trc(live),
+                                &token,
+                                options.max_faults,
+                                0,
+                                FaultKind::EvalPanic,
+                                payload_str(payload.as_ref()),
+                            );
+                        }
+                        break;
+                    }
                 }
             };
-            drop(eval_hot);
             optimizer_calls += new_eval.optimizer_calls;
             if live {
                 for q in &new_eval.poison_repairs {
@@ -1186,6 +1374,12 @@ pub fn tune_session(
     let root_size = root_config.size_bytes(db);
 
     let root_sig = root_config.signature128();
+    // A bound-served pre-pass leaves the root's costs upper-bounded
+    // rather than evaluated; rank it by its interval midpoint like any
+    // other estimated node. (Its `best` entry below, if it fits, is a
+    // sound upper bound — the final validation re-prices it exactly.)
+    let root_est = (budget.is_some() && prepass_served_gap > 0.0)
+        .then_some(root_eval.total_cost - 0.5 * prepass_served_gap);
     let mut nodes: Vec<Node> = vec![Node {
         size: root_size,
         config: root_config,
@@ -1199,6 +1393,7 @@ pub fn tune_session(
         scored: None,
         exhausted: false,
         pruned: false,
+        est_cost: root_est,
     }];
     if fits(nodes[0].size) {
         report.best = Some(BestConfig {
@@ -1230,7 +1425,7 @@ pub fn tune_session(
             // because replay evaluations hit the restored cache instead
             // of calling the optimizer), and go live.
             let ck = ctl.resume.expect("replay mode implies a checkpoint");
-            go_live_checks(&report, &rng, ck)?;
+            go_live_checks(&report, &rng, budget_spent, budget_skipped, ck)?;
             optimizer_calls = ck.optimizer_calls;
             if let Some(c) = &cache {
                 c.set_counters(ck.cache_hits, ck.cache_misses);
@@ -1274,6 +1469,8 @@ pub fn tune_session(
                         &report,
                         &rng,
                         optimizer_calls,
+                        budget_spent,
+                        budget_skipped,
                         cache.as_ref(),
                         &memo,
                         &interner,
@@ -1399,6 +1596,7 @@ pub fn tune_session(
                             &memo,
                             options.incremental,
                             flat,
+                            budget.is_none(),
                         );
                         (sc, if hit { MEMO_HIT } else { MEMO_MISS })
                     }
@@ -1548,6 +1746,150 @@ pub fn tune_session(
             );
             continue;
         };
+
+        // ---- approximate tier: spend, serve, or stop -----------------
+        // The gap-driven reallocation policy. The child's true cost
+        // lies in `[upper - gap, upper]`, where `upper` is the §3.3.2
+        // bound total and `gap` is its select-side replacement slack
+        // (see `bound_served_eval`; the lower end is sound because a
+        // relaxation never makes an affected query's re-optimized plan
+        // cheaper than its current one, and shells are closed-form
+        // exact). A *negligible-gap* child — no point of its interval
+        // can move a relaxation decision by more than `GAP_TOL` of the
+        // parent's cost — is served the estimate for free; it steers
+        // (and may claim `best` at its sound upper bound) exactly as
+        // the evaluation it replaces would have. A child with a
+        // material gap is decision-relevant: only a real evaluation can
+        // settle it, so it spends budget, charged at its worst case.
+        // Freed budget thus flows to the highest-uncertainty
+        // candidates, and `pick_node` keeps steering by interval
+        // midpoints in between.
+        if let Some(b) = budget {
+            let affected = affected_queries(&nodes[node_idx].eval, &applied);
+            let (est_eval, gap) = bound_served_eval(
+                db,
+                &opt.opts.cost,
+                workload,
+                &nodes[node_idx].eval,
+                &nodes[node_idx].config,
+                &applied,
+                &view_costs,
+            );
+            let new_size = applied.config.size_bytes(db);
+            if gap <= GAP_TOL * nodes[node_idx].eval.total_cost {
+                // Serve the estimate: synthesize the child's evaluation
+                // from the bound (its total is bit-identical to
+                // `cost_upper_bound`), pool it, and let it claim `best`
+                // at its upper bound — a sound claim the final
+                // validation re-prices exactly.
+                let upper = est_eval.total_cost;
+                let estimate = upper - 0.5 * gap;
+                budget_skipped += affected;
+                pdt_trace::incr(trc(live), "optimizer.calls_skipped", affected);
+                pdt_trace::emit(
+                    trc(live),
+                    "budget.skip",
+                    vec![
+                        ("phase", "search".into()),
+                        ("iteration", iteration.into()),
+                        ("transformation", transformation.to_string().into()),
+                        ("affected", affected.into()),
+                        ("gap", gap.into()),
+                        ("upper", upper.into()),
+                    ],
+                );
+                let actual_penalty =
+                    (upper - nodes[node_idx].eval.total_cost) / delta_s.abs().max(1.0);
+                nodes[node_idx].last_relax_penalty =
+                    nodes[node_idx].last_relax_penalty.max(actual_penalty);
+                pdt_trace::emit(
+                    trc(live),
+                    "search.step",
+                    vec![
+                        ("iteration", iteration.into()),
+                        ("transformation", transformation.to_string().into()),
+                        ("parent_size", nodes[node_idx].size.into()),
+                        ("size", new_size.into()),
+                        ("cost", upper.into()),
+                        ("fits", fits(new_size).into()),
+                    ],
+                );
+                report.frontier.push(FrontierPoint {
+                    iteration,
+                    size_bytes: new_size,
+                    cost: upper,
+                    fits: fits(new_size),
+                });
+                let AppliedTransform {
+                    config,
+                    removed_indexes,
+                    removed_views,
+                    added_indexes,
+                    added_views,
+                    ..
+                } = applied;
+                if fits(new_size) && report.best.as_ref().is_none_or(|b| upper < b.cost) {
+                    pdt_trace::emit(
+                        trc(live),
+                        "search.best",
+                        vec![
+                            ("iteration", iteration.into()),
+                            ("cost", upper.into()),
+                            ("size", new_size.into()),
+                        ],
+                    );
+                    report.best = Some(BestConfig {
+                        config: config.clone(),
+                        cost: upper,
+                        size_bytes: new_size,
+                    });
+                }
+                let child_sig = config.signature128();
+                nodes.push(Node {
+                    config,
+                    eval: est_eval,
+                    size: new_size,
+                    parent: Some(node_idx),
+                    last_relax_penalty: 0.0,
+                    sig: child_sig,
+                    tried: HashSet::new(),
+                    cands: None,
+                    delta: options.incremental.then_some(StepDelta {
+                        removed_indexes,
+                        removed_views,
+                        added_indexes,
+                        added_views,
+                    }),
+                    scored: None,
+                    exhausted: false,
+                    pruned: false,
+                    est_cost: Some(estimate),
+                });
+                last_created = nodes.len() - 1;
+                continue;
+            }
+            // Decision-relevant: a real evaluation, charged up front at
+            // its worst case. An unaffordable spend ends the session
+            // anytime-style — the loop prologue (or the post-loop
+            // reflection) turns the trip into the final stop reason and
+            // saves the pending checkpoint, exactly like a deadline.
+            if budget_spent + affected > b as u64 {
+                pdt_trace::emit(
+                    trc(live),
+                    "budget.exhausted",
+                    vec![
+                        ("phase", "search".into()),
+                        ("iteration", iteration.into()),
+                        ("transformation", transformation.to_string().into()),
+                        ("affected", affected.into()),
+                        ("remaining", (b as u64 - budget_spent).into()),
+                    ],
+                );
+                token.trip(StopReason::CallBudget);
+                continue;
+            }
+            budget_spent += affected;
+        }
 
         // ---- lines 7–9: evaluate, pool, update best ------------------
         let shortcut_limit = if options.shortcut_evaluation {
@@ -1916,6 +2258,7 @@ pub fn tune_session(
             scored: None,
             exhausted: false,
             pruned: false,
+            est_cost: None,
         });
         last_created = nodes.len() - 1;
     }
@@ -1924,7 +2267,7 @@ pub fn tune_session(
     // final report carries the checkpointed counters and trace.
     if !live {
         let ck = ctl.resume.expect("replay mode implies a checkpoint");
-        go_live_checks(&report, &rng, ck)?;
+        go_live_checks(&report, &rng, budget_spent, budget_skipped, ck)?;
         optimizer_calls = ck.optimizer_calls;
         if let Some(c) = &cache {
             c.set_counters(ck.cache_hits, ck.cache_misses);
@@ -1944,6 +2287,37 @@ pub fn tune_session(
     // something actually tripped.
     if let Some(reason) = token.get() {
         report.stop_reason = reason;
+    }
+
+    // ---- approximate tier: exact validation of the recommendation ---
+    // Bound-served ancestors leave upper-bound slack in the costs an
+    // incremental evaluation carries for unaffected queries, so the
+    // recommendation is re-priced exactly — the DBA-bandits "validate"
+    // step, budget-exempt — before the base-configuration safety floor
+    // below, which then guarantees the budgeted result is never worse
+    // than the deployed configuration. The exact tier never enters
+    // this block.
+    if budget.is_some() {
+        if let Some(best) = &report.best {
+            pdt_trace::emit(
+                ctl.tracer,
+                "budget.validate.begin",
+                vec![("cost", best.cost.into())],
+            );
+            let vctx = EvalCtx {
+                tracer: ctl.tracer,
+                ..ctx
+            };
+            let veval = evaluate_full_ctx(db, &opt, &best.config, workload, vctx);
+            optimizer_calls += veval.optimizer_calls;
+            let cost = veval.total_cost;
+            pdt_trace::emit(
+                ctl.tracer,
+                "budget.validate.end",
+                vec![("cost", cost.into())],
+            );
+            report.best.as_mut().expect("checked above").cost = cost;
+        }
     }
 
     // Recommending nothing (the base configuration) is always an
@@ -1971,6 +2345,11 @@ pub fn tune_session(
     report.candidates_reused = candidates_reused;
     report.bound_memo_hits = memo.hits();
     report.bound_memo_misses = memo.misses();
+    report.optimizer_calls_skipped = budget_skipped;
+    report.budget_remaining = budget.map(|b| (b as u64).saturating_sub(budget_spent));
+    if let Some(remaining) = report.budget_remaining {
+        pdt_trace::incr(ctl.tracer, "budget.remaining", remaining);
+    }
     pdt_trace::emit(
         ctl.tracer,
         "session.end",
@@ -2052,7 +2431,7 @@ fn pick_node(
             .iter()
             .enumerate()
             .filter(|(_, n)| usable(n))
-            .min_by(|a, b| a.1.eval.total_cost.total_cmp(&b.1.eval.total_cost))
+            .min_by(|a, b| node_cost(a.1).total_cmp(&node_cost(b.1)))
             .map(|(i, _)| i);
     }
 
@@ -2061,7 +2440,7 @@ fn pick_node(
     let improved_parent = has_updates
         && last
             .parent
-            .map(|p| last.eval.total_cost < nodes[p].eval.total_cost)
+            .map(|p| node_cost(last) < node_cost(&nodes[p]))
             .unwrap_or(false);
     if usable(last) && (!fits(last.size) || improved_parent) {
         return Some(last_created);
@@ -2092,7 +2471,7 @@ fn pick_node(
         .iter()
         .enumerate()
         .filter(|(_, n)| usable(n))
-        .min_by(|a, b| a.1.eval.total_cost.total_cmp(&b.1.eval.total_cost))
+        .min_by(|a, b| node_cost(a.1).total_cmp(&node_cost(b.1)))
         .map(|(i, _)| i)
 }
 
@@ -2407,6 +2786,15 @@ mod tests {
                 max_iterations: 10,
                 ..a.clone()
             })
+        );
+        assert_ne!(
+            base,
+            sig(&TunerOptions {
+                optimizer_call_budget: Some(64),
+                ..a.clone()
+            }),
+            "the call budget steers the trajectory, so budgeted and \
+             unbudgeted checkpoints must never cross-resume"
         );
         assert_ne!(
             base,

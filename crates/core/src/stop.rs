@@ -31,6 +31,9 @@ pub enum StopReason {
     Interrupted,
     /// More faults than `TunerOptions::max_faults` were tolerated.
     FaultLimit,
+    /// `TunerOptions::optimizer_call_budget` ran out: the next step
+    /// needed more real what-if invocations than remained.
+    CallBudget,
 }
 
 impl StopReason {
@@ -42,6 +45,7 @@ impl StopReason {
             StopReason::Deadline => "deadline",
             StopReason::Interrupted => "interrupted",
             StopReason::FaultLimit => "fault-limit",
+            StopReason::CallBudget => "call-budget",
         }
     }
 }
@@ -50,6 +54,7 @@ impl StopReason {
 const TRIP_DEADLINE: u8 = 1;
 const TRIP_INTERRUPTED: u8 = 2;
 const TRIP_FAULT_LIMIT: u8 = 3;
+const TRIP_CALL_BUDGET: u8 = 4;
 
 /// A shared, trip-once cancellation token. Cloning shares the flag.
 ///
@@ -66,13 +71,15 @@ impl StopToken {
     }
 
     /// Trip the token. Returns `true` if this call was the first trip.
-    /// Only `Deadline`, `Interrupted`, and `FaultLimit` are trip-able;
-    /// other reasons describe natural session ends and are ignored.
+    /// Only `Deadline`, `Interrupted`, `FaultLimit`, and `CallBudget`
+    /// are trip-able; other reasons describe natural session ends and
+    /// are ignored.
     pub fn trip(&self, reason: StopReason) -> bool {
         let code = match reason {
             StopReason::Deadline => TRIP_DEADLINE,
             StopReason::Interrupted => TRIP_INTERRUPTED,
             StopReason::FaultLimit => TRIP_FAULT_LIMIT,
+            StopReason::CallBudget => TRIP_CALL_BUDGET,
             StopReason::Converged | StopReason::IterationBudget => return false,
         };
         self.0
@@ -86,6 +93,7 @@ impl StopToken {
             0 => None,
             TRIP_DEADLINE => Some(StopReason::Deadline),
             TRIP_INTERRUPTED => Some(StopReason::Interrupted),
+            TRIP_CALL_BUDGET => Some(StopReason::CallBudget),
             _ => Some(StopReason::FaultLimit),
         }
     }
@@ -233,5 +241,13 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(StopReason::Deadline.label(), "deadline");
         assert_eq!(StopReason::IterationBudget.label(), "iteration-budget");
+        assert_eq!(StopReason::CallBudget.label(), "call-budget");
+    }
+
+    #[test]
+    fn call_budget_trips_and_decodes() {
+        let t = StopToken::new();
+        assert!(t.trip(StopReason::CallBudget));
+        assert_eq!(t.get(), Some(StopReason::CallBudget));
     }
 }

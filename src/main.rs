@@ -81,6 +81,11 @@ OPTIONS:
   --no-flat-hot-path            disable the flat id-addressed hot path
                                 (interned sigs + dense-id memo/cache
                                 probes); output is byte-identical either way
+  --optimizer-call-budget <n>   approximate tier: spend at most n real
+                                what-if invocations, serving bound-gap
+                                midpoint estimates elsewhere; exhausting
+                                the budget reports best-so-far (exit 0,
+                                like --deadline)  [default: unlimited]
   --trace <file.jsonl>          write structured search telemetry as JSONL
   --validate-bounds             re-optimize after each step and check the
                                 \u{a7}3.3.2 cost upper bound (fails on violation)
@@ -126,6 +131,7 @@ struct CliOptions {
     no_incremental: bool,
     no_derived_costs: bool,
     no_flat_hot_path: bool,
+    optimizer_call_budget: Option<usize>,
     trace: Option<String>,
     validate_bounds: bool,
     deadline: Option<u64>,
@@ -193,6 +199,13 @@ impl CliOptions {
                 "--no-incremental" => o.no_incremental = true,
                 "--no-derived-costs" => o.no_derived_costs = true,
                 "--no-flat-hot-path" => o.no_flat_hot_path = true,
+                "--optimizer-call-budget" => {
+                    o.optimizer_call_budget = Some(
+                        value("--optimizer-call-budget")?
+                            .parse()
+                            .map_err(|e| usage("--optimizer-call-budget", &e))?,
+                    )
+                }
                 "--trace" => o.trace = Some(value("--trace")?),
                 "--validate-bounds" => o.validate_bounds = true,
                 "--deadline" => {
@@ -363,6 +376,7 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
         incremental: !o.no_incremental,
         derived_costs: !o.no_derived_costs,
         flat_hot_path: !o.no_flat_hot_path,
+        optimizer_call_budget: o.optimizer_call_budget,
         validate_bounds: o.validate_bounds,
         deadline_ms: o.deadline,
         stop: Some(token.clone()),
@@ -481,6 +495,12 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
             report.workload_deduped
         );
     }
+    if let Some(remaining) = report.budget_remaining {
+        println!(
+            "call budget: {} estimates served, {} budget remaining",
+            report.optimizer_calls_skipped, remaining
+        );
+    }
     if report.optimizer_calls_avoided > 0 {
         println!(
             "derived costing: {} optimizer calls avoided beyond coarse keying",
@@ -543,9 +563,12 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
         }
     }
     match report.stop_reason {
-        // A deadline stop is a successful anytime run: best-so-far was
-        // reported above, exit 0.
-        StopReason::Converged | StopReason::IterationBudget | StopReason::Deadline => Ok(()),
+        // A deadline or call-budget stop is a successful anytime run:
+        // best-so-far was reported above, exit 0.
+        StopReason::Converged
+        | StopReason::IterationBudget
+        | StopReason::Deadline
+        | StopReason::CallBudget => Ok(()),
         StopReason::Interrupted => Err(TuneError::Interrupted),
         StopReason::FaultLimit => Err(TuneError::FaultLimit {
             faults: report.faults.len(),
@@ -759,6 +782,17 @@ mod tests {
         let args = vec!["--no-flat-hot-path".to_string()];
         let o = CliOptions::parse(&args).unwrap();
         assert!(o.no_flat_hot_path);
+    }
+
+    #[test]
+    fn cli_parses_optimizer_call_budget() {
+        let o = CliOptions::parse(&[]).unwrap();
+        assert_eq!(o.optimizer_call_budget, None, "unlimited is the default");
+        let args = vec!["--optimizer-call-budget".to_string(), "64".to_string()];
+        let o = CliOptions::parse(&args).unwrap();
+        assert_eq!(o.optimizer_call_budget, Some(64));
+        let args = vec!["--optimizer-call-budget".to_string(), "lots".to_string()];
+        assert!(matches!(CliOptions::parse(&args), Err(TuneError::Usage(_))));
     }
 
     #[test]

@@ -42,7 +42,10 @@ fn fingerprint(report: &TuningReport) -> String {
 
 /// Run a full traced session, collecting every checkpoint the sink
 /// receives as `(completed_iterations, serialized_body)`.
-fn run_collecting(threads: usize, every: usize) -> (TuningReport, String, Vec<(usize, String)>) {
+fn run_collecting_opts(
+    opts: &TunerOptions,
+    every: usize,
+) -> (TuningReport, String, Vec<(usize, String)>) {
     let (db, w) = session_inputs();
     let tracer = Tracer::new();
     let collected: RefCell<Vec<(usize, String)>> = RefCell::new(Vec::new());
@@ -52,7 +55,7 @@ fn run_collecting(threads: usize, every: usize) -> (TuningReport, String, Vec<(u
     let report = tune_session(
         &db,
         &w,
-        &options(threads),
+        opts,
         SessionCtl {
             tracer: Some(&tracer),
             checkpoint_every: every,
@@ -64,14 +67,18 @@ fn run_collecting(threads: usize, every: usize) -> (TuningReport, String, Vec<(u
     (report, tracer.to_jsonl(), collected.into_inner())
 }
 
-fn resume_from(body: &str, threads: usize) -> (TuningReport, String) {
+fn run_collecting(threads: usize, every: usize) -> (TuningReport, String, Vec<(usize, String)>) {
+    run_collecting_opts(&options(threads), every)
+}
+
+fn resume_from_opts(body: &str, opts: &TunerOptions) -> (TuningReport, String) {
     let (db, w) = session_inputs();
     let ck = Checkpoint::from_json_str(body).expect("checkpoint parses");
     let tracer = Tracer::new();
     let report = tune_session(
         &db,
         &w,
-        &options(threads),
+        opts,
         SessionCtl {
             tracer: Some(&tracer),
             resume: Some(&ck),
@@ -80,6 +87,19 @@ fn resume_from(body: &str, threads: usize) -> (TuningReport, String) {
     )
     .expect("resume succeeds");
     (report, tracer.to_jsonl())
+}
+
+fn resume_from(body: &str, threads: usize) -> (TuningReport, String) {
+    resume_from_opts(body, &options(threads))
+}
+
+/// [`options`] with a finite optimizer-call budget: the approximate
+/// tier must checkpoint and resume as invisibly as the exact one.
+fn options_budgeted(threads: usize) -> TunerOptions {
+    TunerOptions {
+        optimizer_call_budget: Some(12),
+        ..options(threads)
+    }
 }
 
 #[test]
@@ -320,4 +340,80 @@ fn untraced_sessions_checkpoint_and_resume_too() {
         zero(&resumed),
         "untraced resume from iteration {done} diverged"
     );
+}
+
+/// The approximate tier checkpoints its budget ledger mid-flight
+/// (`budget_spent`/`budget_skipped`), and a budgeted session resumed
+/// from any checkpoint — at any thread count — finishes byte-identical
+/// to the uninterrupted budgeted run, including the final remaining
+/// budget and served-estimate counters.
+#[test]
+fn budgeted_resume_is_byte_identical_and_restores_the_ledger() {
+    let (baseline, baseline_trace, checkpoints) = run_collecting_opts(&options_budgeted(1), 7);
+    let baseline_fp = fingerprint(&baseline);
+    assert!(
+        baseline
+            .budget_remaining
+            .expect("budgeted tier reports the remaining budget")
+            < 12,
+        "the session never spent — the scenario does not exercise the ledger"
+    );
+    assert!(
+        baseline.optimizer_calls_skipped > 0,
+        "the session never served — the scenario does not exercise the ledger"
+    );
+    assert!(checkpoints.len() >= 2, "expected several checkpoints");
+
+    // Every checkpoint persists the ledger, monotonically non-decreasing
+    // along the session.
+    // Checkpoint integers render as 16-digit hex strings.
+    let field = |body: &str, key: &str| -> u64 {
+        let doc = pdtune::trace::json::parse(body).expect("checkpoint is valid JSON");
+        let s = doc
+            .get(key)
+            .and_then(|v| v.as_str().map(str::to_string))
+            .unwrap_or_else(|| panic!("checkpoint is missing {key}"));
+        u64::from_str_radix(&s, 16).unwrap_or_else(|_| panic!("{key} is not hex: {s}"))
+    };
+    let mut last = (0u64, 0u64);
+    for (done, body) in &checkpoints {
+        let ledger = (field(body, "budget_spent"), field(body, "budget_skipped"));
+        assert!(
+            ledger >= last,
+            "ledger went backwards at iteration {done}: {last:?} -> {ledger:?}"
+        );
+        last = ledger;
+    }
+
+    for (done, body) in &checkpoints {
+        for threads in [1usize, 4] {
+            let (report, trace) = resume_from_opts(body, &options_budgeted(threads));
+            assert_eq!(
+                baseline_fp,
+                fingerprint(&report),
+                "budgeted report diverged resuming from iteration {done} at {threads} threads"
+            );
+            assert_eq!(
+                baseline_trace, trace,
+                "budgeted trace diverged resuming from iteration {done} at {threads} threads"
+            );
+        }
+    }
+
+    // The budget is a decision knob: a checkpoint from a budgeted
+    // session must not resume under a different budget.
+    let (_, body) = checkpoints.first().expect("at least one checkpoint");
+    let ck = Checkpoint::from_json_str(body).unwrap();
+    let (db, w) = session_inputs();
+    let err = tune_session(
+        &db,
+        &w,
+        &options(1),
+        SessionCtl {
+            resume: Some(&ck),
+            ..SessionCtl::default()
+        },
+    )
+    .expect_err("a different call budget must not resume");
+    assert!(matches!(err, TuneError::Checkpoint(_)), "{err:?}");
 }
