@@ -30,6 +30,17 @@ pub enum TuneError {
     },
     /// The session was interrupted (SIGINT) before completing.
     Interrupted,
+    /// Serve mode: the daemon could not bind its listening socket (or
+    /// claim its data directory).
+    Bind { addr: String, msg: String },
+    /// Serve mode: a session's durable job manifest is unreadable or
+    /// corrupt. The daemon refuses to start rather than silently drop
+    /// an accepted job.
+    Manifest(String),
+    /// Serve mode: a recovered session's checkpoint does not replay to
+    /// the state it claims (wrong options/workload/build, or replay
+    /// divergence).
+    RecoveryMismatch(String),
 }
 
 impl TuneError {
@@ -37,14 +48,17 @@ impl TuneError {
     /// success (a deadline stop is a *successful* anytime run).
     ///
     /// | code | meaning |
-    /// |------|--------------------------|
-    /// | 2    | usage error              |
-    /// | 3    | I/O error                |
-    /// | 4    | workload error           |
-    /// | 5    | checkpoint error         |
-    /// | 6    | fault limit exceeded     |
-    /// | 7    | bound oracle violation   |
-    /// | 130  | interrupted (128+SIGINT) |
+    /// |------|----------------------------------|
+    /// | 2    | usage error                      |
+    /// | 3    | I/O error                        |
+    /// | 4    | workload error                   |
+    /// | 5    | checkpoint error                 |
+    /// | 6    | fault limit exceeded             |
+    /// | 7    | bound oracle violation           |
+    /// | 8    | serve: bind failure              |
+    /// | 9    | serve: corrupt job manifest      |
+    /// | 10   | serve: recovery mismatch         |
+    /// | 130  | interrupted (128+SIGINT)         |
     pub fn exit_code(&self) -> u8 {
         match self {
             TuneError::Usage(_) => 2,
@@ -53,6 +67,9 @@ impl TuneError {
             TuneError::Checkpoint(_) => 5,
             TuneError::FaultLimit { .. } => 6,
             TuneError::BoundViolation { .. } => 7,
+            TuneError::Bind { .. } => 8,
+            TuneError::Manifest(_) => 9,
+            TuneError::RecoveryMismatch(_) => 10,
             TuneError::Interrupted => 130,
         }
     }
@@ -79,6 +96,9 @@ impl fmt::Display for TuneError {
                  actual {actual} exceeds bound {bound}"
             ),
             TuneError::Interrupted => write!(f, "interrupted"),
+            TuneError::Bind { addr, msg } => write!(f, "cannot serve on {addr}: {msg}"),
+            TuneError::Manifest(msg) => write!(f, "corrupt job manifest: {msg}"),
+            TuneError::RecoveryMismatch(msg) => write!(f, "recovery mismatch: {msg}"),
         }
     }
 }
@@ -106,10 +126,16 @@ mod tests {
                 bound: 1.0,
                 actual: 2.0,
             },
+            TuneError::Bind {
+                addr: "127.0.0.1:7077".into(),
+                msg: "in use".into(),
+            },
+            TuneError::Manifest("bad json".into()),
+            TuneError::RecoveryMismatch("options differ".into()),
             TuneError::Interrupted,
         ];
         let codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 130]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 130]);
         let mut unique = codes.clone();
         unique.sort_unstable();
         unique.dedup();

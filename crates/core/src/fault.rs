@@ -17,9 +17,13 @@ use std::fmt;
 pub const SITE_CANDIDATE: u32 = 1;
 pub const SITE_SHRINK: u32 = 2;
 pub const SITE_PREPASS: u32 = 3;
+/// I/O sites: which durable-write path a serve-mode fault targets.
+pub const SITE_CHECKPOINT_WRITE: u32 = 4;
+pub const SITE_MANIFEST_WRITE: u32 = 5;
 
 const KIND_PANIC: u64 = 1;
 const KIND_POISON: u64 = 2;
+const KIND_IO: u64 = 3;
 
 /// A seeded plan for injecting faults at a given per-decision rate.
 ///
@@ -84,6 +88,18 @@ impl FaultPlan {
         x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
         (x as f64) < self.rate * (u64::MAX as f64)
+    }
+
+    /// Pure decision: does the `attempt`-th try of durable write number
+    /// `seq` at `site` (checkpoint or manifest) fail with an injected
+    /// I/O error? Each retry attempt rolls independently at the plan's
+    /// rate, so a bounded-retry/backoff policy is exercised end to end:
+    /// with rate 1.0 every attempt fails (the write gives up after its
+    /// retry budget), with intermediate rates some writes succeed only
+    /// on a later attempt. Deterministic in `(seed, site, seq,
+    /// attempt)` — never in time or thread schedule.
+    pub fn io_write_fails(&self, site: u32, seq: u64, attempt: u64) -> bool {
+        self.roll(KIND_IO, site, seq, attempt)
     }
 }
 
@@ -243,6 +259,38 @@ mod tests {
             (200..600).contains(&fired),
             "rate 0.2 fired {fired}/2000 times"
         );
+    }
+
+    #[test]
+    fn io_rolls_are_deterministic_and_attempt_independent() {
+        let plan = FaultPlan {
+            seed: 11,
+            rate: 0.5,
+        };
+        for site in [SITE_CHECKPOINT_WRITE, SITE_MANIFEST_WRITE] {
+            for seq in 0..32u64 {
+                for attempt in 0..4u64 {
+                    assert_eq!(
+                        plan.io_write_fails(site, seq, attempt),
+                        plan.io_write_fails(site, seq, attempt)
+                    );
+                }
+            }
+        }
+        // Attempts at the same write must decide independently, so a
+        // retry can succeed where the first try failed.
+        let diverged = (0..64u64).any(|seq| {
+            plan.io_write_fails(SITE_CHECKPOINT_WRITE, seq, 0)
+                != plan.io_write_fails(SITE_CHECKPOINT_WRITE, seq, 1)
+        });
+        assert!(diverged, "retry attempts should roll independently");
+        // Rate bounds.
+        let never = FaultPlan { seed: 1, rate: 0.0 };
+        let always = FaultPlan { seed: 1, rate: 1.0 };
+        for seq in 0..16u64 {
+            assert!(!never.io_write_fails(SITE_MANIFEST_WRITE, seq, 0));
+            assert!(always.io_write_fails(SITE_MANIFEST_WRITE, seq, 0));
+        }
     }
 
     #[test]

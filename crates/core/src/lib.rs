@@ -67,7 +67,7 @@ pub use search::{
     TransformationChoice, TunerOptions, TuningReport,
 };
 #[cfg(unix)]
-pub use stop::install_sigint;
+pub use stop::{install_sigint, install_sigterm};
 pub use stop::{StopCheck, StopReason, StopToken};
 pub use transform::{AppliedTransform, Transformation};
 pub use workload::{UpdateShell, Workload, WorkloadEntry};

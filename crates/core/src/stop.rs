@@ -140,44 +140,77 @@ impl<'a> StopCheck<'a> {
     }
 }
 
+// Per-signal token slots for the cooperative stop handlers. The
+// handler cannot own an `Arc`, so one strong count is leaked into a
+// static pointer slot per signal. Install-once: later calls for a
+// different token swap the slot (the superseded count stays leaked —
+// bounded by the number of install calls, one or two per process run).
+#[cfg(unix)]
+static SIGINT_TOKEN: AtomicUsize = AtomicUsize::new(0);
+#[cfg(unix)]
+static SIGTERM_TOKEN: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(unix)]
+const SIGINT_NUM: i32 = 2;
+#[cfg(unix)]
+const SIGTERM_NUM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Shared handler body: trip the signal's registered token and fall
+/// back to the default disposition, so a *second* delivery of the same
+/// signal kills the process. Async-signal-safe: two atomic operations
+/// and a `signal` call.
+#[cfg(unix)]
+extern "C" fn on_stop_signal(signum: i32) {
+    const SIG_DFL: usize = 0;
+    let slot = if signum == SIGTERM_NUM {
+        &SIGTERM_TOKEN
+    } else {
+        &SIGINT_TOKEN
+    };
+    let ptr = slot.load(Ordering::Acquire);
+    if ptr != 0 {
+        let flag = unsafe { &*(ptr as *const AtomicU8) };
+        let _ = flag.compare_exchange(0, TRIP_INTERRUPTED, Ordering::AcqRel, Ordering::Acquire);
+    }
+    unsafe {
+        signal(signum, SIG_DFL);
+    }
+}
+
+#[cfg(unix)]
+fn install_stop_signal(token: &StopToken, signum: i32, slot: &AtomicUsize) {
+    let raw = Arc::into_raw(Arc::clone(token.inner())) as usize;
+    slot.store(raw, Ordering::Release);
+    unsafe {
+        signal(signum, on_stop_signal as extern "C" fn(i32) as usize);
+    }
+}
+
 /// Install a process-wide SIGINT handler that trips `token`, so Ctrl-C
 /// ends the session cooperatively and the caller still gets a complete
 /// report. A second Ctrl-C falls back to the default disposition
 /// (process death) — the handler resets itself after the first trip.
 ///
 /// Implemented with `signal(2)` directly (std already links libc; no
-/// new dependency). The handler body is async-signal-safe: two atomic
-/// operations and a `signal` call.
+/// new dependency).
 #[cfg(unix)]
 pub fn install_sigint(token: &StopToken) {
-    // The handler cannot own an `Arc`, so one strong count is leaked
-    // into a static pointer slot. Install-once: later calls for a
-    // different token swap the slot (the superseded count stays leaked
-    // — bounded by the number of install calls, one per CLI run).
-    static TOKEN_PTR: AtomicUsize = AtomicUsize::new(0);
-    const SIGINT: i32 = 2;
-    const SIG_DFL: usize = 0;
+    install_stop_signal(token, SIGINT_NUM, &SIGINT_TOKEN);
+}
 
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-
-    extern "C" fn on_sigint(_signum: i32) {
-        let ptr = TOKEN_PTR.load(Ordering::Acquire);
-        if ptr != 0 {
-            let flag = unsafe { &*(ptr as *const AtomicU8) };
-            let _ = flag.compare_exchange(0, TRIP_INTERRUPTED, Ordering::AcqRel, Ordering::Acquire);
-        }
-        unsafe {
-            signal(SIGINT, SIG_DFL);
-        }
-    }
-
-    let raw = Arc::into_raw(Arc::clone(token.inner())) as usize;
-    TOKEN_PTR.store(raw, Ordering::Release);
-    unsafe {
-        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
-    }
+/// Install a process-wide SIGTERM handler that trips `token`. The serve
+/// daemon uses this for graceful shutdown: a service manager's SIGTERM
+/// drains every live session to a durable checkpoint before exit, and a
+/// second SIGTERM (or an impatient SIGKILL) falls back to process
+/// death — which the recovery scan then handles on restart.
+#[cfg(unix)]
+pub fn install_sigterm(token: &StopToken) {
+    install_stop_signal(token, SIGTERM_NUM, &SIGTERM_TOKEN);
 }
 
 #[cfg(test)]

@@ -1,0 +1,207 @@
+//! A small blocking client for the serve protocol, with the retry /
+//! timeout / backoff behavior the CLI's `pdtune job` subcommand (and
+//! the e2e tests) rely on.
+//!
+//! Transport errors (connection refused while the daemon restarts,
+//! timeouts) are retried with exponential backoff; explicit
+//! `overloaded` rejections are retried after the daemon's own
+//! `retry_after_ms` hint. Protocol errors (`{"ok":false,...}` without
+//! a retry hint) are not retried — they are answers, not failures.
+
+use pdt_trace::json::{parse, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side policy for one daemon endpoint.
+#[derive(Debug, Clone)]
+pub struct Client {
+    pub addr: String,
+    /// Per-connection read/write timeout.
+    pub timeout: Duration,
+    /// Transport-error retries per call (connects and reads).
+    pub retries: u32,
+    /// Backoff before the first transport retry; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Client {
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            timeout: Duration::from_secs(30),
+            retries: 5,
+            backoff: Duration::from_millis(50),
+        }
+    }
+
+    /// One request, one response line, no retries.
+    pub fn call_once(&self, request: &str) -> Result<Json, String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| format!("socket setup: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if line.trim().is_empty() {
+            return Err("daemon closed the connection without a response".to_string());
+        }
+        parse(line.trim()).map_err(|e| format!("bad response JSON: {e}"))
+    }
+
+    /// One request with transport-level retries and exponential
+    /// backoff. A parsed response — even `{"ok":false}` — is final.
+    pub fn call(&self, request: &str) -> Result<Json, String> {
+        let mut last = String::new();
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(
+                    self.backoff
+                        .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX)),
+                );
+            }
+            match self.call_once(request) {
+                Ok(doc) => return Ok(doc),
+                Err(e) => last = e,
+            }
+        }
+        Err(format!(
+            "daemon at {} unreachable after {} attempts: {last}",
+            self.addr,
+            self.retries + 1
+        ))
+    }
+
+    /// Submit a job, honoring `retry_after_ms` backpressure: an
+    /// overloaded rejection sleeps the daemon's hint and retries, up
+    /// to `retries` times. Returns the assigned session id.
+    pub fn submit(&self, spec_json: &Json) -> Result<String, String> {
+        let request = Json::Obj(vec![
+            ("op".into(), Json::Str("submit".into())),
+            ("spec".into(), spec_json.clone()),
+        ])
+        .to_string();
+        let mut last = String::new();
+        for _ in 0..=self.retries {
+            let doc = self.call(&request)?;
+            if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+                return doc
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("submit ack without id: {doc}"));
+            }
+            match doc.get("retry_after_ms").and_then(Json::as_i64) {
+                Some(ms) => {
+                    // Explicit backpressure: wait exactly as told.
+                    last = format!("overloaded (retry_after_ms={ms})");
+                    std::thread::sleep(Duration::from_millis(ms.max(0) as u64));
+                }
+                None => {
+                    return Err(doc
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("submit rejected")
+                        .to_string())
+                }
+            }
+        }
+        Err(format!("submit kept being rejected: {last}"))
+    }
+
+    /// Poll `status` until the session reaches a terminal state.
+    /// Returns `(state_label, error)`.
+    pub fn wait(&self, id: &str, poll: Duration) -> Result<(String, Option<String>), String> {
+        let request = Json::Obj(vec![
+            ("op".into(), Json::Str("status".into())),
+            ("id".into(), Json::Str(id.to_string())),
+        ])
+        .to_string();
+        loop {
+            let doc = self.call(&request)?;
+            if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("status failed")
+                    .to_string());
+            }
+            let state = doc
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or("status without state")?
+                .to_string();
+            if matches!(state.as_str(), "done" | "failed" | "canceled") {
+                let error = doc.get("error").and_then(Json::as_str).map(str::to_string);
+                return Ok((state, error));
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// Stream a session's trace events from `from`, invoking `sink`
+    /// per JSONL line, until the daemon sends the terminal line.
+    /// Returns `(done, state_label)` from that terminal line.
+    pub fn watch(
+        &self,
+        id: &str,
+        from: u64,
+        mut sink: impl FnMut(&str),
+    ) -> Result<(bool, String), String> {
+        let request = Json::Obj(vec![
+            ("op".into(), Json::Str("watch".into())),
+            ("id".into(), Json::Str(id.to_string())),
+            ("from".into(), Json::Int(from as i64)),
+        ])
+        .to_string();
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| format!("socket setup: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
+        for line in BufReader::new(stream).lines() {
+            let line = line.map_err(|e| format!("recv: {e}"))?;
+            if line.is_empty() {
+                continue;
+            }
+            // The terminal line is the only one with an `ok` field;
+            // trace events are span/event objects.
+            if let Ok(doc) = parse(&line) {
+                if let Some(ok) = doc.get("ok").and_then(Json::as_bool) {
+                    if !ok {
+                        return Err(doc
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("watch failed")
+                            .to_string());
+                    }
+                    let done = doc.get("done").and_then(Json::as_bool).unwrap_or(false);
+                    let state = doc
+                        .get("state")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    return Ok((done, state));
+                }
+            }
+            sink(&line);
+        }
+        Err("watch stream ended without a terminal line".to_string())
+    }
+
+    /// Read the daemon's published endpoint from its data dir.
+    pub fn discover(data_dir: &std::path::Path) -> Result<String, String> {
+        let path = data_dir.join("endpoint");
+        std::fs::read_to_string(&path)
+            .map(|s| s.trim().to_string())
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}

@@ -1,0 +1,604 @@
+//! The `pdtune serve` daemon: accept loop, worker pool, admission
+//! control, recovery scan, and graceful shutdown.
+//!
+//! Layout of the data directory:
+//!
+//! ```text
+//! <data-dir>/
+//!   endpoint            "host:port\n" of the bound listener
+//!   sessions/s0001/...  one directory per session (see `session`)
+//! ```
+//!
+//! Lifecycle:
+//!
+//! 1. **Recovery scan** (before binding): read every
+//!    `sessions/*/manifest.json`. A corrupt manifest aborts startup
+//!    with [`TuneError::Manifest`] (exit 9) — silently dropping an
+//!    accepted job is the one thing this daemon must never do.
+//!    Non-terminal sessions (`queued`, `running`) re-enter the queue;
+//!    `running` ones resume from their durable checkpoint.
+//! 2. **Bind** the TCP listener ([`TuneError::Bind`], exit 8, on
+//!    failure) and durably publish the actual address in `endpoint`
+//!    (port 0 lets tests pick a free port).
+//! 3. **Serve**: a nonblocking accept loop hands each connection to a
+//!    short-lived handler thread; `slots` worker threads drain the
+//!    session queue. Admission is bounded: more than `queue_cap`
+//!    waiting sessions → explicit backpressure
+//!    (`{"error":"overloaded","retry_after_ms":...}`), never
+//!    unbounded memory.
+//! 4. **Shutdown** (SIGTERM or the `shutdown` op): stop accepting,
+//!    trip every running session's stop token, and join the workers.
+//!    Running sessions drain to a final durable checkpoint with their
+//!    manifests left `running` — the next daemon resumes them
+//!    byte-identically.
+
+use crate::durable::{atomic_write, DurableWriter, RetryPolicy};
+use crate::manifest::{Manifest, SessionState};
+use crate::protocol::{err_response, ok_response, overloaded_response, parse_request, Request};
+use crate::session::{run_session, Session};
+use pdt_trace::json::Json;
+use pdt_tuner::fault::FaultPlan;
+use pdt_tuner::{StopReason, StopToken, TuneError};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration (the `pdtune serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address; port 0 picks a free port (published in the
+    /// `endpoint` file).
+    pub addr: String,
+    /// Root of the durable state (sessions, endpoint file).
+    pub data_dir: PathBuf,
+    /// Concurrent tuning sessions.
+    pub slots: usize,
+    /// Bound on *waiting* sessions before submits are rejected with
+    /// backpressure.
+    pub queue_cap: usize,
+    /// Global what-if call budget shared fairly across sessions; each
+    /// admission is assigned `global / slots` (capped by its request).
+    pub global_call_budget: Option<usize>,
+    /// Backpressure hint returned with overload rejections.
+    pub retry_after_ms: u64,
+    /// Fault plan for *manifest* writes (from `PDTUNE_FAULTS`); session
+    /// checkpoint writes use each job's own `io_faults` plan.
+    pub manifest_faults: Option<FaultPlan>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("pdtune-serve"),
+            slots: 2,
+            queue_cap: 16,
+            global_call_budget: None,
+            retry_after_ms: 250,
+            manifest_faults: None,
+        }
+    }
+}
+
+/// Fair-share assignment of the global what-if budget. The share is
+/// fixed at admission and persisted in the manifest: a dynamic share
+/// would change the options signature across restarts and break
+/// checkpoint resume.
+fn assign_budget(opts: &ServeOptions, requested: Option<usize>) -> Option<u64> {
+    match (opts.global_call_budget, requested) {
+        (None, None) => None,
+        (None, Some(r)) => Some(r as u64),
+        (Some(g), r) => {
+            let share = (g / opts.slots.max(1)).max(1) as u64;
+            Some(r.map_or(share, |r| share.min(r as u64)))
+        }
+    }
+}
+
+struct Queue {
+    items: std::collections::VecDeque<Arc<Session>>,
+    shutdown: bool,
+}
+
+struct Daemon {
+    opts: ServeOptions,
+    registry: Mutex<BTreeMap<String, Arc<Session>>>,
+    queue: Mutex<Queue>,
+    queue_cv: Condvar,
+    next_id: Mutex<u64>,
+    writer: DurableWriter,
+    shutdown: StopToken,
+    /// Aggregate what-if calls spent by finished sessions (stats op).
+    budget_spent: AtomicU64,
+}
+
+impl Daemon {
+    fn sessions_dir(&self) -> PathBuf {
+        self.opts.data_dir.join("sessions")
+    }
+
+    fn waiting(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    fn enqueue(&self, session: Arc<Session>) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.items.push_back(session);
+        drop(q);
+        self.queue_cv.notify_one();
+    }
+}
+
+/// Scan `sessions/` and rebuild the registry. Corrupt manifests abort
+/// startup; non-terminal sessions are returned for re-queueing in id
+/// order (oldest first).
+fn recover(daemon: &Daemon) -> Result<Vec<Arc<Session>>, TuneError> {
+    let dir = daemon.sessions_dir();
+    let io_err = |e: std::io::Error| TuneError::Io {
+        path: dir.display().to_string(),
+        msg: e.to_string(),
+    };
+    std::fs::create_dir_all(&dir).map_err(io_err)?;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(io_err)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+
+    let mut requeue = Vec::new();
+    let mut max_id = 0u64;
+    for session_dir in entries {
+        let manifest_path = session_dir.join("manifest.json");
+        if !manifest_path.exists() {
+            // A session dir without a manifest is a submit that died
+            // before its first durable write — it was never acked, so
+            // it is not an accepted job. Ignore it.
+            continue;
+        }
+        let body = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| TuneError::Manifest(format!("{}: {e}", manifest_path.display())))?;
+        let manifest = Manifest::from_json_str(&body)
+            .map_err(|e| TuneError::Manifest(format!("{}: {e}", manifest_path.display())))?;
+        if let Some(n) = manifest
+            .id
+            .strip_prefix('s')
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            max_id = max_id.max(n);
+        }
+        let session = Arc::new(Session::new(
+            manifest.id.clone(),
+            session_dir,
+            manifest.spec,
+            manifest.assigned_call_budget,
+            manifest.state,
+            manifest.error,
+        ));
+        if !manifest.state.is_terminal() {
+            requeue.push(Arc::clone(&session));
+        }
+        daemon
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(manifest.id, session);
+    }
+    *daemon.next_id.lock().unwrap_or_else(|e| e.into_inner()) = max_id + 1;
+    Ok(requeue)
+}
+
+fn worker_loop(daemon: &Daemon) {
+    loop {
+        let session = {
+            let mut q = daemon.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(s) = q.items.pop_front() {
+                    break s;
+                }
+                q = daemon.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if session.cancel_requested.load(Ordering::Acquire) {
+            // Canceled while still queued: terminal without a run.
+            session.set_state(SessionState::Canceled, None);
+            if let Err(e) = session.persist_manifest(&daemon.writer) {
+                eprintln!("serve: session {}: cancel manifest: {e}", session.id);
+            }
+            continue;
+        }
+        let outcome = run_session(&session, &daemon.writer);
+        daemon
+            .budget_spent
+            .fetch_add(outcome.budget_spent, Ordering::Relaxed);
+    }
+}
+
+fn state_counts(daemon: &Daemon) -> BTreeMap<&'static str, i64> {
+    let mut counts = BTreeMap::new();
+    for s in daemon
+        .registry
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        *counts.entry(s.state().0.label()).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn handle_submit(daemon: &Daemon, spec: crate::job::JobSpec) -> String {
+    // Admission control: bounded queue, explicit backpressure.
+    if daemon.waiting() >= daemon.opts.queue_cap {
+        return overloaded_response(daemon.opts.retry_after_ms);
+    }
+    let id = {
+        let mut next = daemon.next_id.lock().unwrap_or_else(|e| e.into_inner());
+        let id = format!("s{:04}", *next);
+        *next += 1;
+        id
+    };
+    let dir = daemon.sessions_dir().join(&id);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return err_response(&format!("creating {}: {e}", dir.display()));
+    }
+    let assigned = assign_budget(&daemon.opts, spec.call_budget);
+    let session = Arc::new(Session::new(
+        id.clone(),
+        dir.clone(),
+        spec,
+        assigned,
+        SessionState::Queued,
+        None,
+    ));
+    // The ack happens only after this durable write: an acked submit
+    // survives kill -9 by construction.
+    if let Err(e) = session.persist_manifest(&daemon.writer) {
+        let _ = std::fs::remove_dir_all(&dir);
+        return err_response(&format!("manifest write: {e}"));
+    }
+    daemon
+        .registry
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id.clone(), Arc::clone(&session));
+    daemon.enqueue(session);
+    let mut fields = vec![
+        ("id".to_string(), Json::Str(id)),
+        ("state".to_string(), Json::Str("queued".into())),
+    ];
+    if let Some(b) = assigned {
+        fields.push(("assigned_call_budget".to_string(), Json::Int(b as i64)));
+    }
+    ok_response(fields)
+}
+
+fn status_fields(session: &Session) -> Vec<(String, Json)> {
+    let (state, error) = session.state();
+    vec![
+        ("id".to_string(), Json::Str(session.id.clone())),
+        ("state".to_string(), Json::Str(state.label().into())),
+        ("error".to_string(), error.map_or(Json::Null, Json::Str)),
+    ]
+}
+
+fn handle_watch(
+    daemon: &Daemon,
+    stream: &mut TcpStream,
+    id: &str,
+    mut from: u64,
+) -> std::io::Result<()> {
+    let session = match daemon
+        .registry
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(id)
+        .cloned()
+    {
+        Some(s) => s,
+        None => {
+            writeln!(
+                stream,
+                "{}",
+                err_response(&format!("no such session `{id}`"))
+            )?;
+            return Ok(());
+        }
+    };
+    loop {
+        // Order matters: read the state BEFORE fetching events. A
+        // session is marked terminal only after its last event is in
+        // the tracer, so terminal-then-fetch can never miss a tail the
+        // other order would drop.
+        let (state, _) = session.state();
+        let (chunk, next) = session.tracer.events_jsonl_from(from);
+        if !chunk.is_empty() {
+            stream.write_all(chunk.as_bytes())?;
+        }
+        if state.is_terminal() {
+            if next == 0 && from == 0 {
+                // Terminal session recovered from a previous daemon:
+                // its live tracer is empty, but the durable trace is
+                // the same stream. Replay it from disk.
+                if let Ok(body) = std::fs::read_to_string(session.trace_path()) {
+                    stream.write_all(body.as_bytes())?;
+                }
+            }
+            writeln!(
+                stream,
+                "{}",
+                ok_response(vec![
+                    ("done".to_string(), Json::Bool(true)),
+                    ("state".to_string(), Json::Str(state.label().into())),
+                ])
+            )?;
+            return Ok(());
+        }
+        if daemon.shutdown.get().is_some() {
+            writeln!(
+                stream,
+                "{}",
+                ok_response(vec![
+                    ("done".to_string(), Json::Bool(false)),
+                    ("state".to_string(), Json::Str(state.label().into())),
+                ])
+            )?;
+            return Ok(());
+        }
+        from = next;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn handle_connection(daemon: &Daemon, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut line = String::new();
+    if BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    })
+    .read_line(&mut line)
+    .is_err()
+    {
+        return;
+    }
+    if line.trim().is_empty() {
+        return;
+    }
+    let response = match parse_request(&line) {
+        Err(e) => err_response(&e),
+        Ok(Request::Ping) => ok_response(vec![(
+            "pid".to_string(),
+            Json::Int(std::process::id() as i64),
+        )]),
+        Ok(Request::Submit { spec }) => handle_submit(daemon, spec),
+        Ok(Request::Status { id }) => {
+            match daemon
+                .registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&id)
+            {
+                Some(s) => ok_response(status_fields(s)),
+                None => err_response(&format!("no such session `{id}`")),
+            }
+        }
+        Ok(Request::List) => {
+            let sessions: Vec<Json> = daemon
+                .registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .values()
+                .map(|s| Json::Obj(status_fields(s)))
+                .collect();
+            ok_response(vec![("sessions".to_string(), Json::Arr(sessions))])
+        }
+        Ok(Request::Cancel { id }) => {
+            match daemon
+                .registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&id)
+                .cloned()
+            {
+                Some(s) => {
+                    let (state, _) = s.state();
+                    if !state.is_terminal() {
+                        s.cancel_requested.store(true, Ordering::Release);
+                        s.token.trip(StopReason::Interrupted);
+                        // Wake a worker in case the session is queued so
+                        // the cancel is persisted promptly.
+                        daemon.queue_cv.notify_all();
+                    }
+                    ok_response(status_fields(&s))
+                }
+                None => err_response(&format!("no such session `{id}`")),
+            }
+        }
+        Ok(Request::Watch { id, from }) => {
+            let _ = handle_watch(daemon, &mut stream, &id, from);
+            return;
+        }
+        Ok(Request::Stats) => {
+            let mut fields: Vec<(String, Json)> = state_counts(daemon)
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), Json::Int(v)))
+                .collect();
+            fields.push(("waiting".to_string(), Json::Int(daemon.waiting() as i64)));
+            fields.push(("slots".to_string(), Json::Int(daemon.opts.slots as i64)));
+            fields.push((
+                "queue_cap".to_string(),
+                Json::Int(daemon.opts.queue_cap as i64),
+            ));
+            fields.push((
+                "global_call_budget".to_string(),
+                daemon
+                    .opts
+                    .global_call_budget
+                    .map_or(Json::Null, |b| Json::Int(b as i64)),
+            ));
+            fields.push((
+                "budget_spent".to_string(),
+                Json::Int(daemon.budget_spent.load(Ordering::Relaxed) as i64),
+            ));
+            ok_response(fields)
+        }
+        Ok(Request::Shutdown) => {
+            daemon.shutdown.trip(StopReason::Interrupted);
+            ok_response(vec![("shutting_down".to_string(), Json::Bool(true))])
+        }
+    };
+    let _ = writeln!(stream, "{response}");
+}
+
+/// Quiet the default panic printer for *injected* fault payloads so
+/// fault-injection tests don't spray backtrace noise; real panics
+/// still print (and are contained per-session by `run_session`).
+pub fn quiet_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+/// Run the daemon until `shutdown` trips (SIGTERM, Ctrl-C, or the
+/// `shutdown` op). On a clean return every running session has drained
+/// to a durable checkpoint and every queued session's manifest is on
+/// disk — a subsequent `serve` on the same data dir finishes the work.
+pub fn serve(opts: ServeOptions, shutdown: StopToken) -> Result<(), TuneError> {
+    quiet_injected_panics();
+    let daemon = Arc::new(Daemon {
+        writer: DurableWriter::new(opts.manifest_faults, RetryPolicy::default()),
+        opts,
+        registry: Mutex::new(BTreeMap::new()),
+        queue: Mutex::new(Queue {
+            items: std::collections::VecDeque::new(),
+            shutdown: false,
+        }),
+        queue_cv: Condvar::new(),
+        next_id: Mutex::new(1),
+        shutdown,
+        budget_spent: AtomicU64::new(0),
+    });
+
+    // 1. Recovery scan (before bind: a corrupt store must fail fast).
+    for session in recover(&daemon)? {
+        daemon.enqueue(session);
+    }
+
+    // 2. Bind and durably publish the endpoint.
+    let listener = TcpListener::bind(&daemon.opts.addr).map_err(|e| TuneError::Bind {
+        addr: daemon.opts.addr.clone(),
+        msg: e.to_string(),
+    })?;
+    let local = listener.local_addr().map_err(|e| TuneError::Bind {
+        addr: daemon.opts.addr.clone(),
+        msg: e.to_string(),
+    })?;
+    listener.set_nonblocking(true).map_err(|e| TuneError::Io {
+        path: local.to_string(),
+        msg: e.to_string(),
+    })?;
+    let endpoint = daemon.opts.data_dir.join("endpoint");
+    atomic_write(&endpoint, format!("{local}\n").as_bytes()).map_err(|e| TuneError::Io {
+        path: endpoint.display().to_string(),
+        msg: e.to_string(),
+    })?;
+    eprintln!(
+        "pdtune serve: listening on {local}, data dir {}",
+        daemon.opts.data_dir.display()
+    );
+
+    // 3. Worker pool.
+    let workers: Vec<_> = (0..daemon.opts.slots.max(1))
+        .map(|i| {
+            let d = Arc::clone(&daemon);
+            std::thread::Builder::new()
+                .name(format!("pdtune-worker-{i}"))
+                .spawn(move || worker_loop(&d))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    // 4. Accept loop, polling the shutdown token between accepts.
+    while daemon.shutdown.get().is_none() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let d = Arc::clone(&daemon);
+                let _ = std::thread::Builder::new()
+                    .name("pdtune-conn".to_string())
+                    .spawn(move || handle_connection(&d, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("serve: accept: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+
+    // 5. Graceful drain: no new work, trip every running session, join.
+    eprintln!("pdtune serve: shutting down, draining live sessions");
+    {
+        let mut q = daemon.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.shutdown = true;
+    }
+    daemon.queue_cv.notify_all();
+    for session in daemon
+        .registry
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        if session.state().0 == SessionState::Running {
+            session.token.trip(StopReason::Interrupted);
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    eprintln!("pdtune serve: drained");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_shares_are_fair_and_capped_by_request() {
+        let mut opts = ServeOptions {
+            global_call_budget: Some(100),
+            slots: 4,
+            ..ServeOptions::default()
+        };
+        assert_eq!(assign_budget(&opts, None), Some(25));
+        assert_eq!(assign_budget(&opts, Some(10)), Some(10));
+        assert_eq!(assign_budget(&opts, Some(400)), Some(25));
+        opts.global_call_budget = None;
+        assert_eq!(assign_budget(&opts, None), None);
+        assert_eq!(assign_budget(&opts, Some(7)), Some(7));
+        // Degenerate global budgets still assign at least one call.
+        opts.global_call_budget = Some(2);
+        assert_eq!(assign_budget(&opts, None), Some(1));
+    }
+}

@@ -1,0 +1,261 @@
+//! Crash-safe file writes and the bounded-retry policy around them.
+//!
+//! Every durable artifact the daemon owns — job manifests, session
+//! checkpoints, final reports and traces — goes through
+//! [`atomic_write`]: write `<path>.tmp`, fsync the file, rename over
+//! the target, then fsync the parent directory. Process death
+//! (`kill -9`) at any instant leaves either the old bytes or the new
+//! bytes, never a torn file; the directory fsync extends that to host
+//! crashes, where a rename alone may not yet be on disk.
+//!
+//! [`DurableWriter`] layers the daemon's retry policy on top: bounded
+//! attempts with exponential backoff, with deterministic fault
+//! injection (`FaultPlan::io_write_fails`) so the whole
+//! retry-then-fail path is exercised by tests rather than trusted.
+
+use pdt_tuner::fault::FaultPlan;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Atomically replace `path` with `contents`, surviving both process
+/// death and host crash: tmp + fsync(file) + rename + fsync(dir).
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // A rename can be durable while the data it points at is not;
+        // flush file bytes before the rename makes them reachable.
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Fsync the directory holding `path`, so the rename that installed it
+/// survives a host crash. On platforms where directories cannot be
+/// opened for sync this is a no-op — process-death atomicity (the
+/// rename itself) still holds there.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// Bounded retry with exponential backoff for durable writes.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based): `base * 2^retry`,
+    /// capped at `max_delay`.
+    pub fn delay(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        exp.min(self.max_delay)
+    }
+}
+
+/// A durable writer with a retry policy and optional deterministic
+/// fault injection. One writer per fault domain: the daemon holds one
+/// for manifests (driven by `PDTUNE_FAULTS`), each session holds one
+/// for its checkpoint/report/trace writes (driven by the job's
+/// `io_faults` spec), so a poisoned session cannot fail another
+/// session's writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurableWriter {
+    pub faults: Option<FaultPlan>,
+    pub policy: RetryPolicy,
+}
+
+impl DurableWriter {
+    pub fn new(faults: Option<FaultPlan>, policy: RetryPolicy) -> DurableWriter {
+        DurableWriter { faults, policy }
+    }
+
+    /// Durably write `contents` to `path`, retrying with exponential
+    /// backoff. `site`/`seq` are the fault-injection coordinates: the
+    /// write path (checkpoint vs manifest) and a monotonic per-site
+    /// write number. Returns the number of attempts used (1 = first
+    /// try succeeded); after the retry budget is exhausted, returns the
+    /// last error — the caller moves the session to `failed`.
+    pub fn write(&self, site: u32, seq: u64, path: &Path, contents: &[u8]) -> Result<u32, String> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay(attempt - 1));
+            }
+            let injected = self
+                .faults
+                .is_some_and(|p| p.io_write_fails(site, seq, attempt as u64));
+            let result = if injected {
+                Err(io::Error::other(format!(
+                    "injected I/O fault: site={site} seq={seq} attempt={attempt}"
+                )))
+            } else {
+                atomic_write(path, contents)
+            };
+            match result {
+                Ok(()) => return Ok(attempt + 1),
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        Err(format!(
+            "write to {} failed after {attempts} attempts: {last_err}",
+            path.display()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt_tuner::fault::{SITE_CHECKPOINT_WRITE, SITE_MANIFEST_WRITE};
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pdtune-durable-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Zero-delay policy for tests: the backoff schedule is still
+    /// computed (and asserted separately), just not slept.
+    fn fast(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn atomic_write_installs_content_and_removes_tmp() {
+        let dir = scratch_dir("rename");
+        let path = dir.join("ck.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        // The rename path proper: overwrite an existing target.
+        atomic_write(&path, b"second, longer than the first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer than the first");
+        assert!(
+            !tmp_path(&path).exists(),
+            "tmp file must be consumed by the rename"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_fails_cleanly_without_parent() {
+        let dir = scratch_dir("noparent");
+        let path = dir.join("missing").join("ck.json");
+        assert!(atomic_write(&path, b"x").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(45),
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(10));
+        assert_eq!(p.delay(1), Duration::from_millis(20));
+        assert_eq!(p.delay(2), Duration::from_millis(40));
+        assert_eq!(p.delay(3), Duration::from_millis(45), "capped");
+        assert_eq!(p.delay(30), Duration::from_millis(45), "no overflow");
+    }
+
+    #[test]
+    fn certain_faults_exhaust_exactly_the_retry_budget() {
+        let dir = scratch_dir("exhaust");
+        let path = dir.join("m.json");
+        let w = DurableWriter::new(Some(FaultPlan { seed: 3, rate: 1.0 }), fast(4));
+        let err = w
+            .write(SITE_MANIFEST_WRITE, 0, &path, b"never lands")
+            .unwrap_err();
+        assert!(err.contains("after 4 attempts"), "{err}");
+        assert!(!path.exists(), "no partial artifact may appear");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_outcome_is_deterministic_and_bounded() {
+        // Property: for any seed, the (attempts, ok) outcome of every
+        // write is (a) identical across runs and (b) within the retry
+        // budget; at rate 0.5 some write must need >1 attempt (the
+        // retry path fires) and some must fail outright at a small
+        // budget (the give-up path fires).
+        let dir = scratch_dir("prop");
+        let mut saw_retry = false;
+        let mut saw_failure = false;
+        for seed in 0..40u64 {
+            let w = DurableWriter::new(Some(FaultPlan { seed, rate: 0.5 }), fast(3));
+            for seq in 0..8u64 {
+                let path = dir.join(format!("w-{seed}-{seq}.json"));
+                let run = |w: &DurableWriter| w.write(SITE_CHECKPOINT_WRITE, seq, &path, b"body");
+                let first = run(&w);
+                let second = run(&w);
+                match (&first, &second) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "attempt count must be deterministic");
+                        assert!(*a <= 3);
+                        if *a > 1 {
+                            saw_retry = true;
+                        }
+                        assert_eq!(fs::read(&path).unwrap(), b"body");
+                    }
+                    (Err(_), Err(_)) => saw_failure = true,
+                    other => panic!("outcome flipped between runs: {other:?}"),
+                }
+            }
+        }
+        assert!(saw_retry, "rate 0.5 must exercise the retry path");
+        assert!(saw_failure, "rate 0.5 at 3 attempts must exercise give-up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_faults_means_single_attempt() {
+        let dir = scratch_dir("clean");
+        let w = DurableWriter::default();
+        let n = w
+            .write(SITE_CHECKPOINT_WRITE, 7, &dir.join("c.json"), b"ok")
+            .unwrap();
+        assert_eq!(n, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,208 @@
+//! The WAL-style job manifest: one durably-written JSON file per
+//! session, the daemon's source of truth across crashes.
+//!
+//! State machine (persisted transitions are marked `*`):
+//!
+//! ```text
+//!   submit*           worker picks up*        session ends*
+//!   ───────▶ queued ──────────────▶ running ──────────────▶ done
+//!                │                      │                 ╱
+//!                │ cancel*              │ cancel* ─▶ canceled
+//!                ▼                      │
+//!            canceled                   ├─ fault limit / I/O give-up /
+//!                                       │  panic / bad spec* ─▶ failed
+//!                                       │
+//!                                       └─ graceful drain / kill -9:
+//!                                          manifest STAYS `running`;
+//!                                          the recovery scan re-queues
+//!                                          it and the checkpoint
+//!                                          resumes it byte-identically
+//! ```
+//!
+//! A submit is acknowledged only after the `queued` manifest is on
+//! disk (fsync'd file and directory), so an accepted job can never be
+//! lost: every crash leaves its manifest in a state the recovery scan
+//! handles. `running` is deliberately *not* rewound on drain — it is
+//! the marker recovery uses to resume.
+
+use crate::job::JobSpec;
+use pdt_trace::json::{parse, Json};
+
+/// Lifecycle states of a serve-mode session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Canceled,
+}
+
+impl SessionState {
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionState::Queued => "queued",
+            SessionState::Running => "running",
+            SessionState::Done => "done",
+            SessionState::Failed => "failed",
+            SessionState::Canceled => "canceled",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<SessionState, String> {
+        Ok(match s {
+            "queued" => SessionState::Queued,
+            "running" => SessionState::Running,
+            "done" => SessionState::Done,
+            "failed" => SessionState::Failed,
+            "canceled" => SessionState::Canceled,
+            other => return Err(format!("unknown session state `{other}`")),
+        })
+    }
+
+    /// Terminal states never re-enter the queue.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SessionState::Done | SessionState::Failed | SessionState::Canceled
+        )
+    }
+}
+
+const VERSION: i64 = 1;
+
+/// The durable per-session record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    pub id: String,
+    pub state: SessionState,
+    /// Failure detail for `failed` sessions (a `TuneError` rendering or
+    /// an I/O give-up message), surfaced verbatim to status clients.
+    pub error: Option<String>,
+    /// What-if call budget the global scheduler assigned at admission.
+    /// Persisted so recovery rebuilds the identical options signature.
+    pub assigned_call_budget: Option<u64>,
+    pub spec: JobSpec,
+}
+
+impl Manifest {
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("version".into(), Json::Int(VERSION)),
+            ("kind".into(), Json::Str("pdtune-manifest".into())),
+            ("id".into(), Json::Str(self.id.clone())),
+            ("state".into(), Json::Str(self.state.label().into())),
+            (
+                "error".into(),
+                self.error
+                    .as_ref()
+                    .map_or(Json::Null, |e| Json::Str(e.clone())),
+            ),
+            (
+                "assigned_call_budget".into(),
+                self.assigned_call_budget
+                    .map_or(Json::Null, |b| Json::Int(b as i64)),
+            ),
+            ("spec".into(), self.spec.to_json()),
+        ])
+        .to_string()
+    }
+
+    pub fn from_json_str(s: &str) -> Result<Manifest, String> {
+        let doc = parse(s)?;
+        if doc.get("version").and_then(Json::as_i64) != Some(VERSION) {
+            return Err("unsupported manifest version".to_string());
+        }
+        if doc.get("kind").and_then(Json::as_str) != Some("pdtune-manifest") {
+            return Err("not a pdtune manifest".to_string());
+        }
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("manifest has no id")?
+            .to_string();
+        let state = SessionState::parse(
+            doc.get("state")
+                .and_then(Json::as_str)
+                .ok_or("manifest has no state")?,
+        )?;
+        let error = match doc.get("error") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(e)) => Some(e.clone()),
+            Some(other) => return Err(format!("`error` must be a string, got {other}")),
+        };
+        let assigned_call_budget = match doc.get("assigned_call_budget") {
+            None | Some(Json::Null) => None,
+            Some(j) => match j.as_i64() {
+                Some(n) if n >= 0 => Some(n as u64),
+                _ => return Err("`assigned_call_budget` must be a non-negative integer".into()),
+            },
+        };
+        let spec = JobSpec::from_json(doc.get("spec").ok_or("manifest has no spec")?)?;
+        Ok(Manifest {
+            id,
+            state,
+            error,
+            assigned_call_budget,
+            spec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            id: "s0042".into(),
+            state: SessionState::Failed,
+            error: Some("aborted after 17 contained faults".into()),
+            assigned_call_budget: Some(32),
+            spec: JobSpec {
+                sf: 0.01,
+                queries: Some(6),
+                ..JobSpec::default()
+            },
+        };
+        let s = m.to_json_string();
+        assert_eq!(Manifest::from_json_str(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn every_state_round_trips() {
+        for state in [
+            SessionState::Queued,
+            SessionState::Running,
+            SessionState::Done,
+            SessionState::Failed,
+            SessionState::Canceled,
+        ] {
+            assert_eq!(SessionState::parse(state.label()).unwrap(), state);
+        }
+        assert!(SessionState::parse("zombie").is_err());
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!SessionState::Queued.is_terminal());
+        assert!(!SessionState::Running.is_terminal());
+        assert!(SessionState::Done.is_terminal());
+        assert!(SessionState::Failed.is_terminal());
+        assert!(SessionState::Canceled.is_terminal());
+    }
+
+    #[test]
+    fn corrupt_manifests_are_rejected_with_detail() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"version":1,"kind":"pdtune-manifest","id":"x","state":"zombie","spec":{}}"#,
+            r#"{"version":9,"kind":"pdtune-manifest"}"#,
+        ] {
+            assert!(Manifest::from_json_str(bad).is_err(), "{bad:?}");
+        }
+    }
+}

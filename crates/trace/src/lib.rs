@@ -399,6 +399,22 @@ impl Tracer {
         out
     }
 
+    /// Render the events with `seq >= from` as JSONL, returning the
+    /// rendered text and the next unseen seq. Repeated calls with the
+    /// returned cursor stream a live session's trace incrementally —
+    /// the serve layer's `watch` op is built on this. Because `seq` is
+    /// dense and append-only, the concatenation of every streamed chunk
+    /// is byte-identical to [`to_jsonl`](Tracer::to_jsonl) at the end.
+    pub fn events_jsonl_from(&self, from: u64) -> (String, u64) {
+        let inner = self.lock();
+        let mut out = String::new();
+        for e in inner.events.iter().skip(from as usize) {
+            out.push_str(&e.to_json().to_string());
+            out.push('\n');
+        }
+        (out, inner.events.len() as u64)
+    }
+
     /// Snapshot the complete tracer state (events, depth, counters,
     /// phases) for checkpointing. Unlike [`summary`](Tracer::summary),
     /// this captures the raw event stream, so a restored tracer renders
@@ -678,6 +694,29 @@ mod tests {
         // Checkpoint state excludes measurement data entirely.
         let state = t.export_state();
         assert!(state.events.is_empty());
+    }
+
+    #[test]
+    fn incremental_streaming_matches_full_render() {
+        let t = Tracer::new();
+        let mut streamed = String::new();
+        let mut cursor = 0u64;
+        for i in 0..7u64 {
+            t.emit("step", vec![("i", i.into())]);
+            if i % 3 == 0 {
+                let (chunk, next) = t.events_jsonl_from(cursor);
+                streamed.push_str(&chunk);
+                cursor = next;
+            }
+        }
+        let (chunk, next) = t.events_jsonl_from(cursor);
+        streamed.push_str(&chunk);
+        assert_eq!(next, t.len());
+        assert_eq!(streamed, t.to_jsonl());
+        // A caught-up cursor yields nothing.
+        let (empty, again) = t.events_jsonl_from(next);
+        assert!(empty.is_empty());
+        assert_eq!(again, next);
     }
 
     #[test]

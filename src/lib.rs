@@ -29,6 +29,7 @@ pub use pdt_catalog as catalog;
 pub use pdt_expr as expr;
 pub use pdt_opt as opt;
 pub use pdt_physical as physical;
+pub use pdt_serve as serve;
 pub use pdt_sql as sql;
 pub use pdt_trace as trace;
 pub use pdt_tuner as tuner;

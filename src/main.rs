@@ -36,9 +36,22 @@ fn run(args: &[String]) -> Result<(), TuneError> {
     let Some(command) = args.first().map(String::as_str) else {
         return Err(TuneError::Usage("missing command".to_string()));
     };
+    if command == "job" {
+        // `pdtune job <action> [flags]` — the action comes before the
+        // flag list.
+        let Some(action) = args.get(1).map(String::as_str) else {
+            return Err(TuneError::Usage(
+                "job needs an action (submit|status|wait|watch|cancel|list|stats|ping|shutdown)"
+                    .to_string(),
+            ));
+        };
+        let opts = CliOptions::parse(&args[2..])?;
+        return cmd_job(action, &opts);
+    }
     let opts = CliOptions::parse(&args[1..])?;
     match command {
         "tune" => cmd_tune(&opts),
+        "serve" => cmd_serve(&opts),
         "explain" => cmd_explain(&opts),
         "compare" => cmd_compare(&opts),
         "corpus" => cmd_corpus(),
@@ -56,6 +69,8 @@ pdtune — relaxation-based automatic physical database tuning
 
 USAGE:
   pdtune tune    [options]      run a tuning session and print the recommendation
+  pdtune serve   [options]      run the crash-safe tuning daemon (see SERVE MODE)
+  pdtune job <action> [options] talk to a running daemon (see SERVE MODE)
   pdtune explain [options]      show a query's plan (optionally under the optimal config)
   pdtune compare [options]      relaxation (PTT) vs bottom-up (CTT) on one workload
   pdtune corpus                 list the built-in benchmark databases
@@ -103,15 +118,40 @@ OPTIONS:
   --sql <text>                  query text (explain)
   --optimal                     explain under the optimal configuration
 
+SERVE MODE:
+  pdtune serve --data-dir DIR [--addr 127.0.0.1:0] [--slots 2]
+               [--queue-cap 16] [--global-call-budget N]
+               [--retry-after-ms 250]
+      Long-lived daemon accepting tuning jobs as line-delimited JSON on
+      a local TCP socket (actual address published in DIR/endpoint).
+      Sessions checkpoint durably and survive kill -9: restarting the
+      daemon on the same --data-dir resumes every registered session
+      and produces byte-identical reports and traces. SIGTERM drains
+      live sessions to a final checkpoint and exits 0.
+
+  pdtune job submit [tune options] [--data-dir DIR | --addr HOST:PORT]
+                    [--wait] [--faults s:r] [--io-faults s:r]
+  pdtune job status|wait|watch|cancel --id sNNNN [--data-dir DIR]
+  pdtune job list|stats|ping|shutdown [--data-dir DIR]
+      Submit prints the assigned session id; --wait blocks until the
+      session is terminal and maps its outcome to the exit codes below.
+      An overloaded daemon answers {\"error\":\"overloaded\",
+      \"retry_after_ms\":N}; the client honors the hint and retries.
+
 ENVIRONMENT:
   PDTUNE_THREADS                default worker threads (0 = all cores)
-  PDTUNE_FAULTS=<seed>:<rate>   deterministic fault injection (testing)
+  PDTUNE_FAULTS=<seed>:<rate>   deterministic fault injection (testing);
+                                in serve mode this drives manifest-write
+                                faults (checkpoint-write faults come from
+                                each job's io_faults spec field)
 
 EXIT CODES:
   0  success (including a deadline stop: anytime runs report best-so-far)
-  2  usage error            5  checkpoint error
-  3  I/O error              6  fault limit exceeded
-  4  workload error         7  bound oracle violation
+  2  usage error            6  fault limit exceeded
+  3  I/O error              7  bound oracle violation
+  4  workload error         8  serve: cannot bind socket
+  5  checkpoint error       9  serve: corrupt job manifest
+  10 serve: recovery mismatch (resumed checkpoint does not replay)
   130  interrupted (SIGINT; a final checkpoint is written first)
 ";
 
@@ -141,6 +181,17 @@ struct CliOptions {
     max_faults: Option<usize>,
     sql: Option<String>,
     optimal: bool,
+    // serve/job options
+    addr: Option<String>,
+    data_dir: Option<String>,
+    slots: usize,
+    queue_cap: usize,
+    global_call_budget: Option<usize>,
+    retry_after_ms: u64,
+    id: Option<String>,
+    wait: bool,
+    faults: Option<String>,
+    io_faults: Option<String>,
 }
 
 impl CliOptions {
@@ -151,6 +202,9 @@ impl CliOptions {
             iterations: 300,
             threads: default_threads(),
             checkpoint_every: 10,
+            slots: 2,
+            queue_cap: 16,
+            retry_after_ms: 250,
             ..Default::default()
         };
         let mut it = args.iter();
@@ -236,6 +290,37 @@ impl CliOptions {
                 }
                 "--sql" => o.sql = Some(value("--sql")?),
                 "--optimal" => o.optimal = true,
+                "--addr" => o.addr = Some(value("--addr")?),
+                "--data-dir" => o.data_dir = Some(value("--data-dir")?),
+                "--slots" => {
+                    o.slots = value("--slots")?
+                        .parse()
+                        .map_err(|e| usage("--slots", &e))?;
+                    if o.slots == 0 {
+                        return Err(TuneError::Usage("--slots must be at least 1".to_string()));
+                    }
+                }
+                "--queue-cap" => {
+                    o.queue_cap = value("--queue-cap")?
+                        .parse()
+                        .map_err(|e| usage("--queue-cap", &e))?
+                }
+                "--global-call-budget" => {
+                    o.global_call_budget = Some(
+                        value("--global-call-budget")?
+                            .parse()
+                            .map_err(|e| usage("--global-call-budget", &e))?,
+                    )
+                }
+                "--retry-after-ms" => {
+                    o.retry_after_ms = value("--retry-after-ms")?
+                        .parse()
+                        .map_err(|e| usage("--retry-after-ms", &e))?
+                }
+                "--id" => o.id = Some(value("--id")?),
+                "--wait" => o.wait = true,
+                "--faults" => o.faults = Some(value("--faults")?),
+                "--io-faults" => o.io_faults = Some(value("--io-faults")?),
                 other => return Err(TuneError::Usage(format!("unknown flag `{other}`"))),
             }
         }
@@ -401,16 +486,16 @@ fn cmd_tune(o: &CliOptions) -> Result<(), TuneError> {
     }
 
     let tracer = (o.trace.is_some() || o.validate_bounds).then(pdtune::trace::Tracer::new);
-    // Checkpoints land atomically: write `<path>.tmp`, then rename over
-    // the target, so a crash mid-write never leaves a torn checkpoint.
+    // Checkpoints land crash-safely: tmp + fsync(file) + rename +
+    // fsync(dir), so neither process death nor a host crash can leave
+    // a torn or unreachable checkpoint.
     let sink = o.checkpoint.clone().map(|path| {
-        move |done: usize, body: &str| {
-            let tmp = format!("{path}.tmp");
-            let write = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &path));
-            match write {
-                Ok(()) => eprintln!("checkpoint: {done} iterations -> {path}"),
-                Err(e) => eprintln!("warning: checkpoint write to {path} failed: {e}"),
-            }
+        move |done: usize, body: &str| match pdtune::serve::atomic_write(
+            std::path::Path::new(&path),
+            body.as_bytes(),
+        ) {
+            Ok(()) => eprintln!("checkpoint: {done} iterations -> {path}"),
+            Err(e) => eprintln!("warning: checkpoint write to {path} failed: {e}"),
         }
     });
     let report = pdtune::tuner::tune_session(
@@ -588,6 +673,172 @@ fn cache_line(hits: u64, misses: u64, disabled: bool) -> String {
         100.0 * hits as f64 / total as f64
     };
     format!("cost cache: {hits} hits / {misses} misses ({rate:.1}% hit rate)")
+}
+
+fn cmd_serve(o: &CliOptions) -> Result<(), TuneError> {
+    let opts = pdtune::serve::ServeOptions {
+        addr: o.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        data_dir: std::path::PathBuf::from(
+            o.data_dir
+                .clone()
+                .unwrap_or_else(|| "pdtune-serve".to_string()),
+        ),
+        slots: o.slots,
+        queue_cap: o.queue_cap,
+        global_call_budget: o.global_call_budget,
+        retry_after_ms: o.retry_after_ms,
+        manifest_faults: FaultPlan::from_env().map_err(TuneError::Usage)?,
+    };
+    // SIGTERM and Ctrl-C both request a graceful drain: stop
+    // accepting, checkpoint live sessions, exit 0. kill -9 is the
+    // crash case the durable manifests recover from.
+    let shutdown = StopToken::default();
+    #[cfg(unix)]
+    {
+        pdtune::tuner::install_sigint(&shutdown);
+        pdtune::tuner::install_sigterm(&shutdown);
+    }
+    pdtune::serve::serve(opts, shutdown)
+}
+
+/// Build the serve-mode job spec from the shared CLI flags.
+fn job_spec(o: &CliOptions) -> pdtune::serve::JobSpec {
+    pdtune::serve::JobSpec {
+        db: o.db.clone(),
+        sf: o.sf,
+        queries: o.queries,
+        seed: o.seed,
+        budget: o.budget,
+        iterations: o.iterations,
+        updates: o.updates,
+        indexes_only: o.indexes_only,
+        threads: o.threads,
+        checkpoint_every: o.checkpoint_every,
+        call_budget: o.optimizer_call_budget,
+        max_faults: o.max_faults,
+        faults: o.faults.clone(),
+        io_faults: o.io_faults.clone(),
+    }
+}
+
+/// Map a terminal serve-mode session outcome to the process exit
+/// policy (same classes as single-shot `tune`).
+fn job_exit(state: &str, error: Option<String>) -> Result<(), TuneError> {
+    match state {
+        "done" => Ok(()),
+        "canceled" => Err(TuneError::Interrupted),
+        _ => {
+            let msg = error.unwrap_or_else(|| "session failed".to_string());
+            if let Some(detail) = msg.strip_prefix("recovery mismatch: ") {
+                Err(TuneError::RecoveryMismatch(detail.to_string()))
+            } else if msg.contains("contained faults") {
+                let faults = msg
+                    .split_whitespace()
+                    .find_map(|w| w.parse::<usize>().ok())
+                    .unwrap_or(0);
+                Err(TuneError::FaultLimit { faults })
+            } else if let Some(detail) = msg.strip_prefix("workload error: ") {
+                Err(TuneError::Workload(detail.to_string()))
+            } else {
+                Err(TuneError::Io {
+                    path: "session".to_string(),
+                    msg,
+                })
+            }
+        }
+    }
+}
+
+fn cmd_job(action: &str, o: &CliOptions) -> Result<(), TuneError> {
+    use pdtune::serve::Client;
+    use pdtune::trace::json::Json;
+
+    let addr = match (&o.addr, &o.data_dir) {
+        (Some(a), _) => a.clone(),
+        (None, Some(dir)) => {
+            Client::discover(std::path::Path::new(dir)).map_err(|e| TuneError::Io {
+                path: dir.clone(),
+                msg: e,
+            })?
+        }
+        (None, None) => {
+            return Err(TuneError::Usage(
+                "job needs --addr or --data-dir to find the daemon".to_string(),
+            ))
+        }
+    };
+    let client = Client::new(&addr);
+    let need_id = || {
+        o.id.clone()
+            .ok_or_else(|| TuneError::Usage(format!("job {action} needs --id")))
+    };
+    let simple = |op: &str, id: Option<&str>| {
+        let mut fields = vec![("op".to_string(), Json::Str(op.to_string()))];
+        if let Some(id) = id {
+            fields.push(("id".to_string(), Json::Str(id.to_string())));
+        }
+        Json::Obj(fields).to_string()
+    };
+    let call_err = |e: String| TuneError::Io {
+        path: addr.clone(),
+        msg: e,
+    };
+
+    match action {
+        "submit" => {
+            let spec = job_spec(o);
+            spec.validate().map_err(TuneError::Usage)?;
+            let id = client.submit(&spec.to_json()).map_err(call_err)?;
+            println!("{id}");
+            if o.wait {
+                let (state, error) = client
+                    .wait(&id, std::time::Duration::from_millis(100))
+                    .map_err(call_err)?;
+                eprintln!("session {id}: {state}");
+                return job_exit(&state, error);
+            }
+            Ok(())
+        }
+        "status" => {
+            let doc = client
+                .call(&simple("status", Some(&need_id()?)))
+                .map_err(call_err)?;
+            println!("{doc}");
+            Ok(())
+        }
+        "wait" => {
+            let id = need_id()?;
+            let (state, error) = client
+                .wait(&id, std::time::Duration::from_millis(100))
+                .map_err(call_err)?;
+            println!("{state}");
+            job_exit(&state, error)
+        }
+        "watch" => {
+            let id = need_id()?;
+            let (done, state) = client
+                .watch(&id, 0, |line| println!("{line}"))
+                .map_err(call_err)?;
+            eprintln!(
+                "session {id}: {state}{}",
+                if done { "" } else { " (daemon shutting down)" }
+            );
+            Ok(())
+        }
+        "cancel" => {
+            let doc = client
+                .call(&simple("cancel", Some(&need_id()?)))
+                .map_err(call_err)?;
+            println!("{doc}");
+            Ok(())
+        }
+        "list" | "stats" | "ping" | "shutdown" => {
+            let doc = client.call(&simple(action, None)).map_err(call_err)?;
+            println!("{doc}");
+            Ok(())
+        }
+        other => Err(TuneError::Usage(format!("unknown job action `{other}`"))),
+    }
 }
 
 fn cmd_explain(o: &CliOptions) -> Result<(), TuneError> {

@@ -1,0 +1,428 @@
+//! End-to-end tests for `pdtune serve`: crash recovery with
+//! byte-identical artifacts, overload backpressure, per-session fault
+//! isolation, graceful shutdown, and the serve-mode exit codes.
+//!
+//! Each test runs the real binary against its own scratch data dir and
+//! drives it over the real socket with `pdtune job` — the same path a
+//! user takes.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pdtune")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pdtune-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Start a daemon on `data_dir` and wait until its endpoint answers.
+///
+/// Every caller eventually waits on the returned child (via
+/// `shutdown_and_join` or an explicit kill + wait), which clippy's
+/// escape analysis cannot see.
+#[allow(clippy::zombie_processes)]
+fn start_daemon(data_dir: &Path, extra: &[&str]) -> Child {
+    let mut cmd = Command::new(bin());
+    cmd.arg("serve")
+        .arg("--data-dir")
+        .arg(data_dir)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("daemon starts");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if data_dir.join("endpoint").exists() {
+            let (code, _, _) = job(data_dir, &["ping"]);
+            if code == 0 {
+                return child;
+            }
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("daemon never became reachable");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Run `pdtune job <args...>` against the daemon on `data_dir`.
+fn job(data_dir: &Path, args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(bin())
+        .arg("job")
+        .args(args)
+        .arg("--data-dir")
+        .arg(data_dir)
+        .output()
+        .expect("job command runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// A small-but-nontrivial job: the 2M space budget forces real
+/// relaxation iterations (and therefore real checkpoints).
+fn submit_args<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
+    let mut v = vec![
+        "submit",
+        "--sf",
+        "0.01",
+        "--queries",
+        "6",
+        "--budget",
+        "2M",
+        "--iterations",
+        "20",
+        "--checkpoint-every",
+        "2",
+    ];
+    v.extend_from_slice(extra);
+    v
+}
+
+fn submit(data_dir: &Path, extra: &[&str]) -> String {
+    let (code, stdout, stderr) = job(data_dir, &submit_args(extra));
+    assert_eq!(code, 0, "submit failed: {stderr}");
+    let id = stdout.trim().to_string();
+    assert!(id.starts_with('s'), "unexpected submit output: {stdout}");
+    id
+}
+
+fn wait_done(data_dir: &Path, id: &str) -> (i32, String) {
+    let (code, stdout, _) = job(data_dir, &["wait", "--id", id]);
+    (code, stdout.trim().to_string())
+}
+
+fn shutdown_and_join(data_dir: &Path, mut daemon: Child) {
+    let (code, _, stderr) = job(data_dir, &["shutdown"]);
+    assert_eq!(code, 0, "shutdown op failed: {stderr}");
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "graceful shutdown must exit 0");
+}
+
+fn session_file(data_dir: &Path, id: &str, name: &str) -> PathBuf {
+    data_dir.join("sessions").join(id).join(name)
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// The tentpole contract: SIGKILL the daemon mid-run with several
+/// concurrent sessions in flight, restart it on the same data dir, and
+/// every session must complete with a report and trace byte-identical
+/// to an uninterrupted control run — at single- and multi-threaded
+/// session settings.
+#[test]
+fn kill_dash_nine_recovery_is_byte_identical() {
+    for threads in ["1", "2"] {
+        let control_dir = scratch(&format!("ctl-t{threads}"));
+        let crash_dir = scratch(&format!("crash-t{threads}"));
+        let specs: [&[&str]; 3] = [
+            &["--threads", threads],
+            &["--threads", threads, "--seed", "1"],
+            &["--threads", threads, "--queries", "5", "--seed", "2"],
+        ];
+
+        // Control: run all three to completion, no interruption.
+        let daemon = start_daemon(&control_dir, &["--slots", "2"]);
+        let control_ids: Vec<String> = specs.iter().map(|s| submit(&control_dir, s)).collect();
+        for id in &control_ids {
+            let (code, state) = wait_done(&control_dir, id);
+            assert_eq!((code, state.as_str()), (0, "done"));
+        }
+        shutdown_and_join(&control_dir, daemon);
+
+        // Crash run: same three jobs, SIGKILL once a checkpoint lands.
+        let mut daemon = start_daemon(&crash_dir, &["--slots", "2"]);
+        let crash_ids: Vec<String> = specs.iter().map(|s| submit(&crash_dir, s)).collect();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !crash_ids
+            .iter()
+            .any(|id| session_file(&crash_dir, id, "checkpoint.json").exists())
+        {
+            assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // SIGKILL: no handlers, no drain — the crash case.
+        unsafe { libc_kill(daemon.id() as i32, 9) };
+        let _ = daemon.wait();
+
+        // Every accepted job must still be registered, none terminal-
+        // by-luck into a lost state.
+        for id in &crash_ids {
+            let manifest = read(&session_file(&crash_dir, id, "manifest.json"));
+            assert!(
+                manifest.contains("\"state\":\"queued\"")
+                    || manifest.contains("\"state\":\"running\"")
+                    || manifest.contains("\"state\":\"done\""),
+                "unexpected post-kill manifest for {id}: {manifest}"
+            );
+        }
+
+        // Restart on the same data dir: recovery resumes everything.
+        let daemon = start_daemon(&crash_dir, &["--slots", "2"]);
+        for id in &crash_ids {
+            let (code, state) = wait_done(&crash_dir, id);
+            assert_eq!((code, state.as_str()), (0, "done"), "session {id}");
+        }
+        shutdown_and_join(&crash_dir, daemon);
+
+        for (control_id, crash_id) in control_ids.iter().zip(&crash_ids) {
+            assert_eq!(
+                read(&session_file(&control_dir, control_id, "report.txt")),
+                read(&session_file(&crash_dir, crash_id, "report.txt")),
+                "threads={threads} {crash_id}: recovered report must be byte-identical"
+            );
+            assert_eq!(
+                read(&session_file(&control_dir, control_id, "trace.jsonl")),
+                read(&session_file(&crash_dir, crash_id, "trace.jsonl")),
+                "threads={threads} {crash_id}: recovered trace must be byte-identical"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&control_dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+extern "C" {
+    #[link_name = "kill"]
+    fn libc_kill(pid: i32, sig: i32) -> i32;
+}
+
+/// Overload: a single-slot daemon with a tiny queue must answer
+/// rejected submits with explicit `retry_after_ms` backpressure, and
+/// every *accepted* job must still reach a terminal state.
+#[test]
+fn overload_backpressure_rejects_explicitly_and_loses_nothing() {
+    let dir = scratch("overload");
+    let daemon = start_daemon(&dir, &["--slots", "1", "--queue-cap", "1"]);
+
+    // Submit via the raw protocol (no client-side retry) so the
+    // overload response itself is observable.
+    let endpoint = std::fs::read_to_string(dir.join("endpoint")).unwrap();
+    let endpoint = endpoint.trim();
+    let raw_submit = || -> String {
+        use std::io::{BufRead, BufReader, Write};
+        let mut s = std::net::TcpStream::connect(endpoint).unwrap();
+        writeln!(
+            s,
+            r#"{{"op":"submit","spec":{{"db":"tpch","sf":0.01,"queries":6,"budget":2000000.0,"iterations":20}}}}"#
+        )
+        .unwrap();
+        let mut line = String::new();
+        BufReader::new(s).read_line(&mut line).unwrap();
+        line
+    };
+
+    let mut accepted = Vec::new();
+    let mut rejections = 0;
+    for _ in 0..8 {
+        let response = raw_submit();
+        if response.contains("\"ok\":true") {
+            let id = response
+                .split("\"id\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .expect("ack carries id")
+                .to_string();
+            accepted.push(id);
+        } else {
+            assert!(
+                response.contains("retry_after_ms"),
+                "rejection must carry the backpressure hint: {response}"
+            );
+            rejections += 1;
+        }
+    }
+    assert!(
+        rejections > 0,
+        "8 fast submits into slots=1/cap=1 must overload"
+    );
+    assert!(!accepted.is_empty(), "some submits must be accepted");
+
+    // Zero dropped accepted jobs: each acked id reaches `done`.
+    for id in &accepted {
+        let (code, state) = wait_done(&dir, id);
+        assert_eq!((code, state.as_str()), (0, "done"), "accepted job {id}");
+    }
+
+    // The client-side retry path: with backpressure honoring, a
+    // patient submit eventually gets in despite the tiny queue.
+    let id = submit(&dir, &[]);
+    let (code, state) = wait_done(&dir, &id);
+    assert_eq!((code, state.as_str()), (0, "done"));
+
+    shutdown_and_join(&dir, daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fault isolation: a session that trips its fault limit (or gives up
+/// on durable writes) lands in `failed`; the daemon and a healthy
+/// concurrent session are unaffected.
+#[test]
+fn poisoned_sessions_fail_alone() {
+    let dir = scratch("isolation");
+    let daemon = start_daemon(&dir, &["--slots", "2"]);
+
+    let poisoned = submit(&dir, &["--faults", "7:1.0", "--max-faults", "2"]);
+    let io_poisoned = submit(&dir, &["--io-faults", "1:1.0", "--checkpoint-every", "1"]);
+    let healthy = submit(&dir, &[]);
+
+    let (code, _, stderr) = job(&dir, &["wait", "--id", &poisoned]);
+    assert_eq!(code, 6, "fault-limit session maps to exit 6: {stderr}");
+    assert!(stderr.contains("contained faults"), "{stderr}");
+
+    let (code, _, stderr) = job(&dir, &["wait", "--id", &io_poisoned]);
+    assert_eq!(code, 3, "I/O give-up maps to exit 3: {stderr}");
+    assert!(stderr.contains("checkpoint write"), "{stderr}");
+
+    let (code, state) = wait_done(&dir, &healthy);
+    assert_eq!(
+        (code, state.as_str()),
+        (0, "done"),
+        "healthy session must be unaffected by its poisoned neighbors"
+    );
+
+    // The daemon itself is alive and serving.
+    let (code, stdout, _) = job(&dir, &["ping"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"ok\":true"));
+
+    shutdown_and_join(&dir, daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful shutdown: SIGTERM drains a live session to a checkpoint
+/// and exits 0; a restarted daemon completes the session.
+#[test]
+fn sigterm_drains_and_restart_completes() {
+    let dir = scratch("sigterm");
+    let mut daemon = start_daemon(&dir, &["--slots", "1"]);
+    let id = submit(&dir, &[]);
+
+    // Let the session get going, then SIGTERM the daemon.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, stdout, _) = job(&dir, &["status", "--id", &id]);
+        if stdout.contains("\"state\":\"running\"") || stdout.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "session never started");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    unsafe { libc_kill(daemon.id() as i32, 15) };
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "SIGTERM drain must exit 0");
+
+    let daemon = start_daemon(&dir, &[]);
+    let (code, state) = wait_done(&dir, &id);
+    assert_eq!((code, state.as_str()), (0, "done"));
+    shutdown_and_join(&dir, daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Watch streams the session's JSONL trace events live and ends with
+/// the terminal line; the streamed events match the durable trace.
+#[test]
+fn watch_streams_the_full_trace() {
+    let dir = scratch("watch");
+    let daemon = start_daemon(&dir, &["--slots", "1"]);
+    let id = submit(&dir, &[]);
+    let (code, stdout, stderr) = job(&dir, &["watch", "--id", &id]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("done"), "{stderr}");
+    let (code, state) = wait_done(&dir, &id);
+    assert_eq!((code, state.as_str()), (0, "done"));
+    let durable = read(&session_file(&dir, &id, "trace.jsonl"));
+    assert_eq!(
+        stdout, durable,
+        "watched stream must equal the durable trace byte-for-byte"
+    );
+    shutdown_and_join(&dir, daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exit code 8: binding an impossible address fails fast.
+#[test]
+fn bind_failure_exits_8() {
+    let dir = scratch("bind");
+    let out = Command::new(bin())
+        .args(["serve", "--addr", "203.0.113.1:1", "--data-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot serve on"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exit code 9: a corrupt manifest refuses startup rather than
+/// silently dropping the job it describes.
+#[test]
+fn corrupt_manifest_exits_9() {
+    let dir = scratch("corrupt");
+    let bad = dir.join("sessions").join("s0001");
+    std::fs::create_dir_all(&bad).unwrap();
+    std::fs::write(bad.join("manifest.json"), b"{definitely not a manifest").unwrap();
+    let out = Command::new(bin())
+        .args(["serve", "--data-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(9),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("corrupt job manifest"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cancel: a canceled session is terminal, persisted, and maps to the
+/// interrupted exit code on wait.
+#[test]
+fn cancel_is_terminal_and_durable() {
+    let dir = scratch("cancel");
+    let daemon = start_daemon(&dir, &["--slots", "1"]);
+    // Occupy the single slot so the second job stays queued.
+    let running = submit(&dir, &[]);
+    let queued = submit(&dir, &[]);
+    let (code, stdout, _) = job(&dir, &["cancel", "--id", &queued]);
+    assert_eq!(code, 0, "{stdout}");
+    let (code, state, _) = job(&dir, &["wait", "--id", &queued]);
+    assert_eq!(code, 130, "canceled maps to the interrupted exit code");
+    assert_eq!(state.trim(), "canceled");
+    let (code, state) = wait_done(&dir, &running);
+    assert_eq!((code, state.as_str()), (0, "done"));
+    // Durability: the canceled state survives a restart.
+    shutdown_and_join(&dir, daemon);
+    let manifest = read(&session_file(&dir, &queued, "manifest.json"));
+    assert!(manifest.contains("\"state\":\"canceled\""), "{manifest}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
